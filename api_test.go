@@ -1,0 +1,190 @@
+package lossyts_test
+
+import (
+	"math"
+	"testing"
+
+	"lossyts"
+)
+
+func TestPublicAPICompressionRoundTrip(t *testing.T) {
+	ds := lossyts.MustLoadDataset("ETTm1", 0.02, 1)
+	target := ds.Target()
+	for _, m := range []lossyts.Method{lossyts.PMC, lossyts.Swing, lossyts.SZ} {
+		c, err := lossyts.Compress(m, target, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		dec, err := c.Decompress()
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		rel, err := target.MaxRelError(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel > 0.1+1e-9 {
+			t.Errorf("%s: relative error %v", m, rel)
+		}
+		cr, err := lossyts.Ratio(target, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr <= 1 {
+			t.Errorf("%s: CR %v should exceed 1 at eps 0.1", m, cr)
+		}
+	}
+}
+
+func TestPublicAPIGorillaLossless(t *testing.T) {
+	ds := lossyts.MustLoadDataset("Weather", 0.02, 2)
+	c, err := lossyts.Compress(lossyts.Gorilla, ds.Target(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Target().Equal(dec) {
+		t.Fatal("Gorilla round trip lost data")
+	}
+}
+
+func TestPublicAPIForecastFlow(t *testing.T) {
+	ds := lossyts.MustLoadDataset("ETTm2", 0.02, 3)
+	train, val, test, err := ds.Target().Split(0.7, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lossyts.DefaultForecastConfig()
+	cfg.SeasonalPeriod = ds.SeasonalPeriod
+	cfg.Epochs = 3
+	var sc lossyts.StandardScaler
+	if err := sc.Fit(train.Values); err != nil {
+		t.Fatal(err)
+	}
+	m, err := lossyts.NewModel("GBoost", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(sc.Transform(train.Values), sc.Transform(val.Values)); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := lossyts.MakeWindows(sc.Transform(test.Values), cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.Predict(ws.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != ws.Len() {
+		t.Fatalf("%d predictions for %d windows", len(preds), ws.Len())
+	}
+	var x, y []float64
+	for i, p := range preds {
+		y = append(y, p...)
+		x = append(x, ws.Windows[i].Target...)
+	}
+	metrics, err := lossyts.Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.NRMSE <= 0 || math.IsNaN(metrics.NRMSE) {
+		t.Fatalf("NRMSE = %v", metrics.NRMSE)
+	}
+	tfe, err := lossyts.TFE(metrics.NRMSE*1.1, metrics.NRMSE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tfe-0.1) > 1e-9 {
+		t.Fatalf("TFE = %v", tfe)
+	}
+}
+
+func TestPublicAPIFeatures(t *testing.T) {
+	ds := lossyts.MustLoadDataset("Weather", 0.02, 4)
+	f, err := lossyts.ExtractFeatures(ds.Target().Values, ds.SeasonalPeriod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) < 42 {
+		t.Fatalf("extracted %d features", len(f))
+	}
+	if _, ok := f["max_kl_shift"]; !ok {
+		t.Fatal("missing max_kl_shift")
+	}
+}
+
+func TestPublicAPIConstants(t *testing.T) {
+	if len(lossyts.ErrorBounds) != 13 {
+		t.Fatalf("error bounds = %d", len(lossyts.ErrorBounds))
+	}
+	if len(lossyts.DatasetNames) != 6 || len(lossyts.ModelNames) != 7 {
+		t.Fatal("dataset or model list wrong")
+	}
+	if _, err := lossyts.LoadDataset("nope", 0.1, 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if _, err := lossyts.Compress("nope", lossyts.NewSeries("x", 0, 1, []float64{1}), 0.1); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	if _, err := lossyts.NewModel("nope", lossyts.DefaultForecastConfig()); err == nil {
+		t.Fatal("unknown model should error")
+	}
+}
+
+func TestPublicAPISyntheticAndAnomaly(t *testing.T) {
+	spec := lossyts.DefaultSyntheticSpec()
+	spec.Length = 2000
+	ds, err := lossyts.SyntheticDataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, truth := lossyts.InjectSpikes(ds.Target().Values, 5, 15, 1)
+	det := &lossyts.AnomalyDetector{Period: ds.SeasonalPeriod}
+	found, err := det.Detect(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recall, _ := lossyts.ScoreDetections(found, truth, 1)
+	if recall < 0.8 {
+		t.Errorf("recall = %.2f", recall)
+	}
+}
+
+func TestPublicAPIEnsemble(t *testing.T) {
+	cfg := lossyts.DefaultForecastConfig()
+	cfg.InputLen = 48
+	cfg.Horizon = 8
+	cfg.SeasonalPeriod = 24
+	cfg.Epochs = 3
+	e, err := lossyts.NewEnsemble(cfg, "Arima", "GBoost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := lossyts.MustLoadDataset("ETTm1", 0.01, 5)
+	train, val, test, err := ds.Target().Split(0.7, 0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc lossyts.StandardScaler
+	if err := sc.Fit(train.Values); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(sc.Transform(train.Values), sc.Transform(val.Values)); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := lossyts.MakeWindows(sc.Transform(test.Values), cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := e.Predict(ws.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != ws.Len() {
+		t.Fatalf("%d predictions", len(preds))
+	}
+}

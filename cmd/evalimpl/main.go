@@ -1,0 +1,185 @@
+// Command evalimpl regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	evalimpl -experiment table2            # one artefact
+//	evalimpl -experiment all -scale 0.05   # everything, 5% dataset length
+//	evalimpl -experiment table5 -full      # paper-scale run (very slow)
+//
+// Artefacts: table1..table7, fig1..fig7, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lossyts/internal/core"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "artefact to regenerate: table1..table7, fig1..fig7, or all")
+		scale      = flag.Float64("scale", 0.03, "dataset length scale in (0, 1]")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		full       = flag.Bool("full", false, "paper-scale run: full lengths, 10/5 seeds (very slow)")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
+		models     = flag.String("models", "", "comma-separated model subset (default: all seven)")
+		maxTFE     = flag.Float64("tfe", 0.1, "TFE tolerance for -experiment recommend")
+		saveGrid   = flag.String("savegrid", "", "after the run, save the evaluation grid to this file (gzip JSON)")
+		loadGrid   = flag.String("loadgrid", "", "load a previously saved evaluation grid instead of recomputing")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	if *full {
+		opts = core.PaperOptions()
+	}
+	opts.Scale = *scale
+	if *full {
+		opts.Scale = 1
+	}
+	opts.Seed = *seed
+	if *datasets != "" {
+		opts.Datasets = splitList(*datasets)
+	}
+	if *models != "" {
+		opts.Models = splitList(*models)
+	}
+
+	if *loadGrid != "" {
+		g, err := core.LoadGrid(*loadGrid)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalimpl:", err)
+			os.Exit(1)
+		}
+		opts = g.Opts // the loaded grid's options drive the experiments
+	}
+	if *experiment == "recommend" {
+		if err := recommend(opts, *maxTFE); err != nil {
+			fmt.Fprintln(os.Stderr, "evalimpl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*experiment, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "evalimpl:", err)
+		os.Exit(1)
+	}
+	if *saveGrid != "" {
+		g, err := core.RunGrid(opts) // memoised: no recomputation
+		if err == nil {
+			err = core.SaveGrid(g, *saveGrid)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evalimpl: saving grid:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "grid saved to %s\n", *saveGrid)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// experimentOrder lists all artefacts for -experiment all.
+var experimentOrder = []string{
+	"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+	"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+}
+
+// recommend prints the max-CR operating point per dataset whose mean TFE
+// stays within the tolerance.
+func recommend(opts core.Options, maxTFE float64) error {
+	g, err := core.RunGrid(opts)
+	if err != nil {
+		return err
+	}
+	t := &core.Table{
+		Title:  fmt.Sprintf("Recommended operating points (mean TFE <= %g)", maxTFE),
+		Header: []string{"Dataset", "Method", "EB", "CR", "TE(NRMSE)", "TFE"},
+	}
+	for _, name := range g.Opts.Datasets {
+		appendRecommendation(t, g, name, maxTFE)
+	}
+	if len(g.Opts.Datasets) == 0 {
+		for _, name := range []string{"ETTm1", "ETTm2", "Solar", "Weather", "ElecDem", "Wind"} {
+			appendRecommendation(t, g, name, maxTFE)
+		}
+	}
+	fmt.Println(t.String())
+	return nil
+}
+
+func appendRecommendation(t *core.Table, g *core.GridResult, name string, maxTFE float64) {
+	rec, err := core.Recommend(g, name, maxTFE, nil)
+	if err != nil {
+		t.AddRow(name, "-", "-", "-", "-", "-")
+		return
+	}
+	t.AddRow(name, string(rec.Method), rec.Epsilon, rec.CR, rec.TE, rec.TFE)
+}
+
+func run(experiment string, opts core.Options) error {
+	list := []string{strings.ToLower(experiment)}
+	if experiment == "all" {
+		list = experimentOrder
+	}
+	for _, e := range list {
+		t, err := generate(e, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e, err)
+		}
+		fmt.Println(t.String())
+	}
+	return nil
+}
+
+func generate(e string, opts core.Options) (*core.Table, error) {
+	// table1, fig1 and fig7 do not need the grid; everything else shares it.
+	switch e {
+	case "table1":
+		return core.Table1(opts)
+	case "fig1":
+		return core.Figure1(opts, 96)
+	case "fig7":
+		return core.Figure7(opts)
+	}
+	g, err := core.RunGrid(opts)
+	if err != nil {
+		return nil, err
+	}
+	switch e {
+	case "table2":
+		return core.Table2(g)
+	case "table3":
+		return core.Table3(g)
+	case "table4":
+		return core.Table4(g, 10)
+	case "table5":
+		return core.Table5(g)
+	case "table6":
+		return core.Table6(g)
+	case "table7":
+		return core.Table7(g)
+	case "fig2":
+		return core.Figure2(g)
+	case "fig3":
+		return core.Figure3(g)
+	case "fig4":
+		return core.Figure4(g)
+	case "fig5":
+		return core.Figure5(g, 9)
+	case "fig6":
+		return core.Figure6(g)
+	}
+	return nil, fmt.Errorf("unknown experiment %q (try table1..table7, fig1..fig7, all)", e)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGendataWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "wind.csv")
+	if err := run("Wind", 0.005, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		t.Fatal("empty file")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "timestamp,POWER") {
+		t.Fatalf("header = %q", header)
+	}
+	rows := 0
+	for sc.Scan() {
+		if cols := strings.Count(sc.Text(), ","); cols != strings.Count(header, ",") {
+			t.Fatalf("ragged row %d: %q", rows, sc.Text())
+		}
+		rows++
+	}
+	if rows < 1000 {
+		t.Fatalf("only %d rows", rows)
+	}
+}
+
+func TestGendataErrors(t *testing.T) {
+	if err := run("Nope", 0.01, 1, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if err := run("Wind", 0.01, 1, "/nonexistent/dir/x.csv"); err == nil {
+		t.Error("unwritable path should error")
+	}
+}

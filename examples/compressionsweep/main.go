@@ -1,0 +1,53 @@
+// Compression sweep (paper RQ1, Figures 2 and 3): sweep the 13 error
+// bounds over every dataset and method and print TE, CR, and segment
+// counts, with Gorilla as the lossless baseline. This is the data behind
+// the paper's finding that PMC overtakes SZ at large bounds while Swing
+// trails both in CR.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lossyts"
+)
+
+func main() {
+	methods := []lossyts.Method{lossyts.PMC, lossyts.Swing, lossyts.SZ}
+	for _, name := range lossyts.DatasetNames {
+		ds := lossyts.MustLoadDataset(name, 0.03, 1)
+		target := ds.Target()
+		gor, err := lossyts.Compress(lossyts.Gorilla, target, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gcr, err := lossyts.Ratio(target, gor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (%d points, GORILLA %.2fx) ==\n", name, target.Len(), gcr)
+		fmt.Println("method  eps    TE(NRMSE)  ratio     segments")
+		for _, m := range methods {
+			for _, eps := range lossyts.ErrorBounds {
+				c, err := lossyts.Compress(m, target, eps)
+				if err != nil {
+					log.Fatal(err)
+				}
+				dec, err := c.Decompress()
+				if err != nil {
+					log.Fatal(err)
+				}
+				cr, err := lossyts.Ratio(target, c)
+				if err != nil {
+					log.Fatal(err)
+				}
+				te, err := lossyts.Evaluate(target.Values, dec.Values)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%-7s %.2f  %9.5f  %7.2fx  %8d\n", m, eps, te.NRMSE, cr, c.Segments)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,93 @@
+// Model resilience (paper RQ3, Figure 6 and Table 7): train every
+// forecasting model on one dataset and compare how much accuracy each loses
+// when the test input is lossy-compressed. Reproduces the paper's headline
+// contrast: simple trend-oriented models (Arima) degrade gracefully while
+// attention models that exploit short-term fluctuations suffer more.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lossyts"
+)
+
+func main() {
+	ds := lossyts.MustLoadDataset("ETTm2", 0.03, 3)
+	target := ds.Target()
+	train, val, test, err := target.Split(0.7, 0.1, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lossyts.DefaultForecastConfig()
+	cfg.SeasonalPeriod = ds.SeasonalPeriod
+	cfg.Epochs = 8
+
+	var sc lossyts.StandardScaler
+	if err := sc.Fit(train.Values); err != nil {
+		log.Fatal(err)
+	}
+	scTrain := sc.Transform(train.Values)
+	scVal := sc.Transform(val.Values)
+	scTest := sc.Transform(test.Values)
+
+	// One compressed variant of the test input per error bound.
+	bounds := []float64{0.05, 0.1, 0.2}
+	variants := map[float64][]float64{}
+	for _, eps := range bounds {
+		c, err := lossyts.Compress(lossyts.PMC, test, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := c.Decompress()
+		if err != nil {
+			log.Fatal(err)
+		}
+		variants[eps] = sc.Transform(dec.Values)
+	}
+
+	fmt.Printf("%s: TFE per model when predicting from PMC-compressed input\n\n", ds.Name)
+	fmt.Println("model        base NRMSE   TFE@0.05   TFE@0.10   TFE@0.20")
+	for _, name := range lossyts.ModelNames {
+		model, err := lossyts.NewModel(name, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Fit(scTrain, scVal); err != nil {
+			log.Fatal(err)
+		}
+		base := nrmseOn(model, scTest, scTest, cfg)
+		fmt.Printf("%-12s %10.4f", name, base)
+		for _, eps := range bounds {
+			n := nrmseOn(model, variants[eps], scTest, cfg)
+			tfe, err := lossyts.TFE(n, base)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   %+8.4f", tfe)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npositive TFE = accuracy lost; the paper finds Arima most resilient")
+}
+
+func nrmseOn(model lossyts.Model, inputs, targets []float64, cfg lossyts.ForecastConfig) float64 {
+	ws, err := lossyts.MakePairedWindows(inputs, targets, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := model.Predict(ws.Inputs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var x, y []float64
+	for i, p := range preds {
+		y = append(y, p...)
+		x = append(x, ws.Windows[i].Target...)
+	}
+	m, err := lossyts.Evaluate(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.NRMSE
+}

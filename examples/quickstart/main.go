@@ -1,0 +1,94 @@
+// Quickstart: compress a time series under a pointwise relative error
+// bound, decompress it, and forecast from the decompressed data — the
+// paper's evaluation scenario in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lossyts"
+)
+
+func main() {
+	// A synthetic version of the paper's ETTm1 dataset (5% of full length).
+	ds := lossyts.MustLoadDataset("ETTm1", 0.05, 1)
+	target := ds.Target()
+	fmt.Printf("dataset %s: %d points every %ds\n", ds.Name, target.Len(), ds.Interval)
+
+	// Compress with PMC at a 5% pointwise relative error bound.
+	c, err := lossyts.Compress(lossyts.PMC, target, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cr, err := lossyts.Ratio(target, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := c.Decompress()
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxRel, _ := target.MaxRelError(dec)
+	fmt.Printf("PMC eps=0.05: ratio %.1fx, %d segments, max relative error %.4f\n",
+		cr, c.Segments, maxRel)
+
+	// Train a DLinear forecaster on the raw training split, then predict
+	// from the decompressed test data (Algorithm 1).
+	train, val, test, err := target.Split(0.7, 0.1, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := lossyts.DefaultForecastConfig()
+	cfg.SeasonalPeriod = ds.SeasonalPeriod
+	var sc lossyts.StandardScaler
+	if err := sc.Fit(train.Values); err != nil {
+		log.Fatal(err)
+	}
+	model, err := lossyts.NewModel("DLinear", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Fit(sc.Transform(train.Values), sc.Transform(val.Values)); err != nil {
+		log.Fatal(err)
+	}
+
+	evaluate := func(label string, inputValues []float64) float64 {
+		ws, err := lossyts.MakePairedWindows(sc.Transform(inputValues), sc.Transform(test.Values),
+			cfg.InputLen, cfg.Horizon, cfg.Horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		preds, err := model.Predict(ws.Inputs())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var x, y []float64
+		for i, p := range preds {
+			y = append(y, p...)
+			x = append(x, ws.Windows[i].Target...)
+		}
+		m, err := lossyts.Evaluate(x, y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s NRMSE %.4f\n", label, m.NRMSE)
+		return m.NRMSE
+	}
+	baseline := evaluate("raw input", test.Values)
+	decTest, err := lossyts.Compress(lossyts.PMC, test, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decSeries, err := decTest.Decompress()
+	if err != nil {
+		log.Fatal(err)
+	}
+	transformed := evaluate("decompressed input", decSeries.Values)
+
+	tfe, err := lossyts.TFE(transformed, baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TFE = %+.2f%% (negative means compression improved accuracy)\n", tfe*100)
+}

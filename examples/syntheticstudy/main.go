@@ -1,0 +1,110 @@
+// Synthetic characteristic study — the paper's stated future work (§7):
+// generate series with controllable characteristics (here: the number of
+// abrupt level shifts, which drives max_kl_shift, the paper's top TFE
+// predictor), and measure how model resilience to lossy compression changes
+// as the characteristic changes. Also demonstrates the §5 ensemble of a
+// strong model (GBoost here, for speed) with the resilient Arima.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lossyts"
+)
+
+func main() {
+	cfg := lossyts.DefaultForecastConfig()
+	cfg.InputLen = 96
+	cfg.Horizon = 24
+	cfg.SeasonalPeriod = 48
+	cfg.Epochs = 6
+
+	fmt.Println("level   max_kl_shift     Arima TFE   DLinear TFE   Ensemble TFE")
+	for _, shifts := range []int{0, 2, 6} {
+		spec := lossyts.DefaultSyntheticSpec()
+		spec.Length = 6000
+		spec.LevelShifts = shifts
+		spec.ShiftMagnitude = 5
+		ds, err := lossyts.SyntheticDataset(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feats, err := lossyts.ExtractFeatures(ds.Target().Values, ds.SeasonalPeriod)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		train, val, test, err := ds.Target().Split(0.7, 0.1, 0.2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sc lossyts.StandardScaler
+		if err := sc.Fit(train.Values); err != nil {
+			log.Fatal(err)
+		}
+		scTrain, scVal := sc.Transform(train.Values), sc.Transform(val.Values)
+		scTest := sc.Transform(test.Values)
+
+		// PMC at a moderate bound; targets stay raw (Algorithm 1).
+		c, err := lossyts.Compress(lossyts.PMC, test, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dec, err := c.Decompress()
+		if err != nil {
+			log.Fatal(err)
+		}
+		scDec := sc.Transform(dec.Values)
+
+		tfeOf := func(m lossyts.Model) float64 {
+			if err := m.Fit(scTrain, scVal); err != nil {
+				log.Fatal(err)
+			}
+			base := nrmse(m, scTest, scTest, cfg)
+			comp := nrmse(m, scDec, scTest, cfg)
+			tfe, err := lossyts.TFE(comp, base)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return tfe
+		}
+		arima, err := lossyts.NewModel("Arima", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dlinear, err := lossyts.NewModel("DLinear", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ens, err := lossyts.NewEnsemble(cfg, "Arima", "GBoost")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%5d   %12.4f   %+9.4f   %+11.4f   %+12.4f\n",
+			shifts, feats["max_kl_shift"], tfeOf(arima), tfeOf(dlinear), tfeOf(ens))
+	}
+	fmt.Println("\nlevel shifts drive max_kl_shift, the paper's top TFE predictor;")
+	fmt.Println("compare the per-model TFE columns to judge resilience per regime")
+}
+
+func nrmse(m lossyts.Model, inputs, targets []float64, cfg lossyts.ForecastConfig) float64 {
+	ws, err := lossyts.MakePairedWindows(inputs, targets, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := m.Predict(ws.Inputs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var x, y []float64
+	for i, p := range preds {
+		y = append(y, p...)
+		x = append(x, ws.Windows[i].Target...)
+	}
+	metrics, err := lossyts.Evaluate(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return metrics.NRMSE
+}

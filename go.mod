@@ -1,0 +1,3 @@
+module lossyts
+
+go 1.22

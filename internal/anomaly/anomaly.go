@@ -1,0 +1,174 @@
+// Package anomaly studies the impact of lossy compression on a second
+// analytics task, as the paper calls for in §5 ("Further studies are also
+// needed for different types of time series analytics, e.g., anomaly
+// detection"). It provides a seasonal residual detector, a spike injector
+// for ground-truth construction, and precision/recall scoring, so the
+// paper's Algorithm 1 methodology can be replayed with detection F1 in
+// place of forecasting accuracy.
+package anomaly
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Detector flags points whose seasonal residual exceeds Threshold robust
+// standard deviations. The residual removes a per-phase seasonal profile
+// and a rolling level, leaving spikes exposed.
+type Detector struct {
+	// Period is the seasonal period in steps.
+	Period int
+	// Threshold is the robust z-score cut-off (default 5 when zero).
+	Threshold float64
+	// Window is the rolling-level half width (default Period when zero).
+	Window int
+}
+
+// Detect returns the indices flagged as anomalous, in increasing order.
+func (d *Detector) Detect(values []float64) ([]int, error) {
+	if d.Period < 2 {
+		return nil, errors.New("anomaly: period must be at least 2")
+	}
+	if len(values) < 4*d.Period {
+		return nil, errors.New("anomaly: series shorter than four periods")
+	}
+	threshold := d.Threshold
+	if threshold <= 0 {
+		threshold = 5
+	}
+	w := d.Window
+	if w <= 0 {
+		w = d.Period
+	}
+	n := len(values)
+	// Per-phase robust profile (medians resist the anomalies themselves).
+	phaseVals := make([][]float64, d.Period)
+	for i, v := range values {
+		p := i % d.Period
+		phaseVals[p] = append(phaseVals[p], v)
+	}
+	profile := make([]float64, d.Period)
+	for p, vs := range phaseVals {
+		profile[p] = median(vs)
+	}
+	// Residuals after profile and rolling median level.
+	deseason := make([]float64, n)
+	for i, v := range values {
+		deseason[i] = v - profile[i%d.Period]
+	}
+	resid := make([]float64, n)
+	for i := range deseason {
+		lo := i - w
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + w + 1
+		if hi > n {
+			hi = n
+		}
+		resid[i] = deseason[i] - median(deseason[lo:hi])
+	}
+	// Robust scale: 1.4826 · MAD.
+	sigma := 1.4826 * median(absAll(resid))
+	if sigma <= 0 {
+		return nil, nil
+	}
+	var out []int
+	for i, r := range resid {
+		if math.Abs(r) > threshold*sigma {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+func absAll(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = math.Abs(x)
+	}
+	return out
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// InjectSpikes returns a copy of values with n additive spikes of the given
+// magnitude (alternating sign) at random, well-separated positions, plus
+// the injected positions in increasing order.
+func InjectSpikes(values []float64, n int, magnitude float64, seed int64) ([]float64, []int) {
+	out := append([]float64(nil), values...)
+	if n <= 0 || len(values) == 0 {
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gap := len(values) / (n + 1)
+	if gap < 1 {
+		gap = 1
+	}
+	var positions []int
+	for k := 1; k <= n; k++ {
+		pos := k*gap + rng.Intn(gap/2+1) - gap/4
+		if pos < 0 || pos >= len(values) {
+			continue
+		}
+		sign := 1.0
+		if k%2 == 0 {
+			sign = -1
+		}
+		out[pos] += sign * magnitude
+		positions = append(positions, pos)
+	}
+	sort.Ints(positions)
+	return out, positions
+}
+
+// Score compares detections against ground truth with a position tolerance
+// and returns precision, recall, and F1. A detection within tolerance of an
+// undetected truth position counts as a hit; each truth position can be
+// matched once.
+func Score(detected, truth []int, tolerance int) (precision, recall, f1 float64) {
+	if len(detected) == 0 && len(truth) == 0 {
+		return 1, 1, 1
+	}
+	matched := make([]bool, len(truth))
+	tp := 0
+	for _, d := range detected {
+		for ti, t := range truth {
+			if !matched[ti] && abs(d-t) <= tolerance {
+				matched[ti] = true
+				tp++
+				break
+			}
+		}
+	}
+	if len(detected) > 0 {
+		precision = float64(tp) / float64(len(detected))
+	}
+	if len(truth) > 0 {
+		recall = float64(tp) / float64(len(truth))
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,143 @@
+package anomaly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/timeseries"
+)
+
+func seasonalBase(n, period int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 20 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.3*rng.NormFloat64()
+	}
+	return v
+}
+
+func TestDetectFindsInjectedSpikes(t *testing.T) {
+	base := seasonalBase(2000, 48, 1)
+	values, truth := InjectSpikes(base, 8, 10, 2)
+	if len(truth) != 8 {
+		t.Fatalf("injected %d spikes", len(truth))
+	}
+	d := &Detector{Period: 48}
+	got, err := d.Detect(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	precision, recall, f1 := Score(got, truth, 1)
+	if recall < 0.9 {
+		t.Errorf("recall = %.2f", recall)
+	}
+	if precision < 0.8 {
+		t.Errorf("precision = %.2f", precision)
+	}
+	if f1 < 0.85 {
+		t.Errorf("f1 = %.2f", f1)
+	}
+}
+
+func TestDetectCleanSeriesQuiet(t *testing.T) {
+	d := &Detector{Period: 48}
+	got, err := d.Detect(seasonalBase(2000, 48, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 4 {
+		t.Errorf("clean series produced %d detections", len(got))
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	d := &Detector{Period: 1}
+	if _, err := d.Detect(seasonalBase(200, 48, 1)); err == nil {
+		t.Error("period 1 should error")
+	}
+	d = &Detector{Period: 48}
+	if _, err := d.Detect(seasonalBase(100, 48, 1)); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestScore(t *testing.T) {
+	p, r, f1 := Score([]int{10, 50}, []int{11, 90}, 2)
+	if p != 0.5 || r != 0.5 || math.Abs(f1-0.5) > 1e-12 {
+		t.Fatalf("score = %v %v %v", p, r, f1)
+	}
+	// Two detections cannot both match one truth position.
+	p, r, _ = Score([]int{10, 11}, []int{10}, 2)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("double match: p=%v r=%v", p, r)
+	}
+	p, r, f1 = Score(nil, nil, 1)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Fatal("empty/empty should be perfect")
+	}
+	p, r, f1 = Score(nil, []int{5}, 1)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Fatal("missing everything should be zero")
+	}
+}
+
+func TestInjectSpikes(t *testing.T) {
+	base := make([]float64, 100)
+	out, pos := InjectSpikes(base, 4, 5, 7)
+	if len(pos) == 0 {
+		t.Fatal("no spikes injected")
+	}
+	for _, p := range pos {
+		if out[p] == 0 {
+			t.Fatalf("no spike at %d", p)
+		}
+	}
+	// The original is untouched.
+	for _, v := range base {
+		if v != 0 {
+			t.Fatal("InjectSpikes mutated its input")
+		}
+	}
+	if out2, pos2 := InjectSpikes(base, 0, 5, 7); len(pos2) != 0 || out2[0] != 0 {
+		t.Fatal("zero spikes should be a no-op")
+	}
+}
+
+// TestCompressionImpactOnDetection replays the paper's methodology with
+// anomaly detection as the analytics task: detection quality should survive
+// moderate lossy compression (the finding of Hollmig et al. for change
+// detection, discussed in the paper's §6.3) but eventually degrade as the
+// bound destroys the spikes.
+func TestCompressionImpactOnDetection(t *testing.T) {
+	base := seasonalBase(2400, 48, 11)
+	values, truth := InjectSpikes(base, 10, 12, 12)
+	s := timeseries.New("a", 0, 600, values)
+	d := &Detector{Period: 48}
+
+	f1At := func(eps float64) float64 {
+		c, err := (compress.PMC{}).Compress(s, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Detect(dec.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, f1 := Score(got, truth, 1)
+		return f1
+	}
+	light := f1At(0.02)
+	heavy := f1At(0.8)
+	if light < 0.8 {
+		t.Errorf("light compression F1 = %.2f, want detection to survive", light)
+	}
+	if heavy >= light {
+		t.Errorf("extreme compression F1 %.2f should fall below light %.2f", heavy, light)
+	}
+}

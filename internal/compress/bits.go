@@ -1,0 +1,87 @@
+// Package compress implements the paper's compression stack: the three
+// pointwise error-bounded lossy compressors PMC-Mean, Swing, and SZ; the
+// Gorilla lossless baseline; the shared timestamp codec (§3.2); and the
+// shared gzip final stage used to make all sizes comparable.
+//
+// All lossy methods guarantee the pointwise relative error bound of paper
+// Definition 4: every decompressed value v̂ satisfies |v − v̂| ≤ ε·|v|.
+package compress
+
+import (
+	"errors"
+	"io"
+)
+
+// BitWriter accumulates individual bits into a byte slice, most significant
+// bit first.
+type BitWriter struct {
+	buf  []byte
+	nbit uint8 // bits used in the final byte (0 means the last byte is full)
+}
+
+// WriteBit appends a single bit (any non-zero b writes 1).
+func (w *BitWriter) WriteBit(b uint64) {
+	if w.nbit == 0 {
+		w.buf = append(w.buf, 0)
+		w.nbit = 8
+	}
+	w.nbit--
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << w.nbit
+	}
+}
+
+// WriteBits appends the n least significant bits of v, most significant
+// first. n must be at most 64.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit((v >> uint(i)) & 1)
+	}
+}
+
+// Bytes returns the accumulated bytes; trailing unused bits are zero.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// Len returns the number of whole bytes accumulated so far.
+func (w *BitWriter) Len() int { return len(w.buf) }
+
+// BitReader consumes bits from a byte slice, most significant bit first.
+type BitReader struct {
+	buf []byte
+	pos int   // byte index
+	bit uint8 // next bit within buf[pos], 0 = MSB
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (uint64, error) {
+	if r.pos >= len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := uint64(r.buf[r.pos]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64. n must be at
+// most 64.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, errors.New("compress: ReadBits n > 64")
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}

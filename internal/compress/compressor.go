@@ -1,0 +1,197 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lossyts/internal/timeseries"
+)
+
+// Method identifies a compression algorithm.
+type Method string
+
+// The compression methods evaluated in the paper.
+const (
+	MethodPMC     Method = "PMC"
+	MethodSwing   Method = "SWING"
+	MethodSZ      Method = "SZ"
+	MethodGorilla Method = "GORILLA"
+)
+
+// Methods lists the lossy methods in the paper's order.
+var Methods = []Method{MethodPMC, MethodSwing, MethodSZ}
+
+// ErrorBounds is the paper's 13 piecewise relative error bounds (§3.2):
+// dense below 0.1, sparser above.
+var ErrorBounds = []float64{0.01, 0.03, 0.05, 0.07, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.65, 0.8}
+
+// Compressor compresses a regular time series under a pointwise relative
+// error bound (PEBLC, paper Definition 4).
+type Compressor interface {
+	Method() Method
+	// Compress encodes s so that every decompressed value v̂ satisfies
+	// |v − v̂| ≤ epsilon·|v|. Lossless methods ignore epsilon.
+	Compress(s *timeseries.Series, epsilon float64) (*Compressed, error)
+}
+
+// Compressed is the stored representation of a compressed series. Payload
+// is the final .gz byte stream whose length is the size used in all
+// compression-ratio computations.
+type Compressed struct {
+	Method   Method
+	Epsilon  float64
+	N        int    // number of data points
+	Segments int    // number of segments/models produced (Figure 3)
+	Payload  []byte // gzip-compressed encoding, including the timestamp header
+}
+
+// Size returns the compressed size in bytes (the .gz file size).
+func (c *Compressed) Size() int { return len(c.Payload) }
+
+// Decompress reconstructs the time series from the payload.
+func (c *Compressed) Decompress() (*timeseries.Series, error) {
+	raw, err := GunzipBytes(c.Payload)
+	if err != nil {
+		return nil, err
+	}
+	hdr, body, err := decodeHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.method != c.Method {
+		return nil, fmt.Errorf("compress: payload method %s does not match %s", hdr.method, c.Method)
+	}
+	var values []float64
+	switch c.Method {
+	case MethodPMC:
+		values, err = pmcDecode(body, int(hdr.count))
+	case MethodSwing:
+		values, err = swingDecode(body, int(hdr.count))
+	case MethodSZ:
+		values, err = szDecode(body, int(hdr.count))
+	case MethodGorilla:
+		values, err = gorillaDecode(body, int(hdr.count))
+	case MethodSeasonalPMC:
+		values, err = seasonalPMCDecode(body, int(hdr.count))
+	default:
+		err = fmt.Errorf("compress: unknown method %q", c.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return timeseries.New("", int64(hdr.start), int64(hdr.interval), values), nil
+}
+
+// New returns the compressor implementing the given method.
+func New(m Method) (Compressor, error) {
+	switch m {
+	case MethodPMC:
+		return PMC{}, nil
+	case MethodSwing:
+		return Swing{}, nil
+	case MethodSZ:
+		return NewSZ(), nil
+	case MethodGorilla:
+		return Gorilla{}, nil
+	case MethodSeasonalPMC:
+		return nil, fmt.Errorf("compress: SeasonalPMC needs a period; construct compress.SeasonalPMC{Period: m} directly")
+	}
+	return nil, fmt.Errorf("compress: unknown method %q", m)
+}
+
+// header is the shared stream header described in §3.2: the first timestamp
+// as a 32-bit integer, the sampling interval as a 16-bit integer, and the
+// number of data points (so decompression knows when to stop).
+type header struct {
+	method   Method
+	start    uint32
+	interval uint16
+	count    uint32
+}
+
+var methodCodes = map[Method]byte{MethodPMC: 1, MethodSwing: 2, MethodSZ: 3, MethodGorilla: 4, MethodSeasonalPMC: 5}
+
+func methodFromCode(b byte) (Method, error) {
+	for m, c := range methodCodes {
+		if c == b {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("compress: unknown method code %d", b)
+}
+
+func encodeHeader(buf *bytes.Buffer, m Method, s *timeseries.Series) error {
+	if s.Start < 0 || s.Start > math.MaxUint32 {
+		return fmt.Errorf("compress: start timestamp %d does not fit the 32-bit header field", s.Start)
+	}
+	if s.Interval < 0 || s.Interval > math.MaxUint16 {
+		return fmt.Errorf("compress: interval %d does not fit the 16-bit header field", s.Interval)
+	}
+	buf.WriteByte(methodCodes[m])
+	var scratch [4]byte
+	binary.LittleEndian.PutUint32(scratch[:], uint32(s.Start))
+	buf.Write(scratch[:])
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(s.Interval))
+	buf.Write(scratch[:2])
+	binary.LittleEndian.PutUint32(scratch[:], uint32(s.Len()))
+	buf.Write(scratch[:])
+	return nil
+}
+
+func decodeHeader(raw []byte) (header, []byte, error) {
+	if len(raw) < 11 {
+		return header{}, nil, io.ErrUnexpectedEOF
+	}
+	m, err := methodFromCode(raw[0])
+	if err != nil {
+		return header{}, nil, err
+	}
+	return header{
+		method:   m,
+		start:    binary.LittleEndian.Uint32(raw[1:5]),
+		interval: binary.LittleEndian.Uint16(raw[5:7]),
+		count:    binary.LittleEndian.Uint32(raw[7:11]),
+	}, raw[11:], nil
+}
+
+// finish gzips the encoded body and assembles the Compressed value.
+func finish(m Method, epsilon float64, s *timeseries.Series, body []byte, segments int) (*Compressed, error) {
+	gz, err := GzipBytes(body)
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{Method: m, Epsilon: epsilon, N: s.Len(), Segments: segments, Payload: gz}, nil
+}
+
+// RawGzipSize returns the size in bytes of the raw dataset's .gz encoding,
+// the numerator of the paper's compression ratio (Eq. 3). As in the paper,
+// the raw dataset is the exported CSV — one "timestamp,value" row per data
+// point — with gzip applied directly to it (§3.2, §3.5).
+func RawGzipSize(s *timeseries.Series) (int, error) {
+	var buf bytes.Buffer
+	for i, v := range s.Values {
+		fmt.Fprintf(&buf, "%s,%g\n", time.Unix(s.TimeAt(i), 0).UTC().Format("2006-01-02 15:04:05"), v)
+	}
+	gz, err := GzipBytes(buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return len(gz), nil
+}
+
+// Ratio returns the compression ratio raw/compressed for a compressed
+// series (paper Eq. 3, both sizes as .gz byte counts).
+func Ratio(s *timeseries.Series, c *Compressed) (float64, error) {
+	raw, err := RawGzipSize(s)
+	if err != nil {
+		return 0, err
+	}
+	if c.Size() == 0 {
+		return 0, fmt.Errorf("compress: empty payload")
+	}
+	return float64(raw) / float64(c.Size()), nil
+}

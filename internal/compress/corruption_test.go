@@ -1,0 +1,93 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecompressNeverPanics injects random corruption — bit flips,
+// truncation, and garbage prefixes — into valid payloads of every method.
+// Decompression must fail cleanly (or succeed on benign flips); it must
+// never panic or loop.
+func TestDecompressNeverPanics(t *testing.T) {
+	s := synthSeries(500, 63)
+	var payloads []*Compressed
+	for _, m := range append(lossyMethods(), MethodGorilla) {
+		c, _ := New(m)
+		comp, err := c.Compress(s, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, comp)
+	}
+	spmc, err := (SeasonalPMC{Period: 48}).Compress(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads = append(payloads, spmc)
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+				t.Logf("panic: %v", r)
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		base := payloads[rng.Intn(len(payloads))]
+		mutated := &Compressed{
+			Method:  base.Method,
+			Epsilon: base.Epsilon,
+			N:       base.N,
+			Payload: append([]byte(nil), base.Payload...),
+		}
+		switch rng.Intn(3) {
+		case 0: // flip a few bytes
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				i := rng.Intn(len(mutated.Payload))
+				mutated.Payload[i] ^= byte(1 + rng.Intn(255))
+			}
+		case 1: // truncate
+			mutated.Payload = mutated.Payload[:rng.Intn(len(mutated.Payload))]
+		case 2: // replace with noise
+			for i := range mutated.Payload {
+				mutated.Payload[i] = byte(rng.Intn(256))
+			}
+		}
+		series, err := mutated.Decompress()
+		// Either a clean error, or a decoded series; both are acceptable —
+		// gzip checksums catch most corruption, the rest must fail safely.
+		if err == nil && series == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecompressLengthMismatch feeds a payload claiming more points than
+// its segments provide.
+func TestDecompressLengthMismatch(t *testing.T) {
+	s := synthSeries(100, 64)
+	comp, err := (PMC{}).Compress(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := GunzipBytes(comp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate the count field (bytes 7..11 of the header).
+	body[7] = 0xFF
+	body[8] = 0xFF
+	gz, err := GzipBytes(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp.Payload = gz
+	if _, err := comp.Decompress(); err == nil {
+		t.Error("inflated count should fail decompression")
+	}
+}

@@ -1,0 +1,75 @@
+package compress
+
+import (
+	"errors"
+
+	"lossyts/internal/timeseries"
+)
+
+// FrameResult is the outcome of compressing every column of a multivariate
+// frame with one method and bound.
+type FrameResult struct {
+	Method  Method
+	Epsilon float64
+	// Columns holds the per-column compressed representations, in frame
+	// column order.
+	Columns []*Compressed
+	// RawSize and CompressedSize aggregate the .gz byte counts across all
+	// columns; their ratio is the frame-level CR.
+	RawSize        int
+	CompressedSize int
+}
+
+// Ratio returns the frame-level compression ratio.
+func (r *FrameResult) Ratio() float64 {
+	if r.CompressedSize == 0 {
+		return 0
+	}
+	return float64(r.RawSize) / float64(r.CompressedSize)
+}
+
+// CompressFrame compresses every column of the frame under the same method
+// and error bound, as when a whole multivariate dataset (e.g. Weather's 21
+// indicators) is archived.
+func CompressFrame(m Method, f *timeseries.Frame, epsilon float64) (*FrameResult, error) {
+	if f == nil || len(f.Columns) == 0 {
+		return nil, errors.New("compress: empty frame")
+	}
+	comp, err := New(m)
+	if err != nil {
+		return nil, err
+	}
+	out := &FrameResult{Method: m, Epsilon: epsilon}
+	for _, col := range f.Columns {
+		c, err := comp.Compress(col, epsilon)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := RawGzipSize(col)
+		if err != nil {
+			return nil, err
+		}
+		out.Columns = append(out.Columns, c)
+		out.RawSize += raw
+		out.CompressedSize += c.Size()
+	}
+	return out, nil
+}
+
+// DecompressFrame reconstructs the frame from a FrameResult, restoring the
+// original column names and target index from the template frame.
+func DecompressFrame(r *FrameResult, template *timeseries.Frame) (*timeseries.Frame, error) {
+	if len(r.Columns) != len(template.Columns) {
+		return nil, errors.New("compress: column count mismatch with template")
+	}
+	cols := make([]*timeseries.Series, len(r.Columns))
+	for i, c := range r.Columns {
+		s, err := c.Decompress()
+		if err != nil {
+			return nil, err
+		}
+		s.Name = template.Columns[i].Name
+		cols[i] = s
+	}
+	return timeseries.NewFrame(template.Name, template.Start, template.Interval, template.Target, cols...)
+}

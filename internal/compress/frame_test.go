@@ -1,0 +1,69 @@
+package compress
+
+import (
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+func testFrame(t *testing.T) *timeseries.Frame {
+	t.Helper()
+	a := synthSeries(600, 91)
+	b := synthSeries(600, 92)
+	a.Name, b.Name = "A", "B"
+	f, err := timeseries.NewFrame("F", 1000, 60, 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCompressFrameRoundTrip(t *testing.T) {
+	f := testFrame(t)
+	for _, m := range lossyMethods() {
+		res, err := CompressFrame(m, f, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(res.Columns) != 2 || res.RawSize <= 0 || res.CompressedSize <= 0 {
+			t.Fatalf("%s: result %+v", m, res)
+		}
+		if res.Ratio() <= 1 {
+			t.Errorf("%s: frame CR %v", m, res.Ratio())
+		}
+		back, err := DecompressFrame(res, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Len() != f.Len() || back.Columns[0].Name != "A" || back.Target != 1 {
+			t.Fatalf("%s: frame metadata lost", m)
+		}
+		for ci := range f.Columns {
+			rel, err := f.Columns[ci].MaxRelError(back.Columns[ci])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel > 0.1+1e-9 {
+				t.Errorf("%s column %d: relative error %v", m, ci, rel)
+			}
+		}
+	}
+}
+
+func TestCompressFrameErrors(t *testing.T) {
+	if _, err := CompressFrame(MethodPMC, nil, 0.1); err == nil {
+		t.Error("nil frame should error")
+	}
+	f := testFrame(t)
+	if _, err := CompressFrame(Method("NOPE"), f, 0.1); err == nil {
+		t.Error("unknown method should error")
+	}
+	res, err := CompressFrame(MethodPMC, f, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Columns = res.Columns[:1]
+	if _, err := DecompressFrame(res, f); err == nil {
+		t.Error("column mismatch should error")
+	}
+}

@@ -1,0 +1,110 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/bits"
+
+	"lossyts/internal/timeseries"
+)
+
+// Gorilla implements Facebook's Gorilla lossless floating-point compression
+// (Pelkonen et al., PVLDB 2015), the paper's lossless baseline (§3.3).
+// Each value is XORed with the previous one and the result is stored with a
+// variable-length encoding of its meaningful bits. Unlike the original
+// two-hour blocks, the whole series is compressed as a single segment, as
+// the paper does for its lower-frequency datasets.
+type Gorilla struct{}
+
+// Method returns MethodGorilla.
+func (Gorilla) Method() Method { return MethodGorilla }
+
+// Compress losslessly encodes s; epsilon is ignored.
+func (g Gorilla) Compress(s *timeseries.Series, _ float64) (*Compressed, error) {
+	if s.Len() == 0 {
+		return nil, errors.New("compress: empty series")
+	}
+	var body bytes.Buffer
+	if err := encodeHeader(&body, MethodGorilla, s); err != nil {
+		return nil, err
+	}
+	var bw BitWriter
+	prev := math.Float64bits(s.Values[0])
+	bw.WriteBits(prev, 64)
+	prevLead, prevMean := 65, 0 // 65 marks "no previous window"
+	for _, v := range s.Values[1:] {
+		cur := math.Float64bits(v)
+		xor := prev ^ cur
+		prev = cur
+		if xor == 0 {
+			bw.WriteBit(0)
+			continue
+		}
+		bw.WriteBit(1)
+		lead := bits.LeadingZeros64(xor)
+		trail := bits.TrailingZeros64(xor)
+		if lead > 31 {
+			lead = 31 // the leading-zero count field is 5 bits wide
+		}
+		mean := 64 - lead - trail
+		if prevLead <= lead && prevMean >= mean+(lead-prevLead) {
+			// The meaningful bits fit inside the previous window: reuse it.
+			bw.WriteBit(0)
+			bw.WriteBits(xor>>uint(64-prevLead-prevMean), uint(prevMean))
+			continue
+		}
+		bw.WriteBit(1)
+		bw.WriteBits(uint64(lead), 5)
+		bw.WriteBits(uint64(mean-1), 6) // meaningful length 1..64 stored as 0..63
+		bw.WriteBits(xor>>uint(trail), uint(mean))
+		prevLead, prevMean = lead, mean
+	}
+	body.Write(bw.Bytes())
+	// Gorilla compresses the whole series as one segment.
+	return finish(MethodGorilla, 0, s, body.Bytes(), 1)
+}
+
+func gorillaDecode(body []byte, count int) ([]float64, error) {
+	br := NewBitReader(body)
+	first, err := br.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]float64, 0, count)
+	values = append(values, math.Float64frombits(first))
+	prev := first
+	prevLead, prevMean := 0, 0
+	for len(values) < count {
+		b, err := br.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			values = append(values, math.Float64frombits(prev))
+			continue
+		}
+		if b, err = br.ReadBit(); err != nil {
+			return nil, err
+		}
+		if b == 1 {
+			lead, err := br.ReadBits(5)
+			if err != nil {
+				return nil, err
+			}
+			meanLen, err := br.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			prevLead, prevMean = int(lead), int(meanLen)+1
+		}
+		meaningful, err := br.ReadBits(uint(prevMean))
+		if err != nil {
+			return nil, err
+		}
+		xor := meaningful << uint(64-prevLead-prevMean)
+		prev ^= xor
+		values = append(values, math.Float64frombits(prev))
+	}
+	return values, nil
+}

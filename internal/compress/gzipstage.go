@@ -1,0 +1,32 @@
+package compress
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+)
+
+// GzipBytes compresses data with gzip at the default compression level.
+// The paper applies gzip as the final stage of every method (and to the raw
+// data) so all reported sizes are .gz byte counts (§3.2, §3.5).
+func GzipBytes(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GunzipBytes decompresses gzip data.
+func GunzipBytes(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}

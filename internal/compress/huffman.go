@@ -1,0 +1,221 @@
+package compress
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// maxHuffmanCodeLen bounds canonical code lengths so codes fit comfortably
+// in a uint64 during encoding. Residual-quantisation alphabets are small and
+// never approach this in practice; hitting the bound is reported as an error
+// and callers fall back to raw symbol storage.
+const maxHuffmanCodeLen = 56
+
+// huffmanNode is an internal tree node used during construction.
+type huffmanNode struct {
+	freq        uint64
+	symbol      uint16
+	leaf        bool
+	left, right *huffmanNode
+}
+
+type huffmanHeap []*huffmanNode
+
+func (h huffmanHeap) Len() int { return len(h) }
+func (h huffmanHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	// Tie-break on symbol for determinism.
+	return h[i].symbol < h[j].symbol
+}
+func (h huffmanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffmanHeap) Push(x interface{}) { *h = append(*h, x.(*huffmanNode)) }
+func (h *huffmanHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// huffmanCodeLengths returns the canonical Huffman code length per symbol
+// present in syms (map from symbol to frequency).
+func huffmanCodeLengths(freq map[uint16]uint64) (map[uint16]uint8, error) {
+	if len(freq) == 0 {
+		return nil, errors.New("compress: huffman with empty alphabet")
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			return map[uint16]uint8{s: 1}, nil
+		}
+	}
+	h := make(huffmanHeap, 0, len(freq))
+	for s, f := range freq {
+		h = append(h, &huffmanNode{freq: f, symbol: s, leaf: true})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffmanNode)
+		b := heap.Pop(&h).(*huffmanNode)
+		heap.Push(&h, &huffmanNode{freq: a.freq + b.freq, symbol: min16(a.symbol, b.symbol), left: a, right: b})
+	}
+	root := h[0]
+	lengths := make(map[uint16]uint8, len(freq))
+	var walk func(n *huffmanNode, depth uint8) error
+	walk = func(n *huffmanNode, depth uint8) error {
+		if n.leaf {
+			if depth > maxHuffmanCodeLen {
+				return fmt.Errorf("compress: huffman code length %d exceeds limit", depth)
+			}
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.symbol] = depth
+			return nil
+		}
+		if err := walk(n.left, depth+1); err != nil {
+			return err
+		}
+		return walk(n.right, depth+1)
+	}
+	if err := walk(root, 0); err != nil {
+		return nil, err
+	}
+	return lengths, nil
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// canonicalCodes assigns canonical codes (shorter codes first, ties by
+// symbol order) given code lengths.
+func canonicalCodes(lengths map[uint16]uint8) map[uint16]uint64 {
+	type sl struct {
+		sym uint16
+		len uint8
+	}
+	list := make([]sl, 0, len(lengths))
+	for s, l := range lengths {
+		list = append(list, sl{s, l})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].len != list[j].len {
+			return list[i].len < list[j].len
+		}
+		return list[i].sym < list[j].sym
+	})
+	codes := make(map[uint16]uint64, len(list))
+	var code uint64
+	var prevLen uint8
+	for _, e := range list {
+		code <<= uint(e.len - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.len
+	}
+	return codes
+}
+
+// HuffmanEncode compresses the symbol stream with a canonical Huffman code
+// built from the stream's own frequencies. The output embeds the code table
+// so it is self-describing.
+func HuffmanEncode(symbols []uint16) ([]byte, error) {
+	freq := make(map[uint16]uint64)
+	for _, s := range symbols {
+		freq[s]++
+	}
+	lengths, err := huffmanCodeLengths(freq)
+	if err != nil {
+		return nil, err
+	}
+	codes := canonicalCodes(lengths)
+
+	var out []byte
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(symbols)))
+	out = append(out, scratch[:4]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(lengths)))
+	out = append(out, scratch[:4]...)
+	// Table: sorted by symbol for determinism.
+	syms := make([]uint16, 0, len(lengths))
+	for s := range lengths {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	for _, s := range syms {
+		binary.LittleEndian.PutUint16(scratch[:2], s)
+		out = append(out, scratch[0], scratch[1], lengths[s])
+	}
+	var bw BitWriter
+	for _, s := range symbols {
+		bw.WriteBits(codes[s], uint(lengths[s]))
+	}
+	return append(out, bw.Bytes()...), nil
+}
+
+// HuffmanDecode reverses HuffmanEncode.
+func HuffmanDecode(data []byte) ([]uint16, error) {
+	if len(data) < 8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(data[:4])
+	nsym := binary.LittleEndian.Uint32(data[4:8])
+	pos := 8
+	lengths := make(map[uint16]uint8, nsym)
+	for i := uint32(0); i < nsym; i++ {
+		if pos+3 > len(data) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		s := binary.LittleEndian.Uint16(data[pos : pos+2])
+		lengths[s] = data[pos+2]
+		pos += 3
+	}
+	codes := canonicalCodes(lengths)
+	// Decoding table: (length, code) -> symbol.
+	type key struct {
+		len  uint8
+		code uint64
+	}
+	table := make(map[key]uint16, len(codes))
+	maxLen := uint8(0)
+	for s, c := range codes {
+		l := lengths[s]
+		table[key{l, c}] = s
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	br := NewBitReader(data[pos:])
+	out := make([]uint16, 0, n)
+	for uint32(len(out)) < n {
+		var code uint64
+		var l uint8
+		found := false
+		for l < maxLen {
+			b, err := br.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			code = code<<1 | b
+			l++
+			if s, ok := table[key{l, code}]; ok {
+				out = append(out, s)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, errors.New("compress: invalid huffman stream")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"lossyts/internal/timeseries"
+)
+
+// SeasonalPMC is the compressor the paper's §5 calls for: a lossy method
+// designed to preserve the characteristics that matter for forecasting
+// accuracy. Its analysis (Table 4, Figure 5) shows seasonal strength and
+// seasonal autocorrelation survive compression best when the periodic
+// structure is kept intact, so SeasonalPMC stores the seasonal profile of
+// the series exactly (one float32 per phase) and applies PMC-Mean to the
+// residuals only. The seasonal component therefore survives *any* error
+// bound, while the residual — which carries most of the entropy but little
+// of the forecastable structure — absorbs the loss.
+//
+// The pointwise relative bound on the original values still holds:
+// |v − (profile + residualMean)| ≤ ε·|v| is enforced per point during the
+// residual window intersection.
+type SeasonalPMC struct {
+	// Period is the seasonal period in steps (required, ≥ 2).
+	Period int
+}
+
+// MethodSeasonalPMC identifies the seasonal-profile compressor.
+const MethodSeasonalPMC Method = "S-PMC"
+
+// Method returns MethodSeasonalPMC.
+func (SeasonalPMC) Method() Method { return MethodSeasonalPMC }
+
+// Compress encodes s as a stored seasonal profile plus PMC segments over
+// the residuals, under the pointwise relative bound epsilon.
+func (sp SeasonalPMC) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error) {
+	if s.Len() == 0 {
+		return nil, errors.New("compress: empty series")
+	}
+	if epsilon < 0 {
+		return nil, errors.New("compress: negative error bound")
+	}
+	m := sp.Period
+	if m < 2 {
+		return nil, errors.New("compress: SeasonalPMC needs a period of at least 2")
+	}
+	if m > math.MaxUint16 {
+		return nil, fmt.Errorf("compress: period %d too large", m)
+	}
+	if s.Len() < 2*m {
+		return nil, fmt.Errorf("compress: series of %d points shorter than two periods", s.Len())
+	}
+	// Phase-mean profile, stored as float32 (the decoder's exact values).
+	sums := make([]float64, m)
+	counts := make([]float64, m)
+	for i, v := range s.Values {
+		sums[i%m] += v
+		counts[i%m]++
+	}
+	profile := make([]float32, m)
+	for p := range profile {
+		profile[p] = float32(sums[p] / counts[p])
+	}
+
+	var body bytes.Buffer
+	if err := encodeHeader(&body, MethodSeasonalPMC, s); err != nil {
+		return nil, err
+	}
+	var scratch [10]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(m))
+	body.Write(scratch[:2])
+	for _, p := range profile {
+		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(p))
+		body.Write(scratch[:4])
+	}
+
+	segments := 0
+	emit := func(n int, mean float64) {
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(n))
+		binary.LittleEndian.PutUint64(scratch[2:], math.Float64bits(mean))
+		body.Write(scratch[:])
+		segments++
+	}
+	var (
+		count int
+		sum   float64
+		lower = math.Inf(-1)
+		upper = math.Inf(1)
+	)
+	for i, v := range s.Values {
+		tol := epsilon * math.Abs(v)
+		resid := v - float64(profile[i%m])
+		newLower := math.Max(lower, resid-tol)
+		newUpper := math.Min(upper, resid+tol)
+		newSum := sum + resid
+		newMean := newSum / float64(count+1)
+		if count < maxSegmentLen && newLower <= newMean && newMean <= newUpper {
+			count, sum, lower, upper = count+1, newSum, newLower, newUpper
+			continue
+		}
+		emit(count, quantizeToInterval(sum/float64(count), lower, upper))
+		count, sum = 1, resid
+		lower, upper = resid-tol, resid+tol
+	}
+	emit(count, quantizeToInterval(sum/float64(count), lower, upper))
+	return finish(MethodSeasonalPMC, epsilon, s, body.Bytes(), segments)
+}
+
+func seasonalPMCDecode(body []byte, count int) ([]float64, error) {
+	if len(body) < 2 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	m := int(binary.LittleEndian.Uint16(body[:2]))
+	pos := 2
+	if m < 2 || pos+4*m > len(body) {
+		return nil, errors.New("compress: corrupt SeasonalPMC profile")
+	}
+	profile := make([]float64, m)
+	for p := range profile {
+		profile[p] = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[pos : pos+4])))
+		pos += 4
+	}
+	values := make([]float64, 0, count)
+	for len(values) < count {
+		if pos+10 > len(body) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		n := int(binary.LittleEndian.Uint16(body[pos : pos+2]))
+		mean := math.Float64frombits(binary.LittleEndian.Uint64(body[pos+2 : pos+10]))
+		pos += 10
+		if n == 0 || len(values)+n > count {
+			return nil, errors.New("compress: corrupt SeasonalPMC segment length")
+		}
+		for i := 0; i < n; i++ {
+			values = append(values, profile[len(values)%m]+mean)
+		}
+	}
+	return values, nil
+}

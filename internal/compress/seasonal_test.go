@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+func seasonalTestSeries(n, period int, seed int64) *timeseries.Series {
+	s := synthSeries(n, seed)
+	// synthSeries already has period-48 seasonality; keep as-is.
+	_ = period
+	return s
+}
+
+func TestSeasonalPMCBoundHolds(t *testing.T) {
+	s := seasonalTestSeries(2000, 48, 101)
+	for _, eps := range []float64{0.01, 0.1, 0.5} {
+		c, err := (SeasonalPMC{Period: 48}).Compress(s, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := s.MaxRelError(dec)
+		if rel > eps*(1+1e-9) {
+			t.Errorf("eps=%v: relative error %v", eps, rel)
+		}
+		if dec.Len() != s.Len() {
+			t.Fatal("length mismatch")
+		}
+	}
+}
+
+func TestSeasonalPMCPreservesSeasonality(t *testing.T) {
+	// At a very loose bound, plain PMC collapses the series toward long
+	// constants, destroying the seasonal autocorrelation; SeasonalPMC keeps
+	// the profile by construction.
+	n, period := 2400, 48
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 20 + 10*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	s := timeseries.New("seasonal", 0, 600, v)
+	const eps = 0.8
+	acfAt := func(values []float64, lag int) float64 {
+		var mean float64
+		for _, x := range values {
+			mean += x
+		}
+		mean /= float64(len(values))
+		var c0, cl float64
+		for i := range values {
+			c0 += (values[i] - mean) * (values[i] - mean)
+			if i >= lag {
+				cl += (values[i] - mean) * (values[i-lag] - mean)
+			}
+		}
+		if c0 == 0 {
+			return 0
+		}
+		return cl / c0
+	}
+	pmcC, err := (PMC{}).Compress(s, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmcDec, _ := pmcC.Decompress()
+	spC, err := (SeasonalPMC{Period: period}).Compress(s, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spDec, _ := spC.Decompress()
+	pmcACF := acfAt(pmcDec.Values, period)
+	spACF := acfAt(spDec.Values, period)
+	if spACF < 0.95 {
+		t.Errorf("SeasonalPMC seasonal acf = %.3f, want ~1", spACF)
+	}
+	if spACF <= pmcACF {
+		t.Errorf("SeasonalPMC acf %.3f should beat PMC %.3f at eps %.1f", spACF, pmcACF, eps)
+	}
+}
+
+func TestSeasonalPMCBeatsePMCOnSeasonalData(t *testing.T) {
+	// With residuals much smaller than the seasonal swing, removing the
+	// profile lets segments span whole periods: fewer segments than PMC.
+	n, period := 4800, 48
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 20 + 10*math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.2*math.Sin(float64(i)/97)
+	}
+	s := timeseries.New("seasonal", 0, 600, v)
+	pmcC, _ := (PMC{}).Compress(s, 0.05)
+	spC, _ := (SeasonalPMC{Period: period}).Compress(s, 0.05)
+	if spC.Segments >= pmcC.Segments {
+		t.Errorf("SeasonalPMC segments %d should be below PMC %d", spC.Segments, pmcC.Segments)
+	}
+	pmcCR, _ := Ratio(s, pmcC)
+	spCR, _ := Ratio(s, spC)
+	if spCR <= pmcCR {
+		t.Errorf("SeasonalPMC CR %.2f should beat PMC %.2f on seasonal data", spCR, pmcCR)
+	}
+}
+
+func TestSeasonalPMCErrors(t *testing.T) {
+	s := seasonalTestSeries(500, 48, 103)
+	if _, err := (SeasonalPMC{Period: 1}).Compress(s, 0.1); err == nil {
+		t.Error("period 1 should error")
+	}
+	if _, err := (SeasonalPMC{Period: 48}).Compress(timeseries.New("x", 0, 1, []float64{1, 2}), 0.1); err == nil {
+		t.Error("too-short series should error")
+	}
+	if _, err := (SeasonalPMC{Period: 48}).Compress(s, -0.1); err == nil {
+		t.Error("negative bound should error")
+	}
+	if _, err := (SeasonalPMC{Period: 48}).Compress(timeseries.New("e", 0, 1, nil), 0.1); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := New(MethodSeasonalPMC); err == nil {
+		t.Error("New should explain SeasonalPMC needs a period")
+	}
+}

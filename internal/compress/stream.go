@@ -1,0 +1,194 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"lossyts/internal/timeseries"
+)
+
+// StreamEncoder compresses a regular time series incrementally — the edge
+// deployment mode of the paper's wind-turbine scenario (§1): points are
+// pushed one at a time as the sensor produces them, finished segments
+// become available immediately for transmission, and Close flushes the open
+// window. PMC-Mean and Swing are both online algorithms, so the streaming
+// output is byte-identical to batch compression of the same values.
+type StreamEncoder struct {
+	method   Method
+	epsilon  float64
+	absolute bool
+
+	start    int64
+	interval int64
+	n        int
+
+	segments int
+	body     bytes.Buffer // encoded segments, without header or gzip
+	closed   bool
+
+	// PMC state.
+	count  int
+	sum    float64
+	meanLo float64
+	meanHi float64
+	// Swing state.
+	intercept float64
+	sLow      float64
+	sHigh     float64
+}
+
+// NewStreamEncoder returns an encoder for PMC or Swing (SZ and Gorilla are
+// block/batch oriented and not supported for streaming).
+func NewStreamEncoder(m Method, s *timeseries.Series, epsilon float64) (*StreamEncoder, error) {
+	if m != MethodPMC && m != MethodSwing {
+		return nil, fmt.Errorf("compress: streaming not supported for %s", m)
+	}
+	return newStreamEncoder(m, s, epsilon, false)
+}
+
+// NewAbsoluteStreamEncoder is NewStreamEncoder with the classic absolute
+// error bound |v − v̂| ≤ ε instead of the paper's relative bound.
+func NewAbsoluteStreamEncoder(m Method, s *timeseries.Series, epsilon float64) (*StreamEncoder, error) {
+	if m != MethodPMC && m != MethodSwing {
+		return nil, fmt.Errorf("compress: streaming not supported for %s", m)
+	}
+	return newStreamEncoder(m, s, epsilon, true)
+}
+
+func newStreamEncoder(m Method, s *timeseries.Series, epsilon float64, absolute bool) (*StreamEncoder, error) {
+	if epsilon < 0 {
+		return nil, errors.New("compress: negative error bound")
+	}
+	return &StreamEncoder{
+		method:   m,
+		epsilon:  epsilon,
+		absolute: absolute,
+		start:    s.Start,
+		interval: s.Interval,
+		meanLo:   math.Inf(-1),
+		meanHi:   math.Inf(1),
+		sLow:     math.Inf(-1),
+		sHigh:    math.Inf(1),
+	}, nil
+}
+
+// Push adds the next observation. Finished segments accumulate internally;
+// call Segments to see how many have been emitted so far.
+func (e *StreamEncoder) Push(v float64) error {
+	if e.closed {
+		return errors.New("compress: push after close")
+	}
+	e.n++
+	tol := e.epsilon * math.Abs(v)
+	if e.absolute {
+		tol = e.epsilon
+	}
+	switch e.method {
+	case MethodPMC:
+		newLo := math.Max(e.meanLo, v-tol)
+		newHi := math.Min(e.meanHi, v+tol)
+		newSum := e.sum + v
+		newMean := newSum / float64(e.count+1)
+		if e.count < maxSegmentLen && newLo <= newMean && newMean <= newHi {
+			e.count, e.sum, e.meanLo, e.meanHi = e.count+1, newSum, newLo, newHi
+			return nil
+		}
+		e.emitPMC()
+		e.count, e.sum = 1, v
+		e.meanLo, e.meanHi = v-tol, v+tol
+	case MethodSwing:
+		if e.count == 0 {
+			e.count, e.intercept = 1, v
+			e.sLow, e.sHigh = math.Inf(-1), math.Inf(1)
+			return nil
+		}
+		k := float64(e.count)
+		newLow := math.Max(e.sLow, (v-tol-e.intercept)/k)
+		newHigh := math.Min(e.sHigh, (v+tol-e.intercept)/k)
+		if e.count < maxSegmentLen && newLow <= newHigh {
+			e.count, e.sLow, e.sHigh = e.count+1, newLow, newHigh
+			return nil
+		}
+		e.emitSwing()
+		e.count, e.intercept = 1, v
+		e.sLow, e.sHigh = math.Inf(-1), math.Inf(1)
+	}
+	return nil
+}
+
+func (e *StreamEncoder) emitPMC() {
+	mean := quantizeToInterval(e.sum/float64(e.count), e.meanLo, e.meanHi)
+	var scratch [10]byte
+	putUint16(scratch[:2], uint16(e.count))
+	putUint64(scratch[2:], math.Float64bits(mean))
+	e.body.Write(scratch[:])
+	e.segments++
+}
+
+func (e *StreamEncoder) emitSwing() {
+	slope := 0.0
+	if e.count >= 2 {
+		slope = (e.sLow + e.sHigh) / 2
+	}
+	var scratch [18]byte
+	putUint16(scratch[:2], uint16(e.count))
+	putUint64(scratch[2:10], math.Float64bits(slope))
+	putUint64(scratch[10:], math.Float64bits(e.intercept))
+	e.body.Write(scratch[:])
+	e.segments++
+}
+
+// Segments returns the number of segments emitted so far (not counting the
+// open window).
+func (e *StreamEncoder) Segments() int { return e.segments }
+
+// PendingPoints returns how many points sit in the open window.
+func (e *StreamEncoder) PendingPoints() int { return e.count }
+
+// Close flushes the open window and returns the finished Compressed value
+// (gzip-compressed, identical to the batch output for the same input).
+func (e *StreamEncoder) Close() (*Compressed, error) {
+	if e.closed {
+		return nil, errors.New("compress: already closed")
+	}
+	if e.n == 0 {
+		return nil, errors.New("compress: empty stream")
+	}
+	e.closed = true
+	switch e.method {
+	case MethodPMC:
+		e.emitPMC()
+	case MethodSwing:
+		e.emitSwing()
+	}
+	var full bytes.Buffer
+	header := timeseries.New("", e.start, e.interval, make([]float64, e.n))
+	if err := encodeHeader(&full, e.method, header); err != nil {
+		return nil, err
+	}
+	full.Write(e.body.Bytes())
+	gz, err := GzipBytes(full.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{
+		Method:   e.method,
+		Epsilon:  e.epsilon,
+		N:        e.n,
+		Segments: e.segments,
+		Payload:  gz,
+	}, nil
+}
+
+func putUint16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

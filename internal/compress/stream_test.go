@@ -1,0 +1,174 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lossyts/internal/timeseries"
+)
+
+func TestStreamMatchesBatch(t *testing.T) {
+	s := synthSeries(3000, 31)
+	for _, m := range []Method{MethodPMC, MethodSwing} {
+		for _, eps := range []float64{0.01, 0.1, 0.5} {
+			enc, err := NewStreamEncoder(m, s, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range s.Values {
+				if err := enc.Push(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			streamed, err := enc.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp, _ := New(m)
+			batch, err := comp.Compress(s, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(streamed.Payload, batch.Payload) {
+				t.Errorf("%s eps=%v: streaming output differs from batch", m, eps)
+			}
+			if streamed.Segments != batch.Segments || streamed.N != batch.N {
+				t.Errorf("%s eps=%v: metadata differs (%d/%d segments, %d/%d points)",
+					m, eps, streamed.Segments, batch.Segments, streamed.N, batch.N)
+			}
+			dec, err := streamed.Decompress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel, _ := s.MaxRelError(dec)
+			if rel > eps*(1+1e-9) {
+				t.Errorf("%s eps=%v: streamed relative error %v", m, eps, rel)
+			}
+		}
+	}
+}
+
+func TestStreamMatchesBatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := synthSeries(200, seed)
+		for _, m := range []Method{MethodPMC, MethodSwing} {
+			enc, err := NewStreamEncoder(m, s, 0.07)
+			if err != nil {
+				return false
+			}
+			for _, v := range s.Values {
+				if err := enc.Push(v); err != nil {
+					return false
+				}
+			}
+			streamed, err := enc.Close()
+			if err != nil {
+				return false
+			}
+			comp, _ := New(m)
+			batch, err := comp.Compress(s, 0.07)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(streamed.Payload, batch.Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	s := timeseries.New("x", 0, 60, []float64{1, 2, 3})
+	if _, err := NewStreamEncoder(MethodSZ, s, 0.1); err == nil {
+		t.Error("SZ streaming should be rejected")
+	}
+	if _, err := NewStreamEncoder(MethodPMC, s, -1); err == nil {
+		t.Error("negative bound should be rejected")
+	}
+	enc, err := NewStreamEncoder(MethodPMC, s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Close(); err == nil {
+		t.Error("closing an empty stream should error")
+	}
+	enc, _ = NewStreamEncoder(MethodPMC, s, 0.1)
+	if err := enc.Push(5); err != nil {
+		t.Fatal(err)
+	}
+	if enc.PendingPoints() != 1 {
+		t.Fatalf("pending = %d", enc.PendingPoints())
+	}
+	if _, err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Push(6); err == nil {
+		t.Error("push after close should error")
+	}
+	if _, err := enc.Close(); err == nil {
+		t.Error("double close should error")
+	}
+}
+
+func TestStreamSegmentsAvailableIncrementally(t *testing.T) {
+	// A level change must close a segment mid-stream.
+	s := timeseries.New("x", 0, 1, nil)
+	enc, err := NewStreamEncoder(MethodPMC, s, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := enc.Push(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.Segments() != 0 {
+		t.Fatalf("constant prefix should stay in the open window, got %d segments", enc.Segments())
+	}
+	if err := enc.Push(50); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Segments() != 1 {
+		t.Fatalf("level change should emit a segment, got %d", enc.Segments())
+	}
+}
+
+func TestAbsoluteStreamEncoder(t *testing.T) {
+	s := synthSeries(800, 55)
+	enc, err := NewAbsoluteStreamEncoder(MethodPMC, s, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Values {
+		if err := enc.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := enc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs, _ := s.MaxAbsError(dec)
+	if maxAbs > 1.5*(1+1e-9) {
+		t.Fatalf("absolute stream bound broken: %v", maxAbs)
+	}
+	batch, err := (PMC{Absolute: true}).Compress(s, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Payload, batch.Payload) {
+		t.Fatal("absolute streaming differs from absolute batch")
+	}
+	if _, err := NewAbsoluteStreamEncoder(MethodSZ, s, 1); err == nil {
+		t.Error("SZ absolute streaming should be rejected")
+	}
+}

@@ -1,0 +1,543 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/datasets"
+	"lossyts/internal/stats"
+)
+
+// freqLabel renders a sampling interval like the paper's FREQ column.
+func freqLabel(seconds int64) string {
+	switch {
+	case seconds%3600 == 0:
+		return fmt.Sprintf("%dh", seconds/3600)
+	case seconds%60 == 0:
+		return fmt.Sprintf("%dmin", seconds/60)
+	default:
+		return fmt.Sprintf("%dsec", seconds)
+	}
+}
+
+// Table1 reproduces Table 1: descriptive statistics of the datasets.
+func Table1(opts Options) (*Table, error) {
+	t := &Table{
+		Title:  "Table 1: Details and statistics of datasets",
+		Header: []string{"Dataset", "LEN", "FREQ", "MEAN", "MIN", "MAX", "Q1", "Q3", "rIQD"},
+	}
+	for _, name := range opts.datasets() {
+		ds, err := datasets.Load(name, opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		d, err := stats.Describe(ds.Target().Values)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, d.Len, freqLabel(ds.Interval), d.Mean, d.Min, d.Max, d.Q1, d.Q3,
+			fmt.Sprintf("%.0f%%", d.RIQD))
+	}
+	return t, nil
+}
+
+// Table2 reproduces Table 2: baseline forecasting results per model and
+// dataset (R, RSE, RMSE, NRMSE on raw data; best NRMSE marked with *).
+func Table2(g *GridResult) (*Table, error) {
+	names := g.Opts.datasets()
+	t := &Table{
+		Title:  "Table 2: Evaluation scenario baseline results (* = best NRMSE)",
+		Header: append([]string{"Model", "Metric"}, names...),
+	}
+	best := map[string]string{}
+	for _, ds := range names {
+		bestV := math.Inf(1)
+		for _, m := range g.Opts.models() {
+			if v := g.Datasets[ds].Baselines[m].NRMSE; v < bestV {
+				bestV = v
+				best[ds] = m
+			}
+		}
+	}
+	for _, m := range g.Opts.models() {
+		for _, metric := range []string{"R", "RSE", "RMSE", "NRMSE"} {
+			row := []interface{}{m, metric}
+			for _, ds := range names {
+				b := g.Datasets[ds].Baselines[m]
+				var v float64
+				switch metric {
+				case "R":
+					v = b.R
+				case "RSE":
+					v = b.RSE
+				case "RMSE":
+					v = b.RMSE
+				case "NRMSE":
+					v = b.NRMSE
+				}
+				cell := formatFloat(v)
+				if metric == "NRMSE" && best[ds] == m {
+					cell += "*"
+				}
+				row = append(row, cell)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Table3 reproduces Table 3: linear regression CR = θ1·TE + θ0 with
+// coefficient standard errors, per dataset and method.
+func Table3(g *GridResult) (*Table, error) {
+	t := &Table{
+		Title:  "Table 3: Linear regression coefficients [θ1, θ0] and standard errors; CR as a function of TE (NRMSE)",
+		Header: []string{"Dataset", "Method", "θ1", "SE(θ1)", "θ0", "SE(θ0)"},
+	}
+	for _, name := range g.Opts.datasets() {
+		ds := g.Datasets[name]
+		for _, m := range g.Opts.methods() {
+			var te, cr []float64
+			for _, c := range ds.Cells {
+				if c.Method == m {
+					te = append(te, c.TE.NRMSE)
+					cr = append(cr, c.CR)
+				}
+			}
+			slope, intercept, slopeSE, interceptSE, err := stats.SimpleOLS(te, cr)
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%s: %w", name, m, err)
+			}
+			t.AddRow(name, string(m), slope, slopeSE, intercept, interceptSE)
+		}
+	}
+	return t, nil
+}
+
+// Table4 reproduces Table 4: top characteristics by Spearman correlation of
+// their delta to TFE.
+func Table4(g *GridResult, topN int) (*Table, error) {
+	rows, err := g.FeatureRows()
+	if err != nil {
+		return nil, err
+	}
+	corr := SpearmanToTFE(rows)
+	if topN > 0 && len(corr) > topN {
+		corr = corr[:topN]
+	}
+	t := &Table{
+		Title:  "Table 4: Top characteristics based on the correlation to TFE",
+		Header: []string{"Characteristic", "Spearman"},
+	}
+	for _, c := range corr {
+		t.AddRow(c.Name, c.Correlation)
+	}
+	return t, nil
+}
+
+// ElbowPoint holds a per-model elbow of the TE→TFE curve.
+type ElbowPoint struct {
+	EB, TE, CR, TFE float64
+}
+
+// elbowForModel runs Kneedle on one model's (TE, TFE) curve for one method.
+func elbowForModel(ds *DatasetResult, method compress.Method, model string) (ElbowPoint, bool) {
+	type pt struct{ eb, te, cr, tfe float64 }
+	var pts []pt
+	for _, c := range ds.Cells {
+		if c.Method != method {
+			continue
+		}
+		tfe, ok := c.TFE[model]
+		if !ok {
+			continue
+		}
+		pts = append(pts, pt{c.Epsilon, c.TE.NRMSE, c.CR, tfe})
+	}
+	if len(pts) < 3 {
+		return ElbowPoint{}, false
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].te < pts[j].te })
+	x := make([]float64, len(pts))
+	y := make([]float64, len(pts))
+	for i, p := range pts {
+		x[i], y[i] = p.te, p.tfe
+	}
+	k, err := stats.Kneedle(x, y, stats.Convex, stats.Increasing, 1)
+	if err != nil {
+		return ElbowPoint{}, false
+	}
+	p := pts[k]
+	return ElbowPoint{EB: p.eb, TE: p.te, CR: p.cr, TFE: p.tfe}, true
+}
+
+// Table5 reproduces Table 5: per method and dataset, the median elbow
+// (error bound, TE, CR, TFE) across forecasting models, plus the average
+// across datasets.
+func Table5(g *GridResult) (*Table, error) {
+	t := &Table{
+		Title:  "Table 5: Elbows' median error bound (EB), TE, CR, and TFE (Kneedle)",
+		Header: append([]string{"Method", "Metric"}, append(g.Opts.datasets(), "AVG")...),
+	}
+	for _, m := range g.Opts.methods() {
+		cols := map[string][4]float64{}
+		for _, name := range g.Opts.datasets() {
+			ds := g.Datasets[name]
+			var ebs, tes, crs, tfes []float64
+			for _, model := range g.Opts.models() {
+				if e, ok := elbowForModel(ds, m, model); ok {
+					ebs = append(ebs, e.EB)
+					tes = append(tes, e.TE)
+					crs = append(crs, e.CR)
+					tfes = append(tfes, e.TFE)
+				}
+			}
+			if len(ebs) == 0 {
+				return nil, fmt.Errorf("table5: no elbows for %s on %s", m, name)
+			}
+			cols[name] = [4]float64{stats.Median(ebs), stats.Median(tes), stats.Median(crs), stats.Median(tfes)}
+		}
+		labels := []string{"EB", "TE", "CR", "TFE"}
+		for mi, label := range labels {
+			row := []interface{}{string(m), label}
+			var sum float64
+			for _, name := range g.Opts.datasets() {
+				v := cols[name][mi]
+				sum += v
+				row = append(row, v)
+			}
+			row = append(row, sum/float64(len(g.Opts.datasets())))
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// sensitivityFeatures are the five characteristics of paper Table 6.
+var sensitivityFeatures = []struct{ short, name string }{
+	{"MKLS", "max_kl_shift"},
+	{"MLS", "max_level_shift"},
+	{"SACF1", "seas_acf1"},
+	{"MVS", "max_var_shift"},
+	{"URPP", "unitroot_pp"},
+}
+
+// Table6 reproduces Table 6: mean (std) of the relative difference (%) of
+// the five most important characteristics over cells with TFE ≤ 0.1.
+func Table6(g *GridResult) (*Table, error) {
+	rows, err := g.FeatureRows()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table 6: Mean (std) of the relative difference (%) for the five most important characteristics when TFE <= 0.1",
+		Header: []string{"Dataset", "Method", "MKLS", "MLS", "SACF1", "MVS", "URPP"},
+	}
+	appendRows := func(label string, filter func(FeatureRow) bool) {
+		for _, m := range g.Opts.methods() {
+			acc := map[string][]float64{}
+			for _, r := range rows {
+				if r.Method != m || r.TFE > 0.1 || !filter(r) {
+					continue
+				}
+				for _, f := range sensitivityFeatures {
+					acc[f.short] = append(acc[f.short], r.RelDiff[f.name])
+				}
+			}
+			row := []interface{}{label, string(m)}
+			for _, f := range sensitivityFeatures {
+				vals := acc[f.short]
+				if len(vals) == 0 {
+					row = append(row, "-")
+					continue
+				}
+				mean, std := stats.MeanStd(vals)
+				row = append(row, fmt.Sprintf("%.1f (%.1f)", mean, std))
+			}
+			t.AddRow(row...)
+		}
+	}
+	for _, name := range g.Opts.datasets() {
+		name := name
+		appendRows(name, func(r FeatureRow) bool { return r.Dataset == name })
+	}
+	appendRows("AVG", func(FeatureRow) bool { return true })
+	return t, nil
+}
+
+// bestByTFE returns the model with the smallest mean TFE over cells with
+// error bounds at or below maxEB.
+func bestByTFE(g *GridResult, ds *DatasetResult, maxEB float64) string {
+	best, bestV := "", math.Inf(1)
+	for _, m := range g.Opts.models() {
+		var sum float64
+		var n int
+		for _, c := range ds.Cells {
+			if c.Epsilon > maxEB {
+				continue
+			}
+			if v, ok := c.TFE[m]; ok {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if v := sum / float64(n); v < bestV {
+			best, bestV = m, v
+		}
+	}
+	return best
+}
+
+// Table7 reproduces Table 7: the best model per dataset by baseline NRMSE
+// and by resilience (mean TFE over bounds up to the dataset's median elbow).
+func Table7(g *GridResult) (*Table, error) {
+	t := &Table{
+		Title:  "Table 7: Best models based on NRMSE and TFE",
+		Header: append([]string{"Criterion"}, g.Opts.datasets()...),
+	}
+	nrmseRow := []interface{}{"NRMSE"}
+	tfeRow := []interface{}{"TFE"}
+	for _, name := range g.Opts.datasets() {
+		ds := g.Datasets[name]
+		best, bestV := "", math.Inf(1)
+		for _, m := range g.Opts.models() {
+			if v := ds.Baselines[m].NRMSE; v < bestV {
+				best, bestV = m, v
+			}
+		}
+		nrmseRow = append(nrmseRow, best)
+		tfeRow = append(tfeRow, bestByTFE(g, ds, datasetElbowEB(g, ds)))
+	}
+	t.AddRow(nrmseRow...)
+	t.AddRow(tfeRow...)
+	return t, nil
+}
+
+// Figure1 reproduces Figure 1: a sample segment of ETTm1 and ETTm2 and the
+// per-method decompressed output at error bounds 0.05 and 0.1, as aligned
+// series ready for plotting.
+func Figure1(opts Options, segmentLen int) (*Table, error) {
+	if segmentLen <= 0 {
+		segmentLen = 96
+	}
+	t := &Table{
+		Title:  "Figure 1: compression output at error bounds 0.05 and 0.1 vs the original (OR)",
+		Header: []string{"Dataset", "Series", "eps", "Values(first 8)"},
+	}
+	for _, name := range []string{"ETTm1", "ETTm2"} {
+		ds, err := datasets.Load(name, opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		seg, err := ds.Target().Segment(0, segmentLen)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name, "OR", "-", previewValues(seg.Values))
+		for _, m := range opts.methods() {
+			comp, err := compress.New(m)
+			if err != nil {
+				return nil, err
+			}
+			for _, eps := range []float64{0.05, 0.1} {
+				c, err := comp.Compress(seg, eps)
+				if err != nil {
+					return nil, err
+				}
+				dec, err := c.Decompress()
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(name, string(m), eps, previewValues(dec.Values))
+			}
+		}
+	}
+	return t, nil
+}
+
+func previewValues(v []float64) string {
+	n := len(v)
+	if n > 8 {
+		n = 8
+	}
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", v[i])
+	}
+	return s
+}
+
+// Figure2 reproduces Figure 2: TE (NRMSE) and CR per error bound per
+// dataset and method, with the Gorilla CR baseline.
+func Figure2(g *GridResult) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 2: TE (NRMSE) and CR per error bound (GORILLA CR shown per dataset)",
+		Header: []string{"Dataset", "Method", "EB", "TE(NRMSE)", "CR", "GorillaCR"},
+	}
+	for _, name := range g.Opts.datasets() {
+		ds := g.Datasets[name]
+		for _, c := range ds.Cells {
+			t.AddRow(name, string(c.Method), c.Epsilon, c.TE.NRMSE, c.CR, ds.GorillaCR)
+		}
+	}
+	return t, nil
+}
+
+// Figure3 reproduces Figure 3: the number of segments per method and bound.
+func Figure3(g *GridResult) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 3: Number of segments per error bound",
+		Header: []string{"Dataset", "Method", "EB", "Segments"},
+	}
+	for _, name := range g.Opts.datasets() {
+		ds := g.Datasets[name]
+		for _, c := range ds.Cells {
+			t.AddRow(name, string(c.Method), c.Epsilon, c.Segments)
+		}
+	}
+	return t, nil
+}
+
+// excludedFromFigure4 mirrors the paper's exclusion of GRU on Solar and
+// ElecDem, where its poor baseline skews the TFE aggregation.
+func excludedFromFigure4(dataset, model string) bool {
+	return model == "GRU" && (dataset == "Solar" || dataset == "ElecDem")
+}
+
+// Figure4 reproduces Figure 4: mean TFE vs TE with 95% confidence
+// intervals across forecasting models.
+func Figure4(g *GridResult) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 4: TFE vs TE (mean and 95% CI across models; GRU excluded on Solar and ElecDem)",
+		Header: []string{"Dataset", "Method", "EB", "TE(NRMSE)", "TFE(mean)", "CI95"},
+	}
+	for _, name := range g.Opts.datasets() {
+		ds := g.Datasets[name]
+		for _, c := range ds.Cells {
+			var vals []float64
+			for _, m := range g.Opts.models() {
+				if excludedFromFigure4(name, m) {
+					continue
+				}
+				if v, ok := c.TFE[m]; ok {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			mean, std := stats.MeanStd(vals)
+			ci := 1.96 * std / math.Sqrt(float64(len(vals)))
+			t.AddRow(name, string(c.Method), c.Epsilon, c.TE.NRMSE, mean, ci)
+		}
+	}
+	return t, nil
+}
+
+// Figure5 reproduces Figure 5: the SHAP importance ranking of the
+// characteristics from the GBoost surrogate.
+func Figure5(g *GridResult, topN int) (*Table, error) {
+	rows, err := g.FeatureRows()
+	if err != nil {
+		return nil, err
+	}
+	res, err := SHAPAnalysis(rows)
+	if err != nil {
+		return nil, err
+	}
+	imp := res.Importance
+	if topN > 0 && len(imp) > topN {
+		imp = imp[:topN]
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 5: Top characteristics based on SHAP values (surrogate R^2 = %.2f)", res.R2),
+		Header: []string{"Characteristic", "mean|SHAP|"},
+	}
+	for _, c := range imp {
+		t.AddRow(c.Name, c.Correlation)
+	}
+	return t, nil
+}
+
+// datasetElbowEB returns the median elbow error bound across methods and
+// models for one dataset — the per-dataset bound cap the paper uses when
+// aggregating model TFE in Figure 6.
+func datasetElbowEB(g *GridResult, ds *DatasetResult) float64 {
+	var ebs []float64
+	for _, m := range g.Opts.methods() {
+		for _, model := range g.Opts.models() {
+			if e, ok := elbowForModel(ds, m, model); ok {
+				ebs = append(ebs, e.EB)
+			}
+		}
+	}
+	if len(ebs) == 0 {
+		return 0.2
+	}
+	return stats.Median(ebs)
+}
+
+// Figure6 reproduces Figure 6: the average TFE per forecasting model per
+// dataset over the error bounds up to each dataset's median elbow (the
+// paper selects the maximum bound per dataset from Table 5's elbows).
+func Figure6(g *GridResult) (*Table, error) {
+	caps := map[string]float64{}
+	header := []string{"Model"}
+	for _, name := range g.Opts.datasets() {
+		caps[name] = datasetElbowEB(g, g.Datasets[name])
+		header = append(header, fmt.Sprintf("%s(<=%.2g)", name, caps[name]))
+	}
+	t := &Table{
+		Title:  "Figure 6: Average TFE per forecasting model (bounds up to each dataset's median elbow EB)",
+		Header: header,
+	}
+	for _, m := range g.Opts.models() {
+		row := []interface{}{m}
+		for _, name := range g.Opts.datasets() {
+			ds := g.Datasets[name]
+			var sum float64
+			var n int
+			for _, c := range ds.Cells {
+				if c.Epsilon > caps[name] {
+					continue
+				}
+				if v, ok := c.TFE[m]; ok {
+					sum += v
+					n++
+				}
+			}
+			if n == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, sum/float64(n))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure7 reproduces Figure 7: TFE of Arima and DLinear retrained on
+// decompressed ETTm1/ETTm2 data, per error bound.
+func Figure7(opts Options) (*Table, error) {
+	res, err := RetrainOnDecompressed(opts, nil, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Figure 7: TFE of Arima and DLinear trained on decompressed data",
+		Header: []string{"Dataset", "Model", "Method", "EB", "NRMSE", "TFE"},
+	}
+	for _, r := range res {
+		t.AddRow(r.Dataset, r.Model, string(r.Method), r.Epsilon, r.NRMSE, r.TFE)
+	}
+	return t, nil
+}

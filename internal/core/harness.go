@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/datasets"
+	"lossyts/internal/forecast"
+	"lossyts/internal/stats"
+	"lossyts/internal/timeseries"
+)
+
+// Cell is one grid point: a (dataset, method, error bound) combination with
+// its compression outcome and the forecasting metrics of every model when
+// fed the decompressed test data (Algorithm 1, lines 5-10).
+type Cell struct {
+	Method   compress.Method
+	Epsilon  float64
+	CR       float64 // compression ratio on the test subset (.gz sizes)
+	Segments int
+	TE       stats.Metrics // raw vs decompressed test values
+	// Decompressed holds the decompressed (raw-domain) test values.
+	Decompressed []float64
+	// ModelMetrics maps model name to its forecasting metrics (mean over
+	// seeds) when predicting from the transformed input.
+	ModelMetrics map[string]stats.Metrics
+	// TFE maps model name to the transformation forecasting error computed
+	// from NRMSE (Eq. 2).
+	TFE map[string]float64
+}
+
+// DatasetResult is the full grid for one dataset.
+type DatasetResult struct {
+	Name           string
+	SeasonalPeriod int
+	Interval       int64
+	// RawValues is the full (raw-domain) target series.
+	RawValues []float64
+	// RawTest is the raw-domain test subset.
+	RawTest []float64
+	// GorillaCR is the lossless baseline compression ratio (§3.3).
+	GorillaCR float64
+	// Baselines maps model name to its raw-data metrics (paper Table 2).
+	Baselines map[string]stats.Metrics
+	Cells     []*Cell
+}
+
+// Cell returns the grid cell for (method, eps), or nil.
+func (d *DatasetResult) Cell(m compress.Method, eps float64) *Cell {
+	for _, c := range d.Cells {
+		if c.Method == m && c.Epsilon == eps {
+			return c
+		}
+	}
+	return nil
+}
+
+// GridResult is the complete evaluation output shared by all experiments.
+type GridResult struct {
+	Opts     Options
+	Datasets map[string]*DatasetResult
+
+	mu       sync.Mutex
+	features map[string]map[string]float64 // lazy characteristic vectors
+}
+
+var (
+	gridMu    sync.Mutex
+	gridCache = map[string]*GridResult{}
+)
+
+// RunGrid executes the paper's evaluation scenario over the configured grid
+// and memoises the result per option set, so the table and figure
+// generators share one computation.
+func RunGrid(opts Options) (*GridResult, error) {
+	key := opts.key()
+	gridMu.Lock()
+	if g, ok := gridCache[key]; ok {
+		gridMu.Unlock()
+		return g, nil
+	}
+	gridMu.Unlock()
+
+	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}, features: map[string]map[string]float64{}}
+	// Datasets are independent; evaluate them concurrently up to the number
+	// of available CPUs. Each evaluation owns its models and RNGs, so the
+	// result is identical to a sequential run.
+	names := opts.datasets()
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, name := range names {
+		name := name
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dr, err := evaluateDataset(name, opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("core: dataset %s: %w", name, err)
+				return
+			}
+			if err == nil {
+				g.Datasets[name] = dr
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	gridMu.Lock()
+	gridCache[key] = g
+	gridMu.Unlock()
+	return g, nil
+}
+
+// evaluateDataset runs Algorithm 1 for one dataset across all models,
+// methods, and error bounds.
+func evaluateDataset(name string, opts Options) (*DatasetResult, error) {
+	ds, err := datasets.Load(name, opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	target := ds.Target()
+	train, val, test, err := target.Split(0.7, 0.1, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.Forecast
+	if cfg.InputLen == 0 {
+		cfg = forecast.DefaultConfig()
+	}
+	cfg.SeasonalPeriod = ds.SeasonalPeriod
+	if cfg.InputLen >= test.Len()-cfg.Horizon {
+		return nil, fmt.Errorf("test subset too short (%d) for input %d + horizon %d; increase Scale",
+			test.Len(), cfg.InputLen, cfg.Horizon)
+	}
+
+	var scaler timeseries.StandardScaler
+	if err := scaler.Fit(train.Values); err != nil {
+		return nil, err
+	}
+	scTrain := scaler.Transform(train.Values)
+	scVal := scaler.Transform(val.Values)
+	scTest := scaler.Transform(test.Values)
+
+	dr := &DatasetResult{
+		Name:           name,
+		SeasonalPeriod: ds.SeasonalPeriod,
+		Interval:       ds.Interval,
+		RawValues:      target.Values,
+		RawTest:        test.Values,
+		Baselines:      map[string]stats.Metrics{},
+	}
+
+	// Lossless baseline CR (§3.3) on the test subset.
+	gor, err := (compress.Gorilla{}).Compress(test, 0)
+	if err != nil {
+		return nil, err
+	}
+	if dr.GorillaCR, err = compress.Ratio(test, gor); err != nil {
+		return nil, err
+	}
+
+	// Compression grid first: it is model-independent.
+	for _, m := range opts.methods() {
+		comp, err := compress.New(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, eps := range opts.errorBounds() {
+			c, err := comp.Compress(test, eps)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := c.Decompress()
+			if err != nil {
+				return nil, err
+			}
+			cr, err := compress.Ratio(test, c)
+			if err != nil {
+				return nil, err
+			}
+			te, err := stats.Evaluate(test.Values, dec.Values)
+			if err != nil {
+				return nil, err
+			}
+			dr.Cells = append(dr.Cells, &Cell{
+				Method:       m,
+				Epsilon:      eps,
+				CR:           cr,
+				Segments:     c.Segments,
+				TE:           te,
+				Decompressed: dec.Values,
+				ModelMetrics: map[string]stats.Metrics{},
+				TFE:          map[string]float64{},
+			})
+		}
+	}
+
+	// Forecasting: train each model per seed, evaluate on the raw test and
+	// on every decompressed variant (Algorithm 1).
+	// Evaluation windows slide by one horizon; large datasets are evenly
+	// subsampled to MaxEvalWindows to bound deep-model prediction cost.
+	evalStride := cfg.Horizon
+	if m := opts.MaxEvalWindows; m > 0 {
+		if full := (test.Len() - cfg.InputLen - cfg.Horizon) / cfg.Horizon; full > m {
+			evalStride = (test.Len() - cfg.InputLen - cfg.Horizon) / m
+		}
+	}
+	rawWindows, err := timeseries.MakeWindows(scTest, cfg.InputLen, cfg.Horizon, evalStride)
+	if err != nil {
+		return nil, err
+	}
+	for _, modelName := range opts.models() {
+		nSeeds := opts.seeds(modelName)
+		var base []stats.Metrics
+		cellAcc := make([][]stats.Metrics, len(dr.Cells))
+		for run := 0; run < nSeeds; run++ {
+			mcfg := cfg
+			mcfg.Seed = opts.Seed + int64(run)*7919
+			model, err := forecast.New(modelName, mcfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := model.Fit(scTrain, scVal); err != nil {
+				return nil, fmt.Errorf("fit %s: %w", modelName, err)
+			}
+			// The harness knows each window's absolute position, so
+			// phase-aware models (Arima) receive real time indices for
+			// their Fourier terms, exactly as the paper's timestamps do.
+			if pa, ok := model.(forecast.PhaseAware); ok {
+				pa.SetWindowPhase((train.Len()+val.Len())%ds.SeasonalPeriod, evalStride)
+			}
+			m, err := evaluateWindows(model, rawWindows)
+			if err != nil {
+				return nil, fmt.Errorf("baseline %s: %w", modelName, err)
+			}
+			base = append(base, m)
+			for ci, cell := range dr.Cells {
+				scDec := scaler.Transform(cell.Decompressed)
+				ws, err := timeseries.MakePairedWindows(scDec, scTest, cfg.InputLen, cfg.Horizon, evalStride)
+				if err != nil {
+					return nil, err
+				}
+				m, err := evaluateWindows(model, ws)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s eps=%v: %w", modelName, cell.Method, cell.Epsilon, err)
+				}
+				cellAcc[ci] = append(cellAcc[ci], m)
+			}
+		}
+		baseMean := meanMetrics(base)
+		dr.Baselines[modelName] = baseMean
+		for ci, cell := range dr.Cells {
+			mm := meanMetrics(cellAcc[ci])
+			cell.ModelMetrics[modelName] = mm
+			if tfe, err := stats.TFE(mm.NRMSE, baseMean.NRMSE); err == nil {
+				cell.TFE[modelName] = tfe
+			}
+		}
+	}
+	return dr, nil
+}
+
+// evaluateWindows predicts every window and scores the flattened forecasts
+// against the flattened raw targets (calculateMetrics in Algorithm 1).
+func evaluateWindows(model forecast.Model, ws *timeseries.WindowSet) (stats.Metrics, error) {
+	preds, err := model.Predict(ws.Inputs())
+	if err != nil {
+		return stats.Metrics{}, err
+	}
+	var x, y []float64
+	for i, p := range preds {
+		y = append(y, p...)
+		x = append(x, ws.Windows[i].Target...)
+	}
+	return stats.Evaluate(x, y)
+}
+
+func meanMetrics(ms []stats.Metrics) stats.Metrics {
+	var out stats.Metrics
+	if len(ms) == 0 {
+		return out
+	}
+	for _, m := range ms {
+		out.R += m.R
+		out.RSE += m.RSE
+		out.RMSE += m.RMSE
+		out.NRMSE += m.NRMSE
+	}
+	n := float64(len(ms))
+	out.R /= n
+	out.RSE /= n
+	out.RMSE /= n
+	out.NRMSE /= n
+	return out
+}

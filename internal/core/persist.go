@@ -1,0 +1,141 @@
+package core
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/stats"
+)
+
+// gridFile is the on-disk JSON representation of a GridResult. Only the
+// result payload is stored; the memoisation internals and lazy feature
+// cache are rebuilt on load.
+type gridFile struct {
+	Version  int
+	Opts     Options
+	Datasets map[string]*datasetFile
+}
+
+type datasetFile struct {
+	Name           string
+	SeasonalPeriod int
+	Interval       int64
+	RawValues      []float64
+	RawTest        []float64
+	GorillaCR      float64
+	Baselines      map[string]stats.Metrics
+	Cells          []*cellFile
+}
+
+type cellFile struct {
+	Method       compress.Method
+	Epsilon      float64
+	CR           float64
+	Segments     int
+	TE           stats.Metrics
+	Decompressed []float64
+	ModelMetrics map[string]stats.Metrics
+	TFE          map[string]float64
+}
+
+const gridFileVersion = 1
+
+// SaveGrid writes the grid to a gzip-compressed JSON file, so an expensive
+// evaluation can be reused across processes (RunGrid memoises only within
+// one process).
+func SaveGrid(g *GridResult, path string) error {
+	out := gridFile{Version: gridFileVersion, Opts: g.Opts, Datasets: map[string]*datasetFile{}}
+	for name, ds := range g.Datasets {
+		df := &datasetFile{
+			Name:           ds.Name,
+			SeasonalPeriod: ds.SeasonalPeriod,
+			Interval:       ds.Interval,
+			RawValues:      ds.RawValues,
+			RawTest:        ds.RawTest,
+			GorillaCR:      ds.GorillaCR,
+			Baselines:      ds.Baselines,
+		}
+		for _, c := range ds.Cells {
+			df.Cells = append(df.Cells, &cellFile{
+				Method:       c.Method,
+				Epsilon:      c.Epsilon,
+				CR:           c.CR,
+				Segments:     c.Segments,
+				TE:           c.TE,
+				Decompressed: c.Decompressed,
+				ModelMetrics: c.ModelMetrics,
+				TFE:          c.TFE,
+			})
+		}
+		out.Datasets[name] = df
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadGrid reads a grid previously written by SaveGrid and registers it in
+// the in-process memoisation cache, so subsequent RunGrid calls with the
+// same options return it directly.
+func LoadGrid(path string) (*GridResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s is not a saved grid: %w", path, err)
+	}
+	defer zr.Close()
+	var in gridFile
+	if err := json.NewDecoder(zr).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding %s: %w", path, err)
+	}
+	if in.Version != gridFileVersion {
+		return nil, fmt.Errorf("core: grid file version %d, want %d", in.Version, gridFileVersion)
+	}
+	g := &GridResult{Opts: in.Opts, Datasets: map[string]*DatasetResult{}, features: map[string]map[string]float64{}}
+	for name, df := range in.Datasets {
+		ds := &DatasetResult{
+			Name:           df.Name,
+			SeasonalPeriod: df.SeasonalPeriod,
+			Interval:       df.Interval,
+			RawValues:      df.RawValues,
+			RawTest:        df.RawTest,
+			GorillaCR:      df.GorillaCR,
+			Baselines:      df.Baselines,
+		}
+		for _, c := range df.Cells {
+			ds.Cells = append(ds.Cells, &Cell{
+				Method:       c.Method,
+				Epsilon:      c.Epsilon,
+				CR:           c.CR,
+				Segments:     c.Segments,
+				TE:           c.TE,
+				Decompressed: c.Decompressed,
+				ModelMetrics: c.ModelMetrics,
+				TFE:          c.TFE,
+			})
+		}
+		g.Datasets[name] = ds
+	}
+	gridMu.Lock()
+	gridCache[g.Opts.key()] = g
+	gridMu.Unlock()
+	return g, nil
+}

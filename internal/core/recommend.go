@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lossyts/internal/compress"
+)
+
+// Recommendation is a concrete operating point: the compression method and
+// error bound that maximise the compression ratio while keeping the mean
+// forecasting impact within the user's tolerance — the guidance the paper
+// offers qualitatively throughout §4, as an API.
+type Recommendation struct {
+	Method  compress.Method
+	Epsilon float64
+	CR      float64
+	TE      float64
+	// TFE is the mean transformation forecasting error across models at
+	// this operating point.
+	TFE float64
+}
+
+// Recommend scans the evaluated grid of one dataset and returns the
+// operating point with the highest CR whose mean TFE stays at or below
+// maxTFE. Models can be restricted to the ones the deployment actually
+// uses (nil = all evaluated models).
+func Recommend(g *GridResult, dataset string, maxTFE float64, models []string) (Recommendation, error) {
+	ds, ok := g.Datasets[dataset]
+	if !ok {
+		return Recommendation{}, fmt.Errorf("core: dataset %q not in the grid", dataset)
+	}
+	if len(models) == 0 {
+		models = g.Opts.models()
+	}
+	best := Recommendation{CR: -1}
+	for _, cell := range ds.Cells {
+		var sum float64
+		var n int
+		for _, m := range models {
+			if v, ok := cell.TFE[m]; ok && !math.IsNaN(v) {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		tfe := sum / float64(n)
+		if tfe > maxTFE {
+			continue
+		}
+		if cell.CR > best.CR {
+			best = Recommendation{
+				Method:  cell.Method,
+				Epsilon: cell.Epsilon,
+				CR:      cell.CR,
+				TE:      cell.TE.NRMSE,
+				TFE:     tfe,
+			}
+		}
+	}
+	if best.CR < 0 {
+		return Recommendation{}, fmt.Errorf("core: no operating point for %s keeps mean TFE within %v", dataset, maxTFE)
+	}
+	return best, nil
+}

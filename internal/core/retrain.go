@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/datasets"
+	"lossyts/internal/forecast"
+	"lossyts/internal/stats"
+	"lossyts/internal/timeseries"
+)
+
+// RetrainResult is one point of the paper's §4.4.1 experiment (Figure 7):
+// a model trained and evaluated on decompressed data, compared against its
+// raw-data baseline.
+type RetrainResult struct {
+	Dataset string
+	Model   string
+	Method  compress.Method
+	Epsilon float64
+	NRMSE   float64
+	TFE     float64
+}
+
+// RetrainOnDecompressed reproduces Figure 7: Arima and DLinear are
+// retrained on the decompressed training data of the given datasets and
+// their TFE per error bound is reported. The paper limits this experiment
+// to ETTm1 and ETTm2 with error bounds up to ~0.2.
+func RetrainOnDecompressed(opts Options, names []string, models []string, bounds []float64) ([]RetrainResult, error) {
+	if len(names) == 0 {
+		names = []string{"ETTm1", "ETTm2"}
+	}
+	if len(models) == 0 {
+		models = []string{"Arima", "DLinear"}
+	}
+	if len(bounds) == 0 {
+		bounds = []float64{0.01, 0.05, 0.1, 0.15, 0.2}
+	}
+	var out []RetrainResult
+	for _, name := range names {
+		ds, err := datasets.Load(name, opts.Scale, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		target := ds.Target()
+		train, val, test, err := target.Split(0.7, 0.1, 0.2)
+		if err != nil {
+			return nil, err
+		}
+		cfg := opts.Forecast
+		if cfg.InputLen == 0 {
+			cfg = forecast.DefaultConfig()
+		}
+		cfg.SeasonalPeriod = ds.SeasonalPeriod
+		cfg.Seed = opts.Seed
+
+		var scaler timeseries.StandardScaler
+		if err := scaler.Fit(train.Values); err != nil {
+			return nil, err
+		}
+		scTest := scaler.Transform(test.Values)
+		rawWindows, err := timeseries.MakeWindows(scTest, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		for _, modelName := range models {
+			// Baseline: trained and evaluated on raw data.
+			baseModel, err := forecast.New(modelName, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := baseModel.Fit(scaler.Transform(train.Values), scaler.Transform(val.Values)); err != nil {
+				return nil, fmt.Errorf("baseline fit %s: %w", modelName, err)
+			}
+			startPhase := (train.Len() + val.Len()) % ds.SeasonalPeriod
+			if pa, ok := baseModel.(forecast.PhaseAware); ok {
+				pa.SetWindowPhase(startPhase, cfg.Horizon)
+			}
+			baseMetrics, err := evaluateWindows(baseModel, rawWindows)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range opts.methods() {
+				comp, err := compress.New(m)
+				if err != nil {
+					return nil, err
+				}
+				for _, eps := range bounds {
+					decompressPart := func(s *timeseries.Series) ([]float64, error) {
+						c, err := comp.Compress(s, eps)
+						if err != nil {
+							return nil, err
+						}
+						d, err := c.Decompress()
+						if err != nil {
+							return nil, err
+						}
+						return d.Values, nil
+					}
+					decTrain, err := decompressPart(train)
+					if err != nil {
+						return nil, err
+					}
+					decVal, err := decompressPart(val)
+					if err != nil {
+						return nil, err
+					}
+					decTest, err := decompressPart(test)
+					if err != nil {
+						return nil, err
+					}
+					model, err := forecast.New(modelName, cfg)
+					if err != nil {
+						return nil, err
+					}
+					if err := model.Fit(scaler.Transform(decTrain), scaler.Transform(decVal)); err != nil {
+						return nil, fmt.Errorf("retrain fit %s: %w", modelName, err)
+					}
+					if pa, ok := model.(forecast.PhaseAware); ok {
+						pa.SetWindowPhase(startPhase, cfg.Horizon)
+					}
+					// Inputs from decompressed test, accuracy against raw.
+					ws, err := timeseries.MakePairedWindows(scaler.Transform(decTest), scTest, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+					if err != nil {
+						return nil, err
+					}
+					mMetrics, err := evaluateWindows(model, ws)
+					if err != nil {
+						return nil, err
+					}
+					tfe, err := stats.TFE(mMetrics.NRMSE, baseMetrics.NRMSE)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, RetrainResult{
+						Dataset: name,
+						Model:   modelName,
+						Method:  m,
+						Epsilon: eps,
+						NRMSE:   mMetrics.NRMSE,
+						TFE:     tfe,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}

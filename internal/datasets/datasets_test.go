@@ -1,0 +1,200 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"lossyts/internal/stats"
+)
+
+func TestLoadAllDatasets(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, err := Load(name, 0.05, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Name != name {
+				t.Fatalf("name = %q", d.Name)
+			}
+			if d.Target() == nil || d.Target().Len() == 0 {
+				t.Fatal("empty target")
+			}
+			if d.SeasonalPeriod < 2 {
+				t.Fatal("missing seasonal period")
+			}
+			length, interval, _, _, _, _, _ := Spec(name)
+			if d.Interval != interval {
+				t.Fatalf("interval = %d, want %d", d.Interval, interval)
+			}
+			if got := d.Target().Len(); got > length {
+				t.Fatalf("scaled length %d exceeds full length %d", got, length)
+			}
+			for i, v := range d.Target().Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestStatisticsMatchTable1(t *testing.T) {
+	// Generated statistics should land near the paper's Table 1 values:
+	// mean within 20%, quartiles inside [min, max], and values clipped to
+	// the published range.
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d := MustLoad(name, 0.1, 7)
+			_, _, wantMean, wantMin, wantMax, _, wantQ3 := Spec(name)
+			desc, err := stats.Describe(d.Target().Values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if desc.Min < wantMin-1e-9 || desc.Max > wantMax+1e-9 {
+				t.Errorf("range [%v, %v] outside Table 1 [%v, %v]", desc.Min, desc.Max, wantMin, wantMax)
+			}
+			tol := 0.25 * math.Abs(wantMean)
+			if name == "Solar" {
+				tol = 0.5 * wantMean // zero-inflation makes the mean noisier
+			}
+			if math.Abs(desc.Mean-wantMean) > tol {
+				t.Errorf("mean %v, Table 1 says %v", desc.Mean, wantMean)
+			}
+			if wantQ3 > 0 && math.Abs(desc.Q3-wantQ3) > 0.4*wantQ3 {
+				t.Errorf("Q3 %v, Table 1 says %v", desc.Q3, wantQ3)
+			}
+		})
+	}
+}
+
+func TestRIQDOrdering(t *testing.T) {
+	// The paper's key dataset contrast: Weather has a tiny rIQD (5%),
+	// Solar a huge one (200%); the generators must preserve the ordering
+	// Weather < ElecDem < ETTm2/ETTm1/Wind < Solar at least at the extremes.
+	riqd := map[string]float64{}
+	for _, name := range Names {
+		d := MustLoad(name, 0.1, 3)
+		desc, err := stats.Describe(d.Target().Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		riqd[name] = desc.RIQD
+	}
+	if riqd["Weather"] > 15 {
+		t.Errorf("Weather rIQD = %.1f%%, want small (paper: 5%%)", riqd["Weather"])
+	}
+	if riqd["Solar"] < 100 {
+		t.Errorf("Solar rIQD = %.1f%%, want large (paper: 200%%)", riqd["Solar"])
+	}
+	for _, name := range Names {
+		if name == "Weather" {
+			continue
+		}
+		if riqd["Weather"] >= riqd[name] {
+			t.Errorf("Weather rIQD %.1f should be smallest, but %s has %.1f", riqd["Weather"], name, riqd[name])
+		}
+	}
+}
+
+func TestSolarZeroInflation(t *testing.T) {
+	d := MustLoad("Solar", 0.1, 5)
+	zeros := 0
+	for _, v := range d.Target().Values {
+		if v == 0 {
+			zeros++
+		}
+		if v < 0 {
+			t.Fatal("solar output cannot be negative")
+		}
+	}
+	frac := float64(zeros) / float64(d.Target().Len())
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("zero fraction = %.2f, want roughly half (nights)", frac)
+	}
+}
+
+func TestWindHasNegatives(t *testing.T) {
+	d := MustLoad("Wind", 0.02, 9)
+	neg := 0
+	for _, v := range d.Target().Values {
+		if v < 0 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Error("wind power should include negative idle-consumption values")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := MustLoad("ETTm1", 0.05, 42)
+	b := MustLoad("ETTm1", 0.05, 42)
+	if !a.Target().Equal(b.Target()) {
+		t.Fatal("same seed must generate identical data")
+	}
+	c := MustLoad("ETTm1", 0.05, 43)
+	if a.Target().Equal(c.Target()) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSeasonalityPresent(t *testing.T) {
+	// The target autocorrelation at the seasonal lag should be clearly
+	// positive for the seasonal datasets.
+	for _, name := range []string{"ETTm1", "ETTm2", "Solar", "Weather", "ElecDem"} {
+		d := MustLoad(name, 0.05, 11)
+		v := d.Target().Values
+		lag := d.SeasonalPeriod
+		var mean float64
+		for _, x := range v {
+			mean += x
+		}
+		mean /= float64(len(v))
+		var c0, cl float64
+		for i := range v {
+			c0 += (v[i] - mean) * (v[i] - mean)
+			if i >= lag {
+				cl += (v[i] - mean) * (v[i-lag] - mean)
+			}
+		}
+		if cl/c0 < 0.25 {
+			t.Errorf("%s: seasonal acf = %.3f, want clear seasonality", name, cl/c0)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("Nope", 0.1, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+	if _, err := Load("ETTm1", 0, 1); err == nil {
+		t.Error("zero scale should error")
+	}
+	if _, err := Load("ETTm1", 1.5, 1); err == nil {
+		t.Error("scale > 1 should error")
+	}
+}
+
+func TestMinimumLengthGuard(t *testing.T) {
+	// Extremely small scales are clamped to keep enough seasonal cycles.
+	d := MustLoad("ETTm1", 0.0001, 1)
+	if d.Target().Len() < 6*d.SeasonalPeriod {
+		t.Fatalf("length %d below the 6-period minimum", d.Target().Len())
+	}
+}
+
+func TestFrameColumns(t *testing.T) {
+	d := MustLoad("Wind", 0.01, 2)
+	if len(d.Frame.Columns) != 3 {
+		t.Fatalf("wind frame has %d columns, want 3", len(d.Frame.Columns))
+	}
+	if d.Frame.Column("WS") == nil {
+		t.Fatal("missing wind speed column")
+	}
+	if d.Frame.TargetSeries().Name != "POWER" {
+		t.Fatalf("target column = %q", d.Frame.TargetSeries().Name)
+	}
+}

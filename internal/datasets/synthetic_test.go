@@ -1,0 +1,107 @@
+package datasets
+
+import (
+	"testing"
+
+	"lossyts/internal/features"
+)
+
+func extractSynthetic(t *testing.T, spec SyntheticSpec) features.Vector {
+	t.Helper()
+	d, err := Synthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := features.Extract(d.Target().Values, features.Options{Period: d.SeasonalPeriod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSyntheticSeasonalStrengthControl(t *testing.T) {
+	strong := DefaultSyntheticSpec()
+	strong.SeasonalStrength = 0.9
+	strong.TrendStrength = 0.05
+	weak := DefaultSyntheticSpec()
+	weak.SeasonalStrength = 0.05
+	weak.TrendStrength = 0.05
+
+	fs := extractSynthetic(t, strong)
+	fw := extractSynthetic(t, weak)
+	if fs["seas_strength"] <= fw["seas_strength"] {
+		t.Errorf("seas_strength did not respond to the control: strong %.3f vs weak %.3f",
+			fs["seas_strength"], fw["seas_strength"])
+	}
+	if fs["seas_strength"] < 0.6 {
+		t.Errorf("strong setting produced seas_strength %.3f", fs["seas_strength"])
+	}
+}
+
+func TestSyntheticLevelShiftControl(t *testing.T) {
+	shifted := DefaultSyntheticSpec()
+	shifted.LevelShifts = 4
+	shifted.ShiftMagnitude = 6
+	calm := DefaultSyntheticSpec()
+
+	fsh := extractSynthetic(t, shifted)
+	fc := extractSynthetic(t, calm)
+	if fsh["max_level_shift"] <= fc["max_level_shift"] {
+		t.Errorf("max_level_shift did not respond: %.3f vs %.3f",
+			fsh["max_level_shift"], fc["max_level_shift"])
+	}
+	if fsh["max_kl_shift"] <= fc["max_kl_shift"] {
+		t.Errorf("max_kl_shift did not respond: %.3f vs %.3f",
+			fsh["max_kl_shift"], fc["max_kl_shift"])
+	}
+}
+
+func TestSyntheticNoiseControl(t *testing.T) {
+	noisy := DefaultSyntheticSpec()
+	noisy.SeasonalStrength = 0.2
+	noisy.NoiseLevel = 1
+	quiet := DefaultSyntheticSpec()
+	quiet.SeasonalStrength = 0.9
+	quiet.TrendStrength = 0.05
+	quiet.NoiseLevel = 0.05
+
+	fn := extractSynthetic(t, noisy)
+	fq := extractSynthetic(t, quiet)
+	if fn["entropy"] <= fq["entropy"] {
+		t.Errorf("spectral entropy did not respond: noisy %.3f vs quiet %.3f",
+			fn["entropy"], fq["entropy"])
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(DefaultSyntheticSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(DefaultSyntheticSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Target().Equal(b.Target()) {
+		t.Fatal("same spec must generate identical data")
+	}
+}
+
+func TestSyntheticErrors(t *testing.T) {
+	spec := DefaultSyntheticSpec()
+	spec.Length = 10
+	if _, err := Synthetic(spec); err == nil {
+		t.Error("short length should error")
+	}
+	spec = DefaultSyntheticSpec()
+	spec.SeasonalStrength = 0.8
+	spec.TrendStrength = 0.5
+	if _, err := Synthetic(spec); err == nil {
+		t.Error("strengths > 1 should error")
+	}
+	spec = DefaultSyntheticSpec()
+	spec.SeasonalStrength = -0.1
+	if _, err := Synthetic(spec); err == nil {
+		t.Error("negative strength should error")
+	}
+}

@@ -1,0 +1,225 @@
+package features
+
+import (
+	"errors"
+	"math"
+)
+
+// Decomposition is a classical additive decomposition of a series into
+// trend, seasonal, and remainder components. It substitutes for the STL
+// decomposition used by tsfeatures: a centred moving average estimates the
+// trend and per-phase means of the detrended series estimate the seasonal
+// component (documented substitution, DESIGN.md item 5).
+type Decomposition struct {
+	Period    int
+	Trend     []float64 // same length as input; ends extrapolated
+	Seasonal  []float64
+	Remainder []float64
+}
+
+// Decompose performs the classical additive decomposition with the given
+// seasonal period. The series must be at least two periods long.
+func Decompose(x []float64, period int) (*Decomposition, error) {
+	n := len(x)
+	if period < 2 {
+		return nil, errors.New("features: period must be at least 2")
+	}
+	if n < 2*period {
+		return nil, errors.New("features: series shorter than two periods")
+	}
+	trend := centredMA(x, period)
+	// Detrend, then average by phase.
+	phaseSum := make([]float64, period)
+	phaseCnt := make([]float64, period)
+	for i := range x {
+		if math.IsNaN(trend[i]) {
+			continue
+		}
+		p := i % period
+		phaseSum[p] += x[i] - trend[i]
+		phaseCnt[p]++
+	}
+	phase := make([]float64, period)
+	var grand float64
+	for p := range phase {
+		if phaseCnt[p] > 0 {
+			phase[p] = phaseSum[p] / phaseCnt[p]
+		}
+		grand += phase[p]
+	}
+	grand /= float64(period)
+	for p := range phase {
+		phase[p] -= grand // seasonal component sums to ~zero over a period
+	}
+	d := &Decomposition{
+		Period:    period,
+		Trend:     make([]float64, n),
+		Seasonal:  make([]float64, n),
+		Remainder: make([]float64, n),
+	}
+	// Fill trend ends by holding the first/last defined value.
+	firstDef, lastDef := -1, -1
+	for i, v := range trend {
+		if !math.IsNaN(v) {
+			if firstDef < 0 {
+				firstDef = i
+			}
+			lastDef = i
+		}
+	}
+	if firstDef < 0 {
+		return nil, errors.New("features: trend estimation failed")
+	}
+	for i := range trend {
+		switch {
+		case i < firstDef:
+			d.Trend[i] = trend[firstDef]
+		case i > lastDef:
+			d.Trend[i] = trend[lastDef]
+		default:
+			d.Trend[i] = trend[i]
+		}
+	}
+	for i := range x {
+		d.Seasonal[i] = phase[i%period]
+		d.Remainder[i] = x[i] - d.Trend[i] - d.Seasonal[i]
+	}
+	return d, nil
+}
+
+// centredMA returns the centred moving average of width period; positions
+// without a full window are NaN. Even periods use the standard 2×m MA.
+func centredMA(x []float64, period int) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	half := period / 2
+	if period%2 == 1 {
+		for i := half; i < n-half; i++ {
+			var s float64
+			for j := i - half; j <= i+half; j++ {
+				s += x[j]
+			}
+			out[i] = s / float64(period)
+		}
+		return out
+	}
+	// Even period: average of two adjacent windows (2×m moving average).
+	for i := half; i < n-half; i++ {
+		var s float64
+		for j := i - half; j < i+half; j++ {
+			s += x[j]
+		}
+		s2 := s - x[i-half] + x[i+half]
+		out[i] = (s + s2) / float64(2*period)
+	}
+	return out
+}
+
+// TrendStrength returns the STL-style trend strength:
+// max(0, 1 - var(remainder)/var(trend+remainder)).
+func (d *Decomposition) TrendStrength() float64 {
+	deseason := make([]float64, len(d.Trend))
+	for i := range deseason {
+		deseason[i] = d.Trend[i] + d.Remainder[i]
+	}
+	vd := variance(deseason)
+	if vd == 0 {
+		return 0
+	}
+	return math.Max(0, 1-variance(d.Remainder)/vd)
+}
+
+// SeasonalStrength returns the STL-style seasonal strength
+// (tsfeatures' seas_strength): max(0, 1 - var(remainder)/var(seasonal+remainder)).
+func (d *Decomposition) SeasonalStrength() float64 {
+	detrend := make([]float64, len(d.Seasonal))
+	for i := range detrend {
+		detrend[i] = d.Seasonal[i] + d.Remainder[i]
+	}
+	vd := variance(detrend)
+	if vd == 0 {
+		return 0
+	}
+	return math.Max(0, 1-variance(d.Remainder)/vd)
+}
+
+// PeakTrough returns the 1-based phase positions of the seasonal maximum
+// and minimum.
+func (d *Decomposition) PeakTrough() (peak, trough int) {
+	pMax, pMin := 0, 0
+	for p := 1; p < d.Period; p++ {
+		if d.Seasonal[p] > d.Seasonal[pMax] {
+			pMax = p
+		}
+		if d.Seasonal[p] < d.Seasonal[pMin] {
+			pMin = p
+		}
+	}
+	return pMax + 1, pMin + 1
+}
+
+// Spike returns the spikiness of the remainder: the variance of the
+// leave-one-out variances.
+func (d *Decomposition) Spike() float64 {
+	e := d.Remainder
+	n := len(e)
+	if n < 3 {
+		return 0
+	}
+	m := mean(e)
+	total := SumSq(demean(e))
+	loo := make([]float64, n)
+	for i, v := range e {
+		dm := v - m
+		// Leave-one-out variance, adjusting mean and sum of squares.
+		newMean := (m*float64(n) - v) / float64(n-1)
+		newSS := total - dm*dm - float64(n-1)*(newMean-m)*(newMean-m)
+		if newSS < 0 {
+			newSS = 0
+		}
+		loo[i] = newSS / float64(n-2)
+	}
+	return variance(loo)
+}
+
+// LinearityCurvature regresses the trend component on an orthogonal
+// quadratic polynomial of time and returns the linear and quadratic
+// coefficients (tsfeatures' linearity and curvature).
+func (d *Decomposition) LinearityCurvature() (linearity, curvature float64) {
+	t := d.Trend
+	n := len(t)
+	if n < 3 {
+		return 0, 0
+	}
+	// Orthogonalise [1, x, x^2] with Gram-Schmidt over centred time.
+	x1 := make([]float64, n)
+	for i := range x1 {
+		x1[i] = float64(i) - float64(n-1)/2
+	}
+	x2 := make([]float64, n)
+	m2 := 0.0
+	for i := range x2 {
+		x2[i] = x1[i] * x1[i]
+		m2 += x2[i]
+	}
+	m2 /= float64(n)
+	// Remove the projection of x^2 on the constant (its mean); by symmetry
+	// x^2 is already orthogonal to x.
+	for i := range x2 {
+		x2[i] -= m2
+	}
+	n1 := math.Sqrt(SumSq(x1))
+	n2 := math.Sqrt(SumSq(x2))
+	if n1 == 0 || n2 == 0 {
+		return 0, 0
+	}
+	var c1, c2 float64
+	for i := range t {
+		c1 += t[i] * x1[i] / n1
+		c2 += t[i] * x2[i] / n2
+	}
+	return c1, c2
+}

@@ -1,0 +1,168 @@
+package features
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Options configures feature extraction.
+type Options struct {
+	// Period is the dominant seasonal period of the series (e.g. 96 for
+	// 15-minute data with daily seasonality).
+	Period int
+	// ShiftWindow is the rolling-window width for the level/variance/KL
+	// shift features. Zero selects min(Period, len/4).
+	ShiftWindow int
+}
+
+// Vector is a named feature vector.
+type Vector map[string]float64
+
+// Names returns the feature names in sorted order.
+func (v Vector) Names() []string {
+	out := make([]string, 0, len(v))
+	for k := range v {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Extract computes the full tsfeatures-style characteristic vector of x
+// (≥42 features; the paper's analyses use 42 of them). The series must be
+// at least four seasonal periods long.
+func Extract(x []float64, opts Options) (Vector, error) {
+	n := len(x)
+	m := opts.Period
+	if m < 2 {
+		return nil, errors.New("features: seasonal period must be at least 2")
+	}
+	if n < 4*m || n < 40 {
+		return nil, errors.New("features: series too short for feature extraction")
+	}
+	w := opts.ShiftWindow
+	if w <= 0 {
+		w = m
+		if w > n/4 {
+			w = n / 4
+		}
+		if w < 10 {
+			w = 10
+		}
+	}
+
+	f := Vector{}
+	f["mean"] = mean(x)
+	f["var"] = variance(x)
+
+	// Autocorrelation features.
+	acf10 := ACF(x, 10)
+	f["x_acf1"] = acf10[0]
+	f["x_acf10"] = SumSq(acf10)
+	d1 := Diff(x, 1)
+	a := ACF(d1, 10)
+	f["diff1_acf1"] = a[0]
+	f["diff1_acf10"] = SumSq(a)
+	d2 := Diff(x, 2)
+	a = ACF(d2, 10)
+	f["diff2_acf1"] = a[0]
+	f["diff2_acf10"] = SumSq(a)
+	f["seas_acf1"] = ACFAt(x, m)
+
+	// Partial autocorrelation features.
+	f["x_pacf5"] = SumSq(PACF(x, 5))
+	f["diff1x_pacf5"] = SumSq(PACF(d1, 5))
+	f["diff2x_pacf5"] = SumSq(PACF(d2, 5))
+	sp := PACF(x, m)
+	f["seas_pacf"] = sp[m-1]
+
+	// Spectral entropy, long memory, tiled-window features.
+	f["entropy"] = SpectralEntropy(x)
+	f["hurst"] = Hurst(x)
+	lump, stab := LumpinessStability(x, w)
+	f["lumpiness"] = lump
+	f["stability"] = stab
+
+	// Rolling shift features.
+	ls := LevelShift(x, w)
+	f["max_level_shift"] = ls.Max
+	f["time_level_shift"] = float64(ls.Time)
+	vs := VarShift(x, w)
+	f["max_var_shift"] = vs.Max
+	f["time_var_shift"] = float64(vs.Time)
+	ks := KLShift(x, w)
+	f["max_kl_shift"] = ks.Max
+	f["time_kl_shift"] = float64(ks.Time)
+
+	// Misc descriptors.
+	f["crossing_points"] = CrossingPoints(x)
+	f["flat_spots"] = FlatSpots(x)
+
+	// Unit roots and heteroskedasticity.
+	f["unitroot_kpss"] = KPSS(x)
+	f["unitroot_pp"] = PhillipsPerron(x)
+	f["arch_stat"] = ARCHStat(x)
+
+	// Exponential smoothing parameters.
+	alpha, beta := HoltParameters(x)
+	f["alpha"] = alpha
+	f["beta"] = beta
+	ha, hb, hg := HWParameters(x, m)
+	f["hw_alpha"] = ha
+	f["hw_beta"] = hb
+	f["hw_gamma"] = hg
+
+	// Decomposition features.
+	dec, err := Decompose(x, m)
+	if err != nil {
+		return nil, err
+	}
+	f["nperiods"] = 1
+	f["seasonal_period"] = float64(m)
+	f["trend"] = dec.TrendStrength()
+	f["seas_strength"] = dec.SeasonalStrength()
+	f["spike"] = dec.Spike()
+	lin, curv := dec.LinearityCurvature()
+	f["linearity"] = lin
+	f["curvature"] = curv
+	ea := ACF(dec.Remainder, 10)
+	f["e_acf1"] = ea[0]
+	f["e_acf10"] = SumSq(ea)
+	peak, trough := dec.PeakTrough()
+	f["peak"] = float64(peak)
+	f["trough"] = float64(trough)
+
+	for k, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			f[k] = 0
+		}
+	}
+	return f, nil
+}
+
+// Delta returns per-feature differences other − base, the quantity the
+// paper's GBoost/SHAP surrogate is trained on.
+func Delta(base, other Vector) Vector {
+	out := Vector{}
+	for k, b := range base {
+		out[k] = other[k] - b
+	}
+	return out
+}
+
+// RelativeDelta returns per-feature absolute relative differences in
+// percent: |other−base| / |base| · 100 (paper Table 6). Features whose base
+// value is (near) zero report the absolute difference instead.
+func RelativeDelta(base, other Vector) Vector {
+	out := Vector{}
+	for k, b := range base {
+		d := math.Abs(other[k] - b)
+		if math.Abs(b) > 1e-9 {
+			out[k] = d / math.Abs(b) * 100
+		} else {
+			out[k] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,549 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func seasonalSeries(n, period int, seed int64, noise float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + noise*rng.NormFloat64()
+	}
+	return x
+}
+
+func whiteNoise(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestACFWhiteNoiseVsAR(t *testing.T) {
+	wn := whiteNoise(5000, 1)
+	a := ACF(wn, 5)
+	for lag, v := range a {
+		if math.Abs(v) > 0.08 {
+			t.Errorf("white noise acf[%d] = %v", lag+1, v)
+		}
+	}
+	// AR(1) with phi = 0.8.
+	rng := rand.New(rand.NewSource(2))
+	ar := make([]float64, 5000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.8*ar[i-1] + rng.NormFloat64()
+	}
+	a = ACF(ar, 3)
+	almost(t, a[0], 0.8, 0.05, "AR(1) acf1")
+	almost(t, a[1], 0.64, 0.07, "AR(1) acf2")
+}
+
+func TestACFDegenerate(t *testing.T) {
+	a := ACF([]float64{5, 5, 5, 5}, 3)
+	for _, v := range a {
+		if v != 0 {
+			t.Errorf("constant series acf = %v", a)
+		}
+	}
+	if got := ACF([]float64{1}, 2); got[0] != 0 {
+		t.Error("single point acf should be zero")
+	}
+	if got := ACFAt([]float64{1, 2, 3}, 0); got != 1 {
+		t.Error("lag 0 acf should be 1")
+	}
+}
+
+func TestPACFAR2(t *testing.T) {
+	// For an AR(2) process, PACF cuts off after lag 2.
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 8000)
+	for i := 2; i < len(x); i++ {
+		x[i] = 0.5*x[i-1] + 0.3*x[i-2] + rng.NormFloat64()
+	}
+	p := PACF(x, 5)
+	almost(t, p[1], 0.3, 0.05, "AR(2) pacf2")
+	for lag := 2; lag < 5; lag++ {
+		if math.Abs(p[lag]) > 0.07 {
+			t.Errorf("AR(2) pacf[%d] = %v, want ~0", lag+1, p[lag])
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	x := []float64{1, 4, 9, 16}
+	d1 := Diff(x, 1)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if d1[i] != want[i] {
+			t.Fatalf("diff1 = %v", d1)
+		}
+	}
+	d2 := Diff(x, 2)
+	if len(d2) != 2 || d2[0] != 2 || d2[1] != 2 {
+		t.Fatalf("diff2 = %v", d2)
+	}
+	if Diff([]float64{1}, 1) != nil {
+		t.Error("diff of singleton should be nil")
+	}
+	sd := SeasonalDiff([]float64{1, 2, 3, 4, 5}, 2)
+	if len(sd) != 3 || sd[0] != 2 {
+		t.Fatalf("seasonal diff = %v", sd)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	period := 24
+	n := 24 * 20
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 100 + 0.05*float64(i) + 8*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	d, err := Decompose(x, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise-free seasonal series: strengths near 1, remainder near 0.
+	if s := d.SeasonalStrength(); s < 0.95 {
+		t.Errorf("seasonal strength = %v, want ~1", s)
+	}
+	if s := d.TrendStrength(); s < 0.95 {
+		t.Errorf("trend strength = %v, want ~1", s)
+	}
+	for i := 2 * period; i < n-2*period; i++ {
+		if math.Abs(d.Remainder[i]) > 0.5 {
+			t.Fatalf("remainder[%d] = %v, want ~0", i, d.Remainder[i])
+		}
+	}
+	peak, trough := d.PeakTrough()
+	// sin peaks at phase period/4 (1-based: 7), troughs at 3·period/4 (19).
+	if peak < 6 || peak > 8 {
+		t.Errorf("peak phase = %d, want ~7", peak)
+	}
+	if trough < 18 || trough > 20 {
+		t.Errorf("trough phase = %d, want ~19", trough)
+	}
+}
+
+func TestDecomposeWhiteNoiseWeakSeasonality(t *testing.T) {
+	x := whiteNoise(2000, 5)
+	d, err := Decompose(x, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.SeasonalStrength(); s > 0.3 {
+		t.Errorf("white noise seasonal strength = %v, want small", s)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(whiteNoise(10, 1), 1); err == nil {
+		t.Error("period 1 should error")
+	}
+	if _, err := Decompose(whiteNoise(10, 1), 24); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestLinearityCurvature(t *testing.T) {
+	n := 400
+	lin := make([]float64, n)
+	quad := make([]float64, n)
+	for i := range lin {
+		lin[i] = 3 * float64(i)
+		c := float64(i) - float64(n-1)/2
+		quad[i] = c * c
+	}
+	d := &Decomposition{Trend: lin, Seasonal: make([]float64, n), Remainder: make([]float64, n), Period: 10}
+	l1, c1 := d.LinearityCurvature()
+	if l1 <= 0 {
+		t.Errorf("rising line linearity = %v, want > 0", l1)
+	}
+	if math.Abs(c1) > math.Abs(l1)/1000 {
+		t.Errorf("line curvature = %v, want ~0", c1)
+	}
+	d.Trend = quad
+	l2, c2 := d.LinearityCurvature()
+	if c2 <= 0 {
+		t.Errorf("parabola curvature = %v, want > 0", c2)
+	}
+	if math.Abs(l2) > math.Abs(c2)/1000 {
+		t.Errorf("parabola linearity = %v, want ~0", l2)
+	}
+}
+
+func TestLevelShiftDetectsStep(t *testing.T) {
+	n := 600
+	x := make([]float64, n)
+	for i := range x {
+		if i >= 300 {
+			x[i] = 10
+		}
+	}
+	r := LevelShift(x, 50)
+	almost(t, r.Max, 10, 1e-9, "level shift magnitude")
+	if r.Time < 250 || r.Time > 350 {
+		t.Errorf("level shift time = %d, want near 300", r.Time)
+	}
+	// Variance shift on a variance change point.
+	rng := rand.New(rand.NewSource(4))
+	for i := range x {
+		if i < 300 {
+			x[i] = rng.NormFloat64() * 0.1
+		} else {
+			x[i] = rng.NormFloat64() * 5
+		}
+	}
+	v := VarShift(x, 50)
+	if v.Max < 10 {
+		t.Errorf("var shift = %v, want large", v.Max)
+	}
+	if v.Time < 250 || v.Time > 350 {
+		t.Errorf("var shift time = %d, want near 300", v.Time)
+	}
+}
+
+func TestKLShiftDetectsDistributionChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 800
+	shifted := make([]float64, n)
+	stable := make([]float64, n)
+	for i := range shifted {
+		stable[i] = rng.NormFloat64()
+		if i < n/2 {
+			shifted[i] = rng.NormFloat64()
+		} else {
+			shifted[i] = 8 + rng.NormFloat64()
+		}
+	}
+	rs := KLShift(shifted, 80)
+	rn := KLShift(stable, 80)
+	if rs.Max <= rn.Max {
+		t.Errorf("distribution change KL %v should exceed stable KL %v", rs.Max, rn.Max)
+	}
+	if rs.Time < n/2-120 || rs.Time > n/2+120 {
+		t.Errorf("KL shift time = %d, want near %d", rs.Time, n/2)
+	}
+}
+
+func TestShiftDegenerate(t *testing.T) {
+	if r := LevelShift([]float64{1, 2, 3}, 10); r.Max != 0 {
+		t.Error("short series level shift should be 0")
+	}
+	if r := KLShift(make([]float64, 100), 10); r.Max != 0 {
+		t.Error("constant series KL shift should be 0")
+	}
+}
+
+func TestKPSS(t *testing.T) {
+	// Stationary noise: small statistic. Random walk: large statistic.
+	noise := whiteNoise(2000, 7)
+	rw := make([]float64, 2000)
+	rng := rand.New(rand.NewSource(8))
+	for i := 1; i < len(rw); i++ {
+		rw[i] = rw[i-1] + rng.NormFloat64()
+	}
+	kNoise := KPSS(noise)
+	kRW := KPSS(rw)
+	if kNoise > 0.5 {
+		t.Errorf("KPSS(noise) = %v, want < 0.5", kNoise)
+	}
+	if kRW < 1 {
+		t.Errorf("KPSS(random walk) = %v, want > 1", kRW)
+	}
+}
+
+func TestPhillipsPerron(t *testing.T) {
+	noise := whiteNoise(2000, 9)
+	rw := make([]float64, 2000)
+	rng := rand.New(rand.NewSource(10))
+	for i := 1; i < len(rw); i++ {
+		rw[i] = rw[i-1] + rng.NormFloat64()
+	}
+	ppNoise := PhillipsPerron(noise)
+	ppRW := PhillipsPerron(rw)
+	if ppNoise > -100 {
+		t.Errorf("PP(noise) = %v, want strongly negative", ppNoise)
+	}
+	if ppRW < -30 {
+		t.Errorf("PP(random walk) = %v, want near 0", ppRW)
+	}
+}
+
+func TestARCHStat(t *testing.T) {
+	// GARCH-like series has ARCH effects; white noise does not.
+	rng := rand.New(rand.NewSource(11))
+	n := 3000
+	arch := make([]float64, n)
+	sigma2 := 1.0
+	for i := 1; i < n; i++ {
+		sigma2 = 0.1 + 0.8*arch[i-1]*arch[i-1]
+		arch[i] = math.Sqrt(sigma2) * rng.NormFloat64()
+	}
+	aArch := ARCHStat(arch)
+	aNoise := ARCHStat(whiteNoise(n, 12))
+	if aArch <= aNoise {
+		t.Errorf("ARCH stat %v should exceed white noise %v", aArch, aNoise)
+	}
+}
+
+func TestSpectralEntropy(t *testing.T) {
+	sine := seasonalSeries(2048, 64, 1, 0)
+	noise := whiteNoise(2048, 13)
+	es := SpectralEntropy(sine)
+	en := SpectralEntropy(noise)
+	if es > 0.4 {
+		t.Errorf("entropy(sine) = %v, want small", es)
+	}
+	if en < 0.8 {
+		t.Errorf("entropy(noise) = %v, want near 1", en)
+	}
+}
+
+func TestHurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	// Persistent (trending) series vs white noise.
+	rw := make([]float64, 4000)
+	for i := 1; i < len(rw); i++ {
+		rw[i] = rw[i-1] + rng.NormFloat64()
+	}
+	hRW := Hurst(rw)
+	hNoise := Hurst(whiteNoise(4000, 15))
+	if hRW < hNoise {
+		t.Errorf("Hurst(random walk) %v should exceed Hurst(noise) %v", hRW, hNoise)
+	}
+	if hNoise < 0.3 || hNoise > 0.75 {
+		t.Errorf("Hurst(noise) = %v, want near 0.5", hNoise)
+	}
+}
+
+func TestCrossingPointsAndFlatSpots(t *testing.T) {
+	alternating := make([]float64, 100)
+	for i := range alternating {
+		if i%2 == 0 {
+			alternating[i] = 1
+		} else {
+			alternating[i] = -1
+		}
+	}
+	if got := CrossingPoints(alternating); got != 99 {
+		t.Errorf("alternating crossings = %v, want 99", got)
+	}
+	flat := make([]float64, 100)
+	for i := range flat {
+		if i < 60 {
+			flat[i] = 0.01 * float64(i%3)
+		} else {
+			flat[i] = 100
+		}
+	}
+	if got := FlatSpots(flat); got < 40 {
+		t.Errorf("flat spots = %v, want >= 40", got)
+	}
+	if got := FlatSpots([]float64{5, 5, 5}); got != 3 {
+		t.Errorf("constant flat spots = %v, want 3", got)
+	}
+}
+
+func TestHoltParameters(t *testing.T) {
+	// A strongly trending series should prefer high beta responsiveness.
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = float64(i) * 2
+	}
+	alpha, beta := HoltParameters(x)
+	if alpha <= 0 || alpha >= 1 || beta <= 0 || beta >= 1 {
+		t.Errorf("holt parameters out of range: %v, %v", alpha, beta)
+	}
+	if got := holtSSE(x, alpha, beta); got > 1e-6 {
+		t.Errorf("holt SSE on pure trend = %v, want ~0", got)
+	}
+}
+
+func TestHWParameters(t *testing.T) {
+	x := seasonalSeries(600, 24, 16, 0.1)
+	a, b, g := HWParameters(x, 24)
+	if a <= 0 || b <= 0 || g <= 0 {
+		t.Errorf("HW parameters = %v %v %v, want positive", a, b, g)
+	}
+	if a2, _, _ := HWParameters(x[:30], 24); a2 != 0 {
+		t.Error("short series should return zero parameters")
+	}
+}
+
+func TestExtractFullVector(t *testing.T) {
+	x := seasonalSeries(2000, 48, 17, 0.5)
+	f, err := Extract(x, Options{Period: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) < 42 {
+		t.Fatalf("extracted %d features, want >= 42", len(f))
+	}
+	for _, name := range []string{
+		"max_kl_shift", "max_level_shift", "max_var_shift", "mean", "var",
+		"seas_acf1", "x_pacf5", "unitroot_pp", "unitroot_kpss", "seas_strength",
+		"flat_spots", "diff1_acf1", "diff2x_pacf5", "e_acf1", "beta", "crossing_points",
+	} {
+		if _, ok := f[name]; !ok {
+			t.Errorf("missing paper characteristic %q", name)
+		}
+	}
+	for k, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("feature %q is %v", k, v)
+		}
+	}
+	if f["seas_strength"] < 0.5 {
+		t.Errorf("seasonal series seas_strength = %v, want high", f["seas_strength"])
+	}
+	if f["seas_acf1"] < 0.5 {
+		t.Errorf("seasonal series seas_acf1 = %v, want high", f["seas_acf1"])
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(whiteNoise(30, 1), Options{Period: 12}); err == nil {
+		t.Error("short series should error")
+	}
+	if _, err := Extract(whiteNoise(1000, 1), Options{Period: 1}); err == nil {
+		t.Error("period 1 should error")
+	}
+}
+
+func TestDeltaAndRelativeDelta(t *testing.T) {
+	base := Vector{"a": 2, "b": 0, "c": -4}
+	other := Vector{"a": 3, "b": 0.5, "c": -4}
+	d := Delta(base, other)
+	if d["a"] != 1 || d["b"] != 0.5 || d["c"] != 0 {
+		t.Fatalf("delta = %v", d)
+	}
+	r := RelativeDelta(base, other)
+	almost(t, r["a"], 50, 1e-9, "rel delta a")
+	almost(t, r["b"], 0.5, 1e-9, "rel delta zero base")
+	almost(t, r["c"], 0, 1e-9, "rel delta c")
+}
+
+func TestExtractDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x := seasonalSeries(600, 24, seed, 1)
+		a, err := Extract(x, Options{Period: 24})
+		if err != nil {
+			return false
+		}
+		b, err := Extract(x, Options{Period: 24})
+		if err != nil {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionSmoothingReducesKL(t *testing.T) {
+	// A PMC-like constant approximation of noisy data reduces within-window
+	// diversity, which the paper observes as level/variance shifts staying
+	// small while flat_spots grows.
+	x := seasonalSeries(1200, 48, 18, 1.0)
+	smoothed := make([]float64, len(x))
+	for i := 0; i < len(x); i += 24 {
+		end := i + 24
+		if end > len(x) {
+			end = len(x)
+		}
+		m := mean(x[i:end])
+		for j := i; j < end; j++ {
+			smoothed[j] = m
+		}
+	}
+	fo, err := Extract(x, Options{Period: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Extract(smoothed, Options{Period: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs["flat_spots"] <= fo["flat_spots"] {
+		t.Errorf("smoothing should increase flat_spots: %v -> %v", fo["flat_spots"], fs["flat_spots"])
+	}
+	// Seasonal strength should survive constant-segment smoothing.
+	if fs["seas_strength"] < fo["seas_strength"]*0.7 {
+		t.Errorf("seasonality collapsed: %v -> %v", fo["seas_strength"], fs["seas_strength"])
+	}
+}
+
+func TestVectorNames(t *testing.T) {
+	v := Vector{"b": 1, "a": 2, "c": 3}
+	names := v.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCentredMAOddPeriod(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	d, err := Decompose(append(x, x...), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear data: trend follows the data closely in the interior.
+	if math.Abs(d.Trend[5]-6) > 1.5 {
+		t.Fatalf("trend[5] = %v", d.Trend[5])
+	}
+}
+
+func TestCheckDrift(t *testing.T) {
+	raw := seasonalSeries(1200, 48, 19, 0.5)
+	// Identity transform: negligible drift, no alert.
+	rep, err := CheckDrift(raw, raw, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alert {
+		t.Errorf("identical data should not alert: %+v", rep)
+	}
+	// Destroying the seasonality must trip the alert.
+	flat := make([]float64, len(raw))
+	m := mean(raw)
+	for i := range flat {
+		flat[i] = m
+	}
+	for i := 0; i < len(flat); i += 200 {
+		flat[i] = raw[i] // keep a little variation so features stay defined
+	}
+	rep, err = CheckDrift(raw, flat, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alert || len(rep.Reasons) == 0 {
+		t.Errorf("flattened data should alert: %+v", rep)
+	}
+	for _, k := range KeyIndicators {
+		if _, ok := rep.RelDiff[k]; !ok {
+			t.Errorf("missing indicator %s", k)
+		}
+	}
+	if _, err := CheckDrift(raw[:10], raw[:10], 48); err == nil {
+		t.Error("too-short input should error")
+	}
+}

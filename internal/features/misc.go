@@ -1,0 +1,243 @@
+package features
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// SpectralEntropy returns the Shannon entropy of the normalised spectral
+// density (tsfeatures' entropy). Values near 1 indicate white-noise-like
+// series; values near 0 indicate strong regularity.
+func SpectralEntropy(x []float64) float64 {
+	n := len(x)
+	if n < 4 {
+		return 1
+	}
+	d := demean(x)
+	// Pad to a power of two for the radix-2 FFT.
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	c := make([]complex128, m)
+	for i, v := range d {
+		c[i] = complex(v, 0)
+	}
+	fft(c)
+	half := m / 2
+	power := make([]float64, half)
+	var total float64
+	for i := 1; i <= half; i++ {
+		p := cmplx.Abs(c[i])
+		p *= p
+		power[i-1] = p
+		total += p
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, p := range power {
+		if p == 0 {
+			continue
+		}
+		q := p / total
+		h -= q * math.Log(q)
+	}
+	return h / math.Log(float64(half))
+}
+
+// fft performs an in-place radix-2 Cooley-Tukey FFT; len(c) must be a power
+// of two.
+func fft(c []complex128) {
+	n := len(c)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			c[i], c[j] = c[j], c[i]
+		}
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+	for size := 2; size <= n; size <<= 1 {
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < size/2; k++ {
+				a := c[start+k]
+				b := c[start+k+size/2] * w
+				c[start+k] = a + b
+				c[start+k+size/2] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// Hurst returns the rescaled-range (R/S) estimate of the Hurst exponent.
+func Hurst(x []float64) float64 {
+	n := len(x)
+	if n < 20 {
+		return 0.5
+	}
+	var sizes []int
+	for s := 10; s <= n/2; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	if len(sizes) < 2 {
+		return 0.5
+	}
+	var logS, logRS []float64
+	for _, s := range sizes {
+		var rsSum float64
+		count := 0
+		for start := 0; start+s <= n; start += s {
+			w := x[start : start+s]
+			m := mean(w)
+			var cum, lo, hi, ss float64
+			for _, v := range w {
+				cum += v - m
+				if cum < lo {
+					lo = cum
+				}
+				if cum > hi {
+					hi = cum
+				}
+				ss += (v - m) * (v - m)
+			}
+			sd := math.Sqrt(ss / float64(s))
+			if sd > 0 && hi > lo {
+				rsSum += (hi - lo) / sd
+				count++
+			}
+		}
+		if count > 0 {
+			logS = append(logS, math.Log(float64(s)))
+			logRS = append(logRS, math.Log(rsSum/float64(count)))
+		}
+	}
+	if len(logS) < 2 {
+		return 0.5
+	}
+	slope, _ := fitLine2(logS, logRS)
+	if slope < 0 {
+		slope = 0
+	}
+	if slope > 1 {
+		slope = 1
+	}
+	return slope
+}
+
+func fitLine2(x, y []float64) (slope, intercept float64) {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// LumpinessStability returns the variance of tiled-window variances
+// (lumpiness) and the variance of tiled-window means (stability), computed
+// over non-overlapping windows of the given width.
+func LumpinessStability(x []float64, w int) (lumpiness, stability float64) {
+	if w < 2 || len(x) < 2*w {
+		return 0, 0
+	}
+	var means, vars []float64
+	for s := 0; s+w <= len(x); s += w {
+		means = append(means, mean(x[s:s+w]))
+		vars = append(vars, variance(x[s:s+w]))
+	}
+	return variance(vars), variance(means)
+}
+
+// CrossingPoints returns the number of times the series crosses its median.
+func CrossingPoints(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	med := medianOf(x)
+	var count int
+	above := x[0] > med
+	for _, v := range x[1:] {
+		a := v > med
+		if a != above {
+			count++
+			above = a
+		}
+	}
+	return float64(count)
+}
+
+// FlatSpots returns the maximum run length within a single decile bin, the
+// tsfeatures flat_spots characteristic. Constant stretches (PMC segments)
+// inflate this value.
+func FlatSpots(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return float64(len(x))
+	}
+	bin := func(v float64) int {
+		b := int(10 * (v - lo) / (hi - lo))
+		if b > 9 {
+			b = 9
+		}
+		return b
+	}
+	best, run := 1, 1
+	prev := bin(x[0])
+	for _, v := range x[1:] {
+		b := bin(v)
+		if b == prev {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 1
+			prev = b
+		}
+	}
+	return float64(best)
+}
+
+func medianOf(x []float64) float64 {
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

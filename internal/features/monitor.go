@@ -1,0 +1,61 @@
+package features
+
+import "math"
+
+// KeyIndicators are the five characteristics the paper's sensitivity
+// analysis (Table 6) singles out as the ones to monitor when running
+// forecasting on lossy-compressed data.
+var KeyIndicators = []string{
+	"max_kl_shift",
+	"max_level_shift",
+	"seas_acf1",
+	"max_var_shift",
+	"unitroot_pp",
+}
+
+// DriftReport summarises how far the decompressed data's key
+// characteristics have drifted from the raw data's.
+type DriftReport struct {
+	// RelDiff holds the relative difference in percent per key indicator.
+	RelDiff map[string]float64
+	// Alert is set when any of the stable indicators (max_level_shift,
+	// seas_acf1, max_var_shift) drifts beyond the paper's guideline: "when
+	// these characteristics show small deviations of even 1%, it is a sign
+	// that the forecasting models will not perform optimally" (§4.3.3) —
+	// with a 5% alert threshold on unitroot_pp, in line with PMC's average
+	// impact.
+	Alert bool
+	// Reasons lists the indicators that triggered the alert.
+	Reasons []string
+}
+
+// alertThresholds implement the §4.3.3 monitoring guideline.
+var alertThresholds = map[string]float64{
+	"max_level_shift": 1,
+	"seas_acf1":       1,
+	"max_var_shift":   1,
+	"unitroot_pp":     5,
+}
+
+// CheckDrift extracts the key indicators on the raw and decompressed values
+// and reports their relative drift with the paper's alert thresholds.
+func CheckDrift(raw, decompressed []float64, period int) (*DriftReport, error) {
+	fr, err := Extract(raw, Options{Period: period})
+	if err != nil {
+		return nil, err
+	}
+	fd, err := Extract(decompressed, Options{Period: period})
+	if err != nil {
+		return nil, err
+	}
+	rel := RelativeDelta(fr, fd)
+	rep := &DriftReport{RelDiff: map[string]float64{}}
+	for _, k := range KeyIndicators {
+		rep.RelDiff[k] = rel[k]
+		if thr, ok := alertThresholds[k]; ok && !math.IsNaN(rel[k]) && rel[k] > thr {
+			rep.Alert = true
+			rep.Reasons = append(rep.Reasons, k)
+		}
+	}
+	return rep, nil
+}

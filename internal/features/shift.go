@@ -1,0 +1,146 @@
+package features
+
+import (
+	"math"
+)
+
+// ShiftResult holds the maximum shift between consecutive rolling windows
+// and the (0-based) index at which it occurs.
+type ShiftResult struct {
+	Max  float64
+	Time int
+}
+
+// LevelShift returns the maximum absolute difference between the means of
+// consecutive (non-overlapping, width-w) sliding windows — tsfeatures'
+// max_level_shift / time_level_shift.
+func LevelShift(x []float64, w int) ShiftResult {
+	return rollShift(x, w, mean)
+}
+
+// VarShift returns the maximum absolute difference between the variances of
+// consecutive sliding windows — tsfeatures' max_var_shift / time_var_shift.
+func VarShift(x []float64, w int) ShiftResult {
+	return rollShift(x, w, variance)
+}
+
+func rollShift(x []float64, w int, stat func([]float64) float64) ShiftResult {
+	n := len(x)
+	if w < 2 || n < 2*w {
+		return ShiftResult{}
+	}
+	// Rolling statistic over every window start.
+	nw := n - w + 1
+	vals := make([]float64, nw)
+	for i := 0; i < nw; i++ {
+		vals[i] = stat(x[i : i+w])
+	}
+	res := ShiftResult{Max: -1}
+	for i := 0; i+w < nw; i++ {
+		d := math.Abs(vals[i+w] - vals[i])
+		if d > res.Max {
+			res.Max, res.Time = d, i+w
+		}
+	}
+	if res.Max < 0 {
+		res.Max = 0
+	}
+	return res
+}
+
+// KLShift returns the maximum Kullback-Leibler divergence between Gaussian
+// kernel density estimates of consecutive width-w windows — tsfeatures'
+// max_kl_shift, the characteristic the paper identifies as the strongest
+// predictor of compression impact on forecasting accuracy.
+//
+// Densities are evaluated on a common grid spanning the full data range.
+// For efficiency the window slides in steps of max(1, w/8) rather than 1;
+// the maximum over this subsampled set converges to the full-scan maximum
+// for the smooth density sequences time series produce.
+func KLShift(x []float64, w int) ShiftResult {
+	n := len(x)
+	if w < 2 || n < 2*w {
+		return ShiftResult{}
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return ShiftResult{}
+	}
+	const gridN = 100
+	grid := make([]float64, gridN)
+	for i := range grid {
+		grid[i] = lo + (hi-lo)*float64(i)/float64(gridN-1)
+	}
+	// Silverman bandwidth on the full series.
+	sd := math.Sqrt(variance(x))
+	if sd == 0 {
+		return ShiftResult{}
+	}
+	bw := 1.06 * sd * math.Pow(float64(n), -0.2)
+
+	step := w / 8
+	if step < 1 {
+		step = 1
+	}
+	starts := make([]int, 0, n/step)
+	for s := 0; s+2*w <= n; s += step {
+		starts = append(starts, s)
+	}
+	if len(starts) == 0 {
+		return ShiftResult{}
+	}
+	dens := func(window []float64) []float64 {
+		d := make([]float64, gridN)
+		inv := 1 / (bw * math.Sqrt(2*math.Pi) * float64(len(window)))
+		for gi, g := range grid {
+			var s float64
+			for _, v := range window {
+				z := (g - v) / bw
+				s += math.Exp(-0.5 * z * z)
+			}
+			d[gi] = s*inv + 1e-12
+		}
+		// Normalise to a discrete distribution over the grid.
+		var tot float64
+		for _, v := range d {
+			tot += v
+		}
+		for i := range d {
+			d[i] /= tot
+		}
+		return d
+	}
+	res := ShiftResult{Max: -1}
+	cache := map[int][]float64{}
+	densityAt := func(s int) []float64 {
+		if d, ok := cache[s]; ok {
+			return d
+		}
+		d := dens(x[s : s+w])
+		cache[s] = d
+		return d
+	}
+	for _, s := range starts {
+		p := densityAt(s)
+		q := densityAt(s + w)
+		var kl float64
+		for i := range p {
+			kl += p[i] * math.Log(p[i]/q[i])
+		}
+		if kl > res.Max {
+			res.Max, res.Time = kl, s+w
+		}
+	}
+	if res.Max < 0 {
+		res.Max = 0
+	}
+	return res
+}

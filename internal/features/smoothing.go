@@ -1,0 +1,80 @@
+package features
+
+import "math"
+
+// HoltParameters fits Holt's linear exponential smoothing by grid search
+// over (alpha, beta), minimising one-step-ahead squared error, and returns
+// the optimal parameters (tsfeatures' holt_parameters: alpha and beta, the
+// "beta" characteristic in the paper's Table 4).
+func HoltParameters(x []float64) (alpha, beta float64) {
+	if len(x) < 4 {
+		return 0, 0
+	}
+	best := math.Inf(1)
+	for a := 0.05; a < 1; a += 0.05 {
+		for b := 0.05; b < 1; b += 0.05 {
+			sse := holtSSE(x, a, b)
+			if sse < best {
+				best, alpha, beta = sse, a, b
+			}
+		}
+	}
+	return alpha, beta
+}
+
+func holtSSE(x []float64, alpha, beta float64) float64 {
+	level := x[0]
+	trend := x[1] - x[0]
+	var sse float64
+	for t := 1; t < len(x); t++ {
+		f := level + trend
+		e := x[t] - f
+		sse += e * e
+		newLevel := alpha*x[t] + (1-alpha)*(level+trend)
+		trend = beta*(newLevel-level) + (1-beta)*trend
+		level = newLevel
+	}
+	return sse
+}
+
+// HWParameters fits additive Holt-Winters smoothing by coarse grid search
+// over (alpha, beta, gamma) and returns the optimal parameters
+// (tsfeatures' hw_parameters).
+func HWParameters(x []float64, period int) (alpha, beta, gamma float64) {
+	if period < 2 || len(x) < 3*period {
+		return 0, 0, 0
+	}
+	best := math.Inf(1)
+	for a := 0.1; a < 1; a += 0.2 {
+		for b := 0.1; b < 1; b += 0.2 {
+			for g := 0.1; g < 1; g += 0.2 {
+				sse := hwSSE(x, period, a, b, g)
+				if sse < best {
+					best, alpha, beta, gamma = sse, a, b, g
+				}
+			}
+		}
+	}
+	return alpha, beta, gamma
+}
+
+func hwSSE(x []float64, m int, alpha, beta, gamma float64) float64 {
+	// Initialise from the first two periods.
+	level := mean(x[:m])
+	trend := (mean(x[m:2*m]) - level) / float64(m)
+	season := make([]float64, m)
+	for i := 0; i < m; i++ {
+		season[i] = x[i] - level
+	}
+	var sse float64
+	for t := m; t < len(x); t++ {
+		f := level + trend + season[t%m]
+		e := x[t] - f
+		sse += e * e
+		newLevel := alpha*(x[t]-season[t%m]) + (1-alpha)*(level+trend)
+		trend = beta*(newLevel-level) + (1-beta)*trend
+		season[t%m] = gamma*(x[t]-newLevel) + (1-gamma)*season[t%m]
+		level = newLevel
+	}
+	return sse
+}

@@ -1,0 +1,193 @@
+package features
+
+import "math"
+
+// bartlettLongRunVariance estimates the long-run variance of e with a
+// Bartlett kernel of the given truncation lag.
+func bartlettLongRunVariance(e []float64, lags int) float64 {
+	n := float64(len(e))
+	if n == 0 {
+		return 0
+	}
+	lrv := SumSq(e) / n
+	for j := 1; j <= lags; j++ {
+		if j >= len(e) {
+			break
+		}
+		var g float64
+		for i := j; i < len(e); i++ {
+			g += e[i] * e[i-j]
+		}
+		g /= n
+		lrv += 2 * (1 - float64(j)/float64(lags+1)) * g
+	}
+	return lrv
+}
+
+// defaultLag is the Schwert/KPSS default truncation lag trunc(4·(n/100)^¼).
+func defaultLag(n int) int {
+	return int(4 * math.Pow(float64(n)/100, 0.25))
+}
+
+// KPSS returns the Kwiatkowski-Phillips-Schmidt-Shin level-stationarity
+// statistic (tsfeatures' unitroot_kpss). Large values reject stationarity.
+func KPSS(x []float64) float64 {
+	n := len(x)
+	if n < 3 {
+		return 0
+	}
+	e := demean(x)
+	// Partial sums of residuals.
+	var s, num float64
+	for _, v := range e {
+		s += v
+		num += s * s
+	}
+	lrv := bartlettLongRunVariance(e, defaultLag(n))
+	if lrv <= 0 {
+		return 0
+	}
+	return num / (float64(n) * float64(n) * lrv)
+}
+
+// PhillipsPerron returns the Phillips-Perron Z-alpha unit-root statistic
+// (tsfeatures' unitroot_pp). Strongly negative values reject a unit root;
+// values near zero indicate random-walk behaviour.
+func PhillipsPerron(x []float64) float64 {
+	n := len(x)
+	if n < 4 {
+		return 0
+	}
+	// OLS: x_t = mu + rho·x_{t-1} + e_t.
+	y := x[1:]
+	z := x[:n-1]
+	mz, my := mean(z), mean(y)
+	var sxy, sxx float64
+	for i := range y {
+		sxy += (z[i] - mz) * (y[i] - my)
+		sxx += (z[i] - mz) * (z[i] - mz)
+	}
+	if sxx == 0 {
+		return 0
+	}
+	rho := sxy / sxx
+	e := make([]float64, len(y))
+	muHat := my - rho*mz
+	for i := range y {
+		e[i] = y[i] - muHat - rho*z[i]
+	}
+	m := float64(len(y))
+	gamma0 := SumSq(e) / m
+	lrv := bartlettLongRunVariance(e, defaultLag(n))
+	if lrv <= 0 || gamma0 <= 0 {
+		return 0
+	}
+	// Z_alpha = n(rho-1) − ½(λ² − γ0) / (Σ(z−z̄)²/n²).
+	return m*(rho-1) - 0.5*(lrv-gamma0)/(sxx/(m*m))
+}
+
+// ARCHStat returns the ARCH LM statistic: n·R² of the regression of the
+// squared demeaned series on its own first 12 lags (tsfeatures' arch_stat,
+// embedding an arch.lm test with 12 lags).
+func ARCHStat(x []float64) float64 {
+	const lags = 12
+	d := demean(x)
+	sq := make([]float64, len(d))
+	for i, v := range d {
+		sq[i] = v * v
+	}
+	n := len(sq) - lags
+	if n < lags+2 {
+		return 0
+	}
+	// OLS of sq[t] on [sq[t-1..t-12], 1] via normal equations.
+	p := lags + 1
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	var sy, syy float64
+	for t := lags; t < len(sq); t++ {
+		for j := 0; j < lags; j++ {
+			row[j] = sq[t-1-j]
+		}
+		row[lags] = 1
+		yt := sq[t]
+		sy += yt
+		syy += yt * yt
+		for a := 0; a < p; a++ {
+			for b := a; b < p; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+			xty[a] += row[a] * yt
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	beta, ok := solveSPD(xtx, xty)
+	if !ok {
+		return 0
+	}
+	// R² from fitted values.
+	var ssRes float64
+	ybar := sy / float64(n)
+	ssTot := syy - float64(n)*ybar*ybar
+	for t := lags; t < len(sq); t++ {
+		var fit float64
+		for j := 0; j < lags; j++ {
+			fit += beta[j] * sq[t-1-j]
+		}
+		fit += beta[lags]
+		r := sq[t] - fit
+		ssRes += r * r
+	}
+	if ssTot <= 0 {
+		return 0
+	}
+	r2 := 1 - ssRes/ssTot
+	if r2 < 0 {
+		r2 = 0
+	}
+	return float64(n) * r2
+}
+
+// solveSPD solves Ax=b by Gaussian elimination with partial pivoting.
+func solveSPD(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for j := col; j <= n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, true
+}

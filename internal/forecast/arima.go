@@ -1,0 +1,418 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lossyts/internal/features"
+)
+
+// arima is the paper's Arima model (§3.4): seasonality is captured by
+// Fourier terms (a smooth periodic profile fitted by least squares on K
+// harmonics), the deseasonalised series is differenced when a KPSS test
+// indicates non-stationarity, and an ARMA(p, q) is fitted by the
+// Hannan-Rissanen two-stage regression with the order chosen by AIC — the
+// selection criterion the paper uses [19].
+type arima struct {
+	cfg Config
+
+	profile []float64 // Fourier seasonal profile, length = period
+	d       int       // differencing order (0 or 1)
+	p, q    int
+	c       float64   // ARMA intercept
+	phi     []float64 // AR coefficients
+	theta   []float64 // MA coefficients
+	trained bool
+
+	// Known window phases (from timestamps, as the paper's Fourier
+	// exogenous terms are) — see SetWindowPhase. When unset, each window's
+	// phase is estimated by aligning it against the profile.
+	phaseKnown  bool
+	startPhase  int
+	phaseStride int
+}
+
+// SetWindowPhase tells the model the seasonal phase of the first prediction
+// window's first input value and the stride (in steps) between consecutive
+// windows, so the Fourier terms are indexed by real time rather than
+// estimated from possibly-distorted values — matching the paper's use of
+// time-indexed Fourier exogenous variables.
+func (m *arima) SetWindowPhase(startPhase, stride int) {
+	m.phaseKnown = true
+	m.startPhase = startPhase
+	m.phaseStride = stride
+}
+
+func newArima(cfg Config) *arima { return &arima{cfg: cfg} }
+
+func (m *arima) Name() string { return "Arima" }
+
+// Fit estimates the seasonal profile and ARMA parameters on the training
+// series (validation data is unused: order selection is by AIC).
+func (m *arima) Fit(train, _ []float64) error {
+	period := m.cfg.SeasonalPeriod
+	if period < 2 {
+		period = 2
+	}
+	if len(train) < 4*period || len(train) < 3*m.cfg.InputLen {
+		return fmt.Errorf("forecast: Arima needs at least %d training points, got %d", 4*period, len(train))
+	}
+	m.profile = fourierProfile(train, period, 4)
+	z := make([]float64, len(train))
+	for i, v := range train {
+		z[i] = v - m.profile[i%period]
+	}
+	// KPSS decides differencing, as in auto.arima.
+	if features.KPSS(z) > 0.463 {
+		m.d = 1
+		z = features.Diff(z, 1)
+	}
+	bestAIC := math.Inf(1)
+	found := false
+	for p := 0; p <= 3; p++ {
+		for q := 0; q <= 3; q++ {
+			if p == 0 && q == 0 {
+				continue
+			}
+			c, phi, theta, sigma2, ok := hannanRissanen(z, p, q)
+			if !ok || sigma2 <= 0 {
+				continue
+			}
+			aic := float64(len(z))*math.Log(sigma2) + 2*float64(p+q+1)
+			if aic < bestAIC {
+				bestAIC = aic
+				m.p, m.q, m.c, m.phi, m.theta = p, q, c, phi, theta
+				found = true
+			}
+		}
+	}
+	if !found {
+		// Fall back to a pure mean model.
+		m.p, m.q, m.phi, m.theta = 0, 0, nil, nil
+		m.c = mean(z)
+	}
+	m.trained = true
+	return nil
+}
+
+// Predict forecasts each window: the window's seasonal phase is aligned
+// against the fitted profile, the ARMA recursion reconstructs the residual
+// state, and the forecast re-adds the seasonal profile.
+func (m *arima) Predict(inputs [][]float64) ([][]float64, error) {
+	if !m.trained {
+		return nil, errors.New("forecast: Arima predict before fit")
+	}
+	if err := checkInputs(inputs, m.cfg.InputLen); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(inputs))
+	for i, w := range inputs {
+		phase := -1
+		if m.phaseKnown {
+			phase = (m.startPhase + i*m.phaseStride) % len(m.profile)
+		}
+		out[i] = m.forecastWindow(w, phase)
+	}
+	return out, nil
+}
+
+func (m *arima) forecastWindow(w []float64, phase int) []float64 {
+	period := len(m.profile)
+	if phase < 0 {
+		phase = bestPhase(w, m.profile)
+	}
+	z := make([]float64, len(w))
+	for i, v := range w {
+		z[i] = v - m.profile[(phase+i)%period]
+	}
+	var lastLevel float64
+	if m.d == 1 {
+		lastLevel = z[len(z)-1]
+		z = features.Diff(z, 1)
+	}
+	fz := m.forecastARMA(z, m.cfg.Horizon)
+	out := make([]float64, m.cfg.Horizon)
+	level := lastLevel
+	for k := 0; k < m.cfg.Horizon; k++ {
+		v := fz[k]
+		if m.d == 1 {
+			level += v
+			v = level
+		}
+		out[k] = v + m.profile[(phase+len(w)+k)%period]
+	}
+	return out
+}
+
+// forecastARMA reconstructs the innovation sequence over x (innovations
+// before the window are taken as zero) and rolls the recursion h steps
+// ahead with future innovations at their zero expectation.
+func (m *arima) forecastARMA(x []float64, h int) []float64 {
+	n := len(x)
+	e := make([]float64, n+h)
+	ext := append(append([]float64(nil), x...), make([]float64, h)...)
+	pred := func(t int) float64 {
+		v := m.c
+		for i, f := range m.phi {
+			if t-1-i >= 0 {
+				v += f * ext[t-1-i]
+			}
+		}
+		for j, th := range m.theta {
+			if t-1-j >= 0 {
+				v += th * e[t-1-j]
+			}
+		}
+		return v
+	}
+	for t := 0; t < n; t++ {
+		e[t] = ext[t] - pred(t)
+	}
+	out := make([]float64, h)
+	for k := 0; k < h; k++ {
+		t := n + k
+		ext[t] = pred(t) // e[t] stays 0: future innovations have mean zero
+		out[k] = ext[t]
+	}
+	return out
+}
+
+// fourierProfile fits the seasonal profile with k sine/cosine harmonics by
+// closed-form least squares (harmonics of a full period are orthogonal).
+func fourierProfile(x []float64, period, k int) []float64 {
+	if k > period/2 {
+		k = period / 2
+	}
+	n := len(x)
+	m0 := mean(x)
+	prof := make([]float64, period)
+	for h := 1; h <= k; h++ {
+		var sa, sb, na, nb float64
+		for t := 0; t < n; t++ {
+			angle := 2 * math.Pi * float64(h) * float64(t) / float64(period)
+			s, c := math.Sin(angle), math.Cos(angle)
+			sa += (x[t] - m0) * s
+			sb += (x[t] - m0) * c
+			na += s * s
+			nb += c * c
+		}
+		var a, b float64
+		if na > 0 {
+			a = sa / na
+		}
+		if nb > 0 {
+			b = sb / nb
+		}
+		for ph := 0; ph < period; ph++ {
+			angle := 2 * math.Pi * float64(h) * float64(ph) / float64(period)
+			prof[ph] += a*math.Sin(angle) + b*math.Cos(angle)
+		}
+	}
+	for ph := range prof {
+		prof[ph] += m0
+	}
+	return prof
+}
+
+// bestPhase returns the profile phase that minimises the squared distance
+// between the (level-adjusted) window and the seasonal profile.
+func bestPhase(w, profile []float64) int {
+	period := len(profile)
+	wBar := mean(w)
+	best, bestSSE := 0, math.Inf(1)
+	for phase := 0; phase < period; phase++ {
+		var sse, pBar float64
+		for i := range w {
+			pBar += profile[(phase+i)%period]
+		}
+		pBar /= float64(len(w))
+		for i := range w {
+			d := (w[i] - wBar) - (profile[(phase+i)%period] - pBar)
+			sse += d * d
+		}
+		if sse < bestSSE {
+			best, bestSSE = phase, sse
+		}
+	}
+	return best
+}
+
+// hannanRissanen estimates ARMA(p, q) coefficients by the two-stage
+// regression: a long autoregression supplies innovation estimates, then the
+// series is regressed on its own lags and the lagged innovations.
+func hannanRissanen(x []float64, p, q int) (c float64, phi, theta []float64, sigma2 float64, ok bool) {
+	long := p + q + 5
+	if long < 10 {
+		long = 10
+	}
+	if len(x) < long+p+q+10 {
+		return 0, nil, nil, 0, false
+	}
+	// Stage 1: long AR by OLS.
+	arCoef, arC, fine := olsAR(x, long)
+	if !fine {
+		return 0, nil, nil, 0, false
+	}
+	eHat := make([]float64, len(x))
+	for t := long; t < len(x); t++ {
+		pred := arC
+		for i, f := range arCoef {
+			pred += f * x[t-1-i]
+		}
+		eHat[t] = x[t] - pred
+	}
+	// Stage 2: regress x_t on p lags of x and q lags of ê.
+	start := long + q
+	if start <= p {
+		start = p + q
+	}
+	rows := len(x) - start
+	if rows < p+q+5 {
+		return 0, nil, nil, 0, false
+	}
+	design := make([][]float64, rows)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := start + r
+		row := make([]float64, p+q)
+		for i := 0; i < p; i++ {
+			row[i] = x[t-1-i]
+		}
+		for j := 0; j < q; j++ {
+			row[p+j] = eHat[t-1-j]
+		}
+		design[r] = row
+		y[r] = x[t]
+	}
+	coef, fine := olsSolve(design, y)
+	if !fine {
+		return 0, nil, nil, 0, false
+	}
+	phi = coef[:p]
+	theta = coef[p : p+q]
+	c = coef[p+q]
+	// Innovation variance from stage-2 residuals.
+	var ss float64
+	for r := 0; r < rows; r++ {
+		pred := c
+		for i := 0; i < p+q; i++ {
+			pred += coef[i] * design[r][i]
+		}
+		d := y[r] - pred
+		ss += d * d
+	}
+	sigma2 = ss / float64(rows)
+	// Reject explosive AR fits.
+	var arSum float64
+	for _, f := range phi {
+		arSum += math.Abs(f)
+	}
+	if arSum > 1.5 {
+		return 0, nil, nil, 0, false
+	}
+	return c, phi, theta, sigma2, true
+}
+
+// olsAR fits x_t = c + Σ a_i x_{t-i} by least squares.
+func olsAR(x []float64, order int) (coef []float64, c float64, ok bool) {
+	rows := len(x) - order
+	if rows < order+2 {
+		return nil, 0, false
+	}
+	design := make([][]float64, rows)
+	y := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		t := order + r
+		row := make([]float64, order)
+		for i := 0; i < order; i++ {
+			row[i] = x[t-1-i]
+		}
+		design[r] = row
+		y[r] = x[t]
+	}
+	all, ok := olsSolve(design, y)
+	if !ok {
+		return nil, 0, false
+	}
+	return all[:order], all[order], true
+}
+
+// olsSolve solves least squares with an implicit intercept (appended last)
+// via normal equations; ok is false for singular designs.
+func olsSolve(design [][]float64, y []float64) ([]float64, bool) {
+	n := len(design)
+	p := len(design[0]) + 1
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for r := 0; r < n; r++ {
+		copy(row, design[r])
+		row[p-1] = 1
+		for a := 0; a < p; a++ {
+			for b := a; b < p; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+			xty[a] += row[a] * y[r]
+		}
+	}
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a][b] = xtx[b][a]
+		}
+	}
+	// Ridge-stabilise very slightly to tolerate near-collinear lags.
+	for a := 0; a < p; a++ {
+		xtx[a][a] += 1e-8
+	}
+	return gaussSolve(xtx, xty)
+}
+
+func gaussSolve(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for j := col; j <= n; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for j := i + 1; j < n; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, true
+}
+
+func mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}

@@ -1,0 +1,72 @@
+package forecast
+
+import (
+	"errors"
+	"math/rand"
+
+	"lossyts/internal/nn"
+)
+
+// dlinear is the DLinear model (Zeng et al., AAAI 2023): the input window
+// is decomposed into a moving-average trend and a seasonal remainder, and
+// an independent linear layer maps each component to the forecast horizon.
+// Despite its simplicity it is competitive with transformers on long-term
+// forecasting, one of the paper's motivating observations.
+type dlinear struct {
+	cfg     Config
+	rng     *rand.Rand
+	kernel  int
+	trend   *nn.Linear
+	season  *nn.Linear
+	trained bool
+}
+
+func newDLinear(cfg Config) *dlinear {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// DLinear has two linear layers and trains in microseconds per step, so
+	// it gets proportionally more epochs than the expensive deep models to
+	// converge at the paper's shared learning rate.
+	if cfg.Epochs > 0 {
+		cfg.Epochs *= 10
+	}
+	if cfg.Patience > 0 {
+		cfg.Patience *= 3
+	}
+	return &dlinear{
+		cfg:    cfg,
+		rng:    rng,
+		kernel: 25, // the decomposition kernel from the DLinear paper
+		trend:  nn.NewLinear(rng, cfg.InputLen, cfg.Horizon),
+		season: nn.NewLinear(rng, cfg.InputLen, cfg.Horizon),
+	}
+}
+
+func (m *dlinear) Name() string { return "DLinear" }
+
+func (m *dlinear) params() []*nn.Tensor {
+	return append(m.trend.Params(), m.season.Params()...)
+}
+
+func (m *dlinear) forward(x *nn.Tensor, train bool) *nn.Tensor {
+	trend := nn.MovingAvg1D(x, m.kernel)
+	season := nn.Sub(x, trend)
+	return nn.Add(m.trend.Forward(trend), m.season.Forward(season))
+}
+
+func (m *dlinear) Fit(train, val []float64) error {
+	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+		return err
+	}
+	m.trained = true
+	return nil
+}
+
+func (m *dlinear) Predict(inputs [][]float64) ([][]float64, error) {
+	if !m.trained {
+		return nil, errors.New("forecast: DLinear predict before fit")
+	}
+	if err := checkInputs(inputs, m.cfg.InputLen); err != nil {
+		return nil, err
+	}
+	return predictNeural(m, m.cfg, inputs), nil
+}

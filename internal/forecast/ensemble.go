@@ -1,0 +1,133 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lossyts/internal/timeseries"
+)
+
+// ensemble implements the research direction the paper proposes in §5:
+// combining a model with strong raw-data accuracy (Transformer) with one
+// that is resilient to lossy compression (Arima). Member forecasts are
+// blended with weights proportional to the inverse of each member's
+// validation MSE, so whichever model handles the data better dominates.
+type ensemble struct {
+	cfg     Config
+	members []Model
+	weights []float64
+	trained bool
+}
+
+// NewEnsemble builds an ensemble of the named member models. The paper's
+// suggested pairing is {"Transformer", "Arima"}.
+func NewEnsemble(cfg Config, memberNames ...string) (Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(memberNames) < 2 {
+		return nil, errors.New("forecast: ensemble needs at least two members")
+	}
+	e := &ensemble{cfg: cfg}
+	for _, n := range memberNames {
+		m, err := New(n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: ensemble member: %w", err)
+		}
+		e.members = append(e.members, m)
+	}
+	return e, nil
+}
+
+func (e *ensemble) Name() string { return "Ensemble" }
+
+// SetWindowPhase forwards the phase information to phase-aware members.
+func (e *ensemble) SetWindowPhase(startPhase, stride int) {
+	for _, m := range e.members {
+		if pa, ok := m.(PhaseAware); ok {
+			pa.SetWindowPhase(startPhase, stride)
+		}
+	}
+}
+
+func (e *ensemble) Fit(train, val []float64) error {
+	for _, m := range e.members {
+		if err := m.Fit(train, val); err != nil {
+			return fmt.Errorf("forecast: ensemble member %s: %w", m.Name(), err)
+		}
+	}
+	e.weights = make([]float64, len(e.members))
+	equal := func() {
+		for i := range e.weights {
+			e.weights[i] = 1 / float64(len(e.members))
+		}
+	}
+	ws, err := timeseries.MakeWindows(val, e.cfg.InputLen, e.cfg.Horizon, e.cfg.Horizon)
+	if err != nil {
+		// Validation slice too short: fall back to equal weights.
+		equal()
+		e.trained = true
+		return nil
+	}
+	var total float64
+	for i, m := range e.members {
+		preds, err := m.Predict(ws.Inputs())
+		if err != nil {
+			return err
+		}
+		var sse float64
+		var n int
+		for wi, p := range preds {
+			for j := range p {
+				d := p[j] - ws.Windows[wi].Target[j]
+				sse += d * d
+				n++
+			}
+		}
+		mse := sse / float64(n)
+		if mse <= 0 || math.IsNaN(mse) {
+			equal()
+			total = 0
+			break
+		}
+		e.weights[i] = 1 / mse
+		total += e.weights[i]
+	}
+	if total > 0 {
+		for i := range e.weights {
+			e.weights[i] /= total
+		}
+	}
+	e.trained = true
+	return nil
+}
+
+func (e *ensemble) Predict(inputs [][]float64) ([][]float64, error) {
+	if !e.trained {
+		return nil, errors.New("forecast: Ensemble predict before fit")
+	}
+	if err := checkInputs(inputs, e.cfg.InputLen); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(inputs))
+	for i := range out {
+		out[i] = make([]float64, e.cfg.Horizon)
+	}
+	for mi, m := range e.members {
+		preds, err := m.Predict(inputs)
+		if err != nil {
+			return nil, err
+		}
+		w := e.weights[mi]
+		for i, p := range preds {
+			for j, v := range p {
+				out[i][j] += w * v
+			}
+		}
+	}
+	return out, nil
+}
+
+// Weights exposes the fitted blend weights (per member, summing to 1).
+func (e *ensemble) Weights() []float64 { return e.weights }

@@ -1,0 +1,145 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+func TestEnsembleBasics(t *testing.T) {
+	cfg := testConfig(21)
+	if _, err := NewEnsemble(cfg, "Arima"); err == nil {
+		t.Error("single-member ensemble should error")
+	}
+	if _, err := NewEnsemble(cfg, "Arima", "NoSuchModel"); err == nil {
+		t.Error("unknown member should error")
+	}
+	bad := cfg
+	bad.InputLen = 0
+	if _, err := NewEnsemble(bad, "Arima", "GBoost"); err == nil {
+		t.Error("invalid config should error")
+	}
+
+	e, err := NewEnsemble(cfg, "Arima", "GBoost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "Ensemble" {
+		t.Fatalf("name = %q", e.Name())
+	}
+	if _, err := e.Predict([][]float64{make([]float64, cfg.InputLen)}); err == nil {
+		t.Error("predict before fit should error")
+	}
+}
+
+func TestEnsembleForecasts(t *testing.T) {
+	cfg := testConfig(22)
+	train := sineData(1200, 31, 0.05)
+	val := sineData(240, 32, 0.05)
+	test := sineData(360, 33, 0.05)
+
+	e, err := NewEnsemble(cfg, "Arima", "GBoost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(train, val); err != nil {
+		t.Fatal(err)
+	}
+	// Weights sum to 1.
+	w := e.(*ensemble).Weights()
+	var sum float64
+	for _, v := range w {
+		if v < 0 {
+			t.Fatalf("negative weight %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+
+	ws, err := timeseries.MakeWindows(test, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := e.Predict(ws.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := naiveRMSE(t, cfg, test)
+	var ss float64
+	var n int
+	for i, p := range preds {
+		for j := range p {
+			d := p[j] - ws.Windows[i].Target[j]
+			ss += d * d
+			n++
+		}
+	}
+	if rmse := math.Sqrt(ss / float64(n)); rmse > naive {
+		t.Errorf("ensemble RMSE %.4f worse than naive %.4f", rmse, naive)
+	}
+}
+
+func TestEnsembleBetweenMembers(t *testing.T) {
+	// A weighted average with weights from validation error must be at
+	// least as accurate as the worse member on the validation data's
+	// distribution, and never degenerate.
+	cfg := testConfig(23)
+	train := sineData(1200, 41, 0.1)
+	val := sineData(240, 42, 0.1)
+	test := sineData(360, 43, 0.1)
+
+	score := func(m Model) float64 {
+		ws, _ := timeseries.MakeWindows(test, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+		preds, err := m.Predict(ws.Inputs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ss float64
+		var n int
+		for i, p := range preds {
+			for j := range p {
+				d := p[j] - ws.Windows[i].Target[j]
+				ss += d * d
+				n++
+			}
+		}
+		return math.Sqrt(ss / float64(n))
+	}
+
+	arima, _ := New("Arima", cfg)
+	gb, _ := New("GBoost", cfg)
+	if err := arima.Fit(train, val); err != nil {
+		t.Fatal(err)
+	}
+	if err := gb.Fit(train, val); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEnsemble(cfg, "Arima", "GBoost")
+	if err := e.Fit(train, val); err != nil {
+		t.Fatal(err)
+	}
+	worst := math.Max(score(arima), score(gb))
+	if got := score(e); got > worst*1.05 {
+		t.Errorf("ensemble RMSE %.4f worse than worst member %.4f", got, worst)
+	}
+}
+
+func TestEnsembleShortValidationFallsBack(t *testing.T) {
+	cfg := testConfig(24)
+	train := sineData(800, 51, 0.05)
+	val := sineData(10, 52, 0.05) // too short for windows -> equal weights
+	e, err := NewEnsemble(cfg, "Arima", "GBoost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(train, val); err != nil {
+		t.Fatal(err)
+	}
+	w := e.(*ensemble).Weights()
+	if math.Abs(w[0]-0.5) > 1e-9 || math.Abs(w[1]-0.5) > 1e-9 {
+		t.Fatalf("expected equal weights, got %v", w)
+	}
+}

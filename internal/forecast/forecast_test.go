@@ -1,0 +1,374 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lossyts/internal/nn"
+	"lossyts/internal/timeseries"
+)
+
+// testConfig is a small, fast configuration for the unit tests.
+func testConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.InputLen = 48
+	cfg.Horizon = 8
+	cfg.SeasonalPeriod = 24
+	cfg.Seed = seed
+	cfg.Epochs = 8
+	cfg.HiddenSize = 16
+	cfg.MaxTrainWindows = 128
+	return cfg
+}
+
+// sineData generates a clean seasonal series (scaled domain, zero mean).
+func sineData(n int, seed int64, noise float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/24) + noise*rng.NormFloat64()
+	}
+	return x
+}
+
+// evalModel trains the model and returns the RMSE of its forecasts on
+// held-out windows of the same process.
+func evalModel(t *testing.T, name string, cfg Config, train, val, test []float64) float64 {
+	t.Helper()
+	m, err := New(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != name {
+		t.Fatalf("Name() = %q, want %q", m.Name(), name)
+	}
+	if err := m.Fit(train, val); err != nil {
+		t.Fatalf("%s fit: %v", name, err)
+	}
+	ws, err := timeseries.MakeWindows(test, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := m.Predict(ws.Inputs())
+	if err != nil {
+		t.Fatalf("%s predict: %v", name, err)
+	}
+	if len(preds) != ws.Len() {
+		t.Fatalf("%s: %d predictions for %d windows", name, len(preds), ws.Len())
+	}
+	var ss float64
+	var n int
+	for i, p := range preds {
+		if len(p) != cfg.Horizon {
+			t.Fatalf("%s: prediction %d has length %d", name, i, len(p))
+		}
+		for j := range p {
+			if math.IsNaN(p[j]) || math.IsInf(p[j], 0) {
+				t.Fatalf("%s: non-finite prediction", name)
+			}
+			d := p[j] - ws.Windows[i].Target[j]
+			ss += d * d
+			n++
+		}
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// naiveRMSE is the RMSE of repeating the last observed value.
+func naiveRMSE(t *testing.T, cfg Config, test []float64) float64 {
+	t.Helper()
+	ws, err := timeseries.MakeWindows(test, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss float64
+	var n int
+	for _, w := range ws.Windows {
+		last := w.Input[len(w.Input)-1]
+		for _, y := range w.Target {
+			ss += (y - last) * (y - last)
+			n++
+		}
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func TestAllModelsBeatNaiveOnSeasonalData(t *testing.T) {
+	cfg := testConfig(1)
+	train := sineData(1200, 1, 0.05)
+	val := sineData(240, 2, 0.05)
+	test := sineData(360, 3, 0.05)
+	naive := naiveRMSE(t, cfg, test)
+	for _, name := range ModelNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rmse := evalModel(t, name, cfg, train, val, test)
+			if rmse > naive {
+				t.Errorf("%s RMSE %.4f worse than naive %.4f on pure seasonality", name, rmse, naive)
+			}
+		})
+	}
+}
+
+func TestModelsDeterministicGivenSeed(t *testing.T) {
+	cfg := testConfig(7)
+	train := sineData(800, 4, 0.1)
+	val := sineData(200, 5, 0.1)
+	ws, _ := timeseries.MakeWindows(sineData(120, 6, 0.1), cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	for _, name := range []string{"Arima", "GBoost", "DLinear"} {
+		a, _ := New(name, cfg)
+		b, _ := New(name, cfg)
+		if err := a.Fit(train, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(train, val); err != nil {
+			t.Fatal(err)
+		}
+		pa, _ := a.Predict(ws.Inputs())
+		pb, _ := b.Predict(ws.Inputs())
+		for i := range pa {
+			for j := range pa[i] {
+				if pa[i][j] != pb[i][j] {
+					t.Fatalf("%s: same seed, different predictions", name)
+				}
+			}
+		}
+	}
+}
+
+func TestNewUnknownModel(t *testing.T) {
+	if _, err := New("LSTM9000", DefaultConfig()); err == nil {
+		t.Error("unknown model should error")
+	}
+	bad := DefaultConfig()
+	bad.InputLen = 0
+	if _, err := New("Arima", bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	cfg := testConfig(2)
+	in := [][]float64{make([]float64, cfg.InputLen)}
+	for _, name := range ModelNames {
+		m, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Predict(in); err == nil {
+			t.Errorf("%s: predict before fit should error", name)
+		}
+	}
+}
+
+func TestPredictBadWindowLength(t *testing.T) {
+	cfg := testConfig(3)
+	m, _ := New("DLinear", cfg)
+	if err := m.Fit(sineData(600, 7, 0.1), sineData(150, 8, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([][]float64{make([]float64, cfg.InputLen+1)}); err == nil {
+		t.Error("wrong window length should error")
+	}
+	if _, err := m.Predict(nil); err == nil {
+		t.Error("empty batch should error")
+	}
+}
+
+func TestFitTooShortSeries(t *testing.T) {
+	cfg := testConfig(4)
+	for _, name := range ModelNames {
+		m, _ := New(name, cfg)
+		if err := m.Fit(sineData(20, 9, 0.1), nil); err == nil {
+			t.Errorf("%s: fitting 20 points should error", name)
+		}
+	}
+}
+
+func TestIsDeep(t *testing.T) {
+	if IsDeep("Arima") || IsDeep("GBoost") {
+		t.Error("Arima/GBoost are not deep")
+	}
+	for _, n := range []string{"DLinear", "GRU", "Informer", "NBeats", "Transformer"} {
+		if !IsDeep(n) {
+			t.Errorf("%s should be deep", n)
+		}
+	}
+}
+
+func TestSubsampleIndices(t *testing.T) {
+	idx := subsampleIndices(10, 0)
+	if len(idx) != 10 {
+		t.Fatalf("no cap should keep all: %v", idx)
+	}
+	idx = subsampleIndices(100, 10)
+	if len(idx) != 10 || idx[0] != 0 {
+		t.Fatalf("capped = %v", idx)
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Fatalf("indices not strictly increasing: %v", idx)
+		}
+	}
+	idx = subsampleIndices(3, 10)
+	if len(idx) != 3 {
+		t.Fatalf("small n = %v", idx)
+	}
+}
+
+func TestFourierProfile(t *testing.T) {
+	period := 24
+	x := make([]float64, 480)
+	for i := range x {
+		x[i] = 3 + 2*math.Sin(2*math.Pi*float64(i)/float64(period))
+	}
+	prof := fourierProfile(x, period, 4)
+	for ph := 0; ph < period; ph++ {
+		want := 3 + 2*math.Sin(2*math.Pi*float64(ph)/float64(period))
+		if math.Abs(prof[ph]-want) > 0.01 {
+			t.Fatalf("profile[%d] = %v, want %v", ph, prof[ph], want)
+		}
+	}
+}
+
+func TestBestPhase(t *testing.T) {
+	period := 24
+	prof := make([]float64, period)
+	for i := range prof {
+		prof[i] = math.Sin(2 * math.Pi * float64(i) / float64(period))
+	}
+	// A window starting at phase 7 must be recognised.
+	w := make([]float64, 48)
+	for i := range w {
+		w[i] = prof[(7+i)%period] + 5 // level shift must not matter
+	}
+	if got := bestPhase(w, prof); got != 7 {
+		t.Fatalf("bestPhase = %d, want 7", got)
+	}
+}
+
+func TestHannanRissanenRecoversAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 4000
+	x := make([]float64, n)
+	for i := 1; i < n; i++ {
+		x[i] = 0.7*x[i-1] + rng.NormFloat64()
+	}
+	_, phi, _, sigma2, ok := hannanRissanen(x, 1, 0)
+	if !ok {
+		t.Fatal("estimation failed")
+	}
+	if math.Abs(phi[0]-0.7) > 0.05 {
+		t.Fatalf("phi = %v, want 0.7", phi[0])
+	}
+	if math.Abs(sigma2-1) > 0.15 {
+		t.Fatalf("sigma2 = %v, want ~1", sigma2)
+	}
+}
+
+func TestHannanRissanenRecoversMA1(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 6000
+	e := make([]float64, n)
+	x := make([]float64, n)
+	for i := range x {
+		e[i] = rng.NormFloat64()
+		x[i] = e[i]
+		if i > 0 {
+			x[i] += 0.6 * e[i-1]
+		}
+	}
+	_, _, theta, _, ok := hannanRissanen(x, 0, 1)
+	if !ok {
+		t.Fatal("estimation failed")
+	}
+	if math.Abs(theta[0]-0.6) > 0.08 {
+		t.Fatalf("theta = %v, want 0.6", theta[0])
+	}
+}
+
+func TestArimaResilienceToSmoothing(t *testing.T) {
+	// The paper's RQ3 finding: Arima forecasts from coarsely smoothed
+	// (PMC-like) inputs degrade gracefully because it tracks broad trends.
+	cfg := testConfig(5)
+	train := sineData(1200, 13, 0.1)
+	val := sineData(240, 14, 0.1)
+	m, _ := New("Arima", cfg)
+	if err := m.Fit(train, val); err != nil {
+		t.Fatal(err)
+	}
+	test := sineData(240, 15, 0.1)
+	ws, _ := timeseries.MakeWindows(test, cfg.InputLen, cfg.Horizon, cfg.Horizon)
+	clean, err := m.Predict(ws.Inputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Piecewise-constant (segment mean) approximation of the inputs.
+	smoothedInputs := make([][]float64, ws.Len())
+	for i, w := range ws.Windows {
+		sm := append([]float64(nil), w.Input...)
+		for s := 0; s < len(sm); s += 4 {
+			end := s + 4
+			if end > len(sm) {
+				end = len(sm)
+			}
+			v := mean(sm[s:end])
+			for j := s; j < end; j++ {
+				sm[j] = v
+			}
+		}
+		smoothedInputs[i] = sm
+	}
+	smoothed, err := m.Predict(smoothedInputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse := func(preds [][]float64) float64 {
+		var ss float64
+		var n int
+		for i, p := range preds {
+			for j := range p {
+				d := p[j] - ws.Windows[i].Target[j]
+				ss += d * d
+				n++
+			}
+		}
+		return math.Sqrt(ss / float64(n))
+	}
+	rClean, rSmooth := rmse(clean), rmse(smoothed)
+	if rSmooth > rClean*2 {
+		t.Errorf("Arima on smoothed input RMSE %.4f vs clean %.4f: not resilient", rSmooth, rClean)
+	}
+}
+
+func TestGBoostFeatureRow(t *testing.T) {
+	cfg := testConfig(6)
+	g := newGBoost(cfg)
+	w := make([]float64, cfg.InputLen)
+	for i := range w {
+		w[i] = float64(i)
+	}
+	row := g.featureRow(w)
+	if len(row) != len(g.lags)+2 {
+		t.Fatalf("feature row length %d, want %d", len(row), len(g.lags)+2)
+	}
+	// Lag 1 is the most recent value.
+	if row[0] != w[len(w)-1] {
+		t.Fatalf("lag-1 feature = %v, want %v", row[0], w[len(w)-1])
+	}
+}
+
+func TestDecoderInput(t *testing.T) {
+	x := nn.New([]int{1, 6}, []float64{10, 11, 12, 13, 14, 15})
+	dec := decoderInput(x, 3, 2)
+	want := []float64{13, 14, 15, 0, 0}
+	if len(dec.Data) != len(want) {
+		t.Fatalf("decoder input = %v", dec.Data)
+	}
+	for i := range want {
+		if dec.Data[i] != want[i] {
+			t.Fatalf("decoder input = %v, want %v", dec.Data, want)
+		}
+	}
+}

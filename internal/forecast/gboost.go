@@ -1,0 +1,122 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+
+	"lossyts/internal/gbt"
+	"lossyts/internal/timeseries"
+)
+
+// gboost is the paper's Gradient Boosting model (§3.4, [7, 13]): an
+// ensemble of shallow regression trees fitted to one-step-ahead residuals
+// over lag features, rolled out recursively over the forecast horizon.
+type gboost struct {
+	cfg      Config
+	lags     []int
+	ensemble *gbt.Ensemble
+}
+
+func newGBoost(cfg Config) *gboost {
+	// Lag features: dense short lags plus the daily/seasonal markers that
+	// fit inside the input window.
+	var lags []int
+	for l := 1; l <= 16 && l <= cfg.InputLen; l++ {
+		lags = append(lags, l)
+	}
+	for _, l := range []int{24, 48, 96, cfg.SeasonalPeriod} {
+		if l > 16 && l <= cfg.InputLen {
+			lags = append(lags, l)
+		}
+	}
+	return &gboost{cfg: cfg, lags: dedupInts(lags)}
+}
+
+func dedupInts(in []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (m *gboost) Name() string { return "GBoost" }
+
+// featureRow builds the lag + rolling-statistic features from a window
+// (most recent value last).
+func (m *gboost) featureRow(w []float64) []float64 {
+	L := len(w)
+	row := make([]float64, 0, len(m.lags)+2)
+	for _, lag := range m.lags {
+		row = append(row, w[L-lag])
+	}
+	// Rolling means over the last day-ish span and the whole window.
+	short := 24
+	if short > L {
+		short = L
+	}
+	row = append(row, mean(w[L-short:]), mean(w))
+	return row
+}
+
+func (m *gboost) Fit(train, val []float64) error {
+	tw, err := timeseries.MakeWindows(train, m.cfg.InputLen, 1, 1)
+	if err != nil {
+		return fmt.Errorf("forecast: GBoost windows: %w", err)
+	}
+	idx := subsampleIndices(tw.Len(), 4*m.cfg.MaxTrainWindows)
+	x := make([][]float64, len(idx))
+	y := make([]float64, len(idx))
+	for i, wi := range idx {
+		x[i] = m.featureRow(tw.Windows[wi].Input)
+		y[i] = tw.Windows[wi].Target[0]
+	}
+	var vx [][]float64
+	var vy []float64
+	if vw, err := timeseries.MakeWindows(val, m.cfg.InputLen, 1, 1); err == nil {
+		vi := subsampleIndices(vw.Len(), 256)
+		for _, wi := range vi {
+			vx = append(vx, m.featureRow(vw.Windows[wi].Input))
+			vy = append(vy, vw.Windows[wi].Target[0])
+		}
+	}
+	opts := gbt.Options{
+		Trees:        120,
+		LearningRate: 0.1,
+		Tree:         gbt.TreeOptions{MaxDepth: 4, MinLeaf: 8},
+		Patience:     12,
+	}
+	ens, err := gbt.Fit(x, y, vx, vy, opts)
+	if err != nil {
+		return err
+	}
+	m.ensemble = ens
+	return nil
+}
+
+// Predict rolls the one-step model forward Horizon times, feeding each
+// prediction back into the window (recursive multi-step strategy).
+func (m *gboost) Predict(inputs [][]float64) ([][]float64, error) {
+	if m.ensemble == nil {
+		return nil, errors.New("forecast: GBoost predict before fit")
+	}
+	if err := checkInputs(inputs, m.cfg.InputLen); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(inputs))
+	for i, w := range inputs {
+		window := append([]float64(nil), w...)
+		preds := make([]float64, m.cfg.Horizon)
+		for k := 0; k < m.cfg.Horizon; k++ {
+			p := m.ensemble.Predict(m.featureRow(window))
+			preds[k] = p
+			window = append(window[1:], p)
+		}
+		out[i] = preds
+	}
+	return out, nil
+}

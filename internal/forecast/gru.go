@@ -1,0 +1,82 @@
+package forecast
+
+import (
+	"errors"
+	"math/rand"
+
+	"lossyts/internal/nn"
+)
+
+// gru is an encoder-decoder gated recurrent network (§3.4): the encoder
+// consumes the input window step by step; the decoder starts from the final
+// encoder state and rolls the forecast out autoregressively, feeding each
+// prediction back as the next input.
+type gru struct {
+	cfg     Config
+	rng     *rand.Rand
+	encoder *nn.GRUCell
+	decoder *nn.GRUCell
+	head    *nn.Linear
+	trained bool
+}
+
+func newGRU(cfg Config) *gru {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := cfg.HiddenSize
+	if h < 4 {
+		h = 32
+	}
+	return &gru{
+		cfg:     cfg,
+		rng:     rng,
+		encoder: nn.NewGRUCell(rng, 1, h),
+		decoder: nn.NewGRUCell(rng, 1, h),
+		head:    nn.NewLinear(rng, h, 1),
+	}
+}
+
+func (m *gru) Name() string { return "GRU" }
+
+func (m *gru) params() []*nn.Tensor {
+	ps := append(m.encoder.Params(), m.decoder.Params()...)
+	return append(ps, m.head.Params()...)
+}
+
+func (m *gru) forward(x *nn.Tensor, train bool) *nn.Tensor {
+	b, l := x.Shape[0], x.Shape[1]
+	h := nn.Zeros(b, m.encoder.Hidden)
+	for t := 0; t < l; t++ {
+		step := nn.Narrow(x, 1, t, 1) // [B, 1]
+		h = m.encoder.Step(step, h)
+		if train && m.cfg.Dropout > 0 {
+			h = nn.Dropout(h, m.cfg.Dropout, m.rng, true)
+		}
+	}
+	// Decoder: start from the last observed value.
+	prev := nn.Narrow(x, 1, l-1, 1)
+	outs := make([]*nn.Tensor, m.cfg.Horizon)
+	for k := 0; k < m.cfg.Horizon; k++ {
+		h = m.decoder.Step(prev, h)
+		prev = m.head.Forward(h) // [B, 1]
+		outs[k] = prev
+	}
+	return nn.Concat(1, outs...)
+}
+
+func (m *gru) Fit(train, val []float64) error {
+	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+		return err
+	}
+	m.trained = true
+	return nil
+}
+
+func (m *gru) Predict(inputs [][]float64) ([][]float64, error) {
+	if !m.trained {
+		return nil, errors.New("forecast: GRU predict before fit")
+	}
+	if err := checkInputs(inputs, m.cfg.InputLen); err != nil {
+		return nil, err
+	}
+	return predictNeural(m, m.cfg, inputs), nil
+}

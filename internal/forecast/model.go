@@ -1,0 +1,160 @@
+// Package forecast implements the paper's seven time series forecasting
+// models (§3.4): Arima (with Fourier seasonal terms and AIC order
+// selection), Gradient Boosting, DLinear, GRU, Informer, NBeats, and
+// Transformer. Deep models are built on the internal/nn autodiff engine and
+// trained with Adam (lr 1e-3, weight decay 1e-4) and early stopping with
+// patience 3, as the paper specifies.
+//
+// Models consume and produce values in the scaled domain; the evaluation
+// harness owns the standard scaler (paper §3.4) and the raw-vs-scaled
+// conversions.
+package forecast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config holds the hyperparameters shared by all models.
+type Config struct {
+	// InputLen is the number of past observations per window (paper: 96;
+	// 720 for DLinear on Solar).
+	InputLen int
+	// Horizon is the number of future steps to predict (paper: 24).
+	Horizon int
+	// SeasonalPeriod is the dominant seasonality in steps, used by Arima's
+	// Fourier terms.
+	SeasonalPeriod int
+	// Seed controls all model randomness (initialisation, dropout,
+	// batching); the harness varies it across runs to average out
+	// initialisation effects (paper §3.6).
+	Seed int64
+
+	// Deep model training settings.
+	Epochs          int
+	BatchSize       int
+	LR              float64
+	WeightDecay     float64
+	Patience        int
+	Dropout         float64
+	HiddenSize      int // RNN/MLP width and transformer d_model
+	MaxTrainWindows int // cap on training windows (evenly subsampled)
+}
+
+// DefaultConfig mirrors the paper's settings at a laptop-scale capacity.
+func DefaultConfig() Config {
+	return Config{
+		InputLen:        96,
+		Horizon:         24,
+		SeasonalPeriod:  96,
+		Epochs:          15,
+		BatchSize:       32,
+		LR:              1e-3,
+		WeightDecay:     1e-4,
+		Patience:        3,
+		Dropout:         0.05,
+		HiddenSize:      32,
+		MaxTrainWindows: 384,
+	}
+}
+
+func (c Config) validate() error {
+	if c.InputLen <= 0 || c.Horizon <= 0 {
+		return fmt.Errorf("forecast: invalid window config input=%d horizon=%d", c.InputLen, c.Horizon)
+	}
+	return nil
+}
+
+// Model is a trained forecaster: Fit consumes the (scaled) training and
+// validation portions of the series; Predict maps input windows of length
+// InputLen to Horizon-step forecasts (paper Definition 7).
+type Model interface {
+	Name() string
+	Fit(train, val []float64) error
+	Predict(inputs [][]float64) ([][]float64, error)
+}
+
+// ModelNames lists the seven models in the paper's order.
+var ModelNames = []string{"Arima", "GBoost", "DLinear", "GRU", "Informer", "NBeats", "Transformer"}
+
+// PhaseAware is implemented by models whose forecasts depend on the
+// absolute seasonal phase of each prediction window (Arima's Fourier
+// terms). Harnesses that know window positions call SetWindowPhase with the
+// phase of the first window's first input value and the window stride;
+// models fall back to estimating the phase from the values otherwise.
+type PhaseAware interface {
+	SetWindowPhase(startPhase, stride int)
+}
+
+// New returns a fresh, unfitted model by name.
+func New(name string, cfg Config) (Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "Arima":
+		return newArima(cfg), nil
+	case "GBoost":
+		return newGBoost(cfg), nil
+	case "DLinear":
+		return newDLinear(cfg), nil
+	case "GRU":
+		return newGRU(cfg), nil
+	case "NBeats":
+		return newNBeats(cfg), nil
+	case "Transformer":
+		return newTransformer(cfg), nil
+	case "Informer":
+		return newInformer(cfg), nil
+	}
+	return nil, fmt.Errorf("forecast: unknown model %q (have %v)", name, ModelNames)
+}
+
+// IsDeep reports whether the named model is a deep neural network; the
+// paper averages those over more random seeds (10 vs 5, §3.6).
+func IsDeep(name string) bool {
+	switch name {
+	case "DLinear", "GRU", "Informer", "NBeats", "Transformer":
+		return true
+	}
+	return false
+}
+
+// checkInputs validates a Predict batch.
+func checkInputs(inputs [][]float64, inputLen int) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("forecast: empty prediction batch")
+	}
+	for i, w := range inputs {
+		if len(w) != inputLen {
+			return fmt.Errorf("forecast: window %d has %d values, want %d", i, len(w), inputLen)
+		}
+	}
+	return nil
+}
+
+// subsampleIndices returns up to max evenly spaced indices in [0, n).
+func subsampleIndices(n, max int) []int {
+	if max <= 0 || n <= max {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, max)
+	for i := range idx {
+		idx[i] = i * n / max
+	}
+	// Deduplicate while preserving order (possible at small n).
+	sort.Ints(idx)
+	out := idx[:0]
+	prev := -1
+	for _, v := range idx {
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package forecast
+
+import (
+	"errors"
+	"math/rand"
+
+	"lossyts/internal/nn"
+)
+
+// nbeatsBlock is one N-BEATS block: a stack of fully connected layers
+// producing a backcast (subtracted from the running residual) and a
+// forecast (added to the running total).
+type nbeatsBlock struct {
+	fc       []*nn.Linear
+	backcast *nn.Linear
+	forecast *nn.Linear
+}
+
+// nbeats is the generic N-BEATS architecture (Oreshkin et al., ICLR 2020):
+// doubly residual stacks of fully connected blocks. This is the generic
+// (identity-basis) variant, the configuration that won on M4.
+type nbeats struct {
+	cfg     Config
+	rng     *rand.Rand
+	blocks  []*nbeatsBlock
+	trained bool
+}
+
+func newNBeats(cfg Config) *nbeats {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hidden := cfg.HiddenSize * 2 // N-BEATS favours wider layers
+	if hidden < 8 {
+		hidden = 64
+	}
+	const numBlocks = 4
+	const fcPerBlock = 3
+	m := &nbeats{cfg: cfg, rng: rng}
+	for b := 0; b < numBlocks; b++ {
+		blk := &nbeatsBlock{
+			backcast: nn.NewLinear(rng, hidden, cfg.InputLen),
+			forecast: nn.NewLinear(rng, hidden, cfg.Horizon),
+		}
+		in := cfg.InputLen
+		for f := 0; f < fcPerBlock; f++ {
+			blk.fc = append(blk.fc, nn.NewLinear(rng, in, hidden))
+			in = hidden
+		}
+		m.blocks = append(m.blocks, blk)
+	}
+	return m
+}
+
+func (m *nbeats) Name() string { return "NBeats" }
+
+func (m *nbeats) params() []*nn.Tensor {
+	var ps []*nn.Tensor
+	for _, b := range m.blocks {
+		for _, l := range b.fc {
+			ps = append(ps, l.Params()...)
+		}
+		ps = append(ps, b.backcast.Params()...)
+		ps = append(ps, b.forecast.Params()...)
+	}
+	return ps
+}
+
+func (m *nbeats) forward(x *nn.Tensor, train bool) *nn.Tensor {
+	residual := x
+	var total *nn.Tensor
+	for _, blk := range m.blocks {
+		h := residual
+		for _, l := range blk.fc {
+			h = nn.ReLU(l.Forward(h))
+		}
+		back := blk.backcast.Forward(h)
+		fore := blk.forecast.Forward(h)
+		residual = nn.Sub(residual, back)
+		if total == nil {
+			total = fore
+		} else {
+			total = nn.Add(total, fore)
+		}
+	}
+	return total
+}
+
+func (m *nbeats) Fit(train, val []float64) error {
+	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+		return err
+	}
+	m.trained = true
+	return nil
+}
+
+func (m *nbeats) Predict(inputs [][]float64) ([][]float64, error) {
+	if !m.trained {
+		return nil, errors.New("forecast: NBeats predict before fit")
+	}
+	if err := checkInputs(inputs, m.cfg.InputLen); err != nil {
+		return nil, err
+	}
+	return predictNeural(m, m.cfg, inputs), nil
+}

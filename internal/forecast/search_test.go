@@ -1,0 +1,76 @@
+package forecast
+
+import (
+	"testing"
+)
+
+func TestSearchHyperparametersDeep(t *testing.T) {
+	cfg := testConfig(61)
+	cfg.Epochs = 3
+	train := sineData(800, 61, 0.1)
+	val := sineData(200, 62, 0.1)
+	space := SearchSpace{HiddenSizes: []int{8, 16}, Dropouts: []float64{0, 0.1}}
+	best, results, err := SearchHyperparameters("DLinear", cfg, space, train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("evaluated %d configurations, want 4", len(results))
+	}
+	// The best config must carry the lowest observed score.
+	lowest := results[0].NRMSE
+	for _, r := range results {
+		if r.NRMSE < lowest {
+			lowest = r.NRMSE
+		}
+	}
+	for _, r := range results {
+		if r.Config == best && r.NRMSE != lowest {
+			t.Errorf("best config scored %v, lowest was %v", r.NRMSE, lowest)
+		}
+	}
+	found := false
+	for _, h := range space.HiddenSizes {
+		if best.HiddenSize == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("best hidden size %d not from the space", best.HiddenSize)
+	}
+}
+
+func TestSearchHyperparametersShallow(t *testing.T) {
+	cfg := testConfig(63)
+	train := sineData(800, 63, 0.1)
+	val := sineData(200, 64, 0.1)
+	best, results, err := SearchHyperparameters("Arima", cfg, DefaultSearchSpace(), train, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("shallow model should be scored once, got %d", len(results))
+	}
+	if best.HiddenSize != cfg.HiddenSize {
+		t.Error("shallow model config should be unchanged")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	cfg := testConfig(65)
+	if _, _, err := SearchHyperparameters("DLinear", cfg, DefaultSearchSpace(),
+		sineData(800, 65, 0.1), sineData(10, 66, 0.1)); err == nil {
+		t.Error("short validation should error")
+	}
+	bad := cfg
+	bad.InputLen = 0
+	if _, _, err := SearchHyperparameters("DLinear", bad, DefaultSearchSpace(),
+		sineData(800, 65, 0.1), sineData(200, 66, 0.1)); err == nil {
+		t.Error("invalid config should error")
+	}
+	constVal := make([]float64, 200)
+	if _, _, err := SearchHyperparameters("DLinear", cfg, DefaultSearchSpace(),
+		sineData(800, 65, 0.1), constVal); err == nil {
+		t.Error("constant validation should error")
+	}
+}

@@ -1,0 +1,154 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lossyts/internal/nn"
+	"lossyts/internal/timeseries"
+)
+
+// network is the contract deep models implement for the shared trainer:
+// a forward pass from an input batch [B, InputLen] to forecasts [B, Horizon].
+type network interface {
+	params() []*nn.Tensor
+	forward(x *nn.Tensor, train bool) *nn.Tensor
+}
+
+// trainNeural runs the paper's training recipe: Adam (lr 1e-3, weight decay
+// 1e-4), MSE loss, early stopping on the validation subset with patience 3.
+func trainNeural(net network, cfg Config, rng *rand.Rand, train, val []float64) error {
+	tw, err := timeseries.MakeWindows(train, cfg.InputLen, cfg.Horizon, 1)
+	if err != nil {
+		return fmt.Errorf("forecast: training windows: %w", err)
+	}
+	trainIdx := subsampleIndices(tw.Len(), cfg.MaxTrainWindows)
+
+	// Validation windows; when the validation slice is too short, hold out
+	// the tail of the training windows instead.
+	var valIn, valTgt [][]float64
+	if vw, err := timeseries.MakeWindows(val, cfg.InputLen, cfg.Horizon, 1); err == nil {
+		vi := subsampleIndices(vw.Len(), 128)
+		for _, i := range vi {
+			valIn = append(valIn, vw.Windows[i].Input)
+			valTgt = append(valTgt, vw.Windows[i].Target)
+		}
+	} else if len(trainIdx) > 8 {
+		cut := len(trainIdx) - len(trainIdx)/5
+		for _, i := range trainIdx[cut:] {
+			valIn = append(valIn, tw.Windows[i].Input)
+			valTgt = append(valTgt, tw.Windows[i].Target)
+		}
+		trainIdx = trainIdx[:cut]
+	}
+
+	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
+	params := net.params()
+	bestVal := math.Inf(1)
+	var best [][]float64
+	stall := 0
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = 10
+	}
+	bs := cfg.BatchSize
+	if bs <= 0 {
+		bs = 32
+	}
+	order := append([]int(nil), trainIdx...)
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += bs {
+			end := start + bs
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			x := nn.Zeros(len(batch), cfg.InputLen)
+			y := nn.Zeros(len(batch), cfg.Horizon)
+			for bi, wi := range batch {
+				copy(x.Data[bi*cfg.InputLen:(bi+1)*cfg.InputLen], tw.Windows[wi].Input)
+				copy(y.Data[bi*cfg.Horizon:(bi+1)*cfg.Horizon], tw.Windows[wi].Target)
+			}
+			nn.ZeroGrad(params)
+			loss := nn.MSE(net.forward(x, true), y)
+			loss.Backward()
+			nn.ClipGradNorm(params, 5)
+			opt.Step(params)
+		}
+		if len(valIn) == 0 {
+			continue
+		}
+		v := evalMSE(net, cfg, valIn, valTgt)
+		if v < bestVal-1e-9 {
+			bestVal = v
+			best = snapshot(params)
+			stall = 0
+		} else {
+			stall++
+			if cfg.Patience > 0 && stall >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if best != nil {
+		restore(params, best)
+	}
+	return nil
+}
+
+func evalMSE(net network, cfg Config, inputs, targets [][]float64) float64 {
+	preds := predictNeural(net, cfg, inputs)
+	var s float64
+	var n int
+	for i := range preds {
+		for j := range preds[i] {
+			d := preds[i][j] - targets[i][j]
+			s += d * d
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return s / float64(n)
+}
+
+// predictNeural evaluates the network in inference mode.
+func predictNeural(net network, cfg Config, inputs [][]float64) [][]float64 {
+	out := make([][]float64, 0, len(inputs))
+	const bs = 64
+	for start := 0; start < len(inputs); start += bs {
+		end := start + bs
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		batch := inputs[start:end]
+		x := nn.Zeros(len(batch), cfg.InputLen)
+		for bi, w := range batch {
+			copy(x.Data[bi*cfg.InputLen:(bi+1)*cfg.InputLen], w)
+		}
+		pred := net.forward(x, false)
+		for bi := range batch {
+			row := make([]float64, cfg.Horizon)
+			copy(row, pred.Data[bi*cfg.Horizon:(bi+1)*cfg.Horizon])
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func snapshot(params []*nn.Tensor) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Data...)
+	}
+	return out
+}
+
+func restore(params []*nn.Tensor, snap [][]float64) {
+	for i, p := range params {
+		copy(p.Data, snap[i])
+	}
+}

@@ -1,0 +1,197 @@
+package forecast
+
+import (
+	"errors"
+	"math/rand"
+
+	"lossyts/internal/nn"
+)
+
+// feedForward is the position-wise two-layer MLP of a transformer block.
+type feedForward struct {
+	l1, l2 *nn.Linear
+}
+
+func newFeedForward(rng *rand.Rand, d, ff int) *feedForward {
+	return &feedForward{l1: nn.NewLinear(rng, d, ff), l2: nn.NewLinear(rng, ff, d)}
+}
+
+func (f *feedForward) forward(x *nn.Tensor) *nn.Tensor {
+	return f.l2.Forward(nn.ReLU(f.l1.Forward(x)))
+}
+
+func (f *feedForward) params() []*nn.Tensor {
+	return append(f.l1.Params(), f.l2.Params()...)
+}
+
+// encoderLayer is a standard post-norm transformer encoder block.
+type encoderLayer struct {
+	attn *nn.MultiHeadAttention
+	ffn  *feedForward
+	ln1  *nn.LayerNormModule
+	ln2  *nn.LayerNormModule
+}
+
+func newEncoderLayer(rng *rand.Rand, d, heads, ff int) *encoderLayer {
+	return &encoderLayer{
+		attn: nn.NewMultiHeadAttention(rng, d, heads),
+		ffn:  newFeedForward(rng, d, ff),
+		ln1:  nn.NewLayerNorm(d),
+		ln2:  nn.NewLayerNorm(d),
+	}
+}
+
+func (e *encoderLayer) forward(x *nn.Tensor, dropout float64, rng *rand.Rand, train bool) *nn.Tensor {
+	a := nn.Dropout(e.attn.Forward(x, x, x, nil), dropout, rng, train)
+	x = e.ln1.Forward(nn.Add(x, a))
+	f := nn.Dropout(e.ffn.forward(x), dropout, rng, train)
+	return e.ln2.Forward(nn.Add(x, f))
+}
+
+func (e *encoderLayer) params() []*nn.Tensor {
+	ps := e.attn.Params()
+	ps = append(ps, e.ffn.params()...)
+	ps = append(ps, e.ln1.Params()...)
+	return append(ps, e.ln2.Params()...)
+}
+
+// decoderLayer is a transformer decoder block with masked self-attention
+// and cross-attention over the encoder memory.
+type decoderLayer struct {
+	self  *nn.MultiHeadAttention
+	cross *nn.MultiHeadAttention
+	ffn   *feedForward
+	ln1   *nn.LayerNormModule
+	ln2   *nn.LayerNormModule
+	ln3   *nn.LayerNormModule
+}
+
+func newDecoderLayer(rng *rand.Rand, d, heads, ff int) *decoderLayer {
+	return &decoderLayer{
+		self:  nn.NewMultiHeadAttention(rng, d, heads),
+		cross: nn.NewMultiHeadAttention(rng, d, heads),
+		ffn:   newFeedForward(rng, d, ff),
+		ln1:   nn.NewLayerNorm(d),
+		ln2:   nn.NewLayerNorm(d),
+		ln3:   nn.NewLayerNorm(d),
+	}
+}
+
+func (dl *decoderLayer) forward(x, memory *nn.Tensor, mask *nn.Tensor, dropout float64, rng *rand.Rand, train bool) *nn.Tensor {
+	a := nn.Dropout(dl.self.Forward(x, x, x, mask), dropout, rng, train)
+	x = dl.ln1.Forward(nn.Add(x, a))
+	c := nn.Dropout(dl.cross.Forward(x, memory, memory, nil), dropout, rng, train)
+	x = dl.ln2.Forward(nn.Add(x, c))
+	f := nn.Dropout(dl.ffn.forward(x), dropout, rng, train)
+	return dl.ln3.Forward(nn.Add(x, f))
+}
+
+func (dl *decoderLayer) params() []*nn.Tensor {
+	ps := dl.self.Params()
+	ps = append(ps, dl.cross.Params()...)
+	ps = append(ps, dl.ffn.params()...)
+	ps = append(ps, dl.ln1.Params()...)
+	ps = append(ps, dl.ln2.Params()...)
+	return append(ps, dl.ln3.Params()...)
+}
+
+// transformer is an encoder-decoder transformer forecaster (§3.4, [18]):
+// value embedding + sinusoidal positional encoding, multi-head
+// self-attention encoder, and a decoder fed the last LabelLen observations
+// plus zero placeholders for the horizon, producing the whole forecast in
+// one forward pass.
+type transformer struct {
+	cfg      Config
+	rng      *rand.Rand
+	d        int
+	labelLen int
+	embed    *nn.Linear
+	pe       *nn.PositionalEncoding
+	enc      []*encoderLayer
+	dec      *decoderLayer
+	head     *nn.Linear
+	trained  bool
+}
+
+func newTransformer(cfg Config) *transformer {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.HiddenSize
+	if d < 8 {
+		d = 32
+	}
+	const heads = 4
+	m := &transformer{
+		cfg:      cfg,
+		rng:      rng,
+		d:        d,
+		labelLen: cfg.Horizon,
+		embed:    nn.NewLinear(rng, 1, d),
+		pe:       nn.NewPositionalEncoding(cfg.InputLen+2*cfg.Horizon+8, d),
+		dec:      newDecoderLayer(rng, d, heads, 2*d),
+		head:     nn.NewLinear(rng, d, 1),
+	}
+	for i := 0; i < 2; i++ {
+		m.enc = append(m.enc, newEncoderLayer(rng, d, heads, 2*d))
+	}
+	return m
+}
+
+func (m *transformer) Name() string { return "Transformer" }
+
+func (m *transformer) params() []*nn.Tensor {
+	ps := m.embed.Params()
+	for _, e := range m.enc {
+		ps = append(ps, e.params()...)
+	}
+	ps = append(ps, m.dec.params()...)
+	return append(ps, m.head.Params()...)
+}
+
+// embedSeq maps a [B, T] value tensor to [B, T, d] with positions added.
+func (m *transformer) embedSeq(x *nn.Tensor) *nn.Tensor {
+	b, t := x.Shape[0], x.Shape[1]
+	tokens := nn.Reshape(x, b, t, 1)
+	return m.pe.Add(m.embed.Forward(tokens))
+}
+
+// decoderInput builds the [B, labelLen + Horizon] decoder value sequence:
+// the last labelLen observations followed by zero placeholders.
+func decoderInput(x *nn.Tensor, labelLen, horizon int) *nn.Tensor {
+	b, l := x.Shape[0], x.Shape[1]
+	label := nn.Narrow(x, 1, l-labelLen, labelLen)
+	placeholders := nn.Zeros(b, horizon)
+	return nn.Concat(1, label, placeholders)
+}
+
+func (m *transformer) forward(x *nn.Tensor, train bool) *nn.Tensor {
+	dropout := m.cfg.Dropout
+	memory := m.embedSeq(x)
+	for _, e := range m.enc {
+		memory = e.forward(memory, dropout, m.rng, train)
+	}
+	decSeq := m.embedSeq(decoderInput(x, m.labelLen, m.cfg.Horizon))
+	mask := nn.CausalMask(m.labelLen + m.cfg.Horizon)
+	out := m.dec.forward(decSeq, memory, mask, dropout, m.rng, train)
+	// Project every position to a value and keep the horizon tail.
+	b := x.Shape[0]
+	vals := nn.Reshape(m.head.Forward(out), b, m.labelLen+m.cfg.Horizon)
+	return nn.Narrow(vals, 1, m.labelLen, m.cfg.Horizon)
+}
+
+func (m *transformer) Fit(train, val []float64) error {
+	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+		return err
+	}
+	m.trained = true
+	return nil
+}
+
+func (m *transformer) Predict(inputs [][]float64) ([][]float64, error) {
+	if !m.trained {
+		return nil, errors.New("forecast: Transformer predict before fit")
+	}
+	if err := checkInputs(inputs, m.cfg.InputLen); err != nil {
+		return nil, err
+	}
+	return predictNeural(m, m.cfg, inputs), nil
+}

@@ -1,0 +1,124 @@
+package gbt
+
+import (
+	"errors"
+	"math"
+)
+
+// Options configures gradient boosting.
+type Options struct {
+	Trees        int     // number of boosting rounds
+	LearningRate float64 // shrinkage
+	Tree         TreeOptions
+	// Patience stops early when validation MSE has not improved for this
+	// many rounds (0 disables early stopping).
+	Patience int
+}
+
+// DefaultOptions are the settings used by the GBoost forecasting model.
+func DefaultOptions() Options {
+	return Options{Trees: 100, LearningRate: 0.1, Tree: DefaultTreeOptions(), Patience: 10}
+}
+
+// Ensemble is a fitted gradient-boosted tree model for regression.
+type Ensemble struct {
+	Base         float64 // initial prediction (training mean)
+	LearningRate float64
+	Trees        []*Node
+}
+
+// Fit trains an ensemble with squared loss: each round fits a CART tree to
+// the current residuals (Friedman 2001). When validation data is supplied
+// and Patience > 0, training stops once validation MSE stalls.
+func Fit(x [][]float64, y []float64, valX [][]float64, valY []float64, opts Options) (*Ensemble, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, errors.New("gbt: empty or mismatched training data")
+	}
+	if opts.Trees <= 0 {
+		return nil, errors.New("gbt: need at least one boosting round")
+	}
+	if opts.LearningRate <= 0 || opts.LearningRate > 1 {
+		return nil, errors.New("gbt: learning rate must be in (0, 1]")
+	}
+	e := &Ensemble{Base: meanOf(y), LearningRate: opts.LearningRate}
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = e.Base
+	}
+	var valPred []float64
+	if len(valX) > 0 && len(valX) == len(valY) && opts.Patience > 0 {
+		valPred = make([]float64, len(valY))
+		for i := range valPred {
+			valPred[i] = e.Base
+		}
+	}
+	bestVal := math.Inf(1)
+	bestLen := 0
+	stall := 0
+	resid := make([]float64, len(y))
+	for round := 0; round < opts.Trees; round++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tree, err := BuildTree(x, resid, opts.Tree)
+		if err != nil {
+			return nil, err
+		}
+		e.Trees = append(e.Trees, tree)
+		for i, row := range x {
+			pred[i] += opts.LearningRate * tree.Predict(row)
+		}
+		if valPred != nil {
+			for i, row := range valX {
+				valPred[i] += opts.LearningRate * tree.Predict(row)
+			}
+			v := mse(valPred, valY)
+			if v < bestVal-1e-12 {
+				bestVal, bestLen, stall = v, len(e.Trees), 0
+			} else {
+				stall++
+				if stall >= opts.Patience {
+					e.Trees = e.Trees[:bestLen]
+					break
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
+// Predict evaluates the ensemble on one row.
+func (e *Ensemble) Predict(row []float64) float64 {
+	y := e.Base
+	for _, t := range e.Trees {
+		y += e.LearningRate * t.Predict(row)
+	}
+	return y
+}
+
+// PredictBatch evaluates the ensemble on many rows.
+func (e *Ensemble) PredictBatch(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = e.Predict(r)
+	}
+	return out
+}
+
+// R2 returns the coefficient of determination of the ensemble on (x, y).
+func (e *Ensemble) R2(x [][]float64, y []float64) float64 {
+	if len(y) == 0 {
+		return 0
+	}
+	pred := e.PredictBatch(x)
+	m := meanOf(y)
+	var ssRes, ssTot float64
+	for i := range y {
+		ssRes += (y[i] - pred[i]) * (y[i] - pred[i])
+		ssTot += (y[i] - m) * (y[i] - m)
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,296 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	x := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		v := float64(i) / 200
+		x[i] = []float64{v}
+		if v < 0.5 {
+			y[i] = 1
+		} else {
+			y[i] = 5
+		}
+	}
+	tree, err := BuildTree(x, y, TreeOptions{MaxDepth: 2, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, tree.Predict([]float64{0.1}), 1, 1e-9, "left leaf")
+	almost(t, tree.Predict([]float64{0.9}), 5, 1e-9, "right leaf")
+	if tree.IsLeaf() {
+		t.Fatal("tree should have split")
+	}
+	almost(t, tree.Threshold, 0.5, 0.01, "split point")
+}
+
+func TestTreeDepthAndLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, 500)
+	y := make([]float64, 500)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = x[i][0]*3 + x[i][1]*x[i][1]
+	}
+	tree, err := BuildTree(x, y, TreeOptions{MaxDepth: 4, MinLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 4 {
+		t.Errorf("depth %d exceeds max 4", d)
+	}
+	if l := tree.Leaves(); l < 2 || l > 16 {
+		t.Errorf("leaves = %d", l)
+	}
+	if tree.Cover != 500 {
+		t.Errorf("root cover = %v", tree.Cover)
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	tree, err := BuildTree(x, y, DefaultTreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.IsLeaf() {
+		t.Error("constant target should be a single leaf")
+	}
+	almost(t, tree.Predict([]float64{99}), 7, 1e-12, "constant prediction")
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := BuildTree(nil, nil, DefaultTreeOptions()); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := BuildTree([][]float64{{1}}, []float64{1, 2}, DefaultTreeOptions()); err == nil {
+		t.Error("mismatched data should error")
+	}
+	if _, err := BuildTree([][]float64{{1}}, []float64{1}, TreeOptions{MaxDepth: -1}); err == nil {
+		t.Error("negative depth should error")
+	}
+}
+
+func TestBoostingLearnsNonlinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		x[i] = []float64{a, b}
+		y[i] = math.Sin(a)*2 + b*b
+	}
+	e, err := Fit(x[:800], y[:800], x[800:], y[800:], Options{
+		Trees: 200, LearningRate: 0.1, Tree: TreeOptions{MaxDepth: 3, MinLeaf: 5}, Patience: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := e.R2(x[800:], y[800:]); r2 < 0.9 {
+		t.Errorf("validation R2 = %v, want >= 0.9", r2)
+	}
+}
+
+func TestBoostingEarlyStops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64()}
+		y[i] = rng.NormFloat64() // pure noise: validation never improves much
+	}
+	e, err := Fit(x[:200], y[:200], x[200:], y[200:], Options{
+		Trees: 500, LearningRate: 0.3, Tree: TreeOptions{MaxDepth: 3, MinLeaf: 2}, Patience: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Trees) >= 500 {
+		t.Errorf("early stopping never triggered; %d trees", len(e.Trees))
+	}
+}
+
+func TestBoostingErrors(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	if _, err := Fit(nil, nil, nil, nil, DefaultOptions()); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := Fit(x, y, nil, nil, Options{Trees: 0, LearningRate: 0.1, Tree: DefaultTreeOptions()}); err == nil {
+		t.Error("zero trees should error")
+	}
+	if _, err := Fit(x, y, nil, nil, Options{Trees: 1, LearningRate: 0, Tree: DefaultTreeOptions()}); err == nil {
+		t.Error("zero learning rate should error")
+	}
+}
+
+func TestExpectedValue(t *testing.T) {
+	// Hand-built tree: split on f0 at 0, covers 3/1, values 10 and 20.
+	tree := &Node{
+		Feature: 0, Threshold: 0, Cover: 4,
+		Left:  &Node{Feature: -1, Value: 10, Cover: 3},
+		Right: &Node{Feature: -1, Value: 20, Cover: 1},
+	}
+	almost(t, tree.ExpectedValue(), 12.5, 1e-12, "expected value")
+}
+
+// bruteForceShap computes exact Shapley values by enumerating feature
+// subsets, using the cover-weighted conditional expectation a tree defines.
+func bruteForceShap(e *Ensemble, row []float64) []float64 {
+	nf := len(row)
+	// value(S) = E[f(x) | x_S = row_S]
+	var cond func(n *Node, set uint) float64
+	cond = func(n *Node, set uint) float64 {
+		if n.IsLeaf() {
+			return n.Value
+		}
+		if set&(1<<uint(n.Feature)) != 0 {
+			if row[n.Feature] <= n.Threshold {
+				return cond(n.Left, set)
+			}
+			return cond(n.Right, set)
+		}
+		return (n.Left.Cover*cond(n.Left, set) + n.Right.Cover*cond(n.Right, set)) / n.Cover
+	}
+	value := func(set uint) float64 {
+		v := e.Base
+		for _, t := range e.Trees {
+			v += e.LearningRate * cond(t, set)
+		}
+		return v
+	}
+	fact := func(k int) float64 {
+		f := 1.0
+		for i := 2; i <= k; i++ {
+			f *= float64(i)
+		}
+		return f
+	}
+	phi := make([]float64, nf)
+	for i := 0; i < nf; i++ {
+		for set := uint(0); set < 1<<uint(nf); set++ {
+			if set&(1<<uint(i)) != 0 {
+				continue
+			}
+			size := 0
+			for b := 0; b < nf; b++ {
+				if set&(1<<uint(b)) != 0 {
+					size++
+				}
+			}
+			w := fact(size) * fact(nf-size-1) / fact(nf)
+			phi[i] += w * (value(set|1<<uint(i)) - value(set))
+		}
+	}
+	return phi
+}
+
+func TestTreeSHAPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	nf := 3
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = 3*x[i][0] + x[i][1]*x[i][2]*5 + rng.NormFloat64()*0.05
+	}
+	e, err := Fit(x, y, nil, nil, Options{
+		Trees: 20, LearningRate: 0.2, Tree: TreeOptions{MaxDepth: 3, MinLeaf: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		row := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		got, _ := e.ShapValues(row)
+		want := bruteForceShap(e, row)
+		for f := 0; f < nf; f++ {
+			if math.Abs(got[f]-want[f]) > 1e-8 {
+				t.Fatalf("trial %d feature %d: TreeSHAP %v, brute force %v", trial, f, got[f], want[f])
+			}
+		}
+	}
+}
+
+func TestTreeSHAPLocalAccuracy(t *testing.T) {
+	// Property: expected + sum(phi) == prediction, for random models/rows.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100
+		nf := 2 + rng.Intn(4)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = make([]float64, nf)
+			for j := range x[i] {
+				x[i][j] = rng.NormFloat64()
+			}
+			y[i] = x[i][0]*2 + rng.NormFloat64()
+		}
+		e, err := Fit(x, y, nil, nil, Options{
+			Trees: 10, LearningRate: 0.3, Tree: TreeOptions{MaxDepth: 4, MinLeaf: 2},
+		})
+		if err != nil {
+			return false
+		}
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		phi, expected := e.ShapValues(row)
+		sum := expected
+		for _, v := range phi {
+			sum += v
+		}
+		return math.Abs(sum-e.Predict(row)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeSHAPIrrelevantFeatureGetsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = 4 * x[i][0] // feature 1 is irrelevant
+	}
+	e, err := Fit(x, y, nil, nil, Options{
+		Trees: 30, LearningRate: 0.2, Tree: TreeOptions{MaxDepth: 3, MinLeaf: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := e.MeanAbsShap(x[:100])
+	if imp[1] > imp[0]*0.05 {
+		t.Errorf("irrelevant feature importance %v vs relevant %v", imp[1], imp[0])
+	}
+}
+
+func TestMeanAbsShapEmpty(t *testing.T) {
+	e := &Ensemble{Base: 1, LearningRate: 0.1}
+	if got := e.MeanAbsShap(nil); got != nil {
+		t.Error("empty rows should return nil")
+	}
+}

@@ -1,0 +1,160 @@
+package gbt
+
+// Exact TreeSHAP (Lundberg, Erion & Lee, Nature Machine Intelligence 2020,
+// Algorithm 2). For every feature it computes the exact Shapley value of
+// the tree ensemble's prediction, in polynomial time, by propagating the
+// proportion of feature subsets that flow down each tree path.
+
+// pathElement is one entry of the feature path maintained during the
+// TreeSHAP recursion.
+type pathElement struct {
+	feature int     // feature index, -1 for the root placeholder
+	zero    float64 // fraction of paths that flow through when the feature is excluded
+	one     float64 // fraction of paths that flow through when the feature is included
+	weight  float64 // proportion of subsets of each cardinality
+}
+
+// ShapValues returns the Shapley value per feature for one input row,
+// plus the expected value of the ensemble as the second return. The local
+// accuracy property holds: expected + sum(phi) == Predict(row).
+func (e *Ensemble) ShapValues(row []float64) ([]float64, float64) {
+	phi := make([]float64, len(row))
+	treePhi := make([]float64, len(row))
+	expected := e.Base
+	for _, t := range e.Trees {
+		for i := range treePhi {
+			treePhi[i] = 0
+		}
+		shapRecurse(t, row, treePhi, nil, 1, 1, -1)
+		for i := range phi {
+			phi[i] += e.LearningRate * treePhi[i]
+		}
+		expected += e.LearningRate * t.ExpectedValue()
+	}
+	return phi, expected
+}
+
+// ExpectedValue returns the cover-weighted mean leaf value of the tree,
+// i.e. E[f(x)] over the training distribution.
+func (n *Node) ExpectedValue() float64 {
+	if n.IsLeaf() {
+		return n.Value
+	}
+	return (n.Left.Cover*n.Left.ExpectedValue() + n.Right.Cover*n.Right.ExpectedValue()) / n.Cover
+}
+
+func shapRecurse(node *Node, x []float64, phi []float64, parent []pathElement, pz, po float64, pi int) {
+	m := extendPath(parent, pz, po, pi)
+	if node.IsLeaf() {
+		for i := 1; i < len(m); i++ {
+			w := unwoundPathSum(m, i)
+			phi[m[i].feature] += w * (m[i].one - m[i].zero) * node.Value
+		}
+		return
+	}
+	hot, cold := node.Left, node.Right
+	if x[node.Feature] > node.Threshold {
+		hot, cold = node.Right, node.Left
+	}
+	iz, io := 1.0, 1.0
+	if k := findFeature(m, node.Feature); k >= 0 {
+		iz, io = m[k].zero, m[k].one
+		m = unwindPath(m, k)
+	}
+	shapRecurse(hot, x, phi, m, iz*hot.Cover/node.Cover, io, node.Feature)
+	shapRecurse(cold, x, phi, m, iz*cold.Cover/node.Cover, 0, node.Feature)
+}
+
+// extendPath returns a copy of the path with one more element, updating the
+// subset-cardinality weights.
+func extendPath(m []pathElement, pz, po float64, pi int) []pathElement {
+	l := len(m)
+	out := make([]pathElement, l+1)
+	copy(out, m)
+	w := 0.0
+	if l == 0 {
+		w = 1
+	}
+	out[l] = pathElement{feature: pi, zero: pz, one: po, weight: w}
+	for i := l - 1; i >= 0; i-- {
+		out[i+1].weight += po * out[i].weight * float64(i+1) / float64(l+1)
+		out[i].weight = pz * out[i].weight * float64(l-i) / float64(l+1)
+	}
+	return out
+}
+
+// unwindPath returns a copy of the path with element i removed, restoring
+// the weights to the state before that element was extended.
+func unwindPath(m []pathElement, i int) []pathElement {
+	l := len(m) - 1
+	out := make([]pathElement, len(m))
+	copy(out, m)
+	one, zero := out[i].one, out[i].zero
+	n := out[l].weight
+	for j := l - 1; j >= 0; j-- {
+		if one != 0 {
+			t := out[j].weight
+			out[j].weight = n * float64(l+1) / (float64(j+1) * one)
+			n = t - out[j].weight*zero*float64(l-j)/float64(l+1)
+		} else {
+			out[j].weight = out[j].weight * float64(l+1) / (zero * float64(l-j))
+		}
+	}
+	for j := i; j < l; j++ {
+		out[j].feature = out[j+1].feature
+		out[j].zero = out[j+1].zero
+		out[j].one = out[j+1].one
+	}
+	return out[:l]
+}
+
+// unwoundPathSum returns the sum of weights the path would have after
+// removing element i, without materialising the unwound path.
+func unwoundPathSum(m []pathElement, i int) float64 {
+	l := len(m) - 1
+	one, zero := m[i].one, m[i].zero
+	next := m[l].weight
+	var total float64
+	for j := l - 1; j >= 0; j-- {
+		if one != 0 {
+			t := next * float64(l+1) / (float64(j+1) * one)
+			total += t
+			next = m[j].weight - t*zero*float64(l-j)/float64(l+1)
+		} else if zero != 0 {
+			total += m[j].weight * float64(l+1) / (zero * float64(l-j))
+		}
+	}
+	return total
+}
+
+func findFeature(m []pathElement, feature int) int {
+	for i := 1; i < len(m); i++ {
+		if m[i].feature == feature {
+			return i
+		}
+	}
+	return -1
+}
+
+// MeanAbsShap returns the mean absolute Shapley value per feature across
+// the given rows — the global importance ranking shown in the paper's
+// Figure 5 bar chart.
+func (e *Ensemble) MeanAbsShap(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		phi, _ := e.ShapValues(r)
+		for i, v := range phi {
+			if v < 0 {
+				v = -v
+			}
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rows))
+	}
+	return out
+}

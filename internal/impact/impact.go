@@ -1,0 +1,172 @@
+// Package impact implements the research direction the paper proposes in
+// §5: a machine-learning model that predicts the impact of lossy
+// compression on a downstream analytics task (here: the forecasting TFE)
+// from compression characteristics alone — method, error bound, compression
+// ratio, transformation error, and the characteristic deltas of the
+// decompressed series — without training or running any forecasting model.
+//
+// The predictor is a gradient-boosted tree ensemble; exact TreeSHAP
+// explains every prediction, so users can see which characteristic drift is
+// driving an expected accuracy loss.
+package impact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/core"
+	"lossyts/internal/features"
+	"lossyts/internal/gbt"
+)
+
+// Observation is one training or prediction instance.
+type Observation struct {
+	Method  compress.Method
+	Epsilon float64
+	CR      float64
+	TE      float64 // transformation error (NRMSE raw vs decompressed)
+	// Deltas holds the characteristic differences decompressed − raw.
+	Deltas features.Vector
+	// TFE is the label (ignored at prediction time).
+	TFE float64
+}
+
+// Predictor maps compression characteristics to an expected TFE.
+type Predictor struct {
+	featureNames []string // characteristic delta order
+	ensemble     *gbt.Ensemble
+	TrainR2      float64
+	HoldoutR2    float64 // R² on the held-out fifth of the observations
+}
+
+// methodFeatures one-hot encodes the compression method.
+func methodFeatures(m compress.Method) []float64 {
+	out := make([]float64, len(compress.Methods))
+	for i, name := range compress.Methods {
+		if m == name {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func (p *Predictor) row(o Observation) []float64 {
+	row := methodFeatures(o.Method)
+	row = append(row, o.Epsilon, o.CR, o.TE)
+	for _, n := range p.featureNames {
+		row = append(row, o.Deltas[n])
+	}
+	return row
+}
+
+// rowNames returns the full feature naming, aligned with row.
+func (p *Predictor) rowNames() []string {
+	names := make([]string, 0, len(compress.Methods)+3+len(p.featureNames))
+	for _, m := range compress.Methods {
+		names = append(names, "method_"+string(m))
+	}
+	names = append(names, "epsilon", "cr", "te")
+	names = append(names, p.featureNames...)
+	return names
+}
+
+// Train fits the predictor on the observations, holding out every fifth
+// one to estimate generalisation.
+func Train(obs []Observation) (*Predictor, error) {
+	if len(obs) < 20 {
+		return nil, fmt.Errorf("impact: %d observations too few (need >= 20)", len(obs))
+	}
+	p := &Predictor{featureNames: obs[0].Deltas.Names()}
+	var trainX, testX [][]float64
+	var trainY, testY []float64
+	for i, o := range obs {
+		row := p.row(o)
+		if i%5 == 4 {
+			testX = append(testX, row)
+			testY = append(testY, o.TFE)
+		} else {
+			trainX = append(trainX, row)
+			trainY = append(trainY, o.TFE)
+		}
+	}
+	ens, err := gbt.Fit(trainX, trainY, testX, testY, gbt.Options{
+		Trees:        300,
+		LearningRate: 0.05,
+		Tree:         gbt.TreeOptions{MaxDepth: 4, MinLeaf: 3},
+		Patience:     30,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.ensemble = ens
+	p.TrainR2 = ens.R2(trainX, trainY)
+	p.HoldoutR2 = ens.R2(testX, testY)
+	return p, nil
+}
+
+// Predict returns the expected TFE for an observation (the TFE field is
+// ignored).
+func (p *Predictor) Predict(o Observation) (float64, error) {
+	if p.ensemble == nil {
+		return 0, errors.New("impact: predictor not trained")
+	}
+	return p.ensemble.Predict(p.row(o)), nil
+}
+
+// Contribution is one feature's Shapley contribution to a prediction.
+type Contribution struct {
+	Feature string
+	Value   float64 // the feature's value in the observation
+	Phi     float64 // its Shapley contribution to the predicted TFE
+}
+
+// Explain returns the per-feature Shapley contributions of a prediction,
+// sorted by absolute contribution.
+func (p *Predictor) Explain(o Observation) ([]Contribution, float64, error) {
+	if p.ensemble == nil {
+		return nil, 0, errors.New("impact: predictor not trained")
+	}
+	row := p.row(o)
+	phi, expected := p.ensemble.ShapValues(row)
+	names := p.rowNames()
+	out := make([]Contribution, len(names))
+	for i, n := range names {
+		out[i] = Contribution{Feature: n, Value: row[i], Phi: phi[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return math.Abs(out[i].Phi) > math.Abs(out[j].Phi)
+	})
+	return out, expected, nil
+}
+
+// ObservationsFromGrid converts a completed evaluation grid into training
+// observations: one per grid cell, labelled with the cell's mean TFE across
+// the forecasting models.
+func ObservationsFromGrid(g *core.GridResult) ([]Observation, error) {
+	rows, err := g.FeatureRows()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Observation, 0, len(rows))
+	for _, r := range rows {
+		cell := g.Datasets[r.Dataset].Cell(r.Method, r.Epsilon)
+		if cell == nil {
+			continue
+		}
+		out = append(out, Observation{
+			Method:  r.Method,
+			Epsilon: r.Epsilon,
+			CR:      cell.CR,
+			TE:      cell.TE.NRMSE,
+			Deltas:  r.Delta,
+			TFE:     r.TFE,
+		})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("impact: grid produced no observations")
+	}
+	return out, nil
+}

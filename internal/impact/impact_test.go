@@ -1,0 +1,145 @@
+package impact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/core"
+	"lossyts/internal/features"
+)
+
+// syntheticObservations builds observations where TFE is a known function
+// of the inputs: TFE = 2·|max_kl_shift delta| + 0.5·te + method effect.
+func syntheticObservations(n int, seed int64) []Observation {
+	rng := rand.New(rand.NewSource(seed))
+	methods := compress.Methods
+	obs := make([]Observation, n)
+	for i := range obs {
+		m := methods[rng.Intn(len(methods))]
+		kl := rng.Float64()
+		te := rng.Float64() * 0.1
+		tfe := 2*kl + 0.5*te
+		if m == compress.MethodSZ {
+			tfe += 0.2
+		}
+		obs[i] = Observation{
+			Method:  m,
+			Epsilon: rng.Float64(),
+			CR:      1 + rng.Float64()*20,
+			TE:      te,
+			Deltas: features.Vector{
+				"max_kl_shift":  kl,
+				"seas_strength": rng.Float64() * 0.01, // irrelevant noise
+			},
+			TFE: tfe + 0.01*rng.NormFloat64(),
+		}
+	}
+	return obs
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	obs := syntheticObservations(400, 1)
+	p, err := Train(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TrainR2 < 0.9 {
+		t.Errorf("train R2 = %.3f", p.TrainR2)
+	}
+	if p.HoldoutR2 < 0.8 {
+		t.Errorf("holdout R2 = %.3f", p.HoldoutR2)
+	}
+	// Prediction tracks the generating function.
+	test := syntheticObservations(50, 2)
+	var sumErr float64
+	for _, o := range test {
+		pred, err := p.Predict(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumErr += math.Abs(pred - o.TFE)
+	}
+	if mean := sumErr / float64(len(test)); mean > 0.12 {
+		t.Errorf("mean absolute prediction error = %.3f", mean)
+	}
+}
+
+func TestExplainRanksDrivingFeature(t *testing.T) {
+	obs := syntheticObservations(400, 3)
+	p, err := Train(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An observation with a huge KL shift should be explained by it.
+	o := Observation{
+		Method:  compress.MethodPMC,
+		Epsilon: 0.3,
+		CR:      10,
+		TE:      0.05,
+		Deltas:  features.Vector{"max_kl_shift": 0.95, "seas_strength": 0.001},
+	}
+	contrib, expected, err := p.Explain(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contrib[0].Feature != "max_kl_shift" {
+		t.Errorf("top contribution = %s, want max_kl_shift", contrib[0].Feature)
+	}
+	// Local accuracy: expected + sum(phi) == prediction.
+	pred, _ := p.Predict(o)
+	sum := expected
+	for _, c := range contrib {
+		sum += c.Phi
+	}
+	if math.Abs(sum-pred) > 1e-8 {
+		t.Errorf("SHAP does not sum to prediction: %v vs %v", sum, pred)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("empty training set should error")
+	}
+	if _, err := Train(syntheticObservations(5, 4)); err == nil {
+		t.Error("tiny training set should error")
+	}
+	var p Predictor
+	if _, err := p.Predict(Observation{Deltas: features.Vector{}}); err == nil {
+		t.Error("untrained predict should error")
+	}
+	if _, _, err := p.Explain(Observation{Deltas: features.Vector{}}); err == nil {
+		t.Error("untrained explain should error")
+	}
+}
+
+func TestObservationsFromGrid(t *testing.T) {
+	g, err := core.RunGrid(core.QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ObservationsFromGrid(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.QuickOptions()
+	want := 2 * 3 * 4 // datasets × methods × bounds in QuickOptions
+	_ = opts
+	if len(obs) != want {
+		t.Fatalf("observations = %d, want %d", len(obs), want)
+	}
+	for _, o := range obs {
+		if o.CR <= 0 || len(o.Deltas) < 42 {
+			t.Fatalf("bad observation %+v", o)
+		}
+	}
+	// End-to-end: the real grid is small but must still train.
+	p, err := Train(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TrainR2 <= 0 {
+		t.Errorf("train R2 = %v", p.TrainR2)
+	}
+}

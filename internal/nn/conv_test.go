@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConv1DValues(t *testing.T) {
+	// Identity kernel: kernel 1, weight 1 copies the input.
+	c := &Conv1D{Kernel: 1, In: 1, Out: 1, W: Full(1, 1, 1, 1).Param(), B: Zeros(1).Param()}
+	x := New([]int{1, 4, 1}, []float64{1, 2, 3, 4})
+	out := c.Forward(x)
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatalf("identity conv = %v", out.Data)
+		}
+	}
+	// Averaging kernel of width 3 with zero padding at the ends.
+	avg := &Conv1D{Kernel: 3, In: 1, Out: 1, W: Full(1.0/3, 3, 1, 1).Param(), B: Zeros(1).Param()}
+	out = avg.Forward(x)
+	want := []float64{(0 + 1 + 2) / 3.0, 2, 3, (3 + 4 + 0) / 3.0}
+	for i := range want {
+		if math.Abs(out.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("avg conv = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestGradConv1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv1D(rng, 3, 2, 3)
+	x := Randn(rng, 1, 2, 5, 2).Param()
+	c := Randn(rng, 1, 2, 5, 3)
+	loss := func() *Tensor {
+		x.ZeroGrad()
+		ZeroGrad(conv.Params())
+		return Mean(Mul(conv.Forward(x), c))
+	}
+	checkGrad(t, "Conv1D/x", x, loss, 1e-4)
+	checkGrad(t, "Conv1D/W", conv.W, loss, 1e-4)
+	checkGrad(t, "Conv1D/B", conv.B, loss, 1e-4)
+}
+
+func TestMaxPool1DValues(t *testing.T) {
+	x := New([]int{1, 5, 1}, []float64{3, 1, 4, 1, 5})
+	out := MaxPool1D(x, 3, 2)
+	// Windows: [3,1,4] [4,1,5] [5]
+	want := []float64{4, 5, 5}
+	if len(out.Data) != 3 {
+		t.Fatalf("pooled length = %d", len(out.Data))
+	}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("maxpool = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestGradMaxPool1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 2, 6, 2).Param()
+	// Perturbations near ties break finite differences; spread the values.
+	for i := range x.Data {
+		x.Data[i] += float64(i) * 0.1
+	}
+	c := Randn(rng, 1, 2, 3, 2)
+	loss := func() *Tensor { x.ZeroGrad(); return Mean(Mul(MaxPool1D(x, 3, 2), c)) }
+	checkGrad(t, "MaxPool1D", x, loss, 1e-5)
+}
+
+func TestGradELU(t *testing.T) {
+	x := New([]int{4}, []float64{-2, -0.5, 0.5, 2}).Param()
+	c := New([]int{4}, []float64{1, -1, 0.5, 2})
+	checkGrad(t, "ELU", x, func() *Tensor { x.ZeroGrad(); return Mean(Mul(ELU(x), c)) }, 1e-5)
+	out := ELU(New([]int{2}, []float64{1, -1}))
+	if out.Data[0] != 1 || math.Abs(out.Data[1]-(math.Exp(-1)-1)) > 1e-12 {
+		t.Fatalf("ELU values = %v", out.Data)
+	}
+}
+
+func TestConvPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad input shape")
+		}
+	}()
+	c := NewConv1D(rand.New(rand.NewSource(3)), 3, 2, 2)
+	c.Forward(Zeros(2, 5, 3))
+}

@@ -1,0 +1,515 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkGrad compares autodiff gradients of a scalar loss against central
+// finite differences for every element of x.
+func checkGrad(t *testing.T, name string, x *Tensor, loss func() *Tensor, tol float64) {
+	t.Helper()
+	l := loss()
+	l.Backward()
+	analytic := append([]float64(nil), x.Grad...)
+	const h = 1e-6
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := loss().Item()
+		x.Data[i] = orig - h
+		lm := loss().Item()
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-analytic[i]) > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("%s: grad[%d] analytic %v, numeric %v", name, i, analytic[i], numeric)
+		}
+	}
+}
+
+func TestGradElementwiseOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 3, 4).Param()
+	c := Randn(rng, 1, 3, 4)
+
+	cases := []struct {
+		name string
+		f    func() *Tensor
+	}{
+		{"Add", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Add(x, c), c)) }},
+		{"Sub", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Sub(x, c), c)) }},
+		{"Mul", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Mul(x, c), c)) }},
+		{"Scale", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Scale(x, 2.5), c)) }},
+		{"Tanh", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Tanh(x), c)) }},
+		{"Sigmoid", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Sigmoid(x), c)) }},
+		{"GELU", func() *Tensor { x.ZeroGrad(); return Mean(Mul(GELU(x), c)) }},
+		{"Softmax", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Softmax(x), c)) }},
+		{"MSE", func() *Tensor { x.ZeroGrad(); return MSE(x, c) }},
+		{"Reshape", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Reshape(x, 4, 3), Reshape(c, 4, 3))) }},
+		{"Transpose", func() *Tensor { x.ZeroGrad(); return Mean(Mul(Transpose(x), Transpose(c))) }},
+	}
+	for _, tc := range cases {
+		checkGrad(t, tc.name, x, tc.f, 1e-5)
+	}
+}
+
+func TestGradReLU(t *testing.T) {
+	// Keep values away from the kink at 0.
+	x := New([]int{4}, []float64{-2, -1, 1, 2}).Param()
+	c := New([]int{4}, []float64{0.3, -0.7, 1.1, 0.5})
+	checkGrad(t, "ReLU", x, func() *Tensor { x.ZeroGrad(); return Mean(Mul(ReLU(x), c)) }, 1e-5)
+}
+
+func TestGradMatMulShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(rng, 1, 2, 3, 4).Param()
+	w := Randn(rng, 1, 4, 5).Param()
+	c := Randn(rng, 1, 2, 3, 5)
+	loss := func() *Tensor { a.ZeroGrad(); w.ZeroGrad(); return Mean(Mul(MatMul(a, w), c)) }
+	checkGrad(t, "MatMul/A", a, loss, 1e-5)
+	checkGrad(t, "MatMul/W", w, loss, 1e-5)
+}
+
+func TestGradMatMulBatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := Randn(rng, 1, 2, 3, 4).Param()
+	b := Randn(rng, 1, 2, 4, 5).Param()
+	c := Randn(rng, 1, 2, 3, 5)
+	loss := func() *Tensor { a.ZeroGrad(); b.ZeroGrad(); return Mean(Mul(MatMul(a, b), c)) }
+	checkGrad(t, "BatchMatMul/A", a, loss, 1e-5)
+	checkGrad(t, "BatchMatMul/B", b, loss, 1e-5)
+}
+
+func TestMatMulValues(t *testing.T) {
+	a := New([]int{2, 2}, []float64{1, 2, 3, 4})
+	b := New([]int{2, 2}, []float64{5, 6, 7, 8})
+	got := MatMul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if math.Abs(got.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("matmul = %v, want %v", got.Data, want)
+		}
+	}
+}
+
+func TestGradAddBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 1, 3, 4).Param()
+	bias := Randn(rng, 1, 4).Param()
+	c := Randn(rng, 1, 3, 4)
+	loss := func() *Tensor { x.ZeroGrad(); bias.ZeroGrad(); return Mean(Mul(AddBias(x, bias), c)) }
+	checkGrad(t, "AddBias/x", x, loss, 1e-5)
+	checkGrad(t, "AddBias/b", bias, loss, 1e-5)
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := Randn(rng, 1, 3, 6).Param()
+	gain := Randn(rng, 0.5, 6).Param()
+	bias := Randn(rng, 0.5, 6).Param()
+	c := Randn(rng, 1, 3, 6)
+	loss := func() *Tensor {
+		x.ZeroGrad()
+		gain.ZeroGrad()
+		bias.ZeroGrad()
+		return Mean(Mul(LayerNorm(x, gain, bias, 1e-5), c))
+	}
+	checkGrad(t, "LayerNorm/x", x, loss, 1e-4)
+	checkGrad(t, "LayerNorm/gain", gain, loss, 1e-4)
+	checkGrad(t, "LayerNorm/bias", bias, loss, 1e-4)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := Randn(rng, 3, 4, 8)
+	out := LayerNorm(x, Full(1, 8), Zeros(8), 1e-8)
+	for r := 0; r < 4; r++ {
+		row := out.Data[r*8 : (r+1)*8]
+		var m, v float64
+		for _, val := range row {
+			m += val
+		}
+		m /= 8
+		for _, val := range row {
+			v += (val - m) * (val - m)
+		}
+		v /= 8
+		if math.Abs(m) > 1e-9 || math.Abs(v-1) > 1e-6 {
+			t.Fatalf("row %d: mean %v var %v", r, m, v)
+		}
+	}
+}
+
+func TestGradConcatNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := Randn(rng, 1, 2, 3).Param()
+	b := Randn(rng, 1, 2, 2).Param()
+	c := Randn(rng, 1, 2, 5)
+	loss := func() *Tensor { a.ZeroGrad(); b.ZeroGrad(); return Mean(Mul(Concat(1, a, b), c)) }
+	checkGrad(t, "Concat/a", a, loss, 1e-5)
+	checkGrad(t, "Concat/b", b, loss, 1e-5)
+
+	x := Randn(rng, 1, 2, 6).Param()
+	cn := Randn(rng, 1, 2, 3)
+	loss2 := func() *Tensor { x.ZeroGrad(); return Mean(Mul(Narrow(x, 1, 2, 3), cn)) }
+	checkGrad(t, "Narrow", x, loss2, 1e-5)
+}
+
+func TestGradSplitMergeHeads(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := Randn(rng, 1, 2, 3, 8).Param()
+	c := Randn(rng, 1, 8, 3, 2)
+	loss := func() *Tensor { x.ZeroGrad(); return Mean(Mul(SplitHeads(x, 4), c)) }
+	checkGrad(t, "SplitHeads", x, loss, 1e-5)
+	// Merge is the inverse of Split.
+	y := Randn(rng, 1, 2, 5, 8)
+	rt := MergeHeads(SplitHeads(y, 2), 2)
+	for i := range y.Data {
+		if math.Abs(rt.Data[i]-y.Data[i]) > 1e-12 {
+			t.Fatal("Merge(Split(x)) != x")
+		}
+	}
+}
+
+func TestGradMaskedFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := Randn(rng, 1, 3, 3).Param()
+	mask := CausalMask(3)
+	c := Randn(rng, 1, 3, 3)
+	loss := func() *Tensor { x.ZeroGrad(); return Mean(Mul(MaskedFill(x, mask, -5), c)) }
+	checkGrad(t, "MaskedFill", x, loss, 1e-5)
+}
+
+func TestCausalMask(t *testing.T) {
+	m := CausalMask(3)
+	want := []float64{0, 1, 1, 0, 0, 1, 0, 0, 0}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("mask = %v", m.Data)
+		}
+	}
+}
+
+func TestGradDropoutDeterministic(t *testing.T) {
+	x := Randn(rand.New(rand.NewSource(10)), 1, 4, 4).Param()
+	c := Randn(rand.New(rand.NewSource(11)), 1, 4, 4)
+	loss := func() *Tensor {
+		x.ZeroGrad()
+		rng := rand.New(rand.NewSource(42)) // same mask on every call
+		return Mean(Mul(Dropout(x, 0.5, rng, true), c))
+	}
+	checkGrad(t, "Dropout", x, loss, 1e-5)
+	// Eval mode is the identity.
+	if got := Dropout(x, 0.5, nil, false); got != x {
+		t.Error("eval-mode dropout should be identity")
+	}
+}
+
+func TestGradMovingAvg(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := Randn(rng, 1, 2, 9).Param()
+	c := Randn(rng, 1, 2, 9)
+	for _, k := range []int{1, 3, 4, 25} {
+		kernel := k
+		loss := func() *Tensor { x.ZeroGrad(); return Mean(Mul(MovingAvg1D(x, kernel), c)) }
+		checkGrad(t, "MovingAvg", x, loss, 1e-5)
+	}
+}
+
+func TestMovingAvgValues(t *testing.T) {
+	x := New([]int{1, 5}, []float64{1, 2, 3, 4, 5})
+	out := MovingAvg1D(x, 3)
+	// Edge replication: (1+1+2)/3, (1+2+3)/3, ...
+	want := []float64{4.0 / 3, 2, 3, 4, 14.0 / 3}
+	for i := range want {
+		if math.Abs(out.Data[i]-want[i]) > 1e-12 {
+			t.Fatalf("moving avg = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestGradMultiHeadAttention(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mha := NewMultiHeadAttention(rng, 8, 2)
+	x := Randn(rng, 1, 1, 3, 8).Param()
+	c := Randn(rng, 1, 1, 3, 8)
+	loss := func() *Tensor {
+		x.ZeroGrad()
+		ZeroGrad(mha.Params())
+		return Mean(Mul(mha.Forward(x, x, x, nil), c))
+	}
+	checkGrad(t, "MHA/x", x, loss, 1e-4)
+	checkGrad(t, "MHA/Wq", mha.Wq.W, loss, 1e-4)
+	checkGrad(t, "MHA/Wo", mha.Wo.W, loss, 1e-4)
+}
+
+func TestAttentionCausalMaskBlocksFuture(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	mha := NewMultiHeadAttention(rng, 4, 1)
+	t1 := Randn(rng, 1, 1, 3, 4)
+	// Changing a future position must not change earlier outputs under a
+	// causal mask.
+	out1 := mha.Forward(t1, t1, t1, CausalMask(3))
+	t2 := t1.Clone()
+	for c := 0; c < 4; c++ {
+		t2.Data[2*4+c] += 10 // perturb position 2 only
+	}
+	out2 := mha.Forward(t2, t2, t2, CausalMask(3))
+	for c := 0; c < 4; c++ {
+		if math.Abs(out1.Data[c]-out2.Data[c]) > 1e-9 {
+			t.Fatal("causal mask leaked future information to position 0")
+		}
+	}
+}
+
+func TestGradGRUCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	cell := NewGRUCell(rng, 3, 4)
+	x := Randn(rng, 1, 2, 3).Param()
+	h := Zeros(2, 4)
+	c := Randn(rng, 1, 2, 4)
+	loss := func() *Tensor {
+		x.ZeroGrad()
+		ZeroGrad(cell.Params())
+		return Mean(Mul(cell.Step(x, h), c))
+	}
+	checkGrad(t, "GRU/x", x, loss, 1e-4)
+	checkGrad(t, "GRU/Wz", cell.Wz.W, loss, 1e-4)
+	checkGrad(t, "GRU/Uh", cell.Uh.W, loss, 1e-4)
+}
+
+func TestGRUThroughTime(t *testing.T) {
+	// Backprop through several steps must flow gradients to early inputs.
+	rng := rand.New(rand.NewSource(16))
+	cell := NewGRUCell(rng, 2, 3)
+	xs := make([]*Tensor, 4)
+	for i := range xs {
+		xs[i] = Randn(rng, 1, 1, 2).Param()
+	}
+	h := Zeros(1, 3)
+	for _, x := range xs {
+		h = cell.Step(x, h)
+	}
+	Mean(h).Backward()
+	var norm float64
+	for _, g := range xs[0].Grad {
+		norm += g * g
+	}
+	if norm == 0 {
+		t.Fatal("no gradient reached the first time step")
+	}
+}
+
+func TestPositionalEncoding(t *testing.T) {
+	pe := NewPositionalEncoding(16, 8)
+	x := Zeros(2, 4, 8)
+	out := pe.Add(x)
+	// Position 0, even channel: sin(0) = 0; odd channel: cos(0) = 1.
+	if out.At(0, 0, 0) != 0 || out.At(0, 0, 1) != 1 {
+		t.Fatalf("pe[0] = %v, %v", out.At(0, 0, 0), out.At(0, 0, 1))
+	}
+	// The two batch entries receive identical encodings.
+	for i := 0; i < 4*8; i++ {
+		if out.Data[i] != out.Data[4*8+i] {
+			t.Fatal("batch entries differ")
+		}
+	}
+	rng := rand.New(rand.NewSource(17))
+	xp := Randn(rng, 1, 1, 4, 8).Param()
+	c := Randn(rng, 1, 1, 4, 8)
+	checkGrad(t, "PosEnc", xp, func() *Tensor { xp.ZeroGrad(); return Mean(Mul(pe.Add(xp), c)) }, 1e-5)
+}
+
+func TestLinearForward(t *testing.T) {
+	l := &Linear{
+		W: New([]int{2, 2}, []float64{1, 2, 3, 4}).Param(),
+		B: New([]int{2}, []float64{10, 20}).Param(),
+	}
+	out := l.Forward(New([]int{1, 2}, []float64{1, 1}))
+	if out.Data[0] != 14 || out.Data[1] != 26 {
+		t.Fatalf("linear forward = %v", out.Data)
+	}
+}
+
+func TestAdamConvergesLinearRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	// y = 3x - 2
+	n := 64
+	xs := Zeros(n, 1)
+	ys := Zeros(n, 1)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*4 - 2
+		xs.Data[i] = x
+		ys.Data[i] = 3*x - 2
+	}
+	lin := NewLinear(rng, 1, 1)
+	opt := NewAdam(0.05, 0)
+	for epoch := 0; epoch < 400; epoch++ {
+		ZeroGrad(lin.Params())
+		loss := MSE(lin.Forward(xs), ys)
+		loss.Backward()
+		opt.Step(lin.Params())
+	}
+	if math.Abs(lin.W.Data[0]-3) > 0.05 || math.Abs(lin.B.Data[0]+2) > 0.05 {
+		t.Fatalf("fit w=%v b=%v, want 3, -2", lin.W.Data[0], lin.B.Data[0])
+	}
+}
+
+func TestAdamWithWeightDecayShrinksUnusedParams(t *testing.T) {
+	p := New([]int{1}, []float64{5}).Param()
+	opt := NewAdam(0.1, 0.5)
+	for i := 0; i < 200; i++ {
+		p.ZeroGrad() // gradient always zero; only decay acts
+		opt.Step([]*Tensor{p})
+	}
+	if math.Abs(p.Data[0]) > 0.5 {
+		t.Fatalf("weight decay did not shrink param: %v", p.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := New([]int{2}, []float64{0, 0}).Param()
+	p.Grad[0], p.Grad[1] = 3, 4
+	norm := ClipGradNorm([]*Tensor{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	got := math.Hypot(p.Grad[0], p.Grad[1])
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v", got)
+	}
+	// Below the cap: untouched.
+	p.Grad[0], p.Grad[1] = 0.1, 0
+	ClipGradNorm([]*Tensor{p}, 1)
+	if p.Grad[0] != 0.1 {
+		t.Fatal("clip modified a small gradient")
+	}
+}
+
+func TestTensorAccessors(t *testing.T) {
+	x := New([]int{2, 3}, []float64{0, 1, 2, 3, 4, 5})
+	if x.At(1, 2) != 5 || x.At(0, 1) != 1 {
+		t.Fatal("At wrong")
+	}
+	x.Set(9, 1, 0)
+	if x.At(1, 0) != 9 {
+		t.Fatal("Set wrong")
+	}
+	if x.Dim(-1) != 3 || x.Dim(0) != 2 {
+		t.Fatal("Dim wrong")
+	}
+	c := x.Clone()
+	c.Data[0] = 77
+	if x.Data[0] == 77 {
+		t.Fatal("Clone shares data")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("New size", func() { New([]int{2, 2}, []float64{1}) })
+	expectPanic("Add shape", func() { Add(Zeros(2), Zeros(3)) })
+	expectPanic("Item non-scalar", func() { Zeros(2).Item() })
+	expectPanic("Backward non-scalar", func() { Zeros(2).Param().Backward() })
+	expectPanic("MatMul dims", func() { MatMul(Zeros(2, 3), Zeros(4, 5)) })
+	expectPanic("Narrow range", func() { Narrow(Zeros(2, 2), 1, 1, 5) })
+	expectPanic("index range", func() { Zeros(2, 2).At(5, 0) })
+	expectPanic("SplitHeads div", func() { SplitHeads(Zeros(1, 2, 7), 2) })
+}
+
+func TestMeanValue(t *testing.T) {
+	x := New([]int{4}, []float64{1, 2, 3, 4})
+	if got := Mean(x).Item(); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestLayerNormModule(t *testing.T) {
+	ln := NewLayerNorm(4)
+	if len(ln.Params()) != 2 {
+		t.Fatal("layer norm should expose gain and bias")
+	}
+	x := New([]int{1, 4}, []float64{1, 2, 3, 4}).Param()
+	if !x.RequiresGrad() {
+		t.Fatal("Param should require grad")
+	}
+	out := ln.Forward(x)
+	var m float64
+	for _, v := range out.Data {
+		m += v
+	}
+	if math.Abs(m/4) > 1e-9 {
+		t.Fatalf("default layer norm output mean = %v", m/4)
+	}
+}
+
+func TestBackwardAccumulatesAcrossCalls(t *testing.T) {
+	// Two backward passes without ZeroGrad accumulate gradients.
+	x := New([]int{2}, []float64{1, 2}).Param()
+	loss := func() *Tensor { return Mean(Mul(x, x)) }
+	loss().Backward()
+	first := append([]float64(nil), x.Grad...)
+	loss().Backward()
+	for i := range first {
+		if math.Abs(x.Grad[i]-2*first[i]) > 1e-12 {
+			t.Fatalf("gradients should accumulate: %v vs %v", x.Grad[i], 2*first[i])
+		}
+	}
+}
+
+func TestSharedSubgraphGradient(t *testing.T) {
+	// y = x used twice: d/dx mean(x*x + x*x)? Build z = Add(Mul(x,c), Mul(x,c));
+	// gradient through both branches must sum.
+	x := New([]int{1}, []float64{3}).Param()
+	c := New([]int{1}, []float64{2})
+	z := Add(Mul(x, c), Mul(x, c))
+	Mean(z).Backward()
+	if math.Abs(x.Grad[0]-4) > 1e-12 {
+		t.Fatalf("shared subgraph grad = %v, want 4", x.Grad[0])
+	}
+}
+
+func TestNoGradWhenNotRequired(t *testing.T) {
+	// Ops over constants build no graph and Backward on results is a no-op.
+	a := Zeros(2, 2)
+	b := Full(1, 2, 2)
+	out := Add(a, b)
+	if out.RequiresGrad() {
+		t.Fatal("constant op should not require grad")
+	}
+	if out.Grad != nil {
+		t.Fatal("constant op should not allocate grad")
+	}
+}
+
+func TestTrainTwoLayerMLPOnXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// XOR: not linearly separable; a 2-layer net must fit it.
+	xs := New([]int{4, 2}, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	ys := New([]int{4, 1}, []float64{0, 1, 1, 0})
+	l1 := NewLinear(rng, 2, 8)
+	l2 := NewLinear(rng, 8, 1)
+	params := append(l1.Params(), l2.Params()...)
+	opt := NewAdam(0.05, 0)
+	for i := 0; i < 800; i++ {
+		ZeroGrad(params)
+		pred := l2.Forward(Tanh(l1.Forward(xs)))
+		MSE(pred, ys).Backward()
+		opt.Step(params)
+	}
+	pred := l2.Forward(Tanh(l1.Forward(xs)))
+	for i, want := range ys.Data {
+		if math.Abs(pred.Data[i]-want) > 0.15 {
+			t.Fatalf("XOR output %d = %v, want %v", i, pred.Data[i], want)
+		}
+	}
+}

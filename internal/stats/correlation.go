@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient
+// between x and y.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	if len(x) < 2 {
+		return 0, errors.New("stats: correlation needs at least 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: correlation undefined for constant input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns Spearman's rank correlation coefficient, the statistic
+// the paper uses to rank characteristics by their relation to TFE (Table 4).
+// Ties receive average ranks.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns the 1-based average ranks of x (ties share the mean of the
+// ranks they span).
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// positions i..j share the same value; average rank is mean of i+1..j+1
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// KLDivergence returns the Kullback-Leibler divergence D(p || q) of two
+// discrete distributions. Entries where p is zero contribute nothing; a
+// small epsilon keeps q away from zero (matching the smoothing used by
+// tsfeatures' max_kl_shift).
+func KLDivergence(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, ErrLengthMismatch
+	}
+	const eps = 1e-12
+	var d float64
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		d += p[i] * math.Log(p[i]/math.Max(q[i], eps))
+	}
+	return d, nil
+}
+
+// Histogram bins values into nbins equal-width bins over [lo, hi] and
+// returns the normalised bin probabilities. Values outside the range are
+// clamped into the edge bins.
+func Histogram(values []float64, lo, hi float64, nbins int) []float64 {
+	p := make([]float64, nbins)
+	if len(values) == 0 || nbins <= 0 || hi <= lo {
+		return p
+	}
+	w := (hi - lo) / float64(nbins)
+	for _, v := range values {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		p[b]++
+	}
+	for i := range p {
+		p[i] /= float64(len(values))
+	}
+	return p
+}

@@ -1,0 +1,285 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	got, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, got, 1, 1e-12, "perfect positive Pearson")
+	neg := []float64{10, 8, 6, 4, 2}
+	got, _ = Pearson(x, neg)
+	almost(t, got, -1, 1e-12, "perfect negative Pearson")
+	if _, err := Pearson(x, []float64{1, 1, 1, 1, 1}); err == nil {
+		t.Error("constant input should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Spearman only cares about ranks: any monotone transform gives 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	got, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, got, 1, 1e-12, "monotone Spearman")
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 2, 2, 3}
+	y := []float64{10, 20, 20, 30}
+	got, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, got, 1, 1e-12, "tied Spearman")
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+	// Average ranks for ties: values {5,5} at sorted positions 2,3 -> rank 2.5.
+	got = Ranks([]float64{5, 1, 5})
+	want = []float64{2.5, 1, 2.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks with ties = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.5, 0.5}
+	got, err := KLDivergence(p, q)
+	if err != nil || got != 0 {
+		t.Fatalf("KL(p||p) = %v, %v", got, err)
+	}
+	q2 := []float64{0.9, 0.1}
+	got, _ = KLDivergence(p, q2)
+	want := 0.5*math.Log(0.5/0.9) + 0.5*math.Log(0.5/0.1)
+	almost(t, got, want, 1e-12, "KL")
+	if got <= 0 {
+		t.Error("KL of different distributions should be positive")
+	}
+	if _, err := KLDivergence(p, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		p := make([]float64, n)
+		q := make([]float64, n)
+		var sp, sq float64
+		for i := range p {
+			p[i], q[i] = rng.Float64(), rng.Float64()+1e-6
+			sp += p[i]
+			sq += q[i]
+		}
+		for i := range p {
+			p[i] /= sp
+			q[i] /= sq
+		}
+		d, err := KLDivergence(p, q)
+		return err == nil && d >= -1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.5, 1, 2.5, 9.9}, 0, 10, 10)
+	var sum float64
+	for _, p := range h {
+		sum += p
+	}
+	almost(t, sum, 1, 1e-12, "histogram mass")
+	if h[0] != 0.4 { // 0 and 0.5; the value 1.0 falls on the bin-1 boundary
+		t.Fatalf("bin 0 = %v, want 0.4", h[0])
+	}
+	if h[1] != 0.2 || h[2] != 0.2 || h[9] != 0.2 {
+		t.Fatalf("bins = %v", h)
+	}
+	// Out-of-range values clamp to edge bins.
+	h = Histogram([]float64{-5, 50}, 0, 10, 2)
+	if h[0] != 0.5 || h[1] != 0.5 {
+		t.Fatalf("clamped histogram = %v", h)
+	}
+	if got := Histogram(nil, 0, 1, 3); len(got) != 3 {
+		t.Fatal("empty histogram should keep bin count")
+	}
+}
+
+func TestOLSExactLine(t *testing.T) {
+	// y = 3x + 2 exactly.
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{2, 5, 8, 11, 14}
+	slope, intercept, slopeSE, interceptSE, err := SimpleOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, slope, 3, 1e-9, "slope")
+	almost(t, intercept, 2, 1e-9, "intercept")
+	if slopeSE > 1e-6 || interceptSE > 1e-6 {
+		t.Errorf("exact fit should have ~zero SEs, got %v %v", slopeSE, interceptSE)
+	}
+}
+
+func TestOLSNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64() * 10
+		y[i] = 4*x[i] - 1 + rng.NormFloat64()*0.5
+	}
+	slope, intercept, slopeSE, _, err := SimpleOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, slope, 4, 0.1, "noisy slope")
+	almost(t, intercept, -1, 0.3, "noisy intercept")
+	if slopeSE <= 0 || slopeSE > 0.1 {
+		t.Errorf("slope SE = %v, want small positive", slopeSE)
+	}
+}
+
+func TestOLSMultivariate(t *testing.T) {
+	// y = 2a - 3b + 5
+	rows := [][]float64{{1, 1}, {2, 0}, {0, 2}, {3, 1}, {1, 3}, {2, 2}}
+	y := make([]float64, len(rows))
+	for i, r := range rows {
+		y[i] = 2*r[0] - 3*r[1] + 5
+	}
+	res, err := OLS(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, res.Coef[0], 2, 1e-9, "beta a")
+	almost(t, res.Coef[1], -3, 1e-9, "beta b")
+	almost(t, res.Coef[2], 5, 1e-9, "intercept")
+	almost(t, res.R2, 1, 1e-9, "R2")
+	almost(t, res.Predict([]float64{4, 4}), 2*4-3*4+5, 1e-9, "predict")
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS(nil, nil); err == nil {
+		t.Error("empty OLS should error")
+	}
+	if _, err := OLS([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("more coefficients than rows should error")
+	}
+	// Perfectly collinear columns -> singular.
+	rows := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	if _, err := OLS(rows, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("collinear design should error")
+	}
+}
+
+func TestKneedleConvexIncreasing(t *testing.T) {
+	// y = x^4 on [0,1]: elbow of the convex increasing curve sits where the
+	// distance below the diagonal is maximal (x = (1/4)^(1/3) ~ 0.63).
+	n := 101
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = math.Pow(x[i], 4)
+	}
+	k, err := Kneedle(x, y, Convex, Increasing, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[k] < 0.5 || x[k] > 0.75 {
+		t.Errorf("convex increasing knee at x=%v, want ~0.63", x[k])
+	}
+}
+
+func TestKneedleConcaveIncreasing(t *testing.T) {
+	// y = sqrt(x): knee where distance above the diagonal is maximal (x=0.25).
+	n := 101
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = math.Sqrt(x[i])
+	}
+	k, err := Kneedle(x, y, Concave, Increasing, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[k] < 0.15 || x[k] > 0.35 {
+		t.Errorf("concave increasing knee at x=%v, want ~0.25", x[k])
+	}
+}
+
+func TestKneedleConvexDecreasing(t *testing.T) {
+	// y = 1/(1+10x): steep drop then flat; knee near small x.
+	n := 101
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = 1 / (1 + 10*x[i])
+	}
+	k, err := Kneedle(x, y, Convex, Decreasing, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[k] > 0.4 {
+		t.Errorf("convex decreasing knee at x=%v, want small", x[k])
+	}
+}
+
+func TestKneedleUnsortedInput(t *testing.T) {
+	// The knee index must refer to the caller's (unsorted) slice.
+	x := []float64{1, 0, 0.5, 0.25, 0.75}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Pow(v, 4)
+	}
+	k, err := Kneedle(x, y, Convex, Increasing, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 0 || k >= len(x) {
+		t.Fatalf("knee index %d out of range", k)
+	}
+	if x[k] < 0.25 || x[k] > 0.8 {
+		t.Errorf("unsorted knee at x=%v", x[k])
+	}
+}
+
+func TestKneedleErrors(t *testing.T) {
+	if _, err := Kneedle([]float64{1, 2}, []float64{1, 2}, Concave, Increasing, 1); err == nil {
+		t.Error("too few points should error")
+	}
+	if _, err := Kneedle([]float64{1, 1, 1}, []float64{1, 2, 3}, Concave, Increasing, 1); err == nil {
+		t.Error("constant x should error")
+	}
+	if _, err := Kneedle([]float64{1, 2, 3}, []float64{2, 2, 2}, Concave, Increasing, 1); err == nil {
+		t.Error("constant y should error")
+	}
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Description holds the descriptive statistics the paper reports for each
+// dataset in Table 1.
+type Description struct {
+	Len  int
+	Mean float64
+	Min  float64
+	Max  float64
+	Q1   float64
+	Q3   float64
+	RIQD float64 // relative interquartile difference (Q3-Q1)/Mean * 100, in percent
+}
+
+// Describe computes Table 1 statistics for a value slice.
+func Describe(x []float64) (Description, error) {
+	if len(x) == 0 {
+		return Description{}, errors.New("stats: describe on empty input")
+	}
+	d := Description{Len: len(x), Mean: Mean(x)}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	d.Min, d.Max = sorted[0], sorted[len(sorted)-1]
+	d.Q1 = Quantile(sorted, 0.25)
+	d.Q3 = Quantile(sorted, 0.75)
+	if d.Mean != 0 {
+		d.RIQD = (d.Q3 - d.Q1) / math.Abs(d.Mean) * 100
+	}
+	return d, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted slice
+// using linear interpolation between order statistics (type 7, the R and
+// NumPy default).
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the median of x (the slice is not modified).
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), x...)
+	sort.Float64s(sorted)
+	return Quantile(sorted, 0.5)
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+)
+
+// Curve describes the shape of the curve handed to Kneedle.
+type Curve int
+
+// Direction describes whether the curve increases or decreases in x.
+type Direction int
+
+// Curve shapes and directions accepted by Kneedle.
+const (
+	Concave Curve = iota
+	Convex
+)
+
+const (
+	Increasing Direction = iota
+	Decreasing
+)
+
+// Kneedle locates the knee/elbow point of a curve using the algorithm of
+// Satopaa et al., "Finding a 'Kneedle' in a Haystack" (ICDCSW 2011), the
+// method the paper uses for its inflection-point analysis (§4.3.2).
+// It returns the index (into the caller's slices) of the knee. sensitivity
+// is the S parameter; 1.0 is the authors' recommended default.
+//
+// Internally the curve is normalised to the unit square and a difference
+// curve is formed that measures how far each point sits from the straight
+// line joining the endpoints in the direction of curvature; the knee is the
+// first local maximum of that difference that decays by more than
+// S·mean(Δx) before a higher maximum appears.
+func Kneedle(x, y []float64, curve Curve, dir Direction, sensitivity float64) (int, error) {
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	n := len(x)
+	if n < 3 {
+		return 0, errors.New("stats: kneedle needs at least 3 points")
+	}
+	// Sort by x, remembering the original indices.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, j := range idx {
+		xs[i], ys[i] = x[j], y[j]
+	}
+	// Normalise to the unit square.
+	xn, err := normalizeUnit(xs)
+	if err != nil {
+		return 0, err
+	}
+	yn, err := normalizeUnit(ys)
+	if err != nil {
+		return 0, err
+	}
+	// Difference curve, oriented so the knee is a maximum. An increasing
+	// concave curve bulges above the main diagonal (d = y - x); an
+	// increasing convex curve bulges below it (d = x - y); the decreasing
+	// variants bulge relative to the anti-diagonal y = 1 - x.
+	diff := make([]float64, n)
+	for i := range diff {
+		switch {
+		case curve == Concave && dir == Increasing:
+			diff[i] = yn[i] - xn[i]
+		case curve == Convex && dir == Increasing:
+			diff[i] = xn[i] - yn[i]
+		case curve == Concave && dir == Decreasing:
+			diff[i] = yn[i] + xn[i] - 1
+		default: // Convex, Decreasing
+			diff[i] = 1 - xn[i] - yn[i]
+		}
+	}
+	// Mean spacing of the normalised x values sets the threshold decay.
+	meanDX := 0.0
+	for i := 1; i < n; i++ {
+		meanDX += xn[i] - xn[i-1]
+	}
+	meanDX /= float64(n - 1)
+
+	knee := -1
+	for i := 1; i < n-1 && knee < 0; i++ {
+		if diff[i] < diff[i-1] || diff[i] < diff[i+1] {
+			continue // not a local maximum of the difference curve
+		}
+		threshold := diff[i] - sensitivity*meanDX
+		for j := i + 1; j < n; j++ {
+			if diff[j] > diff[i] {
+				break // a higher maximum follows; this one is not the knee
+			}
+			if diff[j] < threshold {
+				knee = i
+				break
+			}
+		}
+	}
+	if knee < 0 {
+		// No threshold crossing: fall back to the global maximum of the
+		// difference curve, the usual degenerate-case convention.
+		knee = 0
+		for i := 1; i < n; i++ {
+			if diff[i] > diff[knee] {
+				knee = i
+			}
+		}
+	}
+	return idx[knee], nil
+}
+
+func normalizeUnit(v []float64) ([]float64, error) {
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		return nil, errors.New("stats: kneedle input is constant")
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package stats implements the statistical machinery of the evaluation:
+// the paper's error metrics (RMSE, NRMSE, RSE, R), transformation
+// forecasting error, descriptive statistics, ordinary least squares with
+// coefficient standard errors, Pearson and Spearman correlation,
+// Kullback-Leibler divergence, and the Kneedle elbow-detection algorithm.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when paired metrics get slices of different
+// lengths.
+var ErrLengthMismatch = errors.New("stats: input lengths differ")
+
+// RMSE returns the root mean square error between x and y (paper Eq. 5).
+func RMSE(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	if len(x) == 0 {
+		return 0, errors.New("stats: empty input")
+	}
+	var ss float64
+	for i := range x {
+		d := x[i] - y[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(x))), nil
+}
+
+// NRMSE returns RMSE normalised by the range of x (paper Eq. 4:
+// RMSE / (max(x) - min(x))). x is the reference (raw) series.
+func NRMSE(x, y []float64) (float64, error) {
+	r, err := RMSE(x, y)
+	if err != nil {
+		return 0, err
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return 0, errors.New("stats: NRMSE undefined for constant reference")
+	}
+	return r / (hi - lo), nil
+}
+
+// RSE returns the root relative squared error (paper Eq. 6):
+// sqrt(sum (x-y)^2) / sqrt(sum (x - mean(x))^2).
+func RSE(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	if len(x) == 0 {
+		return 0, errors.New("stats: empty input")
+	}
+	mean := Mean(x)
+	var num, den float64
+	for i := range x {
+		d := x[i] - y[i]
+		num += d * d
+		e := x[i] - mean
+		den += e * e
+	}
+	if den == 0 {
+		return 0, errors.New("stats: RSE undefined for constant reference")
+	}
+	return math.Sqrt(num) / math.Sqrt(den), nil
+}
+
+// R returns the Pearson correlation coefficient between x and y, the
+// paper's similarity metric for raw-vs-transformed series and for
+// forecasting accuracy.
+func R(x, y []float64) (float64, error) {
+	return Pearson(x, y)
+}
+
+// Metrics bundles the paper's four evaluation metrics for one comparison.
+type Metrics struct {
+	R     float64
+	RSE   float64
+	RMSE  float64
+	NRMSE float64
+}
+
+// Evaluate computes all four metrics of predictions y against reference x.
+// A constant y (e.g. a series collapsed to one compression segment) leaves
+// the correlation undefined; it is reported as 0 rather than an error so
+// extreme error bounds remain comparable.
+func Evaluate(x, y []float64) (Metrics, error) {
+	var m Metrics
+	var err error
+	if m.RMSE, err = RMSE(x, y); err != nil {
+		return m, err
+	}
+	if m.NRMSE, err = NRMSE(x, y); err != nil {
+		return m, err
+	}
+	if m.RSE, err = RSE(x, y); err != nil {
+		return m, err
+	}
+	if m.R, err = R(x, y); err != nil {
+		m.R = 0
+	}
+	return m, nil
+}
+
+// TFE returns the transformation forecasting error (paper Definition 9,
+// Eq. 2): the relative change of the forecasting error when the model input
+// is the transformed series. transformed and baseline are the distance
+// D(F(·), y) on transformed and raw input respectively. Negative values mean
+// compression improved forecasting accuracy.
+func TFE(transformed, baseline float64) (float64, error) {
+	if baseline == 0 {
+		return 0, errors.New("stats: TFE undefined for zero baseline error")
+	}
+	return (transformed - baseline) / baseline, nil
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance (0 for fewer than 2 points).
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var ss float64
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(len(x))
+}
+
+// SampleVariance returns the n-1 normalised variance.
+func SampleVariance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	return Variance(x) * float64(len(x)) / float64(len(x)-1)
+}
+
+// Std returns the population standard deviation.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// MeanStd returns mean and sample standard deviation in one pass-friendly call.
+func MeanStd(x []float64) (mean, std float64) {
+	return Mean(x), math.Sqrt(SampleVariance(x))
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("identical RMSE = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, got, math.Sqrt(12.5), 1e-12, "RMSE")
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	x := []float64{0, 10}
+	y := []float64{1, 9}
+	got, err := NRMSE(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, got, 0.1, 1e-12, "NRMSE")
+	if _, err := NRMSE([]float64{5, 5}, []float64{5, 5}); err == nil {
+		t.Error("constant reference should error")
+	}
+}
+
+func TestRSE(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	// Predicting the mean of x gives RSE exactly 1.
+	y := []float64{2.5, 2.5, 2.5, 2.5}
+	got, err := RSE(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, got, 1, 1e-12, "RSE")
+	perfect, _ := RSE(x, x)
+	if perfect != 0 {
+		t.Errorf("perfect RSE = %v", perfect)
+	}
+	if _, err := RSE([]float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("constant reference should error")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1.1, 2.1, 2.9, 4.2, 4.8}
+	m, err := Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R < 0.99 {
+		t.Errorf("R = %v, want ~1", m.R)
+	}
+	if m.RMSE <= 0 || m.NRMSE <= 0 || m.RSE <= 0 {
+		t.Errorf("metrics should be positive: %+v", m)
+	}
+}
+
+func TestTFE(t *testing.T) {
+	got, err := TFE(0.12, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, got, 0.2, 1e-12, "TFE")
+	improved, _ := TFE(0.08, 0.10)
+	if improved >= 0 {
+		t.Errorf("improvement should give negative TFE, got %v", improved)
+	}
+	if _, err := TFE(1, 0); err == nil {
+		t.Error("zero baseline should error")
+	}
+}
+
+func TestMeanVarianceStd(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	almost(t, Mean(x), 5, 1e-12, "Mean")
+	almost(t, Variance(x), 4, 1e-12, "Variance")
+	almost(t, Std(x), 2, 1e-12, "Std")
+	almost(t, SampleVariance(x), 32.0/7, 1e-12, "SampleVariance")
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+}
+
+func TestRMSENonNegativeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		for _, v := range append(a[:n:n], b[:n]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		r, err := RMSE(a[:n], b[:n])
+		return err == nil && r >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	d, err := Describe(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len != 10 || d.Min != 1 || d.Max != 10 {
+		t.Fatalf("describe = %+v", d)
+	}
+	almost(t, d.Mean, 5.5, 1e-12, "mean")
+	almost(t, d.Q1, 3.25, 1e-12, "Q1")
+	almost(t, d.Q3, 7.75, 1e-12, "Q3")
+	almost(t, d.RIQD, (7.75-3.25)/5.5*100, 1e-9, "rIQD")
+	if _, err := Describe(nil); err == nil {
+		t.Error("empty describe should error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	almost(t, Quantile(sorted, 0), 1, 0, "q0")
+	almost(t, Quantile(sorted, 1), 4, 0, "q1")
+	almost(t, Quantile(sorted, 0.5), 2.5, 1e-12, "q0.5")
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	almost(t, Quantile([]float64{7}, 0.9), 7, 0, "single")
+}
+
+func TestMedian(t *testing.T) {
+	almost(t, Median([]float64{3, 1, 2}), 2, 0, "odd median")
+	almost(t, Median([]float64{4, 1, 3, 2}), 2.5, 1e-12, "even median")
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median should be NaN")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	almost(t, m, 5, 1e-12, "MeanStd mean")
+	almost(t, s, math.Sqrt(32.0/7), 1e-12, "MeanStd std")
+}
+
+func TestEvaluateConstantPrediction(t *testing.T) {
+	// A constant prediction leaves R undefined; Evaluate reports 0.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 2, 2, 2}
+	m, err := Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R != 0 {
+		t.Errorf("R = %v, want 0 for constant prediction", m.R)
+	}
+	if m.RMSE <= 0 {
+		t.Errorf("RMSE = %v", m.RMSE)
+	}
+	// Constant reference still errors (NRMSE undefined).
+	if _, err := Evaluate([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("constant reference should error")
+	}
+}
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	if _, err := Evaluate([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

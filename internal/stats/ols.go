@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// OLSResult holds an ordinary least squares fit: coefficients (intercept
+// last matches the paper's [θ1, θ0] presentation for the simple model
+// CR = θ1·TE + θ0), their standard errors, and goodness-of-fit summaries.
+type OLSResult struct {
+	Coef   []float64 // one per regressor column, then intercept
+	SE     []float64 // standard error per coefficient
+	R2     float64
+	Resid  []float64
+	Sigma2 float64 // residual variance estimate
+}
+
+// OLS fits y = X·β + intercept by least squares via normal equations with
+// Gaussian elimination (partial pivoting). X is row-major: one row per
+// observation. An intercept column is appended automatically.
+func OLS(x [][]float64, y []float64) (*OLSResult, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("stats: OLS needs matching, non-empty X and y")
+	}
+	p := len(x[0]) + 1 // + intercept
+	if n < p {
+		return nil, fmt.Errorf("stats: OLS with %d observations cannot fit %d coefficients", n, p)
+	}
+	// Build design matrix with intercept in last column.
+	design := make([][]float64, n)
+	for i, row := range x {
+		if len(row) != p-1 {
+			return nil, fmt.Errorf("stats: ragged design row %d", i)
+		}
+		design[i] = append(append(make([]float64, 0, p), row...), 1)
+	}
+	// Normal equations: (X'X) β = X'y.
+	xtx := make([][]float64, p)
+	xty := make([]float64, p)
+	for a := 0; a < p; a++ {
+		xtx[a] = make([]float64, p)
+		for b := 0; b < p; b++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += design[i][a] * design[i][b]
+			}
+			xtx[a][b] = s
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			s += design[i][a] * y[i]
+		}
+		xty[a] = s
+	}
+	inv, err := invert(xtx)
+	if err != nil {
+		return nil, err
+	}
+	beta := make([]float64, p)
+	for a := 0; a < p; a++ {
+		for b := 0; b < p; b++ {
+			beta[a] += inv[a][b] * xty[b]
+		}
+	}
+	res := &OLSResult{Coef: beta, Resid: make([]float64, n)}
+	var ssRes, ssTot float64
+	ybar := Mean(y)
+	for i := 0; i < n; i++ {
+		var fit float64
+		for a := 0; a < p; a++ {
+			fit += design[i][a] * beta[a]
+		}
+		r := y[i] - fit
+		res.Resid[i] = r
+		ssRes += r * r
+		d := y[i] - ybar
+		ssTot += d * d
+	}
+	if ssTot > 0 {
+		res.R2 = 1 - ssRes/ssTot
+	}
+	dof := n - p
+	if dof < 1 {
+		dof = 1
+	}
+	res.Sigma2 = ssRes / float64(dof)
+	res.SE = make([]float64, p)
+	for a := 0; a < p; a++ {
+		res.SE[a] = math.Sqrt(res.Sigma2 * inv[a][a])
+	}
+	return res, nil
+}
+
+// SimpleOLS fits y = θ1·x + θ0 and returns slope, intercept and their
+// standard errors, the exact quantities reported in the paper's Table 3.
+func SimpleOLS(x, y []float64) (slope, intercept, slopeSE, interceptSE float64, err error) {
+	rows := make([][]float64, len(x))
+	for i, v := range x {
+		rows[i] = []float64{v}
+	}
+	res, err := OLS(rows, y)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return res.Coef[0], res.Coef[1], res.SE[0], res.SE[1], nil
+}
+
+// Predict evaluates the fitted model on a new row (without intercept
+// column; the intercept is added automatically).
+func (r *OLSResult) Predict(row []float64) float64 {
+	var y float64
+	for i, v := range row {
+		y += r.Coef[i] * v
+	}
+	return y + r.Coef[len(r.Coef)-1]
+}
+
+// invert computes the inverse of a square matrix by Gauss-Jordan
+// elimination with partial pivoting.
+func invert(m [][]float64) ([][]float64, error) {
+	n := len(m)
+	a := make([][]float64, n)
+	inv := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = append([]float64(nil), m[i]...)
+		inv[i] = make([]float64, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in this column at or below the diagonal.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return nil, errors.New("stats: singular matrix in OLS")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv[col], inv[piv] = inv[piv], inv[col]
+		d := a[col][col]
+		for j := 0; j < n; j++ {
+			a[col][j] /= d
+			inv[col][j] /= d
+		}
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+				inv[r][j] -= f * inv[col][j]
+			}
+		}
+	}
+	return inv, nil
+}

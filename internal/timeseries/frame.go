@@ -1,0 +1,49 @@
+package timeseries
+
+import "fmt"
+
+// Frame is a multivariate regular time series: several aligned columns
+// sharing one time axis. Datasets such as Weather (21 indicators) or Wind
+// (10 variables) are Frames; forecasting targets a single column.
+type Frame struct {
+	Name     string
+	Start    int64
+	Interval int64
+	Columns  []*Series // each column shares Start/Interval
+	Target   int       // index of the forecasting target column
+}
+
+// NewFrame assembles a frame from equally long columns. Column metadata is
+// overwritten with the frame's time axis.
+func NewFrame(name string, start, interval int64, target int, cols ...*Series) (*Frame, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("timeseries: frame %q needs at least one column", name)
+	}
+	if target < 0 || target >= len(cols) {
+		return nil, fmt.Errorf("timeseries: frame %q target %d out of range", name, target)
+	}
+	n := cols[0].Len()
+	for i, c := range cols {
+		if c.Len() != n {
+			return nil, fmt.Errorf("timeseries: frame %q column %d has %d points, want %d", name, i, c.Len(), n)
+		}
+		c.Start, c.Interval = start, interval
+	}
+	return &Frame{Name: name, Start: start, Interval: interval, Columns: cols, Target: target}, nil
+}
+
+// Len returns the number of rows (observations per column).
+func (f *Frame) Len() int { return f.Columns[0].Len() }
+
+// TargetSeries returns the forecasting target column.
+func (f *Frame) TargetSeries() *Series { return f.Columns[f.Target] }
+
+// Column returns the column with the given name, or nil.
+func (f *Frame) Column(name string) *Series {
+	for _, c := range f.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

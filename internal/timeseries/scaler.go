@@ -1,0 +1,60 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+)
+
+// StandardScaler standardises values to zero mean and unit variance, the
+// transformation the paper applies to all forecasting model inputs (§3.4).
+// The zero value is unfitted; call Fit before Transform.
+type StandardScaler struct {
+	Mean   float64
+	Std    float64
+	fitted bool
+}
+
+// Fit estimates mean and standard deviation from the given values.
+// A degenerate (constant) input yields Std == 1 so Transform stays defined.
+func (sc *StandardScaler) Fit(values []float64) error {
+	if len(values) == 0 {
+		return errors.New("timeseries: cannot fit scaler on empty input")
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	var ss float64
+	for _, v := range values {
+		d := v - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(len(values)))
+	if std == 0 || math.IsNaN(std) {
+		std = 1
+	}
+	sc.Mean, sc.Std, sc.fitted = mean, std, true
+	return nil
+}
+
+// Fitted reports whether Fit has been called successfully.
+func (sc *StandardScaler) Fitted() bool { return sc.fitted }
+
+// Transform returns (v - mean) / std for each value, as a new slice.
+func (sc *StandardScaler) Transform(values []float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = (v - sc.Mean) / sc.Std
+	}
+	return out
+}
+
+// Inverse returns v*std + mean for each value, as a new slice.
+func (sc *StandardScaler) Inverse(values []float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = v*sc.Std + sc.Mean
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package timeseries
+
+import "fmt"
+
+// Window is one forecasting instance: Input holds the k most recent
+// observed values and Target the h future values to predict
+// (paper Definition 7: ŷ_{t+1..t+h} = F(x_{t-k..t})).
+type Window struct {
+	Input  []float64
+	Target []float64
+}
+
+// WindowSet is a batch of forecasting instances sharing the same input
+// length and horizon.
+type WindowSet struct {
+	InputLen int
+	Horizon  int
+	Windows  []Window
+}
+
+// MakeWindows slices values into overlapping (input, target) pairs with the
+// given stride. Input and Target slices alias the values array; callers that
+// mutate them must copy first.
+func MakeWindows(values []float64, inputLen, horizon, stride int) (*WindowSet, error) {
+	if inputLen <= 0 || horizon <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("timeseries: invalid window parameters input=%d horizon=%d stride=%d", inputLen, horizon, stride)
+	}
+	n := len(values)
+	if n < inputLen+horizon {
+		return nil, fmt.Errorf("timeseries: %d points too few for input=%d horizon=%d", n, inputLen, horizon)
+	}
+	ws := &WindowSet{InputLen: inputLen, Horizon: horizon}
+	for start := 0; start+inputLen+horizon <= n; start += stride {
+		ws.Windows = append(ws.Windows, Window{
+			Input:  values[start : start+inputLen],
+			Target: values[start+inputLen : start+inputLen+horizon],
+		})
+	}
+	return ws, nil
+}
+
+// MakePairedWindows builds windows whose inputs come from one value slice
+// (e.g. the decompressed test data) and whose targets come from another
+// (the raw test data). This is exactly the paper's evaluation scenario
+// (Algorithm 1): predictions are made from transformed inputs but judged
+// against raw targets. The two slices must have equal length and alignment.
+func MakePairedWindows(inputs, targets []float64, inputLen, horizon, stride int) (*WindowSet, error) {
+	if len(inputs) != len(targets) {
+		return nil, fmt.Errorf("timeseries: paired windows need equal lengths, got %d and %d", len(inputs), len(targets))
+	}
+	ws, err := MakeWindows(inputs, inputLen, horizon, stride)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ws.Windows {
+		start := i * stride
+		ws.Windows[i].Target = targets[start+inputLen : start+inputLen+horizon]
+	}
+	return ws, nil
+}
+
+// Inputs returns the input windows as a matrix (one row per window).
+func (ws *WindowSet) Inputs() [][]float64 {
+	out := make([][]float64, len(ws.Windows))
+	for i, w := range ws.Windows {
+		out[i] = w.Input
+	}
+	return out
+}
+
+// Targets returns the target windows as a matrix (one row per window).
+func (ws *WindowSet) Targets() [][]float64 {
+	out := make([][]float64, len(ws.Windows))
+	for i, w := range ws.Windows {
+		out[i] = w.Target
+	}
+	return out
+}
+
+// Len returns the number of windows.
+func (ws *WindowSet) Len() int { return len(ws.Windows) }
+
+// Scaled returns a deep-copied WindowSet with the scaler applied to both
+// inputs and targets.
+func (ws *WindowSet) Scaled(sc *StandardScaler) *WindowSet {
+	out := &WindowSet{InputLen: ws.InputLen, Horizon: ws.Horizon, Windows: make([]Window, len(ws.Windows))}
+	for i, w := range ws.Windows {
+		out.Windows[i] = Window{Input: sc.Transform(w.Input), Target: sc.Transform(w.Target)}
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package lossyts
+
+import (
+	"lossyts/internal/anomaly"
+	"lossyts/internal/compress"
+	"lossyts/internal/core"
+	"lossyts/internal/datasets"
+	"lossyts/internal/features"
+	"lossyts/internal/forecast"
+	"lossyts/internal/impact"
+	"lossyts/internal/stats"
+	"lossyts/internal/timeseries"
+)
+
+// Re-exported data model types.
+type (
+	// Series is a regular time series (constant sampling interval).
+	Series = timeseries.Series
+	// Frame is a multivariate time series with a forecasting target column.
+	Frame = timeseries.Frame
+	// StandardScaler standardises model inputs as the paper does (§3.4).
+	StandardScaler = timeseries.StandardScaler
+	// WindowSet is a batch of (input, target) forecasting windows.
+	WindowSet = timeseries.WindowSet
+)
+
+// NewSeries constructs a regular time series.
+func NewSeries(name string, start, interval int64, values []float64) *Series {
+	return timeseries.New(name, start, interval, values)
+}
+
+// MakeWindows slices values into overlapping (input, target) forecasting
+// windows.
+func MakeWindows(values []float64, inputLen, horizon, stride int) (*WindowSet, error) {
+	return timeseries.MakeWindows(values, inputLen, horizon, stride)
+}
+
+// MakePairedWindows builds windows whose inputs come from one series (e.g.
+// decompressed data) and whose targets come from another (the raw data) —
+// the pairing of the paper's Algorithm 1.
+func MakePairedWindows(inputs, targets []float64, inputLen, horizon, stride int) (*WindowSet, error) {
+	return timeseries.MakePairedWindows(inputs, targets, inputLen, horizon, stride)
+}
+
+// Compression API.
+type (
+	// Method identifies a compression algorithm.
+	Method = compress.Method
+	// Compressed is a compressed series; its Payload length is the .gz size
+	// used in all compression ratios.
+	Compressed = compress.Compressed
+	// Compressor is the pointwise error-bounded compressor interface.
+	Compressor = compress.Compressor
+)
+
+// The compression methods evaluated in the paper.
+const (
+	PMC     = compress.MethodPMC
+	Swing   = compress.MethodSwing
+	SZ      = compress.MethodSZ
+	Gorilla = compress.MethodGorilla
+)
+
+// SeasonalPMC is the forecasting-aware compressor built for the paper's §5
+// research direction: it stores the seasonal profile exactly and applies
+// PMC to the residuals, so seasonality survives any error bound. Construct
+// it with the series' seasonal period.
+type SeasonalPMC = compress.SeasonalPMC
+
+// ErrorBounds is the paper's 13 pointwise relative error bounds (§3.2).
+var ErrorBounds = compress.ErrorBounds
+
+// Compress encodes s with the given method so that every decompressed
+// value v̂ satisfies |v − v̂| ≤ epsilon·|v| (lossless methods ignore epsilon).
+func Compress(m Method, s *Series, epsilon float64) (*Compressed, error) {
+	c, err := compress.New(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compress(s, epsilon)
+}
+
+// Ratio returns the compression ratio raw/compressed, both as .gz sizes
+// (paper Eq. 3).
+func Ratio(s *Series, c *Compressed) (float64, error) { return compress.Ratio(s, c) }
+
+// RawGzipSize returns the gzipped size of the raw CSV encoding of s.
+func RawGzipSize(s *Series) (int, error) { return compress.RawGzipSize(s) }
+
+// FrameResult aggregates per-column compression of a multivariate frame.
+type FrameResult = compress.FrameResult
+
+// CompressFrame compresses every column of a frame with one method/bound.
+func CompressFrame(m Method, f *Frame, epsilon float64) (*FrameResult, error) {
+	return compress.CompressFrame(m, f, epsilon)
+}
+
+// DecompressFrame reconstructs a frame compressed with CompressFrame.
+func DecompressFrame(r *FrameResult, template *Frame) (*Frame, error) {
+	return compress.DecompressFrame(r, template)
+}
+
+// StreamEncoder compresses a series incrementally (PMC or Swing), producing
+// byte-identical output to batch compression — the paper's edge scenario.
+type StreamEncoder = compress.StreamEncoder
+
+// NewStreamEncoder returns a streaming encoder for the series' metadata.
+func NewStreamEncoder(m Method, s *Series, epsilon float64) (*StreamEncoder, error) {
+	return compress.NewStreamEncoder(m, s, epsilon)
+}
+
+// Forecasting API.
+type (
+	// Model is a trained forecaster (Fit on scaled series, Predict windows).
+	Model = forecast.Model
+	// ForecastConfig carries window sizes and training hyperparameters.
+	ForecastConfig = forecast.Config
+)
+
+// ModelNames lists the paper's seven forecasting models.
+var ModelNames = forecast.ModelNames
+
+// NewModel returns a fresh model by name ("Arima", "GBoost", "DLinear",
+// "GRU", "Informer", "NBeats", "Transformer").
+func NewModel(name string, cfg ForecastConfig) (Model, error) { return forecast.New(name, cfg) }
+
+// DefaultForecastConfig mirrors the paper's hyperparameters at laptop scale.
+func DefaultForecastConfig() ForecastConfig { return forecast.DefaultConfig() }
+
+// SearchSpace defines the hyperparameter grid of the paper's §3.4 search.
+type SearchSpace = forecast.SearchSpace
+
+// SearchHyperparameters runs the paper's validation-subset grid search and
+// returns the best configuration plus the full evaluation trace.
+func SearchHyperparameters(model string, base ForecastConfig, space SearchSpace, train, val []float64) (ForecastConfig, []forecast.SearchResult, error) {
+	return forecast.SearchHyperparameters(model, base, space, train, val)
+}
+
+// Datasets API.
+
+// Dataset is a generated evaluation dataset.
+type Dataset = datasets.Dataset
+
+// DatasetNames lists the paper's six datasets.
+var DatasetNames = datasets.Names
+
+// LoadDataset generates a synthetic dataset matching the paper's Table 1
+// statistics; scale in (0, 1] shrinks the length (1 = paper scale).
+func LoadDataset(name string, scale float64, seed int64) (*Dataset, error) {
+	return datasets.Load(name, scale, seed)
+}
+
+// MustLoadDataset is LoadDataset that panics on error.
+func MustLoadDataset(name string, scale float64, seed int64) *Dataset {
+	return datasets.MustLoad(name, scale, seed)
+}
+
+// SyntheticSpec controls characteristic-adjustable synthetic data, the
+// validation methodology the paper proposes as future work (§7).
+type SyntheticSpec = datasets.SyntheticSpec
+
+// DefaultSyntheticSpec is a balanced synthetic series.
+func DefaultSyntheticSpec() SyntheticSpec { return datasets.DefaultSyntheticSpec() }
+
+// SyntheticDataset generates a series with the spec's characteristics.
+func SyntheticDataset(spec SyntheticSpec) (*Dataset, error) { return datasets.Synthetic(spec) }
+
+// NewEnsemble blends member models with validation-error weights — the
+// paper's §5 suggestion of pairing a strong forecaster with a resilient one
+// (e.g. "Transformer" and "Arima").
+func NewEnsemble(cfg ForecastConfig, members ...string) (Model, error) {
+	return forecast.NewEnsemble(cfg, members...)
+}
+
+// Metrics and characteristics.
+type (
+	// Metrics bundles R, RSE, RMSE, and NRMSE (paper §3.5).
+	Metrics = stats.Metrics
+	// FeatureVector is a named characteristic vector (tsfeatures-style).
+	FeatureVector = features.Vector
+)
+
+// Evaluate computes the paper's four metrics of predictions y against x.
+func Evaluate(x, y []float64) (Metrics, error) { return stats.Evaluate(x, y) }
+
+// TFE is the transformation forecasting error (paper Eq. 2).
+func TFE(transformed, baseline float64) (float64, error) { return stats.TFE(transformed, baseline) }
+
+// ExtractFeatures computes the 40+ time series characteristics the paper
+// analyses, with the given dominant seasonal period.
+func ExtractFeatures(values []float64, period int) (FeatureVector, error) {
+	return features.Extract(values, features.Options{Period: period})
+}
+
+// DriftReport summarises key-characteristic drift between raw and
+// decompressed data with the paper's §4.3.3 alert thresholds.
+type DriftReport = features.DriftReport
+
+// CheckDrift compares the paper's five key monitoring indicators between a
+// raw series and its decompressed counterpart.
+func CheckDrift(raw, decompressed []float64, period int) (*DriftReport, error) {
+	return features.CheckDrift(raw, decompressed, period)
+}
+
+// Evaluation harness (Algorithm 1 and the experiment grid).
+type (
+	// EvalOptions configures a full evaluation run.
+	EvalOptions = core.Options
+	// GridResult is the memoised output of the full evaluation grid.
+	GridResult = core.GridResult
+	// ReportTable is an aligned text table produced by the experiments.
+	ReportTable = core.Table
+)
+
+// DefaultEvalOptions is the paper's grid at laptop scale.
+func DefaultEvalOptions() EvalOptions { return core.DefaultOptions() }
+
+// PaperEvalOptions is the full-scale configuration of §3 (long runtime).
+func PaperEvalOptions() EvalOptions { return core.PaperOptions() }
+
+// RunGrid executes (and memoises) the paper's evaluation scenario.
+func RunGrid(opts EvalOptions) (*GridResult, error) { return core.RunGrid(opts) }
+
+// SaveGrid persists an evaluation grid to a gzip-JSON file so expensive
+// runs can be reused across processes.
+func SaveGrid(g *GridResult, path string) error { return core.SaveGrid(g, path) }
+
+// LoadGrid reads a grid saved with SaveGrid and registers it in the
+// in-process cache.
+func LoadGrid(path string) (*GridResult, error) { return core.LoadGrid(path) }
+
+// Recommendation is a concrete compression operating point.
+type Recommendation = core.Recommendation
+
+// Recommend returns the method and error bound with the highest CR whose
+// mean TFE stays within maxTFE on the evaluated grid.
+func Recommend(g *GridResult, dataset string, maxTFE float64, models []string) (Recommendation, error) {
+	return core.Recommend(g, dataset, maxTFE, models)
+}
+
+// Impact prediction (the §5 research direction: predict TFE from
+// compression characteristics without running a forecaster).
+type (
+	// ImpactObservation is one (compression outcome, TFE) instance.
+	ImpactObservation = impact.Observation
+	// ImpactPredictor predicts TFE from compression characteristics and
+	// explains predictions with exact TreeSHAP.
+	ImpactPredictor = impact.Predictor
+)
+
+// TrainImpactPredictor fits a TFE predictor on observations, e.g. those
+// returned by ImpactObservationsFromGrid.
+func TrainImpactPredictor(obs []ImpactObservation) (*ImpactPredictor, error) {
+	return impact.Train(obs)
+}
+
+// ImpactObservationsFromGrid converts a completed evaluation grid into
+// impact-predictor training data.
+func ImpactObservationsFromGrid(g *GridResult) ([]ImpactObservation, error) {
+	return impact.ObservationsFromGrid(g)
+}
+
+// Anomaly detection (the §5 "other analytics" direction).
+
+// AnomalyDetector flags points whose seasonal residual exceeds a robust
+// z-score threshold.
+type AnomalyDetector = anomaly.Detector
+
+// InjectSpikes adds n ground-truth spikes for detection studies.
+func InjectSpikes(values []float64, n int, magnitude float64, seed int64) ([]float64, []int) {
+	return anomaly.InjectSpikes(values, n, magnitude, seed)
+}
+
+// ScoreDetections compares detections to ground truth with a position
+// tolerance and returns precision, recall, and F1.
+func ScoreDetections(detected, truth []int, tolerance int) (precision, recall, f1 float64) {
+	return anomaly.Score(detected, truth, tolerance)
+}
