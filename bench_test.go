@@ -396,3 +396,47 @@ func BenchmarkForecastDLinearPredict(b *testing.B) {
 		}
 	}
 }
+
+// --- Inner-grid parallelism benchmarks --------------------------------------
+
+// innerGridOptions is one dataset's inner forecasting grid, sized so the
+// (model, seed) fan-out dominates: a shallow and two heavier models, two
+// seeds each, over 2 bounds x 3 methods = 6 cells.
+func innerGridOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Datasets = []string{"ETTm1"}
+	o.Models = []string{"Arima", "GBoost", "DLinear"}
+	o.ErrorBounds = []float64{0.05, 0.2}
+	o.ShallowSeeds = 2
+	o.DeepSeeds = 2
+	o.Forecast.Epochs = 4
+	o.Forecast.MaxTrainWindows = 64
+	return o
+}
+
+// benchInnerGrid measures a full fresh evaluation of the inner grid at the
+// given parallelism. The memoisation cache is reset every iteration so each
+// run pays the real cost; results are bit-identical at every setting, so
+// the two benchmarks below are directly comparable. Their ratio is the
+// inner-grid speedup (recorded in EXPERIMENTS.md).
+func benchInnerGrid(b *testing.B, parallelism int) {
+	b.Helper()
+	opts := innerGridOptions()
+	opts.Parallelism = parallelism
+	for i := 0; i < b.N; i++ {
+		core.ResetGridCache()
+		g, err := core.RunGrid(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(g.Timings.Forecast.Seconds(), "forecastSec")
+			b.ReportMetric(float64(g.Timings.Units), "units")
+			b.ReportMetric(float64(g.Timings.CellEvals), "cellEvals")
+		}
+	}
+}
+
+func BenchmarkEvaluateDatasetSequential(b *testing.B) { benchInnerGrid(b, 1) }
+
+func BenchmarkEvaluateDatasetParallel(b *testing.B) { benchInnerGrid(b, 0) }

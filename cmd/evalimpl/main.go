@@ -29,6 +29,7 @@ func main() {
 		maxTFE     = flag.Float64("tfe", 0.1, "TFE tolerance for -experiment recommend")
 		saveGrid   = flag.String("savegrid", "", "after the run, save the evaluation grid to this file (gzip JSON)")
 		loadGrid   = flag.String("loadgrid", "", "load a previously saved evaluation grid instead of recomputing")
+		par        = flag.Int("parallelism", 0, "evaluation worker bound (0 = all CPUs, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		opts.Scale = 1
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *par
 	if *datasets != "" {
 		opts.Datasets = splitList(*datasets)
 	}

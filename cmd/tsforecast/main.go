@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"lossyts/internal/compress"
 	"lossyts/internal/datasets"
@@ -26,8 +27,12 @@ func main() {
 		eps     = flag.Float64("eps", 0.1, "error bound when -method is set")
 		scale   = flag.Float64("scale", 0.05, "dataset length scale")
 		seed    = flag.Int64("seed", 1, "random seed")
+		par     = flag.Int("parallelism", 0, "CPU bound for the single training run (0 = all CPUs); the single-run analogue of evalimpl -parallelism")
 	)
 	flag.Parse()
+	if *par > 0 {
+		runtime.GOMAXPROCS(*par)
+	}
 	if err := run(*dataset, *model, *method, *eps, *scale, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "tsforecast:", err)
 		os.Exit(1)

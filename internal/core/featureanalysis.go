@@ -28,12 +28,9 @@ func (g *GridResult) featureVector(ds *DatasetResult, method compress.Method, ep
 	} else {
 		key = fmt.Sprintf("%s|%s", ds.Name, rawKey)
 	}
-	g.mu.Lock()
-	if v, ok := g.features[key]; ok {
-		g.mu.Unlock()
+	if v, ok := g.featureCache(key); ok {
 		return v, nil
 	}
-	g.mu.Unlock()
 	period := ds.SeasonalPeriod
 	if period > len(values)/4 {
 		period = len(values) / 4
@@ -42,9 +39,7 @@ func (g *GridResult) featureVector(ds *DatasetResult, method compress.Method, ep
 	if err != nil {
 		return nil, err
 	}
-	g.mu.Lock()
-	g.features[key] = v
-	g.mu.Unlock()
+	g.storeFeature(key, v)
 	return v, nil
 }
 

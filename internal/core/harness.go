@@ -1,12 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"lossyts/internal/compress"
 	"lossyts/internal/datasets"
+	"lossyts/internal/features"
 	"lossyts/internal/forecast"
 	"lossyts/internal/stats"
 	"lossyts/internal/timeseries"
@@ -31,6 +34,14 @@ type Cell struct {
 	TFE map[string]float64
 }
 
+// cellKey identifies a grid cell within one dataset. Epsilon comparison is
+// exact (==), matching the grid construction: bounds are taken verbatim
+// from Options, never recomputed.
+type cellKey struct {
+	method compress.Method
+	eps    float64
+}
+
 // DatasetResult is the full grid for one dataset.
 type DatasetResult struct {
 	Name           string
@@ -45,10 +56,27 @@ type DatasetResult struct {
 	// Baselines maps model name to its raw-data metrics (paper Table 2).
 	Baselines map[string]stats.Metrics
 	Cells     []*Cell
+
+	// index maps (method, epsilon) to its cell for O(1) lookup. It is built
+	// once before the result escapes its constructor and is read-only after.
+	index map[cellKey]*Cell
+}
+
+// buildIndex (re)derives the keyed cell lookup from Cells. Constructors
+// (evaluateDataset, LoadGrid) call it before the result is shared.
+func (d *DatasetResult) buildIndex() {
+	d.index = make(map[cellKey]*Cell, len(d.Cells))
+	for _, c := range d.Cells {
+		d.index[cellKey{c.Method, c.Epsilon}] = c
+	}
 }
 
 // Cell returns the grid cell for (method, eps), or nil.
 func (d *DatasetResult) Cell(m compress.Method, eps float64) *Cell {
+	if d.index != nil {
+		return d.index[cellKey{m, eps}]
+	}
+	// Hand-assembled results (tests) may lack the index; fall back to a scan.
 	for _, c := range d.Cells {
 		if c.Method == m && c.Epsilon == eps {
 			return c
@@ -57,13 +85,77 @@ func (d *DatasetResult) Cell(m compress.Method, eps float64) *Cell {
 	return nil
 }
 
+// PhaseTimings reports where an evaluation run spent its time, plus work
+// counters, so benchmarks can attribute speedups to specific phases. Phase
+// durations are summed across concurrently evaluated datasets and worker
+// goroutines, so they measure aggregate compute and may exceed Wall.
+type PhaseTimings struct {
+	// Setup covers dataset generation, splitting, scaling, and the
+	// lossless Gorilla baseline.
+	Setup time.Duration
+	// Compression covers the method × error-bound compression grid.
+	Compression time.Duration
+	// Planning covers the per-cell transform + window caching (cellPlan).
+	Planning time.Duration
+	// Forecast covers model fitting and window evaluation across all
+	// (model, seed) units.
+	Forecast time.Duration
+	// Wall is the end-to-end wall clock of the RunGrid call that computed
+	// the grid (memoised callers see the original run's value).
+	Wall time.Duration
+	// Units is the number of (model, seed) units executed.
+	Units int64
+	// CellEvals is the number of model-on-decompressed-cell evaluations.
+	CellEvals int64
+}
+
+// timingAcc accumulates PhaseTimings atomically across worker goroutines.
+type timingAcc struct {
+	setup, compression, planning, forecast atomic.Int64 // nanoseconds
+	units, cellEvals                       atomic.Int64
+}
+
+func (a *timingAcc) snapshot(wall time.Duration) PhaseTimings {
+	return PhaseTimings{
+		Setup:       time.Duration(a.setup.Load()),
+		Compression: time.Duration(a.compression.Load()),
+		Planning:    time.Duration(a.planning.Load()),
+		Forecast:    time.Duration(a.forecast.Load()),
+		Wall:        wall,
+		Units:       a.units.Load(),
+		CellEvals:   a.cellEvals.Load(),
+	}
+}
+
 // GridResult is the complete evaluation output shared by all experiments.
 type GridResult struct {
 	Opts     Options
 	Datasets map[string]*DatasetResult
+	// Timings reports per-phase wall clock and work counters of the run
+	// that computed this grid (zero for grids loaded from disk).
+	Timings PhaseTimings
 
 	mu       sync.Mutex
-	features map[string]map[string]float64 // lazy characteristic vectors
+	features map[string]features.Vector // lazy characteristic vectors
+}
+
+// featureCache returns the cached characteristic vector for key, lazily
+// allocating the cache map. All access goes through these two helpers so
+// the lazy initialisation is race-free even on zero-value GridResults.
+func (g *GridResult) featureCache(key string) (features.Vector, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.features[key]
+	return v, ok
+}
+
+func (g *GridResult) storeFeature(key string, v features.Vector) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.features == nil {
+		g.features = map[string]features.Vector{}
+	}
+	g.features[key] = v
 }
 
 var (
@@ -71,9 +163,25 @@ var (
 	gridCache = map[string]*GridResult{}
 )
 
+// ResetGridCache clears the in-process grid memoisation cache, forcing the
+// next RunGrid call to recompute. It exists as a test and benchmark hook:
+// determinism tests use it to compare two fresh computations, and the
+// sequential-vs-parallel benchmarks use it to defeat memoisation.
+func ResetGridCache() {
+	gridMu.Lock()
+	gridCache = map[string]*GridResult{}
+	gridMu.Unlock()
+}
+
 // RunGrid executes the paper's evaluation scenario over the configured grid
 // and memoises the result per option set, so the table and figure
 // generators share one computation.
+//
+// Datasets are evaluated concurrently, and within each dataset the
+// (model, seed) units fan out across a bounded worker pool (see
+// Options.Parallelism). Results are merged in a fixed order, so the output
+// is bit-identical to a sequential run regardless of GOMAXPROCS or the
+// Parallelism setting.
 func RunGrid(opts Options) (*GridResult, error) {
 	key := opts.key()
 	gridMu.Lock()
@@ -83,47 +191,102 @@ func RunGrid(opts Options) (*GridResult, error) {
 	}
 	gridMu.Unlock()
 
-	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}, features: map[string]map[string]float64{}}
-	// Datasets are independent; evaluate them concurrently up to the number
-	// of available CPUs. Each evaluation owns its models and RNGs, so the
+	start := time.Now()
+	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}}
+	var acc timingAcc
+	// Datasets are independent; evaluate them concurrently up to the
+	// parallelism bound. Each evaluation owns its models and RNGs, and each
+	// goroutine writes only its own slot, so no lock is needed and the
 	// result is identical to a sequential run.
 	names := opts.datasets()
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	type dsOut struct {
+		dr  *DatasetResult
+		err error
+	}
+	outs := make([]dsOut, len(names))
+	sem := make(chan struct{}, opts.parallelism())
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, name := range names {
-		name := name
+	for i, name := range names {
+		i, name := i, name
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			dr, err := evaluateDataset(name, opts)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("core: dataset %s: %w", name, err)
-				return
-			}
-			if err == nil {
-				g.Datasets[name] = dr
-			}
+			outs[i].dr, outs[i].err = evaluateDataset(name, opts, &acc)
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	// Surface every dataset failure, in dataset order, rather than only the
+	// first one observed.
+	var errs []error
+	for i, name := range names {
+		if outs[i].err != nil {
+			errs = append(errs, fmt.Errorf("core: dataset %s: %w", name, outs[i].err))
+		}
 	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	for i, name := range names {
+		g.Datasets[name] = outs[i].dr
+	}
+	g.Timings = acc.snapshot(time.Since(start))
 	gridMu.Lock()
 	gridCache[key] = g
 	gridMu.Unlock()
 	return g, nil
 }
 
+// datasetPlan caches everything the (model, seed) units share within one
+// dataset: the scaled train/val series, the raw evaluation windows, and one
+// cellPlan per grid cell. Building it once per dataset removes the
+// per-model, per-seed recomputation of scaler transforms and window
+// slicing. All fields are read-only once the plan is built, so workers can
+// share them without locks (Predict implementations never mutate inputs).
+type datasetPlan struct {
+	cfg            forecast.Config
+	scTrain, scVal []float64
+	rawWindows     *timeseries.WindowSet
+	cells          []cellPlan
+	evalStride     int
+	phaseStart     int
+}
+
+// cellPlan is the cached per-cell evaluation input: the paired windows of
+// the scaled decompressed values against the scaled raw targets. It depends
+// only on the cell, never on the model or seed.
+type cellPlan struct {
+	method  compress.Method
+	epsilon float64
+	windows *timeseries.WindowSet
+}
+
+// unit is one fit-and-evaluate work item of the inner grid.
+type unit struct {
+	model string
+	mi    int // index into opts.models()
+	si    int // seed index within the model
+}
+
+// unitResult carries one unit's metrics back to the deterministic merge.
+type unitResult struct {
+	base  stats.Metrics
+	cells []stats.Metrics // indexed like DatasetResult.Cells
+	err   error
+}
+
+// errUnitSkipped marks units abandoned after another unit failed; the merge
+// reports the first real error in unit order instead.
+var errUnitSkipped = errors.New("core: unit skipped after earlier failure")
+
 // evaluateDataset runs Algorithm 1 for one dataset across all models,
-// methods, and error bounds.
-func evaluateDataset(name string, opts Options) (*DatasetResult, error) {
+// methods, and error bounds. The per-cell transforms are computed once
+// (datasetPlan) and the (model, seed) units fan out over a worker pool of
+// opts.parallelism() goroutines; per-seed metrics are merged in seed order
+// so the result is bit-identical to a sequential run.
+func evaluateDataset(name string, opts Options, acc *timingAcc) (*DatasetResult, error) {
+	tSetup := time.Now()
 	ds, err := datasets.Load(name, opts.Scale, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -168,8 +331,10 @@ func evaluateDataset(name string, opts Options) (*DatasetResult, error) {
 	if dr.GorillaCR, err = compress.Ratio(test, gor); err != nil {
 		return nil, err
 	}
+	acc.setup.Add(int64(time.Since(tSetup)))
 
 	// Compression grid first: it is model-independent.
+	tComp := time.Now()
 	for _, m := range opts.methods() {
 		comp, err := compress.New(m)
 		if err != nil {
@@ -204,11 +369,12 @@ func evaluateDataset(name string, opts Options) (*DatasetResult, error) {
 			})
 		}
 	}
+	dr.buildIndex()
+	acc.compression.Add(int64(time.Since(tComp)))
 
-	// Forecasting: train each model per seed, evaluate on the raw test and
-	// on every decompressed variant (Algorithm 1).
 	// Evaluation windows slide by one horizon; large datasets are evenly
 	// subsampled to MaxEvalWindows to bound deep-model prediction cost.
+	tPlan := time.Now()
 	evalStride := cfg.Horizon
 	if m := opts.MaxEvalWindows; m > 0 {
 		if full := (test.Len() - cfg.InputLen - cfg.Horizon) / cfg.Horizon; full > m {
@@ -219,42 +385,87 @@ func evaluateDataset(name string, opts Options) (*DatasetResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, modelName := range opts.models() {
+	// The scaled decompression and its paired windows depend only on the
+	// cell, so they are computed exactly once and shared (read-only) by
+	// every (model, seed) unit — previously they were recomputed per model
+	// and per seed.
+	plan := &datasetPlan{
+		cfg:        cfg,
+		scTrain:    scTrain,
+		scVal:      scVal,
+		rawWindows: rawWindows,
+		cells:      make([]cellPlan, len(dr.Cells)),
+		evalStride: evalStride,
+		phaseStart: (train.Len() + val.Len()) % ds.SeasonalPeriod,
+	}
+	for ci, cell := range dr.Cells {
+		scDec := scaler.Transform(cell.Decompressed)
+		ws, err := timeseries.MakePairedWindows(scDec, scTest, cfg.InputLen, cfg.Horizon, evalStride)
+		if err != nil {
+			return nil, err
+		}
+		plan.cells[ci] = cellPlan{method: cell.Method, epsilon: cell.Epsilon, windows: ws}
+	}
+	acc.planning.Add(int64(time.Since(tPlan)))
+
+	// Forecasting: train each model per seed, evaluate on the raw test and
+	// on every decompressed variant (Algorithm 1). The (model, seed) units
+	// are independent — each owns its model and RNG — so they fan out over
+	// a bounded worker pool and land in a [model][seed] result grid.
+	models := opts.models()
+	var units []unit
+	results := make([][]unitResult, len(models))
+	for mi, modelName := range models {
 		nSeeds := opts.seeds(modelName)
-		var base []stats.Metrics
+		results[mi] = make([]unitResult, nSeeds)
+		for si := 0; si < nSeeds; si++ {
+			units = append(units, unit{model: modelName, mi: mi, si: si})
+		}
+	}
+	workers := opts.parallelism()
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				u := units[i]
+				if failed.Load() {
+					results[u.mi][u.si] = unitResult{err: errUnitSkipped}
+					continue
+				}
+				res := runUnit(u, opts, plan, acc)
+				if res.err != nil {
+					failed.Store(true)
+				}
+				results[u.mi][u.si] = res
+			}
+		}()
+	}
+	wg.Wait()
+	// Merge in (model, seed) order — the exact accumulation order of the
+	// sequential implementation — so means are bit-identical.
+	for _, u := range units {
+		if err := results[u.mi][u.si].err; err != nil && !errors.Is(err, errUnitSkipped) {
+			return nil, err
+		}
+	}
+	for mi, modelName := range models {
+		base := make([]stats.Metrics, len(results[mi]))
 		cellAcc := make([][]stats.Metrics, len(dr.Cells))
-		for run := 0; run < nSeeds; run++ {
-			mcfg := cfg
-			mcfg.Seed = opts.Seed + int64(run)*7919
-			model, err := forecast.New(modelName, mcfg)
-			if err != nil {
-				return nil, err
-			}
-			if err := model.Fit(scTrain, scVal); err != nil {
-				return nil, fmt.Errorf("fit %s: %w", modelName, err)
-			}
-			// The harness knows each window's absolute position, so
-			// phase-aware models (Arima) receive real time indices for
-			// their Fourier terms, exactly as the paper's timestamps do.
-			if pa, ok := model.(forecast.PhaseAware); ok {
-				pa.SetWindowPhase((train.Len()+val.Len())%ds.SeasonalPeriod, evalStride)
-			}
-			m, err := evaluateWindows(model, rawWindows)
-			if err != nil {
-				return nil, fmt.Errorf("baseline %s: %w", modelName, err)
-			}
-			base = append(base, m)
-			for ci, cell := range dr.Cells {
-				scDec := scaler.Transform(cell.Decompressed)
-				ws, err := timeseries.MakePairedWindows(scDec, scTest, cfg.InputLen, cfg.Horizon, evalStride)
-				if err != nil {
-					return nil, err
-				}
-				m, err := evaluateWindows(model, ws)
-				if err != nil {
-					return nil, fmt.Errorf("%s on %s eps=%v: %w", modelName, cell.Method, cell.Epsilon, err)
-				}
-				cellAcc[ci] = append(cellAcc[ci], m)
+		for si, res := range results[mi] {
+			base[si] = res.base
+			for ci := range dr.Cells {
+				cellAcc[ci] = append(cellAcc[ci], res.cells[ci])
 			}
 		}
 		baseMean := meanMetrics(base)
@@ -268,6 +479,45 @@ func evaluateDataset(name string, opts Options) (*DatasetResult, error) {
 		}
 	}
 	return dr, nil
+}
+
+// runUnit fits one (model, seed) instance and evaluates it on the raw
+// baseline windows and every cached cell window set.
+func runUnit(u unit, opts Options, plan *datasetPlan, acc *timingAcc) unitResult {
+	tFit := time.Now()
+	defer func() {
+		acc.forecast.Add(int64(time.Since(tFit)))
+		acc.units.Add(1)
+	}()
+	mcfg := plan.cfg
+	mcfg.Seed = opts.Seed + int64(u.si)*7919
+	model, err := forecast.New(u.model, mcfg)
+	if err != nil {
+		return unitResult{err: err}
+	}
+	if err := model.Fit(plan.scTrain, plan.scVal); err != nil {
+		return unitResult{err: fmt.Errorf("fit %s: %w", u.model, err)}
+	}
+	// The harness knows each window's absolute position, so phase-aware
+	// models (Arima) receive real time indices for their Fourier terms,
+	// exactly as the paper's timestamps do.
+	if pa, ok := model.(forecast.PhaseAware); ok {
+		pa.SetWindowPhase(plan.phaseStart, plan.evalStride)
+	}
+	base, err := evaluateWindows(model, plan.rawWindows)
+	if err != nil {
+		return unitResult{err: fmt.Errorf("baseline %s: %w", u.model, err)}
+	}
+	cells := make([]stats.Metrics, len(plan.cells))
+	for ci, cp := range plan.cells {
+		m, err := evaluateWindows(model, cp.windows)
+		if err != nil {
+			return unitResult{err: fmt.Errorf("%s on %s eps=%v: %w", u.model, cp.method, cp.epsilon, err)}
+		}
+		cells[ci] = m
+	}
+	acc.cellEvals.Add(int64(len(plan.cells)))
+	return unitResult{base: base, cells: cells}
 }
 
 // evaluateWindows predicts every window and scores the flattened forecasts

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"lossyts/internal/compress"
 	"lossyts/internal/forecast"
@@ -31,6 +32,13 @@ type Options struct {
 	// MaxEvalWindows caps the number of test windows per evaluation
 	// (evenly subsampled; 0 = all windows, as the paper evaluates).
 	MaxEvalWindows int
+	// Parallelism bounds the worker pools of the evaluation harness: both
+	// the dataset-level fan-out in RunGrid and the per-dataset (model,
+	// seed) pool. 0 means runtime.NumCPU(). 1 forces a fully sequential
+	// run. Results are bit-identical at every setting — parallelism only
+	// changes scheduling, never values — so it is excluded from the
+	// memoisation key.
+	Parallelism int
 	// Forecast carries window sizes and training hyperparameters; zero
 	// values fall back to forecast.DefaultConfig.
 	Forecast forecast.Config
@@ -126,7 +134,17 @@ func (o Options) seeds(model string) int {
 	return 1
 }
 
+// parallelism resolves the worker-pool bound (0 = NumCPU).
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
 // key is the memoisation key: all fields that influence the grid.
+// Parallelism is deliberately excluded — it changes only scheduling, and
+// the harness guarantees bit-identical results at every setting.
 func (o Options) key() string {
 	return fmt.Sprintf("%v|%d|%v|%v|%v|%v|%d|%d|%d|%+v",
 		o.Scale, o.Seed, o.datasets(), o.models(), o.methods(), o.errorBounds(),

@@ -109,7 +109,7 @@ func LoadGrid(path string) (*GridResult, error) {
 	if in.Version != gridFileVersion {
 		return nil, fmt.Errorf("core: grid file version %d, want %d", in.Version, gridFileVersion)
 	}
-	g := &GridResult{Opts: in.Opts, Datasets: map[string]*DatasetResult{}, features: map[string]map[string]float64{}}
+	g := &GridResult{Opts: in.Opts, Datasets: map[string]*DatasetResult{}}
 	for name, df := range in.Datasets {
 		ds := &DatasetResult{
 			Name:           df.Name,
@@ -132,6 +132,7 @@ func LoadGrid(path string) (*GridResult, error) {
 				TFE:          c.TFE,
 			})
 		}
+		ds.buildIndex()
 		g.Datasets[name] = ds
 	}
 	gridMu.Lock()

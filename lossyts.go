@@ -204,7 +204,9 @@ func CheckDrift(raw, decompressed []float64, period int) (*DriftReport, error) {
 
 // Evaluation harness (Algorithm 1 and the experiment grid).
 type (
-	// EvalOptions configures a full evaluation run.
+	// EvalOptions configures a full evaluation run. Its Parallelism field
+	// bounds the harness's worker pools (0 = NumCPU, 1 = sequential);
+	// results are bit-identical at every setting.
 	EvalOptions = core.Options
 	// GridResult is the memoised output of the full evaluation grid.
 	GridResult = core.GridResult
@@ -219,7 +221,15 @@ func DefaultEvalOptions() EvalOptions { return core.DefaultOptions() }
 func PaperEvalOptions() EvalOptions { return core.PaperOptions() }
 
 // RunGrid executes (and memoises) the paper's evaluation scenario.
+// Datasets and (model, seed) training units are evaluated concurrently up
+// to opts.Parallelism workers, with per-cell transforms cached and results
+// merged in a fixed order, so the output is deterministic and bit-identical
+// to a sequential run. GridResult.Timings reports per-phase wall clock.
 func RunGrid(opts EvalOptions) (*GridResult, error) { return core.RunGrid(opts) }
+
+// ResetGridCache clears RunGrid's in-process memoisation cache, forcing the
+// next call to recompute (test and benchmark hook).
+func ResetGridCache() { core.ResetGridCache() }
 
 // SaveGrid persists an evaluation grid to a gzip-JSON file so expensive
 // runs can be reused across processes.
