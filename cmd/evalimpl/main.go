@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"lossyts/internal/core"
+	"lossyts/internal/profiling"
 )
 
 func main() {
@@ -30,8 +31,23 @@ func main() {
 		saveGrid   = flag.String("savegrid", "", "after the run, save the evaluation grid to this file (gzip JSON)")
 		loadGrid   = flag.String("loadgrid", "", "load a previously saved evaluation grid instead of recomputing")
 		par        = flag.Int("parallelism", 0, "evaluation worker bound (0 = all CPUs, 1 = sequential; results are identical)")
+		refKernels = flag.Bool("refkernels", false, "use the reference (unblocked, unfused, unpooled) nn kernels")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalimpl:", err)
+		os.Exit(1)
+	}
+	// fail flushes profiles (os.Exit skips defers) before exiting non-zero.
+	fail := func(args ...any) {
+		fmt.Fprintln(os.Stderr, args...)
+		stopProfiles()
+		os.Exit(1)
+	}
 
 	opts := core.DefaultOptions()
 	if *full {
@@ -43,6 +59,7 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallelism = *par
+	opts.ReferenceKernels = *refKernels
 	if *datasets != "" {
 		opts.Datasets = splitList(*datasets)
 	}
@@ -53,32 +70,32 @@ func main() {
 	if *loadGrid != "" {
 		g, err := core.LoadGrid(*loadGrid)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "evalimpl:", err)
-			os.Exit(1)
+			fail("evalimpl:", err)
 		}
 		opts = g.Opts // the loaded grid's options drive the experiments
 	}
 	if *experiment == "recommend" {
 		if err := recommend(opts, *maxTFE); err != nil {
-			fmt.Fprintln(os.Stderr, "evalimpl:", err)
-			os.Exit(1)
+			fail("evalimpl:", err)
 		}
-		return
+	} else {
+		if err := run(*experiment, opts); err != nil {
+			fail("evalimpl:", err)
+		}
+		if *saveGrid != "" {
+			g, err := core.RunGrid(opts) // memoised: no recomputation
+			if err == nil {
+				err = core.SaveGrid(g, *saveGrid)
+			}
+			if err != nil {
+				fail("evalimpl: saving grid:", err)
+			}
+			fmt.Fprintf(os.Stderr, "grid saved to %s\n", *saveGrid)
+		}
 	}
-	if err := run(*experiment, opts); err != nil {
+	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, "evalimpl:", err)
 		os.Exit(1)
-	}
-	if *saveGrid != "" {
-		g, err := core.RunGrid(opts) // memoised: no recomputation
-		if err == nil {
-			err = core.SaveGrid(g, *saveGrid)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "evalimpl: saving grid:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "grid saved to %s\n", *saveGrid)
 	}
 }
 

@@ -15,26 +15,42 @@ import (
 	"lossyts/internal/compress"
 	"lossyts/internal/datasets"
 	"lossyts/internal/forecast"
+	"lossyts/internal/nn"
+	"lossyts/internal/profiling"
 	"lossyts/internal/stats"
 	"lossyts/internal/timeseries"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "ETTm1", "dataset: ETTm1, ETTm2, Solar, Weather, ElecDem, Wind")
-		model   = flag.String("model", "DLinear", "forecasting model")
-		method  = flag.String("method", "", "optional lossy method for the test input: PMC, SWING, SZ")
-		eps     = flag.Float64("eps", 0.1, "error bound when -method is set")
-		scale   = flag.Float64("scale", 0.05, "dataset length scale")
-		seed    = flag.Int64("seed", 1, "random seed")
-		par     = flag.Int("parallelism", 0, "CPU bound for the single training run (0 = all CPUs); the single-run analogue of evalimpl -parallelism")
+		dataset    = flag.String("dataset", "ETTm1", "dataset: ETTm1, ETTm2, Solar, Weather, ElecDem, Wind")
+		model      = flag.String("model", "DLinear", "forecasting model")
+		method     = flag.String("method", "", "optional lossy method for the test input: PMC, SWING, SZ")
+		eps        = flag.Float64("eps", 0.1, "error bound when -method is set")
+		scale      = flag.Float64("scale", 0.05, "dataset length scale")
+		seed       = flag.Int64("seed", 1, "random seed")
+		par        = flag.Int("parallelism", 0, "CPU bound for the single training run (0 = all CPUs); the single-run analogue of evalimpl -parallelism")
+		refKernels = flag.Bool("refkernels", false, "use the reference (unblocked, unfused, unpooled) nn kernels")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *par > 0 {
 		runtime.GOMAXPROCS(*par)
 	}
-	if err := run(*dataset, *model, *method, *eps, *scale, *seed); err != nil {
+	nn.UseReferenceKernels(*refKernels)
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsforecast:", err)
+		os.Exit(1)
+	}
+	runErr := run(*dataset, *model, *method, *eps, *scale, *seed)
+	// Profiles are flushed before any exit path: os.Exit skips defers.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsforecast:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tsforecast:", runErr)
 		os.Exit(1)
 	}
 }

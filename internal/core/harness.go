@@ -11,6 +11,7 @@ import (
 	"lossyts/internal/datasets"
 	"lossyts/internal/features"
 	"lossyts/internal/forecast"
+	"lossyts/internal/nn"
 	"lossyts/internal/stats"
 	"lossyts/internal/timeseries"
 )
@@ -190,6 +191,12 @@ func RunGrid(opts Options) (*GridResult, error) {
 		return g, nil
 	}
 	gridMu.Unlock()
+
+	// The kernel mode is process-global (the nn ops consult it at every
+	// dispatch), so it is set once per grid computation. Each (model, seed)
+	// unit owns a per-goroutine arena released when its fit/predict ends,
+	// so cell boundaries never leak pooled buffers across units.
+	nn.UseReferenceKernels(opts.ReferenceKernels)
 
 	start := time.Now()
 	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}}

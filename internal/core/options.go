@@ -42,6 +42,11 @@ type Options struct {
 	// Forecast carries window sizes and training hyperparameters; zero
 	// values fall back to forecast.DefaultConfig.
 	Forecast forecast.Config
+	// ReferenceKernels disables the nn package's blocked/fused kernels and
+	// buffer arena for the run, training with the original scalar op
+	// graphs. Kernel numerics differ below ~1e-9, so it is part of the
+	// memoisation key.
+	ReferenceKernels bool
 }
 
 // DefaultOptions is the paper's grid at laptop scale: all datasets, models,
@@ -146,7 +151,7 @@ func (o Options) parallelism() int {
 // Parallelism is deliberately excluded — it changes only scheduling, and
 // the harness guarantees bit-identical results at every setting.
 func (o Options) key() string {
-	return fmt.Sprintf("%v|%d|%v|%v|%v|%v|%d|%d|%d|%+v",
+	return fmt.Sprintf("%v|%d|%v|%v|%v|%v|%d|%d|%d|%+v|%v",
 		o.Scale, o.Seed, o.datasets(), o.models(), o.methods(), o.errorBounds(),
-		o.DeepSeeds, o.ShallowSeeds, o.MaxEvalWindows, o.Forecast)
+		o.DeepSeeds, o.ShallowSeeds, o.MaxEvalWindows, o.Forecast, o.ReferenceKernels)
 }

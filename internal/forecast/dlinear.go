@@ -50,7 +50,7 @@ func (m *dlinear) params() []*nn.Tensor {
 func (m *dlinear) forward(x *nn.Tensor, train bool) *nn.Tensor {
 	trend := nn.MovingAvg1D(x, m.kernel)
 	season := nn.Sub(x, trend)
-	return nn.Add(m.trend.Forward(trend), m.season.Forward(season))
+	return nn.LinearPairSum(trend, m.trend.W, m.trend.B, season, m.season.W, m.season.B)
 }
 
 func (m *dlinear) Fit(train, val []float64) error {

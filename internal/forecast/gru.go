@@ -44,7 +44,7 @@ func (m *gru) params() []*nn.Tensor {
 
 func (m *gru) forward(x *nn.Tensor, train bool) *nn.Tensor {
 	b, l := x.Shape[0], x.Shape[1]
-	h := nn.Zeros(b, m.encoder.Hidden)
+	h := nn.ZerosLike(x, b, m.encoder.Hidden)
 	for t := 0; t < l; t++ {
 		step := nn.Narrow(x, 1, t, 1) // [B, 1]
 		h = m.encoder.Step(step, h)

@@ -55,10 +55,10 @@ func (p *probSparseAttention) forward(x *nn.Tensor) *nn.Tensor {
 	// Select the top-u queries per batch-head by the sparsity measurement.
 	// The selection itself is treated as a constant (as in Informer, where
 	// lazy queries are simply never computed).
-	selMask := nn.Zeros(bh, t, t) // 1 on rows of active queries
-	uniform := nn.Zeros(bh, t, t) // 1/T on rows of lazy queries
-	measure := make([]float64, t) // M(q) per query
-	order := make([]int, t)       // query indices sorted by M(q)
+	selMask := nn.ZerosLike(scores, bh, t, t) // 1 on rows of active queries
+	uniform := nn.ZerosLike(scores, bh, t, t) // 1/T on rows of lazy queries
+	measure := make([]float64, t)             // M(q) per query
+	order := make([]int, t)                   // query indices sorted by M(q)
 	for b := 0; b < bh; b++ {
 		base := b * t * t
 		for qi := 0; qi < t; qi++ {
@@ -153,6 +153,7 @@ type informer struct {
 	distill  *nn.Conv1D
 	dec      *decoderLayer
 	head     *nn.Linear
+	mask     *nn.Tensor
 	trained  bool
 }
 
@@ -175,6 +176,7 @@ func newInformer(cfg Config) *informer {
 		distill:  nn.NewConv1D(rng, 3, d, d),
 		dec:      newDecoderLayer(rng, d, heads, 2*d),
 		head:     nn.NewLinear(rng, d, 1),
+		mask:     nn.CausalMask(2 * cfg.Horizon),
 	}
 }
 
@@ -204,8 +206,7 @@ func (m *informer) forward(x *nn.Tensor, train bool) *nn.Tensor {
 	memory = m.enc2.forward(memory, dropout, m.rng, train)
 
 	decSeq := m.embedSeq(decoderInput(x, m.labelLen, m.cfg.Horizon))
-	mask := nn.CausalMask(m.labelLen + m.cfg.Horizon)
-	out := m.dec.forward(decSeq, memory, mask, dropout, m.rng, train)
+	out := m.dec.forward(decSeq, memory, m.mask, dropout, m.rng, train)
 	b := x.Shape[0]
 	vals := nn.Reshape(m.head.Forward(out), b, m.labelLen+m.cfg.Horizon)
 	return nn.Narrow(vals, 1, m.labelLen, m.cfg.Horizon)

@@ -1,0 +1,31 @@
+package forecast
+
+import (
+	"testing"
+
+	"lossyts/internal/nn"
+)
+
+// benchmarkStep times one full optimizer step (forward, backward, clip,
+// Adam, arena reset) of the named deep model at the default configuration,
+// under the requested kernel mode.
+func benchmarkStep(b *testing.B, modelName string, reference bool) {
+	nn.UseReferenceKernels(reference)
+	defer nn.UseReferenceKernels(false)
+	step, err := OneTrainingStep(modelName, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	step() // warm the arena so steady-state allocation is measured
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+func BenchmarkGRUStep(b *testing.B)          { benchmarkStep(b, "GRU", false) }
+func BenchmarkGRUStepReference(b *testing.B) { benchmarkStep(b, "GRU", true) }
+
+func BenchmarkTransformerStep(b *testing.B)          { benchmarkStep(b, "Transformer", false) }
+func BenchmarkTransformerStepReference(b *testing.B) { benchmarkStep(b, "Transformer", true) }

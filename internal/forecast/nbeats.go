@@ -70,7 +70,7 @@ func (m *nbeats) forward(x *nn.Tensor, train bool) *nn.Tensor {
 	for _, blk := range m.blocks {
 		h := residual
 		for _, l := range blk.fc {
-			h = nn.ReLU(l.Forward(h))
+			h = l.ForwardAct(h, nn.ActReLU)
 		}
 		back := blk.backcast.Forward(h)
 		fore := blk.forecast.Forward(h)

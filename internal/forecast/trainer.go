@@ -45,6 +45,13 @@ func trainNeural(net network, cfg Config, rng *rand.Rand, train, val []float64) 
 
 	opt := nn.NewAdam(cfg.LR, cfg.WeightDecay)
 	params := net.params()
+	// All intermediate tensors of a training step come from one arena:
+	// tagging the input batch pools the whole forward/backward graph, the
+	// arena recycles its buffers locally after each optimizer step, and
+	// Release hands the memory to the global pools when the fit ends (so
+	// concurrent (model, seed) units share a steady-state working set).
+	arena := nn.NewArena()
+	defer arena.Release()
 	bestVal := math.Inf(1)
 	var best [][]float64
 	stall := 0
@@ -65,7 +72,7 @@ func trainNeural(net network, cfg Config, rng *rand.Rand, train, val []float64) 
 				end = len(order)
 			}
 			batch := order[start:end]
-			x := nn.Zeros(len(batch), cfg.InputLen)
+			x := nn.Zeros(len(batch), cfg.InputLen).InArena(arena)
 			y := nn.Zeros(len(batch), cfg.Horizon)
 			for bi, wi := range batch {
 				copy(x.Data[bi*cfg.InputLen:(bi+1)*cfg.InputLen], tw.Windows[wi].Input)
@@ -76,6 +83,7 @@ func trainNeural(net network, cfg Config, rng *rand.Rand, train, val []float64) 
 			loss.Backward()
 			nn.ClipGradNorm(params, 5)
 			opt.Step(params)
+			arena.Reset()
 		}
 		if len(valIn) == 0 {
 			continue
@@ -118,6 +126,8 @@ func evalMSE(net network, cfg Config, inputs, targets [][]float64) float64 {
 // predictNeural evaluates the network in inference mode.
 func predictNeural(net network, cfg Config, inputs [][]float64) [][]float64 {
 	out := make([][]float64, 0, len(inputs))
+	arena := nn.NewArena()
+	defer arena.Release()
 	const bs = 64
 	for start := 0; start < len(inputs); start += bs {
 		end := start + bs
@@ -125,7 +135,7 @@ func predictNeural(net network, cfg Config, inputs [][]float64) [][]float64 {
 			end = len(inputs)
 		}
 		batch := inputs[start:end]
-		x := nn.Zeros(len(batch), cfg.InputLen)
+		x := nn.Zeros(len(batch), cfg.InputLen).InArena(arena)
 		for bi, w := range batch {
 			copy(x.Data[bi*cfg.InputLen:(bi+1)*cfg.InputLen], w)
 		}
@@ -135,6 +145,9 @@ func predictNeural(net network, cfg Config, inputs [][]float64) [][]float64 {
 			copy(row, pred.Data[bi*cfg.Horizon:(bi+1)*cfg.Horizon])
 			out = append(out, row)
 		}
+		// Prediction rows were copied out above, so the graph's arena
+		// buffers can be recycled before the next batch.
+		arena.Reset()
 	}
 	return out
 }

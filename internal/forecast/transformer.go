@@ -17,7 +17,7 @@ func newFeedForward(rng *rand.Rand, d, ff int) *feedForward {
 }
 
 func (f *feedForward) forward(x *nn.Tensor) *nn.Tensor {
-	return f.l2.Forward(nn.ReLU(f.l1.Forward(x)))
+	return f.l2.Forward(f.l1.ForwardAct(x, nn.ActReLU))
 }
 
 func (f *feedForward) params() []*nn.Tensor {
@@ -110,6 +110,7 @@ type transformer struct {
 	enc      []*encoderLayer
 	dec      *decoderLayer
 	head     *nn.Linear
+	mask     *nn.Tensor
 	trained  bool
 }
 
@@ -129,6 +130,7 @@ func newTransformer(cfg Config) *transformer {
 		pe:       nn.NewPositionalEncoding(cfg.InputLen+2*cfg.Horizon+8, d),
 		dec:      newDecoderLayer(rng, d, heads, 2*d),
 		head:     nn.NewLinear(rng, d, 1),
+		mask:     nn.CausalMask(2 * cfg.Horizon),
 	}
 	for i := 0; i < 2; i++ {
 		m.enc = append(m.enc, newEncoderLayer(rng, d, heads, 2*d))
@@ -159,7 +161,7 @@ func (m *transformer) embedSeq(x *nn.Tensor) *nn.Tensor {
 func decoderInput(x *nn.Tensor, labelLen, horizon int) *nn.Tensor {
 	b, l := x.Shape[0], x.Shape[1]
 	label := nn.Narrow(x, 1, l-labelLen, labelLen)
-	placeholders := nn.Zeros(b, horizon)
+	placeholders := nn.ZerosLike(x, b, horizon)
 	return nn.Concat(1, label, placeholders)
 }
 
@@ -170,8 +172,7 @@ func (m *transformer) forward(x *nn.Tensor, train bool) *nn.Tensor {
 		memory = e.forward(memory, dropout, m.rng, train)
 	}
 	decSeq := m.embedSeq(decoderInput(x, m.labelLen, m.cfg.Horizon))
-	mask := nn.CausalMask(m.labelLen + m.cfg.Horizon)
-	out := m.dec.forward(decSeq, memory, mask, dropout, m.rng, train)
+	out := m.dec.forward(decSeq, memory, m.mask, dropout, m.rng, train)
 	// Project every position to a value and keep the horizon tail.
 	b := x.Shape[0]
 	vals := nn.Reshape(m.head.Forward(out), b, m.labelLen+m.cfg.Horizon)

@@ -40,7 +40,7 @@ func (c *Conv1D) Forward(x *Tensor) *Tensor {
 	b, t := x.Shape[0], x.Shape[1]
 	front := (c.Kernel - 1) / 2
 	w, bias := c.W, c.B
-	data := make([]float64, b*t*c.Out)
+	data := allocFromUninit(arenaOf(x), b*t*c.Out)
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			out := data[(bi*t+ti)*c.Out : (bi*t+ti+1)*c.Out]
@@ -112,7 +112,7 @@ func MaxPool1D(x *Tensor, kernel, stride int) *Tensor {
 	}
 	b, t, c := x.Shape[0], x.Shape[1], x.Shape[2]
 	ot := (t + stride - 1) / stride
-	data := make([]float64, b*ot*c)
+	data := allocFromUninit(arenaOf(x), b*ot*c)
 	argmax := make([]int, b*ot*c)
 	for bi := 0; bi < b; bi++ {
 		for oi := 0; oi < ot; oi++ {
@@ -150,7 +150,7 @@ func MaxPool1D(x *Tensor, kernel, stride int) *Tensor {
 // ELU applies the exponential linear unit used by Informer's distilling
 // convolutions.
 func ELU(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for i, v := range a.Data {
 		if v > 0 {
 			data[i] = v

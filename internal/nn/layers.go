@@ -20,9 +20,16 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	}
 }
 
-// Forward applies the layer to x of shape [..., in].
+// Forward applies the layer to x of shape [..., in]. It runs as a single
+// fused matmul+bias node (the reference-kernel path decomposes it into the
+// original MatMul and AddBias ops).
 func (l *Linear) Forward(x *Tensor) *Tensor {
-	return AddBias(MatMul(x, l.W), l.B)
+	return LinearFused(x, l.W, l.B, ActIdentity)
+}
+
+// ForwardAct applies the layer and an activation as one fused node.
+func (l *Linear) ForwardAct(x *Tensor, act Activation) *Tensor {
+	return LinearFused(x, l.W, l.B, act)
 }
 
 // Params returns the trainable parameters.
@@ -55,7 +62,7 @@ func SplitHeads(x *Tensor, heads int) *Tensor {
 		panic("nn: model dim not divisible by heads")
 	}
 	dh := d / heads
-	data := make([]float64, len(x.Data))
+	data := allocFromUninit(arenaOf(x), len(x.Data))
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			for h := 0; h < heads; h++ {
@@ -91,7 +98,7 @@ func MergeHeads(x *Tensor, heads int) *Tensor {
 	}
 	b := bh / heads
 	d := heads * dh
-	data := make([]float64, len(x.Data))
+	data := allocFromUninit(arenaOf(x), len(x.Data))
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			for h := 0; h < heads; h++ {
@@ -143,23 +150,11 @@ func NewMultiHeadAttention(rng *rand.Rand, dModel, heads int) *MultiHeadAttentio
 // [B, Tq, D], [B, Tk, D], [B, Tk, D]). A non-nil mask of shape [Tq, Tk]
 // blocks attention where mask != 0 (causal masking).
 func (m *MultiHeadAttention) Forward(q, k, v *Tensor, mask *Tensor) *Tensor {
-	b := q.Shape[0]
-	tq, tk := q.Shape[1], k.Shape[1]
 	qh := SplitHeads(m.Wq.Forward(q), m.Heads) // [BH, Tq, Dh]
 	kh := SplitHeads(m.Wk.Forward(k), m.Heads)
 	vh := SplitHeads(m.Wv.Forward(v), m.Heads)
 	dh := m.DModel / m.Heads
-	scores := Scale(MatMul(qh, Transpose(kh)), 1/math.Sqrt(float64(dh))) // [BH, Tq, Tk]
-	if mask != nil {
-		// Expand the [Tq, Tk] mask over the batch-head dimension.
-		big := Zeros(b*m.Heads, tq, tk)
-		for i := 0; i < b*m.Heads; i++ {
-			copy(big.Data[i*tq*tk:(i+1)*tq*tk], mask.Data)
-		}
-		scores = MaskedFill(scores, big, -1e9)
-	}
-	attn := Softmax(scores)
-	out := MatMul(attn, vh) // [BH, Tq, Dh]
+	out := ScaledDotAttention(qh, kh, vh, mask, 1/math.Sqrt(float64(dh))) // [BH, Tq, Dh]
 	return m.Wo.Forward(MergeHeads(out, m.Heads))
 }
 
@@ -205,12 +200,14 @@ func NewGRUCell(rng *rand.Rand, in, hidden int) *GRUCell {
 }
 
 // Step advances the cell one time step: x is [B, in], h is [B, hidden].
+// The gate chains run as fused nodes: sigmoid/tanh fold into the gate sums
+// (AddSigmoid, AddTanh) and the state update is a single Lerp instead of
+// the five-op ones/Sub/Mul/Mul/Add chain.
 func (g *GRUCell) Step(x, h *Tensor) *Tensor {
-	z := Sigmoid(Add(g.Wz.Forward(x), g.Uz.Forward(h)))
-	r := Sigmoid(Add(g.Wr.Forward(x), g.Ur.Forward(h)))
-	hTilde := Tanh(Add(g.Wh.Forward(x), g.Uh.Forward(Mul(r, h))))
-	ones := Full(1, z.Shape...)
-	return Add(Mul(Sub(ones, z), h), Mul(z, hTilde))
+	z := AddSigmoid(g.Wz.Forward(x), g.Uz.Forward(h))
+	r := AddSigmoid(g.Wr.Forward(x), g.Ur.Forward(h))
+	hTilde := AddTanh(g.Wh.Forward(x), g.Uh.Forward(Mul(r, h)))
+	return Lerp(h, hTilde, z)
 }
 
 // Params returns the trainable parameters.
@@ -251,7 +248,7 @@ func (p *PositionalEncoding) Add(x *Tensor) *Tensor {
 	if d != p.d || t > p.table.Shape[0] {
 		panic("nn: positional encoding size mismatch")
 	}
-	data := make([]float64, len(x.Data))
+	data := allocFromUninit(arenaOf(x), len(x.Data))
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			off := (bi*t + ti) * d
@@ -265,9 +262,7 @@ func (p *PositionalEncoding) Add(x *Tensor) *Tensor {
 		if !x.requiresGrad {
 			return
 		}
-		for i, g := range out.Grad {
-			x.Grad[i] += g
-		}
+		addAcc(x.Grad, out.Grad)
 	}, x)
 }
 
@@ -281,7 +276,7 @@ func MovingAvg1D(x *Tensor, kernel int) *Tensor {
 	b, l := x.Shape[0], x.Shape[1]
 	front := (kernel - 1) / 2
 	back := kernel - 1 - front
-	data := make([]float64, len(x.Data))
+	data := allocFrom(arenaOf(x), len(x.Data))
 	// contrib[j] collects which padded index each position maps to; padding
 	// replicates x[0] and x[l-1].
 	clampIdx := func(j int) int {

@@ -9,20 +9,16 @@ import (
 // Add returns a + b (identical shapes).
 func Add(a, b *Tensor) *Tensor {
 	sameShape(a, b)
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf2(a, b), len(a.Data))
 	for i := range data {
 		data[i] = a.Data[i] + b.Data[i]
 	}
 	return result(a.Shape, data, func(out *Tensor) {
 		if a.requiresGrad {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			addAcc(a.Grad, out.Grad)
 		}
 		if b.requiresGrad {
-			for i, g := range out.Grad {
-				b.Grad[i] += g
-			}
+			addAcc(b.Grad, out.Grad)
 		}
 	}, a, b)
 }
@@ -30,15 +26,13 @@ func Add(a, b *Tensor) *Tensor {
 // Sub returns a − b.
 func Sub(a, b *Tensor) *Tensor {
 	sameShape(a, b)
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf2(a, b), len(a.Data))
 	for i := range data {
 		data[i] = a.Data[i] - b.Data[i]
 	}
 	return result(a.Shape, data, func(out *Tensor) {
 		if a.requiresGrad {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			addAcc(a.Grad, out.Grad)
 		}
 		if b.requiresGrad {
 			for i, g := range out.Grad {
@@ -51,7 +45,7 @@ func Sub(a, b *Tensor) *Tensor {
 // Mul returns the elementwise product a ⊙ b.
 func Mul(a, b *Tensor) *Tensor {
 	sameShape(a, b)
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf2(a, b), len(a.Data))
 	for i := range data {
 		data[i] = a.Data[i] * b.Data[i]
 	}
@@ -71,7 +65,7 @@ func Mul(a, b *Tensor) *Tensor {
 
 // Scale returns s·a.
 func Scale(a *Tensor, s float64) *Tensor {
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for i := range data {
 		data[i] = a.Data[i] * s
 	}
@@ -90,15 +84,13 @@ func AddBias(a, bias *Tensor) *Tensor {
 	if len(bias.Shape) != 1 || bias.Shape[0] != d {
 		panic(fmt.Sprintf("nn: bias shape %v for input %v", bias.Shape, a.Shape))
 	}
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for i := range data {
 		data[i] = a.Data[i] + bias.Data[i%d]
 	}
 	return result(a.Shape, data, func(out *Tensor) {
 		if a.requiresGrad {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			addAcc(a.Grad, out.Grad)
 		}
 		if bias.requiresGrad {
 			for i, g := range out.Grad {
@@ -136,64 +128,50 @@ func MatMul(a, b *Tensor) *Tensor {
 	}
 	batch := Numel(a.Shape[:len(a.Shape)-2])
 	outShape := append(append([]int(nil), a.Shape[:len(a.Shape)-2]...), m, n)
-	data := make([]float64, batch*m*n)
-	for t := 0; t < batch; t++ {
-		ao := t * m * k
-		bo := 0
-		if !shared {
-			bo = t * k * n
-		}
-		oo := t * m * n
-		for i := 0; i < m; i++ {
-			for p := 0; p < k; p++ {
-				av := a.Data[ao+i*k+p]
-				if av == 0 {
-					continue
-				}
-				bRow := b.Data[bo+p*n : bo+(p+1)*n]
-				oRow := data[oo+i*n : oo+(i+1)*n]
-				for j := 0; j < n; j++ {
-					oRow[j] += av * bRow[j]
-				}
-			}
+	data := allocFrom(arenaOf2(a, b), batch*m*n)
+	if shared {
+		// One weight matrix for every batch entry: collapse the batch into
+		// the row dimension so the blocked kernel sees one tall matmul.
+		matmulFwd(data, a.Data, b.Data, batch*m, k, n)
+	} else {
+		for t := 0; t < batch; t++ {
+			matmulFwd(data[t*m*n:(t+1)*m*n], a.Data[t*m*k:(t+1)*m*k], b.Data[t*k*n:(t+1)*k*n], m, k, n)
 		}
 	}
 	return result(outShape, data, func(out *Tensor) {
-		for t := 0; t < batch; t++ {
-			ao := t * m * k
-			bo := 0
-			if !shared {
-				bo = t * k * n
-			}
-			oo := t * m * n
-			if a.requiresGrad {
-				// dA = dOut · Bᵀ
-				for i := 0; i < m; i++ {
-					for p := 0; p < k; p++ {
-						var s float64
-						bRow := b.Data[bo+p*n : bo+(p+1)*n]
-						gRow := out.Grad[oo+i*n : oo+(i+1)*n]
-						for j := 0; j < n; j++ {
-							s += gRow[j] * bRow[j]
-						}
-						a.Grad[ao+i*k+p] += s
+		if a.requiresGrad {
+			// dA = dOut · Bᵀ
+			if refKernels.Load() {
+				for t := 0; t < batch; t++ {
+					bo := 0
+					if !shared {
+						bo = t * k * n
+					}
+					matmulBwdARef(a.Grad[t*m*k:(t+1)*m*k], out.Grad[t*m*n:(t+1)*m*n],
+						b.Data[bo:bo+k*n], m, k, n)
+				}
+			} else {
+				bt := allocFromUninit(out.arena, k*n)
+				if shared {
+					packTranspose(bt, b.Data, k, n)
+					matmulBwdAPacked(a.Grad, out.Grad, bt, batch*m, k, n)
+				} else {
+					for t := 0; t < batch; t++ {
+						packTranspose(bt, b.Data[t*k*n:(t+1)*k*n], k, n)
+						matmulBwdAPacked(a.Grad[t*m*k:(t+1)*m*k], out.Grad[t*m*n:(t+1)*m*n],
+							bt, m, k, n)
 					}
 				}
 			}
-			if b.requiresGrad {
-				// dB = Aᵀ · dOut
-				for p := 0; p < k; p++ {
-					for i := 0; i < m; i++ {
-						av := a.Data[ao+i*k+p]
-						if av == 0 {
-							continue
-						}
-						gRow := out.Grad[oo+i*n : oo+(i+1)*n]
-						bgRow := b.Grad[bo+p*n : bo+(p+1)*n]
-						for j := 0; j < n; j++ {
-							bgRow[j] += av * gRow[j]
-						}
-					}
+		}
+		if b.requiresGrad {
+			// dB = Aᵀ · dOut
+			if shared {
+				matmulBwdB(b.Grad, a.Data, out.Grad, batch*m, k, n)
+			} else {
+				for t := 0; t < batch; t++ {
+					matmulBwdB(b.Grad[t*k*n:(t+1)*k*n], a.Data[t*m*k:(t+1)*m*k],
+						out.Grad[t*m*n:(t+1)*m*n], m, k, n)
 				}
 			}
 		}
@@ -208,7 +186,7 @@ func Transpose(a *Tensor) *Tensor {
 	m, n := a.Dim(-2), a.Dim(-1)
 	batch := Numel(a.Shape[:len(a.Shape)-2])
 	outShape := append(append([]int(nil), a.Shape[:len(a.Shape)-2]...), n, m)
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for t := 0; t < batch; t++ {
 		base := t * m * n
 		for i := 0; i < m; i++ {
@@ -237,12 +215,11 @@ func Reshape(a *Tensor, shape ...int) *Tensor {
 	if Numel(shape) != len(a.Data) {
 		panic(fmt.Sprintf("nn: reshape %v to %v", a.Shape, shape))
 	}
-	data := append([]float64(nil), a.Data...)
+	data := allocFromUninit(arenaOf(a), len(a.Data))
+	copy(data, a.Data)
 	return result(shape, data, func(out *Tensor) {
 		if a.requiresGrad {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			addAcc(a.Grad, out.Grad)
 		}
 	}, a)
 }
@@ -275,7 +252,7 @@ func Concat(axis int, ts ...*Tensor) *Tensor {
 	outShape[axis] = total
 	outer := Numel(outShape[:axis])
 	inner := Numel(outShape[axis+1:])
-	data := make([]float64, Numel(outShape))
+	data := allocFromUninit(arenaOf(ts[0]), Numel(outShape))
 	offsets := make([]int, len(ts))
 	off := 0
 	for i, t := range ts {
@@ -300,9 +277,7 @@ func Concat(axis int, ts ...*Tensor) *Tensor {
 			for o := 0; o < outer; o++ {
 				src := o * sz * inner
 				dst := (o*total + offsets[ti]) * inner
-				for i := 0; i < sz*inner; i++ {
-					t.Grad[src+i] += out.Grad[dst+i]
-				}
+				addAcc(t.Grad[src:src+sz*inner], out.Grad[dst:dst+sz*inner])
 			}
 		}
 	}, parents...)
@@ -322,7 +297,7 @@ func Narrow(a *Tensor, axis, start, length int) *Tensor {
 	outer := Numel(a.Shape[:axis])
 	inner := Numel(a.Shape[axis+1:])
 	full := a.Shape[axis]
-	data := make([]float64, Numel(outShape))
+	data := allocFromUninit(arenaOf(a), Numel(outShape))
 	for o := 0; o < outer; o++ {
 		src := (o*full + start) * inner
 		dst := o * length * inner
@@ -335,16 +310,14 @@ func Narrow(a *Tensor, axis, start, length int) *Tensor {
 		for o := 0; o < outer; o++ {
 			src := (o*full + start) * inner
 			dst := o * length * inner
-			for i := 0; i < length*inner; i++ {
-				a.Grad[src+i] += out.Grad[dst+i]
-			}
+			addAcc(a.Grad[src:src+length*inner], out.Grad[dst:dst+length*inner])
 		}
 	}, a)
 }
 
 // ReLU applies max(0, x) elementwise.
 func ReLU(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
+	data := allocFrom(arenaOf(a), len(a.Data))
 	for i, v := range a.Data {
 		if v > 0 {
 			data[i] = v
@@ -365,7 +338,7 @@ func ReLU(a *Tensor) *Tensor {
 // GELU applies the Gaussian error linear unit (tanh approximation).
 func GELU(a *Tensor) *Tensor {
 	const c = 0.7978845608028654 // sqrt(2/pi)
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for i, x := range a.Data {
 		data[i] = 0.5 * x * (1 + math.Tanh(c*(x+0.044715*x*x*x)))
 	}
@@ -384,7 +357,7 @@ func GELU(a *Tensor) *Tensor {
 
 // Sigmoid applies 1/(1+e^-x) elementwise.
 func Sigmoid(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for i, v := range a.Data {
 		data[i] = 1 / (1 + math.Exp(-v))
 	}
@@ -401,7 +374,7 @@ func Sigmoid(a *Tensor) *Tensor {
 
 // Tanh applies tanh elementwise.
 func Tanh(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for i, v := range a.Data {
 		data[i] = math.Tanh(v)
 	}
@@ -420,7 +393,7 @@ func Tanh(a *Tensor) *Tensor {
 func Softmax(a *Tensor) *Tensor {
 	d := a.Dim(-1)
 	rows := len(a.Data) / d
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for r := 0; r < rows; r++ {
 		row := a.Data[r*d : (r+1)*d]
 		maxV := row[0]
@@ -466,9 +439,10 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 		panic("nn: LayerNorm parameter shapes")
 	}
 	rows := len(a.Data) / d
-	data := make([]float64, len(a.Data))
-	norm := make([]float64, len(a.Data)) // cached normalised values
-	invStd := make([]float64, rows)
+	ar := arenaOf(a)
+	data := allocFromUninit(ar, len(a.Data))
+	norm := allocFromUninit(ar, len(a.Data)) // cached normalised values
+	invStd := allocFromUninit(ar, rows)
 	for r := 0; r < rows; r++ {
 		row := a.Data[r*d : (r+1)*d]
 		var m float64
@@ -490,6 +464,13 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 		}
 	}
 	return result(a.Shape, data, func(out *Tensor) {
+		// Fused backward: one pass per row covers the gain, bias, and input
+		// gradients, with a single scratch buffer shared by all rows
+		// (previously a fresh gy slice was allocated per row).
+		var gy []float64
+		if a.requiresGrad {
+			gy = allocFromUninit(out.arena, d)
+		}
 		for r := 0; r < rows; r++ {
 			g := out.Grad[r*d : (r+1)*d]
 			nv := norm[r*d : (r+1)*d]
@@ -499,14 +480,11 @@ func LayerNorm(a, gain, bias *Tensor, eps float64) *Tensor {
 				}
 			}
 			if bias.requiresGrad {
-				for i := range g {
-					bias.Grad[i] += g[i]
-				}
+				addAcc(bias.Grad, g)
 			}
 			if a.requiresGrad {
 				// dL/dx = invStd/d · (d·gy − Σgy − n·Σ(gy·n)), gy = g·gain
 				var sumGy, sumGyN float64
-				gy := make([]float64, d)
 				for i := range g {
 					gy[i] = g[i] * gain.Data[i]
 					sumGy += gy[i]
@@ -532,8 +510,9 @@ func Dropout(a *Tensor, p float64, rng *rand.Rand, train bool) *Tensor {
 		panic("nn: dropout probability must be < 1")
 	}
 	keep := 1 - p
-	mask := make([]float64, len(a.Data))
-	data := make([]float64, len(a.Data))
+	ar := arenaOf(a)
+	mask := allocFrom(ar, len(a.Data))
+	data := allocFromUninit(ar, len(a.Data))
 	for i := range mask {
 		if rng.Float64() < keep {
 			mask[i] = 1 / keep
@@ -593,7 +572,7 @@ func MSE(pred, target *Tensor) *Tensor {
 // The mask must have the same shape as a.
 func MaskedFill(a, mask *Tensor, value float64) *Tensor {
 	sameShape(a, mask)
-	data := make([]float64, len(a.Data))
+	data := allocFromUninit(arenaOf(a), len(a.Data))
 	for i, v := range a.Data {
 		if mask.Data[i] != 0 {
 			data[i] = value

@@ -19,7 +19,13 @@ type Tensor struct {
 
 	requiresGrad bool
 	parents      []*Tensor
-	backward     func()
+	backward     func(out *Tensor)
+
+	// arena, when non-nil, is the buffer pool downstream ops allocate
+	// their intermediate Data/Grad buffers from. It propagates through
+	// result from inputs to outputs, so tagging the input batch of a
+	// forward pass (InArena) pools the whole graph for free.
+	arena *Arena
 }
 
 // New wraps data in a tensor of the given shape (data is used directly).
@@ -75,6 +81,15 @@ func (t *Tensor) Param() *Tensor {
 // RequiresGrad reports whether the tensor participates in gradients.
 func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
 
+// InArena tags the tensor with a buffer arena. The tensor's own Data is
+// untouched; the tag makes every downstream op of the graph allocate its
+// intermediates from the arena (released in bulk at step boundaries).
+// Trainable parameters must not be tagged: their buffers outlive steps.
+func (t *Tensor) InArena(a *Arena) *Tensor {
+	t.arena = a
+	return t
+}
+
 // Dim returns the size of dimension i (negative indices count from the end).
 func (t *Tensor) Dim(i int) int {
 	if i < 0 {
@@ -99,21 +114,45 @@ func (t *Tensor) Item() float64 {
 }
 
 // result builds an op output that links into the autodiff graph when any
-// parent requires gradients.
+// parent requires gradients. On the fast path the output node itself comes
+// from the inputs' arena, which recycles the Tensor struct together with
+// its Shape and parent-list capacity; copying the variadic parents into the
+// pooled slice also lets the compiler keep the call-site argument slice off
+// the heap.
 func result(shape []int, data []float64, back func(out *Tensor), parents ...*Tensor) *Tensor {
-	out := New(shape, data)
+	var ar *Arena
+	requiresGrad := false
 	for _, p := range parents {
 		if p.requiresGrad {
-			out.requiresGrad = true
-			break
+			requiresGrad = true
+		}
+		if ar == nil {
+			ar = p.arena
 		}
 	}
-	if out.requiresGrad && back != nil {
-		out.Grad = make([]float64, len(out.Data))
-		out.parents = parents
-		out.backward = func() { back(out) }
+	var out *Tensor
+	if ar != nil && !refKernels.Load() {
+		out = ar.node()
+		out.Shape = append(out.Shape, shape...)
+		out.Data = data
+		out.arena = ar
+	} else {
+		out = New(shape, data)
+		out.arena = ar
+	}
+	if requiresGrad && back != nil {
+		out.requiresGrad = true
+		out.Grad = allocFrom(ar, len(data))
+		out.parents = append(out.parents, parents...)
+		out.backward = back
 	}
 	return out
+}
+
+// bwFrame is one DFS stack entry of the Backward traversal.
+type bwFrame struct {
+	node *Tensor
+	next int
 }
 
 // Backward runs reverse-mode differentiation from a scalar tensor,
@@ -125,14 +164,28 @@ func (t *Tensor) Backward() {
 	if !t.requiresGrad {
 		return
 	}
-	// Topological order via iterative DFS.
-	var order []*Tensor
-	seen := map[*Tensor]bool{}
-	type frame struct {
-		node *Tensor
-		next int
+	// Topological order via iterative DFS. On the fast path the traversal
+	// scratch comes from the arena, so steady-state training steps reuse
+	// the visited set, order, and stack instead of reallocating them.
+	var (
+		order []*Tensor
+		seen  map[*Tensor]bool
+		stack []bwFrame
+	)
+	ar := t.arena
+	pooled := ar != nil && !refKernels.Load()
+	if pooled {
+		if ar.bwSeen == nil {
+			ar.bwSeen = make(map[*Tensor]bool)
+		}
+		clear(ar.bwSeen)
+		seen = ar.bwSeen
+		order = ar.bwOrder[:0]
+		stack = ar.bwStack[:0]
+	} else {
+		seen = map[*Tensor]bool{}
 	}
-	stack := []frame{{node: t}}
+	stack = append(stack, bwFrame{node: t})
 	seen[t] = true
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
@@ -141,12 +194,17 @@ func (t *Tensor) Backward() {
 			f.next++
 			if !seen[p] && p.requiresGrad {
 				seen[p] = true
-				stack = append(stack, frame{node: p})
+				stack = append(stack, bwFrame{node: p})
 			}
 			continue
 		}
 		order = append(order, f.node)
 		stack = stack[:len(stack)-1]
+	}
+	if pooled {
+		// Hand the (possibly grown) scratch back for the next step.
+		ar.bwOrder = order
+		ar.bwStack = stack
 	}
 	t.Grad[0] = 1
 	// order is child-before-parent reversed: children appear after their
@@ -155,7 +213,7 @@ func (t *Tensor) Backward() {
 	// iterate in reverse to visit each node before its parents.
 	for i := len(order) - 1; i >= 0; i-- {
 		if order[i].backward != nil {
-			order[i].backward()
+			order[i].backward(order[i])
 		}
 	}
 }

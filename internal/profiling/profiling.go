@@ -1,0 +1,52 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the
+// command-line tools to runtime/pprof. Both profiles target the kernel
+// work this repo optimises: CPU profiles attribute time to the blocked
+// matmul and fused-op kernels, and heap profiles verify the arena keeps
+// steady-state allocation flat across training steps.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges for a
+// heap profile to be written to memPath (when non-empty) at stop time. The
+// returned stop function is safe to call exactly once and must run before
+// the process exits — including error paths that call os.Exit, which skips
+// deferred calls.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flatten transient garbage so the heap profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
