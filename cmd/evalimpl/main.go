@@ -15,8 +15,8 @@ import (
 	"os"
 	"strings"
 
+	"lossyts/internal/cli"
 	"lossyts/internal/core"
-	"lossyts/internal/profiling"
 )
 
 func main() {
@@ -30,14 +30,11 @@ func main() {
 		maxTFE     = flag.Float64("tfe", 0.1, "TFE tolerance for -experiment recommend")
 		saveGrid   = flag.String("savegrid", "", "after the run, save the evaluation grid to this file (gzip JSON)")
 		loadGrid   = flag.String("loadgrid", "", "load a previously saved evaluation grid instead of recomputing")
-		par        = flag.Int("parallelism", 0, "evaluation worker bound (0 = all CPUs, 1 = sequential; results are identical)")
-		refKernels = flag.Bool("refkernels", false, "use the reference (unblocked, unfused, unpooled) nn kernels")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		common     = cli.Bind(flag.CommandLine)
 	)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProfiles, err := common.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalimpl:", err)
 		os.Exit(1)
@@ -58,13 +55,13 @@ func main() {
 		opts.Scale = 1
 	}
 	opts.Seed = *seed
-	opts.Parallelism = *par
-	opts.ReferenceKernels = *refKernels
+	opts.Parallelism = common.Parallelism
+	opts.ReferenceKernels = common.RefKernels
 	if *datasets != "" {
-		opts.Datasets = splitList(*datasets)
+		opts.Datasets = cli.SplitList(*datasets)
 	}
 	if *models != "" {
-		opts.Models = splitList(*models)
+		opts.Models = cli.SplitList(*models)
 	}
 
 	if *loadGrid != "" {
@@ -97,16 +94,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evalimpl:", err)
 		os.Exit(1)
 	}
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }
 
 // experimentOrder lists all artefacts for -experiment all.

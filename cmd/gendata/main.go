@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"lossyts/internal/cli"
 	"lossyts/internal/datasets"
 )
 
@@ -22,13 +23,24 @@ func main() {
 		scale   = flag.Float64("scale", 0.01, "length scale in (0, 1]")
 		seed    = flag.Int64("seed", 1, "random seed")
 		out     = flag.String("out", "", "output CSV path (default <dataset>.csv)")
+		common  = cli.BindProfiling(flag.CommandLine)
 	)
 	flag.Parse()
 	if *out == "" {
 		*out = *dataset + ".csv"
 	}
-	if err := run(*dataset, *scale, *seed, *out); err != nil {
+	stopProfiles, err := common.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+	runErr := run(*dataset, *scale, *seed, *out)
+	// Profiles are flushed before any exit path: os.Exit skips defers.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", runErr)
 		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"lossyts/internal/cli"
 	"lossyts/internal/forecast"
 	"lossyts/internal/nn"
 )
@@ -124,7 +125,17 @@ func ratio(ref, fast float64) float64 {
 func main() {
 	quick := flag.Bool("quick", false, "run fewer iterations (CI smoke mode)")
 	out := flag.String("out", "BENCH_nn.json", "output JSON path")
+	common := cli.BindProfiling(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := common.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nnbench: %v\n", err)
+		os.Exit(1)
+	}
+	// Profiles flush on the success path only; error paths exit directly
+	// (a truncated profile of a failed benchmark is not worth keeping).
+	defer stopProfiles()
 
 	// Fast and reference run in alternating rounds so ambient load drift
 	// and GC pacing shifts hit both sides alike instead of skewing the

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"lossyts/internal/cli"
 	"lossyts/internal/compress"
 	"lossyts/internal/stats"
 	"lossyts/internal/timeseries"
@@ -30,10 +31,21 @@ func main() {
 		in        = flag.String("in", "", "input CSV (one value per line, or timestamp,value)")
 		roundtrip = flag.String("roundtrip", "", "write the decompressed series to this file")
 		interval  = flag.Int64("interval", 60, "sampling interval in seconds (when input has no timestamps)")
+		common    = cli.BindProfiling(flag.CommandLine)
 	)
 	flag.Parse()
-	if err := run(*method, *eps, *in, *roundtrip, *interval); err != nil {
+	stopProfiles, err := common.Start()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tscompress:", err)
+		os.Exit(1)
+	}
+	runErr := run(*method, *eps, *in, *roundtrip, *interval)
+	// Profiles are flushed before any exit path: os.Exit skips defers.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "tscompress:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tscompress:", runErr)
 		os.Exit(1)
 	}
 }

@@ -10,36 +10,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
+	"lossyts/internal/cli"
 	"lossyts/internal/compress"
 	"lossyts/internal/datasets"
 	"lossyts/internal/forecast"
-	"lossyts/internal/nn"
-	"lossyts/internal/profiling"
 	"lossyts/internal/stats"
 	"lossyts/internal/timeseries"
 )
 
 func main() {
 	var (
-		dataset    = flag.String("dataset", "ETTm1", "dataset: ETTm1, ETTm2, Solar, Weather, ElecDem, Wind")
-		model      = flag.String("model", "DLinear", "forecasting model")
-		method     = flag.String("method", "", "optional lossy method for the test input: PMC, SWING, SZ")
-		eps        = flag.Float64("eps", 0.1, "error bound when -method is set")
-		scale      = flag.Float64("scale", 0.05, "dataset length scale")
-		seed       = flag.Int64("seed", 1, "random seed")
-		par        = flag.Int("parallelism", 0, "CPU bound for the single training run (0 = all CPUs); the single-run analogue of evalimpl -parallelism")
-		refKernels = flag.Bool("refkernels", false, "use the reference (unblocked, unfused, unpooled) nn kernels")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		dataset = flag.String("dataset", "ETTm1", "dataset: ETTm1, ETTm2, Solar, Weather, ElecDem, Wind")
+		model   = flag.String("model", "DLinear", "forecasting model")
+		method  = flag.String("method", "", "optional lossy method for the test input: PMC, SWING, SZ")
+		eps     = flag.Float64("eps", 0.1, "error bound when -method is set")
+		scale   = flag.Float64("scale", 0.05, "dataset length scale")
+		seed    = flag.Int64("seed", 1, "random seed")
+		common  = cli.Bind(flag.CommandLine)
 	)
 	flag.Parse()
-	if *par > 0 {
-		runtime.GOMAXPROCS(*par)
-	}
-	nn.UseReferenceKernels(*refKernels)
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	// For a single training run the worker bound acts on the runtime itself.
+	common.ApplyGOMAXPROCS()
+	stopProfiles, err := common.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsforecast:", err)
 		os.Exit(1)

@@ -1,0 +1,76 @@
+// Package cli holds the flag plumbing the lossyts commands share: the
+// parallelism and kernel-mode knobs of the compute-heavy tools and the
+// CPU/heap profile writers every command offers. Binding them here keeps
+// flag names, defaults, and help text identical across binaries.
+package cli
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+
+	"lossyts/internal/nn"
+	"lossyts/internal/profiling"
+)
+
+// Common carries the shared command-line options after flag parsing.
+type Common struct {
+	// Parallelism bounds worker pools (0 = all CPUs, 1 = sequential).
+	// Grid results are bit-identical at every setting.
+	Parallelism int
+	// RefKernels selects the reference (unblocked, unfused, unpooled) nn
+	// kernels instead of the fast path.
+	RefKernels bool
+	// CPUProfile and MemProfile are profile output paths ("" = off).
+	CPUProfile string
+	MemProfile string
+}
+
+// BindProfiling registers the profiling flags on fs and returns the
+// receiver the parsed values land in. Commands without compute knobs
+// (gendata, tscompress, nnbench) use this subset.
+func BindProfiling(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return c
+}
+
+// Bind registers the full shared flag set: profiling plus the parallelism
+// and kernel-mode knobs of the evaluation commands.
+func Bind(fs *flag.FlagSet) *Common {
+	c := BindProfiling(fs)
+	fs.IntVar(&c.Parallelism, "parallelism", 0, "worker bound (0 = all CPUs, 1 = sequential; results are identical)")
+	fs.BoolVar(&c.RefKernels, "refkernels", false, "use the reference (unblocked, unfused, unpooled) nn kernels")
+	return c
+}
+
+// Start applies the kernel mode and starts the requested profilers. The
+// returned stop function flushes the profiles and must run on every exit
+// path — os.Exit skips defers, so callers invoke it explicitly before
+// exiting non-zero.
+func (c *Common) Start() (stop func() error, err error) {
+	nn.UseReferenceKernels(c.RefKernels)
+	return profiling.Start(c.CPUProfile, c.MemProfile)
+}
+
+// ApplyGOMAXPROCS caps the runtime's thread parallelism to the flag value.
+// Single-run commands (tsforecast) use it as the analogue of the harness
+// worker bound; 0 leaves the runtime default untouched.
+func (c *Common) ApplyGOMAXPROCS() {
+	if c.Parallelism > 0 {
+		runtime.GOMAXPROCS(c.Parallelism)
+	}
+}
+
+// SplitList parses a comma-separated flag value into its non-empty,
+// trimmed elements (nil for an empty list).
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package cli
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func TestBindParsesSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := Bind(fs)
+	err := fs.Parse([]string{
+		"-parallelism", "4", "-refkernels",
+		"-cpuprofile", "cpu.out", "-memprofile", "mem.out",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Common{Parallelism: 4, RefKernels: true, CPUProfile: "cpu.out", MemProfile: "mem.out"}
+	if *c != want {
+		t.Fatalf("parsed %+v, want %+v", *c, want)
+	}
+}
+
+func TestBindProfilingOmitsComputeKnobs(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	BindProfiling(fs)
+	if fs.Lookup("cpuprofile") == nil || fs.Lookup("memprofile") == nil {
+		t.Fatal("profiling flags missing")
+	}
+	if fs.Lookup("parallelism") != nil || fs.Lookup("refkernels") != nil {
+		t.Fatal("compute knobs leaked into the profiling subset")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	cases := map[string][]string{
+		"":                 nil,
+		" , ,":             nil,
+		"ETTm1":            {"ETTm1"},
+		"ETTm1, Weather":   {"ETTm1", "Weather"},
+		",Solar , ,Wind, ": {"Solar", "Wind"},
+	}
+	for in, want := range cases {
+		if got := SplitList(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("SplitList(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -65,42 +65,26 @@ func (c *Compressed) Decompress() (*timeseries.Series, error) {
 	if hdr.method != c.Method {
 		return nil, fmt.Errorf("compress: payload method %s does not match %s", hdr.method, c.Method)
 	}
-	var values []float64
-	switch c.Method {
-	case MethodPMC:
-		values, err = pmcDecode(body, int(hdr.count))
-	case MethodSwing:
-		values, err = swingDecode(body, int(hdr.count))
-	case MethodSZ:
-		values, err = szDecode(body, int(hdr.count))
-	case MethodGorilla:
-		values, err = gorillaDecode(body, int(hdr.count))
-	case MethodSeasonalPMC:
-		values, err = seasonalPMCDecode(body, int(hdr.count))
-	default:
-		err = fmt.Errorf("compress: unknown method %q", c.Method)
+	reg, err := lookup(c.Method)
+	if err != nil {
+		return nil, err
 	}
+	values, err := reg.Decode(body, int(hdr.count))
 	if err != nil {
 		return nil, err
 	}
 	return timeseries.New("", int64(hdr.start), int64(hdr.interval), values), nil
 }
 
-// New returns the compressor implementing the given method.
+// New returns the compressor implementing the given method, consulting the
+// registry so externally registered methods resolve exactly like the
+// built-ins. Unknown names yield an *UnknownMethodError.
 func New(m Method) (Compressor, error) {
-	switch m {
-	case MethodPMC:
-		return PMC{}, nil
-	case MethodSwing:
-		return Swing{}, nil
-	case MethodSZ:
-		return NewSZ(), nil
-	case MethodGorilla:
-		return Gorilla{}, nil
-	case MethodSeasonalPMC:
-		return nil, fmt.Errorf("compress: SeasonalPMC needs a period; construct compress.SeasonalPMC{Period: m} directly")
+	reg, err := lookup(m)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("compress: unknown method %q", m)
+	return reg.New()
 }
 
 // header is the shared stream header described in §3.2: the first timestamp
@@ -113,25 +97,21 @@ type header struct {
 	count    uint32
 }
 
-var methodCodes = map[Method]byte{MethodPMC: 1, MethodSwing: 2, MethodSZ: 3, MethodGorilla: 4, MethodSeasonalPMC: 5}
-
-func methodFromCode(b byte) (Method, error) {
-	for m, c := range methodCodes {
-		if c == b {
-			return m, nil
-		}
+// EncodeHeader writes the shared stream header for m into buf. Compressor
+// implementations — built-in and external — call it first, append their
+// encoded body, and hand the buffer to Finish.
+func EncodeHeader(buf *bytes.Buffer, m Method, s *timeseries.Series) error {
+	code, err := methodCode(m)
+	if err != nil {
+		return err
 	}
-	return "", fmt.Errorf("compress: unknown method code %d", b)
-}
-
-func encodeHeader(buf *bytes.Buffer, m Method, s *timeseries.Series) error {
 	if s.Start < 0 || s.Start > math.MaxUint32 {
 		return fmt.Errorf("compress: start timestamp %d does not fit the 32-bit header field", s.Start)
 	}
 	if s.Interval < 0 || s.Interval > math.MaxUint16 {
 		return fmt.Errorf("compress: interval %d does not fit the 16-bit header field", s.Interval)
 	}
-	buf.WriteByte(methodCodes[m])
+	buf.WriteByte(code)
 	var scratch [4]byte
 	binary.LittleEndian.PutUint32(scratch[:], uint32(s.Start))
 	buf.Write(scratch[:])
@@ -158,8 +138,11 @@ func decodeHeader(raw []byte) (header, []byte, error) {
 	}, raw[11:], nil
 }
 
-// finish gzips the encoded body and assembles the Compressed value.
-func finish(m Method, epsilon float64, s *timeseries.Series, body []byte, segments int) (*Compressed, error) {
+// Finish gzips the encoded stream (header plus body, as produced by
+// EncodeHeader followed by the method's body encoding) and assembles the
+// Compressed value whose payload length is the size used in all
+// compression-ratio computations.
+func Finish(m Method, epsilon float64, s *timeseries.Series, body []byte, segments int) (*Compressed, error) {
 	gz, err := GzipBytes(body)
 	if err != nil {
 		return nil, err

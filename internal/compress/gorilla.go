@@ -20,13 +20,22 @@ type Gorilla struct{}
 // Method returns MethodGorilla.
 func (Gorilla) Method() Method { return MethodGorilla }
 
+func init() {
+	Register(Registration{
+		Method: MethodGorilla,
+		Code:   4,
+		New:    func() (Compressor, error) { return Gorilla{}, nil },
+		Decode: gorillaDecode,
+	})
+}
+
 // Compress losslessly encodes s; epsilon is ignored.
 func (g Gorilla) Compress(s *timeseries.Series, _ float64) (*Compressed, error) {
 	if s.Len() == 0 {
 		return nil, errors.New("compress: empty series")
 	}
 	var body bytes.Buffer
-	if err := encodeHeader(&body, MethodGorilla, s); err != nil {
+	if err := EncodeHeader(&body, MethodGorilla, s); err != nil {
 		return nil, err
 	}
 	var bw BitWriter
@@ -62,7 +71,7 @@ func (g Gorilla) Compress(s *timeseries.Series, _ float64) (*Compressed, error) 
 	}
 	body.Write(bw.Bytes())
 	// Gorilla compresses the whole series as one segment.
-	return finish(MethodGorilla, 0, s, body.Bytes(), 1)
+	return Finish(MethodGorilla, 0, s, body.Bytes(), 1)
 }
 
 func gorillaDecode(body []byte, count int) ([]float64, error) {

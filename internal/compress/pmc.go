@@ -25,6 +25,15 @@ type PMC struct {
 // Method returns MethodPMC.
 func (PMC) Method() Method { return MethodPMC }
 
+func init() {
+	Register(Registration{
+		Method: MethodPMC,
+		Code:   1,
+		New:    func() (Compressor, error) { return PMC{}, nil },
+		Decode: pmcDecode,
+	})
+}
+
 const maxSegmentLen = math.MaxUint16
 
 // Compress encodes s as mean-valued segments under the relative bound.
@@ -36,7 +45,7 @@ func (p PMC) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error
 		return nil, errors.New("compress: negative error bound")
 	}
 	var body bytes.Buffer
-	if err := encodeHeader(&body, MethodPMC, s); err != nil {
+	if err := EncodeHeader(&body, MethodPMC, s); err != nil {
 		return nil, err
 	}
 	segments := 0
@@ -77,7 +86,7 @@ func (p PMC) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error
 		lower, upper = v-tol, v+tol
 	}
 	emit(count, quantizeToInterval(sum/float64(count), lower, upper))
-	return finish(MethodPMC, epsilon, s, body.Bytes(), segments)
+	return Finish(MethodPMC, epsilon, s, body.Bytes(), segments)
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -1,0 +1,124 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+// testMethod is a minimal registered codec: raw float64 bits, one segment.
+const testMethod Method = "REGTEST"
+
+func testDecode(body []byte, count int) ([]float64, error) {
+	if len(body) != 8*count {
+		return nil, errors.New("regtest: truncated body")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return out, nil
+}
+
+type testCompressor struct{}
+
+func (testCompressor) Method() Method { return testMethod }
+
+func (testCompressor) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error) {
+	var buf bytes.Buffer
+	if err := EncodeHeader(&buf, testMethod, s); err != nil {
+		return nil, err
+	}
+	var scratch [8]byte
+	for _, v := range s.Values {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		buf.Write(scratch[:])
+	}
+	return Finish(testMethod, epsilon, s, buf.Bytes(), 1)
+}
+
+func init() {
+	Register(Registration{
+		Method: testMethod,
+		Code:   101,
+		New:    func() (Compressor, error) { return testCompressor{}, nil },
+		Decode: testDecode,
+	})
+}
+
+func TestRegisteredIncludesBuiltins(t *testing.T) {
+	got := map[Method]bool{}
+	for _, m := range Registered() {
+		got[m] = true
+	}
+	for _, m := range []Method{MethodPMC, MethodSwing, MethodSZ, MethodGorilla, MethodSeasonalPMC} {
+		if !got[m] {
+			t.Errorf("built-in %s missing from Registered(): %v", m, Registered())
+		}
+	}
+}
+
+func TestNewUnknownMethodTypedError(t *testing.T) {
+	_, err := New("NoSuchMethod")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var unknown *UnknownMethodError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want *UnknownMethodError, got %T: %v", err, err)
+	}
+	if unknown.Method != "NoSuchMethod" {
+		t.Fatalf("error names %q", unknown.Method)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	cases := map[string]Registration{
+		"duplicate name": {Method: MethodPMC, Code: 102, New: func() (Compressor, error) { return PMC{}, nil }, Decode: pmcDecode},
+		"duplicate code": {Method: "FreshName", Code: 1, New: func() (Compressor, error) { return PMC{}, nil }, Decode: pmcDecode},
+		"missing decode": {Method: "FreshName", Code: 103, New: func() (Compressor, error) { return PMC{}, nil }},
+		"zero code":      {Method: "FreshName", New: func() (Compressor, error) { return PMC{}, nil }, Decode: pmcDecode},
+		"empty name":     {Code: 104, New: func() (Compressor, error) { return PMC{}, nil }, Decode: pmcDecode},
+	}
+	for name, reg := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%+v) did not panic", reg)
+				}
+			}()
+			Register(reg)
+		})
+	}
+}
+
+// TestRegisteredCompressorRoundTrips proves a compressor registered outside
+// compressor.go — the extensibility point the registry exists for — passes
+// through the generic New → Compress → Decompress path untouched.
+func TestRegisteredCompressorRoundTrips(t *testing.T) {
+	s := timeseries.New("x", 0, 60, []float64{1.5, -2.25, 3.125, 0, 42})
+	comp, err := New(testMethod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := comp.Compress(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != s.Len() {
+		t.Fatalf("round trip length %d, want %d", dec.Len(), s.Len())
+	}
+	for i, v := range s.Values {
+		if dec.Values[i] != v {
+			t.Fatalf("value %d: %v != %v", i, dec.Values[i], v)
+		}
+	}
+}

@@ -35,6 +35,17 @@ const MethodSeasonalPMC Method = "S-PMC"
 // Method returns MethodSeasonalPMC.
 func (SeasonalPMC) Method() Method { return MethodSeasonalPMC }
 
+func init() {
+	Register(Registration{
+		Method: MethodSeasonalPMC,
+		Code:   5,
+		New: func() (Compressor, error) {
+			return nil, fmt.Errorf("compress: SeasonalPMC needs a period; construct compress.SeasonalPMC{Period: p} directly")
+		},
+		Decode: seasonalPMCDecode,
+	})
+}
+
 // Compress encodes s as a stored seasonal profile plus PMC segments over
 // the residuals, under the pointwise relative bound epsilon.
 func (sp SeasonalPMC) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error) {
@@ -67,7 +78,7 @@ func (sp SeasonalPMC) Compress(s *timeseries.Series, epsilon float64) (*Compress
 	}
 
 	var body bytes.Buffer
-	if err := encodeHeader(&body, MethodSeasonalPMC, s); err != nil {
+	if err := EncodeHeader(&body, MethodSeasonalPMC, s); err != nil {
 		return nil, err
 	}
 	var scratch [10]byte
@@ -107,7 +118,7 @@ func (sp SeasonalPMC) Compress(s *timeseries.Series, epsilon float64) (*Compress
 		lower, upper = resid-tol, resid+tol
 	}
 	emit(count, quantizeToInterval(sum/float64(count), lower, upper))
-	return finish(MethodSeasonalPMC, epsilon, s, body.Bytes(), segments)
+	return Finish(MethodSeasonalPMC, epsilon, s, body.Bytes(), segments)
 }
 
 func seasonalPMCDecode(body []byte, count int) ([]float64, error) {

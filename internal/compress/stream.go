@@ -165,7 +165,7 @@ func (e *StreamEncoder) Close() (*Compressed, error) {
 	}
 	var full bytes.Buffer
 	header := timeseries.New("", e.start, e.interval, make([]float64, e.n))
-	if err := encodeHeader(&full, e.method, header); err != nil {
+	if err := EncodeHeader(&full, e.method, header); err != nil {
 		return nil, err
 	}
 	full.Write(e.body.Bytes())

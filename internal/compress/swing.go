@@ -26,6 +26,15 @@ type Swing struct {
 // Method returns MethodSwing.
 func (Swing) Method() Method { return MethodSwing }
 
+func init() {
+	Register(Registration{
+		Method: MethodSwing,
+		Code:   2,
+		New:    func() (Compressor, error) { return Swing{}, nil },
+		Decode: swingDecode,
+	})
+}
+
 // Compress encodes s as linear segments under the relative bound.
 func (sw Swing) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error) {
 	if s.Len() == 0 {
@@ -35,7 +44,7 @@ func (sw Swing) Compress(s *timeseries.Series, epsilon float64) (*Compressed, er
 		return nil, errors.New("compress: negative error bound")
 	}
 	var body bytes.Buffer
-	if err := encodeHeader(&body, MethodSwing, s); err != nil {
+	if err := EncodeHeader(&body, MethodSwing, s); err != nil {
 		return nil, err
 	}
 	segments := 0
@@ -82,7 +91,7 @@ func (sw Swing) Compress(s *timeseries.Series, epsilon float64) (*Compressed, er
 		sLow, sHigh = math.Inf(-1), math.Inf(1)
 	}
 	emit(count, finalSlope(), intercept)
-	return finish(MethodSwing, epsilon, s, body.Bytes(), segments)
+	return Finish(MethodSwing, epsilon, s, body.Bytes(), segments)
 }
 
 func swingDecode(body []byte, count int) ([]float64, error) {

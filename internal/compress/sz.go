@@ -39,6 +39,15 @@ func NewSZ() SZ { return SZ{BlockSize: 128} }
 // Method returns MethodSZ.
 func (SZ) Method() Method { return MethodSZ }
 
+func init() {
+	Register(Registration{
+		Method: MethodSZ,
+		Code:   3,
+		New:    func() (Compressor, error) { return NewSZ(), nil },
+		Decode: szDecode,
+	})
+}
+
 // SZ block predictor modes.
 const (
 	szModeLorenzo    = 0 // predict with the previous decompressed value
@@ -65,7 +74,7 @@ func (z SZ) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error)
 		return nil, fmt.Errorf("compress: SZ block size %d too large", bs)
 	}
 	var body bytes.Buffer
-	if err := encodeHeader(&body, MethodSZ, s); err != nil {
+	if err := EncodeHeader(&body, MethodSZ, s); err != nil {
 		return nil, err
 	}
 	n := s.Len()
@@ -161,7 +170,7 @@ func (z SZ) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error)
 			segments++
 		}
 	}
-	return finish(MethodSZ, epsilon, s, body.Bytes(), segments)
+	return Finish(MethodSZ, epsilon, s, body.Bytes(), segments)
 }
 
 func constantBlock(block []float64) bool {

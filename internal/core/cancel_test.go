@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// slowOptions is a grid whose training budget is far beyond what a test
+// would ever wait for, so a cancelled run can only return promptly if the
+// cancellation checks at stage, cell, and epoch boundaries actually fire.
+func slowOptions() Options {
+	o := equivalenceOptions()
+	o.Datasets = []string{"ETTm1", "Weather"}
+	o.Models = []string{"DLinear", "GRU"}
+	o.DeepSeeds = 4
+	o.Forecast.Epochs = 100000
+	o.Forecast.MaxTrainWindows = 0
+	return o
+}
+
+// waitGoroutinesBack polls until the goroutine count drains back to (near)
+// the baseline, failing the test if workers leak past the deadline.
+func waitGoroutinesBack(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // finalize dead goroutines' stacks promptly
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 { // tolerate unrelated runtime goroutines
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after cancellation: %d, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunGridContextCancelledBeforeStart(t *testing.T) {
+	swapGridCache(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunGridContext(ctx, slowOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err.Error() != context.Canceled.Error() {
+		t.Fatalf("want the bare ctx.Err(), got: %v", err)
+	}
+}
+
+// TestRunGridContextCancelMidTraining cancels a run whose uncancelled
+// runtime would be hours (100k epochs across two datasets): the prompt
+// return proves the epoch-boundary check in the trainer, the grid-cell
+// checks in the stages, and the error path all work; afterwards no worker
+// goroutine may linger and the aborted run must not be memoised.
+func TestRunGridContextCancelMidTraining(t *testing.T) {
+	swapGridCache(t)
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond) // into the train stage
+		cancel()
+	}()
+	opts := slowOptions()
+	opts.Parallelism = 4
+	start := time.Now()
+	g, err := RunGridContext(ctx, opts)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g != nil {
+		t.Fatal("cancelled run returned a partial grid")
+	}
+	// A joined one-error-per-cell aggregate would be huge; the contract is
+	// the bare ctx.Err().
+	if err.Error() != context.Canceled.Error() {
+		t.Fatalf("want the bare ctx.Err(), got: %v", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v; boundary checks are not firing", elapsed)
+	}
+	waitGoroutinesBack(t, baseline)
+
+	// The partial run must not poison the memoisation cache: the same
+	// options under a live context must compute a real (small) grid.
+	quick := opts
+	quick.Forecast.Epochs = 2
+	quick.Forecast.MaxTrainWindows = 32
+	quick.DeepSeeds = 1
+	quick.Models = []string{"Arima"}
+	if _, err := RunGridContext(context.Background(), quick); err != nil {
+		t.Fatalf("fresh run after cancellation: %v", err)
+	}
+	gridMu.Lock()
+	_, cachedCancelled := gridCache[opts.key()]
+	gridMu.Unlock()
+	if cachedCancelled {
+		t.Fatal("cancelled run was memoised")
+	}
+}
+
+// TestRunGridContextCompletedThenCancelled proves cancellation after the
+// run has finished changes nothing: the returned grid is the deterministic
+// result, identical to an uncancelled computation.
+func TestRunGridContextCompletedThenCancelled(t *testing.T) {
+	swapGridCache(t)
+	opts := equivalenceOptions()
+	opts.Models = []string{"Arima"}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g1, err := RunGridContext(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // after completion: must not invalidate anything
+
+	ResetGridCache()
+	g2, err := RunGridContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1, ds2 := g1.Datasets["ETTm1"], g2.Datasets["ETTm1"]
+	if ds1 == nil || ds2 == nil {
+		t.Fatal("missing dataset result")
+	}
+	if ds1.Baselines["Arima"] != ds2.Baselines["Arima"] {
+		t.Fatalf("completed-then-cancelled run diverged: %+v vs %+v",
+			ds1.Baselines["Arima"], ds2.Baselines["Arima"])
+	}
+	for i, c1 := range ds1.Cells {
+		c2 := ds2.Cells[i]
+		if c1.ModelMetrics["Arima"] != c2.ModelMetrics["Arima"] || c1.TFE["Arima"] != c2.TFE["Arima"] {
+			t.Fatalf("cell %d diverged after post-completion cancel", i)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/timeseries"
+)
+
+// The extensibility point the registries exist for: a compressor defined
+// entirely outside the compress package, registered from a test file, run
+// through the full evaluation pipeline like a built-in.
+
+const pipeMethod compress.Method = "PIPETEST"
+
+// pipeCompressor stores each value quantised to a multiple of epsilon·|v|
+// (crudely error-bounded), encoded as raw float64 bits.
+type pipeCompressor struct{}
+
+func (pipeCompressor) Method() compress.Method { return pipeMethod }
+
+func (pipeCompressor) Compress(s *timeseries.Series, epsilon float64) (*compress.Compressed, error) {
+	var buf bytes.Buffer
+	if err := compress.EncodeHeader(&buf, pipeMethod, s); err != nil {
+		return nil, err
+	}
+	var scratch [8]byte
+	for _, v := range s.Values {
+		q := v
+		if step := epsilon * math.Abs(v); step > 0 {
+			q = math.Round(v/step) * step
+		}
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(q))
+		buf.Write(scratch[:])
+	}
+	return compress.Finish(pipeMethod, epsilon, s, buf.Bytes(), 1)
+}
+
+func pipeDecode(body []byte, count int) ([]float64, error) {
+	if len(body) != 8*count {
+		return nil, errors.New("pipetest: truncated body")
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return out, nil
+}
+
+func init() {
+	compress.Register(compress.Registration{
+		Method: pipeMethod,
+		Code:   105,
+		New:    func() (compress.Compressor, error) { return pipeCompressor{}, nil },
+		Decode: pipeDecode,
+	})
+}
+
+// TestExternalCompressorThroughPipeline runs a grid whose only compression
+// method is the externally registered one: every stage — compress,
+// reconstruct, window, train, forecast, analyze — must treat it exactly
+// like a built-in and produce complete, finite metrics.
+func TestExternalCompressorThroughPipeline(t *testing.T) {
+	swapGridCache(t)
+
+	opts := equivalenceOptions()
+	opts.Models = []string{"Arima"}
+	opts.Methods = []compress.Method{pipeMethod}
+	opts.ErrorBounds = []float64{0.05, 0.2}
+	g, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := g.Datasets["ETTm1"]
+	if ds == nil || len(ds.Cells) != 2 {
+		t.Fatalf("grid incomplete: %+v", ds)
+	}
+	base, ok := ds.Baselines["Arima"]
+	if !ok || math.IsNaN(base.NRMSE) {
+		t.Fatalf("baseline missing: %+v", ds.Baselines)
+	}
+	for _, cell := range ds.Cells {
+		if cell.Method != pipeMethod {
+			t.Fatalf("cell method %s, want %s", cell.Method, pipeMethod)
+		}
+		if cell.CR <= 0 || len(cell.Decompressed) == 0 {
+			t.Fatalf("cell not reconstructed: %+v", cell)
+		}
+		mm, ok := cell.ModelMetrics["Arima"]
+		if !ok || math.IsNaN(mm.NRMSE) || mm.NRMSE <= 0 {
+			t.Fatalf("eps=%v: no model metrics on the external method: %+v", cell.Epsilon, cell.ModelMetrics)
+		}
+		if _, ok := cell.TFE["Arima"]; !ok {
+			t.Fatalf("eps=%v: TFE not attributed", cell.Epsilon)
+		}
+		// The quantiser respects its pointwise bound, so the reconstruction
+		// error must grow with epsilon but stay finite.
+		if math.IsNaN(cell.TE.NRMSE) {
+			t.Fatalf("eps=%v: TE is NaN", cell.Epsilon)
+		}
+	}
+	if ds.Cells[0].TE.RMSE > ds.Cells[1].TE.RMSE {
+		t.Fatalf("TE did not grow with the error bound: %v vs %v",
+			ds.Cells[0].TE.RMSE, ds.Cells[1].TE.RMSE)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,7 +9,6 @@ import (
 	"time"
 
 	"lossyts/internal/compress"
-	"lossyts/internal/datasets"
 	"lossyts/internal/features"
 	"lossyts/internal/forecast"
 	"lossyts/internal/nn"
@@ -108,16 +108,60 @@ type PhaseTimings struct {
 	Units int64
 	// CellEvals is the number of model-on-decompressed-cell evaluations.
 	CellEvals int64
+	// Stages reports the wall clock of each pipeline stage, in execution
+	// order, summed across concurrently evaluated datasets. The legacy
+	// phase buckets above are aggregations of these (plus the per-unit
+	// fit/eval time feeding Forecast), kept for benchmark continuity.
+	Stages []StageTiming
+}
+
+// StageTiming is the aggregate wall clock of one named pipeline stage.
+type StageTiming struct {
+	Name  string
+	Total time.Duration
 }
 
 // timingAcc accumulates PhaseTimings atomically across worker goroutines.
+// The legacy phase buckets stay lock-free atomics on the hot path; the
+// per-stage map is touched once per (dataset, stage) and takes a mutex.
 type timingAcc struct {
 	setup, compression, planning, forecast atomic.Int64 // nanoseconds
 	units, cellEvals                       atomic.Int64
+
+	mu      sync.Mutex
+	stageNs map[string]int64
 }
 
-func (a *timingAcc) snapshot(wall time.Duration) PhaseTimings {
-	return PhaseTimings{
+// addStage attributes one stage execution's wall clock.
+func (a *timingAcc) addStage(name string, d time.Duration) {
+	a.mu.Lock()
+	if a.stageNs == nil {
+		a.stageNs = map[string]int64{}
+	}
+	a.stageNs[name] += int64(d)
+	a.mu.Unlock()
+}
+
+// legacyBucket maps a stage to the pre-stage-graph phase bucket its wall
+// clock feeds, so PhaseTimings keeps its historical meaning. The train,
+// forecast, and analyze stages return nil: their compute is attributed
+// per-unit into the forecast bucket by the workers themselves.
+func (a *timingAcc) legacyBucket(stage string) *atomic.Int64 {
+	switch stage {
+	case StageIngest:
+		return &a.setup
+	case StageCompress, StageReconstruct:
+		return &a.compression
+	case StageWindow:
+		return &a.planning
+	}
+	return nil
+}
+
+// snapshot renders the accumulated counters, listing stages in the given
+// pipeline order (stages that never ran are omitted).
+func (a *timingAcc) snapshot(wall time.Duration, order []string) PhaseTimings {
+	pt := PhaseTimings{
 		Setup:       time.Duration(a.setup.Load()),
 		Compression: time.Duration(a.compression.Load()),
 		Planning:    time.Duration(a.planning.Load()),
@@ -126,6 +170,14 @@ func (a *timingAcc) snapshot(wall time.Duration) PhaseTimings {
 		Units:       a.units.Load(),
 		CellEvals:   a.cellEvals.Load(),
 	}
+	a.mu.Lock()
+	for _, name := range order {
+		if ns, ok := a.stageNs[name]; ok {
+			pt.Stages = append(pt.Stages, StageTiming{Name: name, Total: time.Duration(ns)})
+		}
+	}
+	a.mu.Unlock()
+	return pt
 }
 
 // GridResult is the complete evaluation output shared by all experiments.
@@ -176,14 +228,27 @@ func ResetGridCache() {
 
 // RunGrid executes the paper's evaluation scenario over the configured grid
 // and memoises the result per option set, so the table and figure
-// generators share one computation.
+// generators share one computation. It is RunGridContext with a background
+// context.
+func RunGrid(opts Options) (*GridResult, error) {
+	return RunGridContext(context.Background(), opts)
+}
+
+// RunGridContext is RunGrid under a cancellation context. The stage
+// pipeline and the worker pools check ctx at stage, grid-cell, and training
+// epoch boundaries; once ctx is cancelled the run drains promptly and
+// returns ctx.Err() — not a join of one error per abandoned cell — and the
+// partial result is never memoised.
 //
 // Datasets are evaluated concurrently, and within each dataset the
 // (model, seed) units fan out across a bounded worker pool (see
 // Options.Parallelism). Results are merged in a fixed order, so the output
 // is bit-identical to a sequential run regardless of GOMAXPROCS or the
 // Parallelism setting.
-func RunGrid(opts Options) (*GridResult, error) {
+func RunGridContext(ctx context.Context, opts Options) (*GridResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	key := opts.key()
 	gridMu.Lock()
 	if g, ok := gridCache[key]; ok {
@@ -199,8 +264,8 @@ func RunGrid(opts Options) (*GridResult, error) {
 	nn.UseReferenceKernels(opts.ReferenceKernels)
 
 	start := time.Now()
+	rc := newRunContext(ctx, opts, DefaultPipeline())
 	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}}
-	var acc timingAcc
 	// Datasets are independent; evaluate them concurrently up to the
 	// parallelism bound. Each evaluation owns its models and RNGs, and each
 	// goroutine writes only its own slot, so no lock is needed and the
@@ -220,10 +285,19 @@ func RunGrid(opts Options) (*GridResult, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			outs[i].dr, outs[i].err = evaluateDataset(name, opts, &acc)
+			if err := rc.Err(); err != nil {
+				outs[i].err = err
+				return
+			}
+			outs[i].dr, outs[i].err = evaluateDataset(rc, name)
 		}()
 	}
 	wg.Wait()
+	// A cancelled run reports the cancellation itself, promptly and alone:
+	// every per-dataset error at this point is just ctx.Err() echoed back.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Surface every dataset failure, in dataset order, rather than only the
 	// first one observed.
 	var errs []error
@@ -238,7 +312,7 @@ func RunGrid(opts Options) (*GridResult, error) {
 	for i, name := range names {
 		g.Datasets[name] = outs[i].dr
 	}
-	g.Timings = acc.snapshot(time.Since(start))
+	g.Timings = rc.acc.snapshot(time.Since(start), rc.pipeline.StageNames())
 	gridMu.Lock()
 	gridCache[key] = g
 	gridMu.Unlock()
@@ -288,243 +362,18 @@ type unitResult struct {
 var errUnitSkipped = errors.New("core: unit skipped after earlier failure")
 
 // evaluateDataset runs Algorithm 1 for one dataset across all models,
-// methods, and error bounds. The per-cell transforms are computed once
-// (datasetPlan) and the (model, seed) units fan out over a worker pool of
-// opts.parallelism() goroutines; per-seed metrics are merged in seed order
-// so the result is bit-identical to a sequential run.
-func evaluateDataset(name string, opts Options, acc *timingAcc) (*DatasetResult, error) {
-	tSetup := time.Now()
-	ds, err := datasets.Load(name, opts.Scale, opts.Seed)
-	if err != nil {
+// methods, and error bounds by driving the run's stage pipeline
+// (Ingest → Compress → Reconstruct → Window → Train → Forecast → Analyze).
+// The per-cell transforms are computed once (datasetPlan) and the
+// (model, seed) units fan out over a worker pool of opts.parallelism()
+// goroutines; per-seed metrics are merged in seed order so the result is
+// bit-identical to a sequential run.
+func evaluateDataset(rc *RunContext, name string) (*DatasetResult, error) {
+	st := &pipelineState{name: name}
+	if err := rc.pipeline.run(rc, st); err != nil {
 		return nil, err
 	}
-	target := ds.Target()
-	train, val, test, err := target.Split(0.7, 0.1, 0.2)
-	if err != nil {
-		return nil, err
-	}
-	cfg := opts.Forecast
-	if cfg.InputLen == 0 {
-		cfg = forecast.DefaultConfig()
-	}
-	cfg.SeasonalPeriod = ds.SeasonalPeriod
-	if cfg.InputLen >= test.Len()-cfg.Horizon {
-		return nil, fmt.Errorf("test subset too short (%d) for input %d + horizon %d; increase Scale",
-			test.Len(), cfg.InputLen, cfg.Horizon)
-	}
-
-	var scaler timeseries.StandardScaler
-	if err := scaler.Fit(train.Values); err != nil {
-		return nil, err
-	}
-	scTrain := scaler.Transform(train.Values)
-	scVal := scaler.Transform(val.Values)
-	scTest := scaler.Transform(test.Values)
-
-	dr := &DatasetResult{
-		Name:           name,
-		SeasonalPeriod: ds.SeasonalPeriod,
-		Interval:       ds.Interval,
-		RawValues:      target.Values,
-		RawTest:        test.Values,
-		Baselines:      map[string]stats.Metrics{},
-	}
-
-	// Lossless baseline CR (§3.3) on the test subset.
-	gor, err := (compress.Gorilla{}).Compress(test, 0)
-	if err != nil {
-		return nil, err
-	}
-	if dr.GorillaCR, err = compress.Ratio(test, gor); err != nil {
-		return nil, err
-	}
-	acc.setup.Add(int64(time.Since(tSetup)))
-
-	// Compression grid first: it is model-independent.
-	tComp := time.Now()
-	for _, m := range opts.methods() {
-		comp, err := compress.New(m)
-		if err != nil {
-			return nil, err
-		}
-		for _, eps := range opts.errorBounds() {
-			c, err := comp.Compress(test, eps)
-			if err != nil {
-				return nil, err
-			}
-			dec, err := c.Decompress()
-			if err != nil {
-				return nil, err
-			}
-			cr, err := compress.Ratio(test, c)
-			if err != nil {
-				return nil, err
-			}
-			te, err := stats.Evaluate(test.Values, dec.Values)
-			if err != nil {
-				return nil, err
-			}
-			dr.Cells = append(dr.Cells, &Cell{
-				Method:       m,
-				Epsilon:      eps,
-				CR:           cr,
-				Segments:     c.Segments,
-				TE:           te,
-				Decompressed: dec.Values,
-				ModelMetrics: map[string]stats.Metrics{},
-				TFE:          map[string]float64{},
-			})
-		}
-	}
-	dr.buildIndex()
-	acc.compression.Add(int64(time.Since(tComp)))
-
-	// Evaluation windows slide by one horizon; large datasets are evenly
-	// subsampled to MaxEvalWindows to bound deep-model prediction cost.
-	tPlan := time.Now()
-	evalStride := cfg.Horizon
-	if m := opts.MaxEvalWindows; m > 0 {
-		if full := (test.Len() - cfg.InputLen - cfg.Horizon) / cfg.Horizon; full > m {
-			evalStride = (test.Len() - cfg.InputLen - cfg.Horizon) / m
-		}
-	}
-	rawWindows, err := timeseries.MakeWindows(scTest, cfg.InputLen, cfg.Horizon, evalStride)
-	if err != nil {
-		return nil, err
-	}
-	// The scaled decompression and its paired windows depend only on the
-	// cell, so they are computed exactly once and shared (read-only) by
-	// every (model, seed) unit — previously they were recomputed per model
-	// and per seed.
-	plan := &datasetPlan{
-		cfg:        cfg,
-		scTrain:    scTrain,
-		scVal:      scVal,
-		rawWindows: rawWindows,
-		cells:      make([]cellPlan, len(dr.Cells)),
-		evalStride: evalStride,
-		phaseStart: (train.Len() + val.Len()) % ds.SeasonalPeriod,
-	}
-	for ci, cell := range dr.Cells {
-		scDec := scaler.Transform(cell.Decompressed)
-		ws, err := timeseries.MakePairedWindows(scDec, scTest, cfg.InputLen, cfg.Horizon, evalStride)
-		if err != nil {
-			return nil, err
-		}
-		plan.cells[ci] = cellPlan{method: cell.Method, epsilon: cell.Epsilon, windows: ws}
-	}
-	acc.planning.Add(int64(time.Since(tPlan)))
-
-	// Forecasting: train each model per seed, evaluate on the raw test and
-	// on every decompressed variant (Algorithm 1). The (model, seed) units
-	// are independent — each owns its model and RNG — so they fan out over
-	// a bounded worker pool and land in a [model][seed] result grid.
-	models := opts.models()
-	var units []unit
-	results := make([][]unitResult, len(models))
-	for mi, modelName := range models {
-		nSeeds := opts.seeds(modelName)
-		results[mi] = make([]unitResult, nSeeds)
-		for si := 0; si < nSeeds; si++ {
-			units = append(units, unit{model: modelName, mi: mi, si: si})
-		}
-	}
-	workers := opts.parallelism()
-	if workers > len(units) {
-		workers = len(units)
-	}
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(units) {
-					return
-				}
-				u := units[i]
-				if failed.Load() {
-					results[u.mi][u.si] = unitResult{err: errUnitSkipped}
-					continue
-				}
-				res := runUnit(u, opts, plan, acc)
-				if res.err != nil {
-					failed.Store(true)
-				}
-				results[u.mi][u.si] = res
-			}
-		}()
-	}
-	wg.Wait()
-	// Merge in (model, seed) order — the exact accumulation order of the
-	// sequential implementation — so means are bit-identical.
-	for _, u := range units {
-		if err := results[u.mi][u.si].err; err != nil && !errors.Is(err, errUnitSkipped) {
-			return nil, err
-		}
-	}
-	for mi, modelName := range models {
-		base := make([]stats.Metrics, len(results[mi]))
-		cellAcc := make([][]stats.Metrics, len(dr.Cells))
-		for si, res := range results[mi] {
-			base[si] = res.base
-			for ci := range dr.Cells {
-				cellAcc[ci] = append(cellAcc[ci], res.cells[ci])
-			}
-		}
-		baseMean := meanMetrics(base)
-		dr.Baselines[modelName] = baseMean
-		for ci, cell := range dr.Cells {
-			mm := meanMetrics(cellAcc[ci])
-			cell.ModelMetrics[modelName] = mm
-			if tfe, err := stats.TFE(mm.NRMSE, baseMean.NRMSE); err == nil {
-				cell.TFE[modelName] = tfe
-			}
-		}
-	}
-	return dr, nil
-}
-
-// runUnit fits one (model, seed) instance and evaluates it on the raw
-// baseline windows and every cached cell window set.
-func runUnit(u unit, opts Options, plan *datasetPlan, acc *timingAcc) unitResult {
-	tFit := time.Now()
-	defer func() {
-		acc.forecast.Add(int64(time.Since(tFit)))
-		acc.units.Add(1)
-	}()
-	mcfg := plan.cfg
-	mcfg.Seed = opts.Seed + int64(u.si)*7919
-	model, err := forecast.New(u.model, mcfg)
-	if err != nil {
-		return unitResult{err: err}
-	}
-	if err := model.Fit(plan.scTrain, plan.scVal); err != nil {
-		return unitResult{err: fmt.Errorf("fit %s: %w", u.model, err)}
-	}
-	// The harness knows each window's absolute position, so phase-aware
-	// models (Arima) receive real time indices for their Fourier terms,
-	// exactly as the paper's timestamps do.
-	if pa, ok := model.(forecast.PhaseAware); ok {
-		pa.SetWindowPhase(plan.phaseStart, plan.evalStride)
-	}
-	base, err := evaluateWindows(model, plan.rawWindows)
-	if err != nil {
-		return unitResult{err: fmt.Errorf("baseline %s: %w", u.model, err)}
-	}
-	cells := make([]stats.Metrics, len(plan.cells))
-	for ci, cp := range plan.cells {
-		m, err := evaluateWindows(model, cp.windows)
-		if err != nil {
-			return unitResult{err: fmt.Errorf("%s on %s eps=%v: %w", u.model, cp.method, cp.epsilon, err)}
-		}
-		cells[ci] = m
-	}
-	acc.cellEvals.Add(int64(len(plan.cells)))
-	return unitResult{base: base, cells: cells}
+	return st.dr, nil
 }
 
 // evaluateWindows predicts every window and scores the flattened forecasts

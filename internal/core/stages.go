@@ -1,0 +1,504 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/datasets"
+	"lossyts/internal/forecast"
+	"lossyts/internal/stats"
+	"lossyts/internal/timeseries"
+)
+
+// RunContext bundles everything one grid run shares across its stages and
+// worker goroutines: the cancellation context, the resolved options, the
+// timing accumulator, and the stage pipeline. It replaces the ad-hoc
+// (opts, acc) parameter pairs the harness used to thread through every
+// call, and is the single place future run-scoped state (metrics sinks,
+// retry budgets, streaming ingestors) attaches.
+type RunContext struct {
+	ctx      context.Context
+	opts     Options
+	acc      *timingAcc
+	pipeline *Pipeline
+}
+
+func newRunContext(ctx context.Context, opts Options, p *Pipeline) *RunContext {
+	return &RunContext{ctx: ctx, opts: opts, acc: &timingAcc{}, pipeline: p}
+}
+
+// Context returns the run's cancellation context.
+func (rc *RunContext) Context() context.Context { return rc.ctx }
+
+// Err reports the context's cancellation state; workers consult it at
+// grid-cell and unit boundaries so a cancelled run stops promptly.
+func (rc *RunContext) Err() error { return rc.ctx.Err() }
+
+// Options returns the run's resolved option set.
+func (rc *RunContext) Options() Options { return rc.opts }
+
+// The stages of the per-dataset evaluation pipeline, in Algorithm 1 order.
+const (
+	StageIngest      = "ingest"      // generate, split, scale, lossless baseline
+	StageCompress    = "compress"    // method × error-bound compression grid
+	StageReconstruct = "reconstruct" // decompress each cell; CR and TE
+	StageWindow      = "window"      // cache evaluation windows per cell
+	StageTrain       = "train"       // fit every (model, seed) unit
+	StageForecast    = "forecast"    // predict raw and per-cell windows
+	StageAnalyze     = "analyze"     // deterministic merge, TFE attribution
+)
+
+// Stage is one named, separately timed step of the evaluation pipeline.
+// Stages communicate through the pipelineState they share; the engine runs
+// them in order, checks cancellation between them, and attributes wall
+// clock per stage into PhaseTimings.
+type Stage struct {
+	Name string
+	Run  func(rc *RunContext, st *pipelineState) error
+}
+
+// Pipeline is an ordered stage graph. DefaultPipeline is Algorithm 1;
+// future stages (streaming ingest, retry, metrics export) slot in with
+// InsertBefore/InsertAfter without re-plumbing the harness.
+type Pipeline struct {
+	stages []Stage
+}
+
+// NewPipeline builds a pipeline from the given stages, in order.
+func NewPipeline(stages ...Stage) *Pipeline {
+	return &Pipeline{stages: append([]Stage(nil), stages...)}
+}
+
+// DefaultPipeline is the paper's Algorithm 1 as an explicit stage graph.
+func DefaultPipeline() *Pipeline {
+	return NewPipeline(
+		Stage{Name: StageIngest, Run: runIngest},
+		Stage{Name: StageCompress, Run: runCompress},
+		Stage{Name: StageReconstruct, Run: runReconstruct},
+		Stage{Name: StageWindow, Run: runWindow},
+		Stage{Name: StageTrain, Run: runTrain},
+		Stage{Name: StageForecast, Run: runForecast},
+		Stage{Name: StageAnalyze, Run: runAnalyze},
+	)
+}
+
+// StageNames lists the pipeline's stages in execution order.
+func (p *Pipeline) StageNames() []string {
+	out := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func (p *Pipeline) index(name string) int {
+	for i, s := range p.stages {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *Pipeline) insert(at int, s Stage) error {
+	if s.Name == "" || s.Run == nil {
+		return fmt.Errorf("core: stage needs a name and a Run function")
+	}
+	if p.index(s.Name) >= 0 {
+		return fmt.Errorf("core: pipeline already has a stage %q", s.Name)
+	}
+	p.stages = append(p.stages, Stage{})
+	copy(p.stages[at+1:], p.stages[at:])
+	p.stages[at] = s
+	return nil
+}
+
+// InsertBefore adds s immediately before the named stage.
+func (p *Pipeline) InsertBefore(name string, s Stage) error {
+	i := p.index(name)
+	if i < 0 {
+		return fmt.Errorf("core: pipeline has no stage %q", name)
+	}
+	return p.insert(i, s)
+}
+
+// InsertAfter adds s immediately after the named stage.
+func (p *Pipeline) InsertAfter(name string, s Stage) error {
+	i := p.index(name)
+	if i < 0 {
+		return fmt.Errorf("core: pipeline has no stage %q", name)
+	}
+	return p.insert(i+1, s)
+}
+
+// run executes the stages in order for one dataset, checking cancellation
+// at every stage boundary and attributing each stage's wall clock. Stage
+// errors carry the stage name; cancellation surfaces as the bare context
+// error so callers can return it promptly.
+func (p *Pipeline) run(rc *RunContext, st *pipelineState) error {
+	for _, stage := range p.stages {
+		if err := rc.Err(); err != nil {
+			return err
+		}
+		t := time.Now()
+		err := stage.Run(rc, st)
+		d := time.Since(t)
+		rc.acc.addStage(stage.Name, d)
+		if b := rc.acc.legacyBucket(stage.Name); b != nil {
+			b.Add(int64(d))
+		}
+		if err != nil {
+			if cerr := rc.Err(); cerr != nil {
+				return cerr
+			}
+			return fmt.Errorf("stage %s: %w", stage.Name, err)
+		}
+	}
+	return nil
+}
+
+// pipelineState is the mutable state the stages of one dataset evaluation
+// share. Earlier stages fill fields later stages consume; nothing here is
+// touched by more than one dataset, so only the worker pools inside the
+// train/forecast stages need any synchronisation (slot-indexed writes).
+type pipelineState struct {
+	name string
+
+	// Ingest outputs.
+	ds               *datasets.Dataset
+	test             *timeseries.Series
+	cfg              forecast.Config
+	scaler           timeseries.StandardScaler
+	scTrain, scVal   []float64
+	scTest           []float64
+	trainLen, valLen int
+	dr               *DatasetResult
+
+	// Compress → Reconstruct handoff, parallel to dr.Cells.
+	comps []*compress.Compressed
+
+	// Window outputs.
+	plan *datasetPlan
+
+	// Train/Forecast state: the (model, seed) grid.
+	models  []string
+	units   []unit
+	trained [][]forecast.Model
+	results [][]unitResult
+}
+
+// runIngest generates the dataset, splits and scales it, and computes the
+// lossless Gorilla baseline (§3.3).
+func runIngest(rc *RunContext, st *pipelineState) error {
+	ds, err := datasets.Load(st.name, rc.opts.Scale, rc.opts.Seed)
+	if err != nil {
+		return err
+	}
+	target := ds.Target()
+	train, val, test, err := target.Split(0.7, 0.1, 0.2)
+	if err != nil {
+		return err
+	}
+	cfg := rc.opts.Forecast
+	if cfg.InputLen == 0 {
+		cfg = forecast.DefaultConfig()
+	}
+	cfg.SeasonalPeriod = ds.SeasonalPeriod
+	if cfg.InputLen >= test.Len()-cfg.Horizon {
+		return fmt.Errorf("test subset too short (%d) for input %d + horizon %d; increase Scale",
+			test.Len(), cfg.InputLen, cfg.Horizon)
+	}
+	if err := st.scaler.Fit(train.Values); err != nil {
+		return err
+	}
+	st.ds = ds
+	st.test = test
+	st.cfg = cfg
+	st.scTrain = st.scaler.Transform(train.Values)
+	st.scVal = st.scaler.Transform(val.Values)
+	st.scTest = st.scaler.Transform(test.Values)
+	st.trainLen, st.valLen = train.Len(), val.Len()
+	st.dr = &DatasetResult{
+		Name:           st.name,
+		SeasonalPeriod: ds.SeasonalPeriod,
+		Interval:       ds.Interval,
+		RawValues:      target.Values,
+		RawTest:        test.Values,
+		Baselines:      map[string]stats.Metrics{},
+	}
+	gor, err := (compress.Gorilla{}).Compress(test, 0)
+	if err != nil {
+		return err
+	}
+	st.dr.GorillaCR, err = compress.Ratio(test, gor)
+	return err
+}
+
+// runCompress builds the model-independent compression grid: one cell per
+// (method, error bound), in the options' order.
+func runCompress(rc *RunContext, st *pipelineState) error {
+	for _, m := range rc.opts.methods() {
+		comp, err := compress.New(m)
+		if err != nil {
+			return err
+		}
+		for _, eps := range rc.opts.errorBounds() {
+			if err := rc.Err(); err != nil {
+				return err
+			}
+			c, err := comp.Compress(st.test, eps)
+			if err != nil {
+				return err
+			}
+			st.dr.Cells = append(st.dr.Cells, &Cell{
+				Method:       m,
+				Epsilon:      eps,
+				Segments:     c.Segments,
+				ModelMetrics: map[string]stats.Metrics{},
+				TFE:          map[string]float64{},
+			})
+			st.comps = append(st.comps, c)
+		}
+	}
+	return nil
+}
+
+// runReconstruct decompresses every cell and scores the reconstruction:
+// compression ratio (Eq. 3) and transformation error against the raw test
+// subset.
+func runReconstruct(rc *RunContext, st *pipelineState) error {
+	for ci, cell := range st.dr.Cells {
+		if err := rc.Err(); err != nil {
+			return err
+		}
+		dec, err := st.comps[ci].Decompress()
+		if err != nil {
+			return err
+		}
+		if cell.CR, err = compress.Ratio(st.test, st.comps[ci]); err != nil {
+			return err
+		}
+		if cell.TE, err = stats.Evaluate(st.test.Values, dec.Values); err != nil {
+			return err
+		}
+		cell.Decompressed = dec.Values
+	}
+	st.dr.buildIndex()
+	st.comps = nil // payloads are dead weight once reconstructed
+	return nil
+}
+
+// runWindow caches the evaluation windows every (model, seed) unit shares:
+// the raw baseline windows and one paired window set per cell.
+func runWindow(rc *RunContext, st *pipelineState) error {
+	cfg := st.cfg
+	evalStride := cfg.Horizon
+	if m := rc.opts.MaxEvalWindows; m > 0 {
+		if full := (st.test.Len() - cfg.InputLen - cfg.Horizon) / cfg.Horizon; full > m {
+			evalStride = (st.test.Len() - cfg.InputLen - cfg.Horizon) / m
+		}
+	}
+	rawWindows, err := timeseries.MakeWindows(st.scTest, cfg.InputLen, cfg.Horizon, evalStride)
+	if err != nil {
+		return err
+	}
+	// The scaled decompression and its paired windows depend only on the
+	// cell, so they are computed exactly once and shared (read-only) by
+	// every (model, seed) unit.
+	st.plan = &datasetPlan{
+		cfg:        cfg,
+		scTrain:    st.scTrain,
+		scVal:      st.scVal,
+		rawWindows: rawWindows,
+		cells:      make([]cellPlan, len(st.dr.Cells)),
+		evalStride: evalStride,
+		phaseStart: (st.trainLen + st.valLen) % st.ds.SeasonalPeriod,
+	}
+	for ci, cell := range st.dr.Cells {
+		if err := rc.Err(); err != nil {
+			return err
+		}
+		scDec := st.scaler.Transform(cell.Decompressed)
+		ws, err := timeseries.MakePairedWindows(scDec, st.scTest, cfg.InputLen, cfg.Horizon, evalStride)
+		if err != nil {
+			return err
+		}
+		st.plan.cells[ci] = cellPlan{method: cell.Method, epsilon: cell.Epsilon, windows: ws}
+	}
+	return nil
+}
+
+// poolRun executes work(i) for every i in [0, n) on a worker pool bounded
+// by the run's parallelism. After the first failure — or once the run is
+// cancelled — remaining items are handed to skip instead, so a broken or
+// abandoned grid drains in microseconds rather than training to the end.
+func poolRun(rc *RunContext, n int, work func(i int) error, skip func(i int)) {
+	workers := rc.opts.parallelism()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() || rc.Err() != nil {
+					skip(i)
+					continue
+				}
+				if err := work(i); err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// unitErr scans the unit results in (model, seed) order and returns the
+// first real failure; cancellation wins over any unit error so a cancelled
+// run reports ctx.Err() rather than a pile of skipped units.
+func (st *pipelineState) unitErr(rc *RunContext) error {
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	for _, u := range st.units {
+		if err := st.results[u.mi][u.si].err; err != nil && !errors.Is(err, errUnitSkipped) {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTrain fits one model instance per (model, seed) unit over the worker
+// pool. Each unit owns its model and RNG and writes only its own slot, so
+// the pool is a pure scheduling change; training honours cancellation at
+// epoch boundaries via forecast.FitContext.
+func runTrain(rc *RunContext, st *pipelineState) error {
+	st.models = rc.opts.models()
+	st.trained = make([][]forecast.Model, len(st.models))
+	st.results = make([][]unitResult, len(st.models))
+	st.units = nil
+	for mi, modelName := range st.models {
+		nSeeds := rc.opts.seeds(modelName)
+		st.trained[mi] = make([]forecast.Model, nSeeds)
+		st.results[mi] = make([]unitResult, nSeeds)
+		for si := 0; si < nSeeds; si++ {
+			st.units = append(st.units, unit{model: modelName, mi: mi, si: si})
+		}
+	}
+	poolRun(rc, len(st.units),
+		func(i int) error {
+			u := st.units[i]
+			tFit := time.Now()
+			defer func() {
+				rc.acc.forecast.Add(int64(time.Since(tFit)))
+				rc.acc.units.Add(1)
+			}()
+			mcfg := st.plan.cfg
+			mcfg.Seed = rc.opts.Seed + int64(u.si)*7919
+			model, err := forecast.New(u.model, mcfg)
+			if err != nil {
+				st.results[u.mi][u.si] = unitResult{err: err}
+				return err
+			}
+			if err := forecast.FitContext(rc.ctx, model, st.plan.scTrain, st.plan.scVal); err != nil {
+				err = fmt.Errorf("fit %s: %w", u.model, err)
+				st.results[u.mi][u.si] = unitResult{err: err}
+				return err
+			}
+			st.trained[u.mi][u.si] = model
+			return nil
+		},
+		func(i int) {
+			u := st.units[i]
+			st.results[u.mi][u.si] = unitResult{err: errUnitSkipped}
+		})
+	return st.unitErr(rc)
+}
+
+// runForecast evaluates every trained unit on the raw baseline windows and
+// on each cell's cached window set, checking cancellation at cell
+// boundaries.
+func runForecast(rc *RunContext, st *pipelineState) error {
+	poolRun(rc, len(st.units),
+		func(i int) error {
+			u := st.units[i]
+			tEval := time.Now()
+			defer func() { rc.acc.forecast.Add(int64(time.Since(tEval))) }()
+			model := st.trained[u.mi][u.si]
+			// The harness knows each window's absolute position, so
+			// phase-aware models (Arima) receive real time indices for
+			// their Fourier terms, exactly as the paper's timestamps do.
+			if pa, ok := model.(forecast.PhaseAware); ok {
+				pa.SetWindowPhase(st.plan.phaseStart, st.plan.evalStride)
+			}
+			base, err := evaluateWindows(model, st.plan.rawWindows)
+			if err != nil {
+				err = fmt.Errorf("baseline %s: %w", u.model, err)
+				st.results[u.mi][u.si] = unitResult{err: err}
+				return err
+			}
+			cells := make([]stats.Metrics, len(st.plan.cells))
+			for ci, cp := range st.plan.cells {
+				if err := rc.Err(); err != nil {
+					st.results[u.mi][u.si] = unitResult{err: err}
+					return err
+				}
+				m, err := evaluateWindows(model, cp.windows)
+				if err != nil {
+					err = fmt.Errorf("%s on %s eps=%v: %w", u.model, cp.method, cp.epsilon, err)
+					st.results[u.mi][u.si] = unitResult{err: err}
+					return err
+				}
+				cells[ci] = m
+			}
+			rc.acc.cellEvals.Add(int64(len(st.plan.cells)))
+			st.results[u.mi][u.si] = unitResult{base: base, cells: cells}
+			return nil
+		},
+		func(i int) {
+			u := st.units[i]
+			st.results[u.mi][u.si] = unitResult{err: errUnitSkipped}
+		})
+	return st.unitErr(rc)
+}
+
+// runAnalyze merges per-seed metrics in (model, seed) order — the exact
+// accumulation order of the sequential implementation, so means are
+// bit-identical regardless of pool scheduling — and attributes TFE (Eq. 2).
+func runAnalyze(rc *RunContext, st *pipelineState) error {
+	for mi, modelName := range st.models {
+		base := make([]stats.Metrics, len(st.results[mi]))
+		cellAcc := make([][]stats.Metrics, len(st.dr.Cells))
+		for si, res := range st.results[mi] {
+			base[si] = res.base
+			for ci := range st.dr.Cells {
+				cellAcc[ci] = append(cellAcc[ci], res.cells[ci])
+			}
+		}
+		baseMean := meanMetrics(base)
+		st.dr.Baselines[modelName] = baseMean
+		for ci, cell := range st.dr.Cells {
+			mm := meanMetrics(cellAcc[ci])
+			cell.ModelMetrics[modelName] = mm
+			if tfe, err := stats.TFE(mm.NRMSE, baseMean.NRMSE); err == nil {
+				cell.TFE[modelName] = tfe
+			}
+		}
+	}
+	st.trained = nil // trained models are no longer needed once merged
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"lossyts/internal/timeseries"
 )
@@ -37,65 +38,145 @@ func (d *Dataset) Target() *timeseries.Series { return d.Frame.TargetSeries() }
 // Names lists the datasets in the paper's order.
 var Names = []string{"ETTm1", "ETTm2", "Solar", "Weather", "ElecDem", "Wind"}
 
-// spec captures the Table 1 statistics a generator aims for.
-type spec struct {
-	length   int
-	interval int64
-	period   int // dominant seasonal period in steps
-	mean     float64
-	min, max float64
-	q1, q3   float64
+// Spec captures the Table 1 statistics a generator aims for.
+type Spec struct {
+	// Length is the full (scale 1.0) number of data points; Interval the
+	// sampling interval in seconds; Period the dominant seasonal period in
+	// steps.
+	Length   int
+	Interval int64
+	Period   int
+	// Mean, Min, Max, Q1, and Q3 are the descriptive statistics the
+	// generator targets.
+	Mean     float64
+	Min, Max float64
+	Q1, Q3   float64
 }
 
-var specs = map[string]spec{
-	"ETTm1":   {length: 69680, interval: 900, period: 96, mean: 13.32, min: -4, max: 46, q1: 7, q3: 18},
-	"ETTm2":   {length: 69680, interval: 900, period: 96, mean: 26.60, min: -3, max: 58, q1: 16, q3: 36},
-	"Solar":   {length: 52560, interval: 600, period: 144, mean: 6.35, min: 0, max: 34, q1: 0, q3: 12},
-	"Weather": {length: 52704, interval: 600, period: 144, mean: 427.66, min: 305, max: 524, q1: 415, q3: 437},
-	"ElecDem": {length: 230736, interval: 1800, period: 48, mean: 6740, min: 3498, max: 12865, q1: 5751, q3: 7658},
-	"Wind":    {length: 432000, interval: 2, period: 720, mean: 363.69, min: -68, max: 2030, q1: 108, q3: 550},
+// Registration declares a dataset generator to the package registry. The
+// paper's six datasets self-register below; external packages register
+// the same way and their datasets immediately work everywhere a dataset
+// name is accepted — Load, the evaluation grid, and the lossyts API —
+// without touching any dispatch site.
+type Registration struct {
+	// Name is the registry key, e.g. "ETTm1".
+	Name string
+	// Spec holds the statistics the generator targets; Spec.Length scaled
+	// by Load's scale argument decides how many points Gen produces.
+	Spec Spec
+	// Gen produces the frame columns; the first column is the forecasting
+	// target. rng is seeded deterministically from (name, seed).
+	Gen func(rng *rand.Rand, n int, sp Spec) []*timeseries.Series
+}
+
+// UnknownDatasetError is returned when a dataset name has no registration.
+type UnknownDatasetError struct {
+	Name string
+}
+
+func (e *UnknownDatasetError) Error() string {
+	return fmt.Sprintf("datasets: unknown dataset %q (registered: %v)", e.Name, Registered())
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Registration{}
+)
+
+// Register adds a dataset generator to the registry. It panics on a
+// duplicate name, a nil generator, or a degenerate spec — registration
+// happens in init functions, where a loud failure at process start beats a
+// broken grid later.
+func Register(r Registration) {
+	if r.Name == "" {
+		panic("datasets: Register with empty dataset name")
+	}
+	if r.Gen == nil {
+		panic(fmt.Sprintf("datasets: Register(%s) needs a generator", r.Name))
+	}
+	if r.Spec.Length <= 0 || r.Spec.Period <= 0 || r.Spec.Interval <= 0 {
+		panic(fmt.Sprintf("datasets: Register(%s) with degenerate spec %+v", r.Name, r.Spec))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[r.Name]; dup {
+		panic(fmt.Sprintf("datasets: dataset %q registered twice", r.Name))
+	}
+	registry[r.Name] = r
+}
+
+// Registered lists every registered dataset name in sorted order. The
+// paper's evaluation order is the fixed Names slice.
+func Registered() []string {
+	registryMu.RLock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	for _, r := range []Registration{
+		{Name: "ETTm1",
+			Spec: Spec{Length: 69680, Interval: 900, Period: 96, Mean: 13.32, Min: -4, Max: 46, Q1: 7, Q3: 18},
+			Gen: func(rng *rand.Rand, n int, sp Spec) []*timeseries.Series {
+				return genETT(rng, n, sp, 6, 0.12, 0.99)
+			}},
+		{Name: "ETTm2",
+			Spec: Spec{Length: 69680, Interval: 900, Period: 96, Mean: 26.60, Min: -3, Max: 58, Q1: 16, Q3: 36},
+			Gen: func(rng *rand.Rand, n int, sp Spec) []*timeseries.Series {
+				return genETT(rng, n, sp, 12, 0.08, 0.995)
+			}},
+		{Name: "Solar",
+			Spec: Spec{Length: 52560, Interval: 600, Period: 144, Mean: 6.35, Min: 0, Max: 34, Q1: 0, Q3: 12},
+			Gen:  genSolar},
+		{Name: "Weather",
+			Spec: Spec{Length: 52704, Interval: 600, Period: 144, Mean: 427.66, Min: 305, Max: 524, Q1: 415, Q3: 437},
+			Gen:  genWeather},
+		{Name: "ElecDem",
+			Spec: Spec{Length: 230736, Interval: 1800, Period: 48, Mean: 6740, Min: 3498, Max: 12865, Q1: 5751, Q3: 7658},
+			Gen:  genElecDem},
+		{Name: "Wind",
+			Spec: Spec{Length: 432000, Interval: 2, Period: 720, Mean: 363.69, Min: -68, Max: 2030, Q1: 108, Q3: 550},
+			Gen:  genWind},
+	} {
+		Register(r)
+	}
 }
 
 // baseStart is an arbitrary fixed epoch (2020-01-01 00:00 UTC) so generated
 // timestamps fit the 32-bit header field the paper's codec uses.
 const baseStart = 1577836800
 
-// Load generates the named dataset. scale in (0, 1] shrinks the length for
-// fast tests and benches (1.0 = the paper's full length); seed makes the
-// generation reproducible.
+// Load generates the named dataset via its registered generator. scale in
+// (0, 1] shrinks the length for fast tests and benches (1.0 = the paper's
+// full length); seed makes the generation reproducible. Unknown names
+// yield an *UnknownDatasetError.
 func Load(name string, scale float64, seed int64) (*Dataset, error) {
-	sp, ok := specs[name]
+	registryMu.RLock()
+	r, ok := registry[name]
+	registryMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names)
+		return nil, &UnknownDatasetError{Name: name}
 	}
 	if scale <= 0 || scale > 1 {
 		return nil, fmt.Errorf("datasets: scale %v outside (0, 1]", scale)
 	}
-	n := int(float64(sp.length) * scale)
-	if min := 6 * sp.period; n < min {
+	sp := r.Spec
+	n := int(float64(sp.Length) * scale)
+	if min := 6 * sp.Period; n < min {
 		n = min // keep enough cycles for decomposition-based features
 	}
 	rng := rand.New(rand.NewSource(seed*31 + int64(len(name))))
-	var cols []*timeseries.Series
-	switch name {
-	case "ETTm1":
-		cols = genETT(rng, n, sp, 6, 0.12, 0.99)
-	case "ETTm2":
-		cols = genETT(rng, n, sp, 12, 0.08, 0.995)
-	case "Solar":
-		cols = genSolar(rng, n, sp)
-	case "Weather":
-		cols = genWeather(rng, n, sp)
-	case "ElecDem":
-		cols = genElecDem(rng, n, sp)
-	case "Wind":
-		cols = genWind(rng, n, sp)
-	}
-	frame, err := timeseries.NewFrame(name, baseStart, sp.interval, 0, cols...)
+	cols := r.Gen(rng, n, sp)
+	frame, err := timeseries.NewFrame(name, baseStart, sp.Interval, 0, cols...)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{Name: name, Frame: frame, SeasonalPeriod: sp.period, Interval: sp.interval}, nil
+	return &Dataset{Name: name, Frame: frame, SeasonalPeriod: sp.Period, Interval: sp.Interval}, nil
 }
 
 // MustLoad is Load that panics on error, for tests and examples.
@@ -107,20 +188,21 @@ func MustLoad(name string, scale float64, seed int64) *Dataset {
 	return d
 }
 
-// Spec returns the paper's Table 1 statistics for the named dataset (zero
-// value for unknown names): length, interval seconds, and the descriptive
-// statistics the generators target.
-func Spec(name string) (length int, interval int64, mean, min, max, q1, q3 float64) {
-	sp := specs[name]
-	return sp.length, sp.interval, sp.mean, sp.min, sp.max, sp.q1, sp.q3
+// SpecOf returns the registered spec for the named dataset — the paper's
+// Table 1 statistics for the built-ins — and whether the name is known.
+func SpecOf(name string) (Spec, bool) {
+	registryMu.RLock()
+	r, ok := registry[name]
+	registryMu.RUnlock()
+	return r.Spec, ok
 }
 
 // genETT produces an electrical-transformer-like oil temperature: daily and
 // weekly seasonality, a slowly wandering level, and AR(1) noise. amp sets
 // the daily amplitude, sigma the innovation scale and ar the AR coefficient
 // (ETTm2 is smoother than ETTm1).
-func genETT(rng *rand.Rand, n int, sp spec, amp, sigma, ar float64) []*timeseries.Series {
-	day := float64(sp.period)
+func genETT(rng *rand.Rand, n int, sp Spec, amp, sigma, ar float64) []*timeseries.Series {
+	day := float64(sp.Period)
 	week := day * 7
 	target := make([]float64, n)
 	load := make([]float64, n)
@@ -146,8 +228,8 @@ func genETT(rng *rand.Rand, n int, sp spec, amp, sigma, ar float64) []*timeserie
 
 // genSolar produces a zero-inflated PV power output: a daily bell curve
 // gated to daytime, modulated by slowly varying cloud cover.
-func genSolar(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
-	day := float64(sp.period)
+func genSolar(rng *rand.Rand, n int, sp Spec) []*timeseries.Series {
+	day := float64(sp.Period)
 	target := make([]float64, n)
 	second := make([]float64, n)
 	cloud := 0.7
@@ -187,8 +269,8 @@ func genSolar(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
 // genWeather produces a CO2-like concentration: large stable level, small
 // daily oscillation, slow drift — the 5% rIQD regime where lossy
 // compression achieves extreme ratios.
-func genWeather(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
-	day := float64(sp.period)
+func genWeather(rng *rand.Rand, n int, sp Spec) []*timeseries.Series {
+	day := float64(sp.Period)
 	target := make([]float64, n)
 	temp := make([]float64, n)
 	drift := 0.0
@@ -211,8 +293,8 @@ func genWeather(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
 
 // genElecDem produces half-hourly electricity demand: a double-peaked daily
 // profile, weekday/weekend contrast, an annual cycle, and noise.
-func genElecDem(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
-	day := float64(sp.period)
+func genElecDem(rng *rand.Rand, n int, sp Spec) []*timeseries.Series {
+	day := float64(sp.Period)
 	year := day * 365
 	target := make([]float64, n)
 	noise := 0.0
@@ -242,7 +324,7 @@ func gauss(x, mu, sigma float64) float64 {
 // genWind produces 2-second wind turbine active power: an
 // Ornstein-Uhlenbeck wind speed pushed through a cubic power curve with
 // rated saturation, plus idle consumption making small negative values.
-func genWind(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
+func genWind(rng *rand.Rand, n int, sp Spec) []*timeseries.Series {
 	target := make([]float64, n)
 	rotor := make([]float64, n)
 	windSpeed := make([]float64, n)
@@ -255,7 +337,7 @@ func genWind(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
 		// 2-second sampling interval consecutive speeds are very close.
 		ws += 0.002*(7.5-ws) + 0.01*rng.NormFloat64()
 		gust = 0.995*gust + 0.05*rng.NormFloat64()
-		s := ws + gust + 1.2*math.Sin(2*math.Pi*float64(i)/float64(sp.period))
+		s := ws + gust + 1.2*math.Sin(2*math.Pi*float64(i)/float64(sp.Period))
 		if s < 0 {
 			s = 0
 		}
@@ -287,7 +369,7 @@ func genWind(rng *rand.Rand, n int, sp spec) []*timeseries.Series {
 
 // affineMatch rescales values so the mean and interquartile range match the
 // spec, then clips to [min, max].
-func affineMatch(v []float64, sp spec) {
+func affineMatch(v []float64, sp Spec) {
 	sorted := append([]float64(nil), v...)
 	sort.Float64s(sorted)
 	q1 := quantile(sorted, 0.25)
@@ -301,14 +383,14 @@ func affineMatch(v []float64, sp spec) {
 	if iqr == 0 {
 		iqr = 1
 	}
-	s := (sp.q3 - sp.q1) / iqr
+	s := (sp.Q3 - sp.Q1) / iqr
 	for i, x := range v {
-		y := (x-m)*s + sp.mean
-		if y < sp.min {
-			y = sp.min
+		y := (x-m)*s + sp.Mean
+		if y < sp.Min {
+			y = sp.Min
 		}
-		if y > sp.max {
-			y = sp.max
+		if y > sp.Max {
+			y = sp.Max
 		}
 		v[i] = y
 	}
@@ -316,21 +398,21 @@ func affineMatch(v []float64, sp spec) {
 
 // scaleMatch rescales by a pure factor (keeping zeros at zero) so the upper
 // quartile matches the spec, then clips. Used for the zero-inflated Solar.
-func scaleMatch(v []float64, sp spec) {
+func scaleMatch(v []float64, sp Spec) {
 	sorted := append([]float64(nil), v...)
 	sort.Float64s(sorted)
 	q3 := quantile(sorted, 0.75)
 	if q3 <= 0 {
 		return
 	}
-	s := sp.q3 / q3
+	s := sp.Q3 / q3
 	for i, x := range v {
 		y := x * s
-		if y < sp.min {
-			y = sp.min
+		if y < sp.Min {
+			y = sp.Min
 		}
-		if y > sp.max {
-			y = sp.max
+		if y > sp.Max {
+			y = sp.Max
 		}
 		v[i] = y
 	}

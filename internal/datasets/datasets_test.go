@@ -24,12 +24,15 @@ func TestLoadAllDatasets(t *testing.T) {
 			if d.SeasonalPeriod < 2 {
 				t.Fatal("missing seasonal period")
 			}
-			length, interval, _, _, _, _, _ := Spec(name)
-			if d.Interval != interval {
-				t.Fatalf("interval = %d, want %d", d.Interval, interval)
+			sp, ok := SpecOf(name)
+			if !ok {
+				t.Fatalf("no registered spec for %s", name)
 			}
-			if got := d.Target().Len(); got > length {
-				t.Fatalf("scaled length %d exceeds full length %d", got, length)
+			if d.Interval != sp.Interval {
+				t.Fatalf("interval = %d, want %d", d.Interval, sp.Interval)
+			}
+			if got := d.Target().Len(); got > sp.Length {
+				t.Fatalf("scaled length %d exceeds full length %d", got, sp.Length)
 			}
 			for i, v := range d.Target().Values {
 				if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -48,7 +51,8 @@ func TestStatisticsMatchTable1(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			d := MustLoad(name, 0.1, 7)
-			_, _, wantMean, wantMin, wantMax, _, wantQ3 := Spec(name)
+			sp, _ := SpecOf(name)
+			wantMean, wantMin, wantMax, wantQ3 := sp.Mean, sp.Min, sp.Max, sp.Q3
 			desc, err := stats.Describe(d.Target().Values)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,97 @@
+package datasets
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+func init() {
+	// A toy externally registered dataset: a pure sine with a short period.
+	Register(Registration{
+		Name: "RegTestSine",
+		Spec: Spec{Length: 4000, Interval: 60, Period: 50, Mean: 0, Min: -1, Max: 1, Q1: -0.7, Q3: 0.7},
+		Gen: func(rng *rand.Rand, n int, sp Spec) []*timeseries.Series {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = math.Sin(2 * math.Pi * float64(i) / float64(sp.Period))
+			}
+			return []*timeseries.Series{timeseries.New("SINE", 0, 0, v)}
+		},
+	})
+}
+
+func TestRegisteredIncludesPaperDatasets(t *testing.T) {
+	got := map[string]bool{}
+	for _, name := range Registered() {
+		got[name] = true
+	}
+	for _, name := range Names {
+		if !got[name] {
+			t.Errorf("paper dataset %s missing from Registered(): %v", name, Registered())
+		}
+	}
+}
+
+func TestLoadUnknownDatasetTypedError(t *testing.T) {
+	_, err := Load("NoSuchDataset", 0.1, 1)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var unknown *UnknownDatasetError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want *UnknownDatasetError, got %T: %v", err, err)
+	}
+	if unknown.Name != "NoSuchDataset" {
+		t.Fatalf("error names %q", unknown.Name)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	gen := func(rng *rand.Rand, n int, sp Spec) []*timeseries.Series { return nil }
+	spec := Spec{Length: 100, Interval: 60, Period: 10}
+	cases := map[string]Registration{
+		"duplicate name": {Name: "ETTm1", Spec: spec, Gen: gen},
+		"nil generator":  {Name: "FreshDataset", Spec: spec},
+		"degenerate":     {Name: "FreshDataset", Gen: gen},
+		"empty name":     {Spec: spec, Gen: gen},
+	}
+	for name, reg := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%+v) did not panic", reg)
+				}
+			}()
+			Register(reg)
+		})
+	}
+}
+
+// TestRegisteredDatasetLoads proves a dataset registered outside
+// datasets.go loads through the generic path with its spec respected.
+func TestRegisteredDatasetLoads(t *testing.T) {
+	d, err := Load("RegTestSine", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SeasonalPeriod != 50 || d.Interval != 60 {
+		t.Fatalf("metadata not taken from spec: %+v", d)
+	}
+	if d.Target().Len() != 4000 {
+		t.Fatalf("length = %d, want 4000", d.Target().Len())
+	}
+	// Load is deterministic per (name, seed).
+	d2, err := Load("RegTestSine", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d.Target().Values {
+		if d2.Target().Values[i] != v {
+			t.Fatalf("non-deterministic generation at %d", i)
+		}
+	}
+}

@@ -44,6 +44,13 @@ func (m *arima) SetWindowPhase(startPhase, stride int) {
 	m.phaseStride = stride
 }
 
+func init() {
+	Register(Registration{
+		Name: "Arima",
+		New:  func(cfg Config) Model { return newArima(cfg) },
+	})
+}
+
 func newArima(cfg Config) *arima { return &arima{cfg: cfg} }
 
 func (m *arima) Name() string { return "Arima" }

@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -19,6 +20,14 @@ type dlinear struct {
 	trend   *nn.Linear
 	season  *nn.Linear
 	trained bool
+}
+
+func init() {
+	Register(Registration{
+		Name: "DLinear",
+		New:  func(cfg Config) Model { return newDLinear(cfg) },
+		Deep: true,
+	})
 }
 
 func newDLinear(cfg Config) *dlinear {
@@ -54,7 +63,12 @@ func (m *dlinear) forward(x *nn.Tensor, train bool) *nn.Tensor {
 }
 
 func (m *dlinear) Fit(train, val []float64) error {
-	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+	return m.FitContext(context.Background(), train, val)
+}
+
+// FitContext is Fit with cancellation honoured at epoch boundaries.
+func (m *dlinear) FitContext(ctx context.Context, train, val []float64) error {
+	if err := trainNeural(ctx, m, m.cfg, m.rng, train, val); err != nil {
 		return err
 	}
 	m.trained = true

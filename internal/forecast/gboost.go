@@ -17,6 +17,13 @@ type gboost struct {
 	ensemble *gbt.Ensemble
 }
 
+func init() {
+	Register(Registration{
+		Name: "GBoost",
+		New:  func(cfg Config) Model { return newGBoost(cfg) },
+	})
+}
+
 func newGBoost(cfg Config) *gboost {
 	// Lag features: dense short lags plus the daily/seasonal markers that
 	// fit inside the input window.

@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -18,6 +19,14 @@ type gru struct {
 	decoder *nn.GRUCell
 	head    *nn.Linear
 	trained bool
+}
+
+func init() {
+	Register(Registration{
+		Name: "GRU",
+		New:  func(cfg Config) Model { return newGRU(cfg) },
+		Deep: true,
+	})
 }
 
 func newGRU(cfg Config) *gru {
@@ -64,7 +73,12 @@ func (m *gru) forward(x *nn.Tensor, train bool) *nn.Tensor {
 }
 
 func (m *gru) Fit(train, val []float64) error {
-	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+	return m.FitContext(context.Background(), train, val)
+}
+
+// FitContext is Fit with cancellation honoured at epoch boundaries.
+func (m *gru) FitContext(ctx context.Context, train, val []float64) error {
+	if err := trainNeural(ctx, m, m.cfg, m.rng, train, val); err != nil {
 		return err
 	}
 	m.trained = true

@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -157,6 +158,14 @@ type informer struct {
 	trained  bool
 }
 
+func init() {
+	Register(Registration{
+		Name: "Informer",
+		New:  func(cfg Config) Model { return newInformer(cfg) },
+		Deep: true,
+	})
+}
+
 func newInformer(cfg Config) *informer {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := cfg.HiddenSize
@@ -213,7 +222,12 @@ func (m *informer) forward(x *nn.Tensor, train bool) *nn.Tensor {
 }
 
 func (m *informer) Fit(train, val []float64) error {
-	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+	return m.FitContext(context.Background(), train, val)
+}
+
+// FitContext is Fit with cancellation honoured at epoch boundaries.
+func (m *informer) FitContext(ctx context.Context, train, val []float64) error {
+	if err := trainNeural(ctx, m, m.cfg, m.rng, train, val); err != nil {
 		return err
 	}
 	m.trained = true

@@ -86,40 +86,6 @@ type PhaseAware interface {
 	SetWindowPhase(startPhase, stride int)
 }
 
-// New returns a fresh, unfitted model by name.
-func New(name string, cfg Config) (Model, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	switch name {
-	case "Arima":
-		return newArima(cfg), nil
-	case "GBoost":
-		return newGBoost(cfg), nil
-	case "DLinear":
-		return newDLinear(cfg), nil
-	case "GRU":
-		return newGRU(cfg), nil
-	case "NBeats":
-		return newNBeats(cfg), nil
-	case "Transformer":
-		return newTransformer(cfg), nil
-	case "Informer":
-		return newInformer(cfg), nil
-	}
-	return nil, fmt.Errorf("forecast: unknown model %q (have %v)", name, ModelNames)
-}
-
-// IsDeep reports whether the named model is a deep neural network; the
-// paper averages those over more random seeds (10 vs 5, §3.6).
-func IsDeep(name string) bool {
-	switch name {
-	case "DLinear", "GRU", "Informer", "NBeats", "Transformer":
-		return true
-	}
-	return false
-}
-
 // checkInputs validates a Predict batch.
 func checkInputs(inputs [][]float64, inputLen int) error {
 	if len(inputs) == 0 {

@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -24,6 +25,14 @@ type nbeats struct {
 	rng     *rand.Rand
 	blocks  []*nbeatsBlock
 	trained bool
+}
+
+func init() {
+	Register(Registration{
+		Name: "NBeats",
+		New:  func(cfg Config) Model { return newNBeats(cfg) },
+		Deep: true,
+	})
 }
 
 func newNBeats(cfg Config) *nbeats {
@@ -85,7 +94,12 @@ func (m *nbeats) forward(x *nn.Tensor, train bool) *nn.Tensor {
 }
 
 func (m *nbeats) Fit(train, val []float64) error {
-	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+	return m.FitContext(context.Background(), train, val)
+}
+
+// FitContext is Fit with cancellation honoured at epoch boundaries.
+func (m *nbeats) FitContext(ctx context.Context, train, val []float64) error {
+	if err := trainNeural(ctx, m, m.cfg, m.rng, train, val); err != nil {
 		return err
 	}
 	m.trained = true

@@ -1,0 +1,113 @@
+package forecast
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registration declares a forecasting model to the package registry. The
+// paper's seven models self-register from their own files; external
+// packages register the same way and their models immediately work
+// everywhere a model name is accepted — New, the evaluation grid, and the
+// lossyts API — without touching any dispatch site.
+type Registration struct {
+	// Name is the registry key, e.g. "DLinear".
+	Name string
+	// New constructs a fresh, unfitted model from a validated Config.
+	New func(cfg Config) Model
+	// Deep marks deep neural models, which the paper averages over more
+	// random seeds than the shallow ones (10 vs 5, §3.6).
+	Deep bool
+}
+
+// UnknownModelError is returned when a model name has no registration.
+type UnknownModelError struct {
+	Name string
+}
+
+func (e *UnknownModelError) Error() string {
+	return fmt.Sprintf("forecast: unknown model %q (registered: %v)", e.Name, Registered())
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Registration{}
+)
+
+// Register adds a model to the registry. It panics on a duplicate name or
+// a nil constructor — registration happens in init functions, where a loud
+// failure at process start beats a silent misroute later.
+func Register(r Registration) {
+	if r.Name == "" {
+		panic("forecast: Register with empty model name")
+	}
+	if r.New == nil {
+		panic(fmt.Sprintf("forecast: Register(%s) needs a constructor", r.Name))
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[r.Name]; dup {
+		panic(fmt.Sprintf("forecast: model %q registered twice", r.Name))
+	}
+	registry[r.Name] = r
+}
+
+// Registered lists every registered model name in sorted order. The
+// paper's evaluation order is the fixed ModelNames slice.
+func Registered() []string {
+	registryMu.RLock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	registryMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// New returns a fresh, unfitted model by name, consulting the registry so
+// externally registered models resolve exactly like the built-ins.
+// Unknown names yield an *UnknownModelError.
+func New(name string, cfg Config) (Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	registryMu.RLock()
+	r, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, &UnknownModelError{Name: name}
+	}
+	return r.New(cfg), nil
+}
+
+// IsDeep reports whether the named model is a deep neural network; the
+// paper averages those over more random seeds (10 vs 5, §3.6). Unknown
+// names count as shallow.
+func IsDeep(name string) bool {
+	registryMu.RLock()
+	r := registry[name]
+	registryMu.RUnlock()
+	return r.Deep
+}
+
+// ContextFitter is implemented by models whose training loop honours
+// cancellation; the deep models check the context at epoch boundaries.
+type ContextFitter interface {
+	FitContext(ctx context.Context, train, val []float64) error
+}
+
+// FitContext trains m under ctx: models implementing ContextFitter stop
+// promptly (returning ctx.Err()) when the context is cancelled; other
+// models fall back to a plain Fit after an upfront cancellation check.
+func FitContext(ctx context.Context, m Model, train, val []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cf, ok := m.(ContextFitter); ok {
+		return cf.FitContext(ctx, train, val)
+	}
+	return m.Fit(train, val)
+}

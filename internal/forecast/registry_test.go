@@ -1,0 +1,85 @@
+package forecast
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRegisteredIncludesPaperModels(t *testing.T) {
+	got := map[string]bool{}
+	for _, name := range Registered() {
+		got[name] = true
+	}
+	for _, name := range ModelNames {
+		if !got[name] {
+			t.Errorf("paper model %s missing from Registered(): %v", name, Registered())
+		}
+	}
+}
+
+func TestNewUnknownModelTypedError(t *testing.T) {
+	_, err := New("NoSuchModel", DefaultConfig())
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var unknown *UnknownModelError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("want *UnknownModelError, got %T: %v", err, err)
+	}
+	if unknown.Name != "NoSuchModel" {
+		t.Fatalf("error names %q", unknown.Name)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	cases := map[string]Registration{
+		"duplicate name":  {Name: "Arima", New: func(cfg Config) Model { return newArima(cfg) }},
+		"nil constructor": {Name: "FreshModel"},
+		"empty name":      {New: func(cfg Config) Model { return newArima(cfg) }},
+	}
+	for name, reg := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%+v) did not panic", reg)
+				}
+			}()
+			Register(reg)
+		})
+	}
+}
+
+func TestIsDeepFromRegistry(t *testing.T) {
+	deep := map[string]bool{
+		"Arima": false, "GBoost": false,
+		"DLinear": true, "GRU": true, "Informer": true, "NBeats": true, "Transformer": true,
+	}
+	for name, want := range deep {
+		if got := IsDeep(name); got != want {
+			t.Errorf("IsDeep(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if IsDeep("NoSuchModel") {
+		t.Error("unknown models must count as shallow")
+	}
+}
+
+// TestFitContextCancelledBeforeTraining covers the generic FitContext
+// helper: an already-cancelled context stops any model — including the
+// shallow ones without a ContextFitter implementation — before work starts.
+func TestFitContextCancelledBeforeTraining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range ModelNames {
+		cfg := DefaultConfig()
+		cfg.Epochs = 1
+		m, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := FitContext(ctx, m, nil, nil); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: FitContext on cancelled context = %v, want context.Canceled", name, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,7 +19,10 @@ type network interface {
 
 // trainNeural runs the paper's training recipe: Adam (lr 1e-3, weight decay
 // 1e-4), MSE loss, early stopping on the validation subset with patience 3.
-func trainNeural(net network, cfg Config, rng *rand.Rand, train, val []float64) error {
+// Cancellation is checked once per epoch — the granularity at which a
+// cancelled grid run stops paying for training without adding a branch to
+// the per-batch hot loop — and the context's error is returned verbatim.
+func trainNeural(ctx context.Context, net network, cfg Config, rng *rand.Rand, train, val []float64) error {
 	tw, err := timeseries.MakeWindows(train, cfg.InputLen, cfg.Horizon, 1)
 	if err != nil {
 		return fmt.Errorf("forecast: training windows: %w", err)
@@ -65,6 +69,9 @@ func trainNeural(net network, cfg Config, rng *rand.Rand, train, val []float64) 
 	}
 	order := append([]int(nil), trainIdx...)
 	for epoch := 0; epoch < epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for start := 0; start < len(order); start += bs {
 			end := start + bs

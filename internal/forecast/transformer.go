@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -114,6 +115,14 @@ type transformer struct {
 	trained  bool
 }
 
+func init() {
+	Register(Registration{
+		Name: "Transformer",
+		New:  func(cfg Config) Model { return newTransformer(cfg) },
+		Deep: true,
+	})
+}
+
 func newTransformer(cfg Config) *transformer {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	d := cfg.HiddenSize
@@ -180,7 +189,12 @@ func (m *transformer) forward(x *nn.Tensor, train bool) *nn.Tensor {
 }
 
 func (m *transformer) Fit(train, val []float64) error {
-	if err := trainNeural(m, m.cfg, m.rng, train, val); err != nil {
+	return m.FitContext(context.Background(), train, val)
+}
+
+// FitContext is Fit with cancellation honoured at epoch boundaries.
+func (m *transformer) FitContext(ctx context.Context, train, val []float64) error {
+	if err := trainNeural(ctx, m, m.cfg, m.rng, train, val); err != nil {
 		return err
 	}
 	m.trained = true

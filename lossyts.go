@@ -1,6 +1,9 @@
 package lossyts
 
 import (
+	"bytes"
+	"context"
+
 	"lossyts/internal/anomaly"
 	"lossyts/internal/compress"
 	"lossyts/internal/core"
@@ -109,6 +112,35 @@ func NewStreamEncoder(m Method, s *Series, epsilon float64) (*StreamEncoder, err
 	return compress.NewStreamEncoder(m, s, epsilon)
 }
 
+// CompressorRegistration declares an externally implemented compression
+// method: its name, payload wire code (built-ins use 1–5; external codes
+// should start at 64), constructor, and payload-body decoder.
+type CompressorRegistration = compress.Registration
+
+// UnknownMethodError reports a compression method no registration matches.
+type UnknownMethodError = compress.UnknownMethodError
+
+// RegisterCompressor adds a compression method to the global registry, so
+// Compress, the evaluation grid (EvalOptions.Methods), and payload decoding
+// accept it like a built-in. It panics if the name or wire code is already
+// taken. Call it from an init function.
+func RegisterCompressor(r CompressorRegistration) { compress.Register(r) }
+
+// RegisteredMethods lists every registered compression method, sorted.
+func RegisteredMethods() []Method { return compress.Registered() }
+
+// EncodePayloadHeader writes the standard payload header for an external
+// compressor's Compress implementation; the method must be registered.
+func EncodePayloadHeader(w *bytes.Buffer, m Method, s *Series) error {
+	return compress.EncodeHeader(w, m, s)
+}
+
+// FinishPayload gzips an encoded payload into a Compressed result, as every
+// built-in compressor does.
+func FinishPayload(m Method, epsilon float64, s *Series, payload []byte, segments int) (*Compressed, error) {
+	return compress.Finish(m, epsilon, s, payload, segments)
+}
+
 // Forecasting API.
 type (
 	// Model is a trained forecaster (Fit on scaled series, Predict windows).
@@ -126,6 +158,22 @@ func NewModel(name string, cfg ForecastConfig) (Model, error) { return forecast.
 
 // DefaultForecastConfig mirrors the paper's hyperparameters at laptop scale.
 func DefaultForecastConfig() ForecastConfig { return forecast.DefaultConfig() }
+
+// ModelRegistration declares an externally implemented forecasting model:
+// its name, constructor, and whether it trains like a deep model (deep
+// models get EvalOptions.DeepSeeds repetitions instead of ShallowSeeds).
+type ModelRegistration = forecast.Registration
+
+// UnknownModelError reports a model name no registration matches.
+type UnknownModelError = forecast.UnknownModelError
+
+// RegisterModel adds a forecasting model to the global registry, so
+// NewModel and the evaluation grid (EvalOptions.Models) accept it like a
+// built-in. It panics on a duplicate name. Call it from an init function.
+func RegisterModel(r ModelRegistration) { forecast.Register(r) }
+
+// RegisteredModels lists every registered model name, sorted.
+func RegisteredModels() []string { return forecast.Registered() }
 
 // SearchSpace defines the hyperparameter grid of the paper's §3.4 search.
 type SearchSpace = forecast.SearchSpace
@@ -154,6 +202,25 @@ func LoadDataset(name string, scale float64, seed int64) (*Dataset, error) {
 func MustLoadDataset(name string, scale float64, seed int64) *Dataset {
 	return datasets.MustLoad(name, scale, seed)
 }
+
+// DatasetSpec is the target statistics of a registered dataset (length,
+// sampling interval, seasonal period, and Table 1 summary statistics).
+type DatasetSpec = datasets.Spec
+
+// DatasetRegistration declares an externally implemented dataset: its name,
+// spec, and generator.
+type DatasetRegistration = datasets.Registration
+
+// UnknownDatasetError reports a dataset name no registration matches.
+type UnknownDatasetError = datasets.UnknownDatasetError
+
+// RegisterDataset adds a dataset to the global registry, so LoadDataset and
+// the evaluation grid (EvalOptions.Datasets) accept it like a built-in. It
+// panics on a duplicate name. Call it from an init function.
+func RegisterDataset(r DatasetRegistration) { datasets.Register(r) }
+
+// RegisteredDatasets lists every registered dataset name, sorted.
+func RegisteredDatasets() []string { return datasets.Registered() }
 
 // SyntheticSpec controls characteristic-adjustable synthetic data, the
 // validation methodology the paper proposes as future work (§7).
@@ -226,6 +293,13 @@ func PaperEvalOptions() EvalOptions { return core.PaperOptions() }
 // merged in a fixed order, so the output is deterministic and bit-identical
 // to a sequential run. GridResult.Timings reports per-phase wall clock.
 func RunGrid(opts EvalOptions) (*GridResult, error) { return core.RunGrid(opts) }
+
+// RunGridContext is RunGrid under a cancellation context: the engine checks
+// ctx at stage, grid-cell, and training-epoch boundaries, returns ctx.Err()
+// promptly once cancelled, and never memoises a partial result.
+func RunGridContext(ctx context.Context, opts EvalOptions) (*GridResult, error) {
+	return core.RunGridContext(ctx, opts)
+}
 
 // ResetGridCache clears RunGrid's in-process memoisation cache, forcing the
 // next call to recompute (test and benchmark hook).

@@ -1,0 +1,114 @@
+package lossyts_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"lossyts"
+	"lossyts/internal/timeseries"
+)
+
+func init() {
+	// Exercise the re-exported registration entry point: a toy dataset
+	// registered through the root API, visible to RegisteredDatasets and
+	// loadable like a built-in.
+	lossyts.RegisterDataset(lossyts.DatasetRegistration{
+		Name: "ApiTestRamp",
+		Spec: lossyts.DatasetSpec{Length: 3000, Interval: 60, Period: 24, Mean: 0.5, Min: 0, Max: 1, Q1: 0.25, Q3: 0.75},
+		Gen: func(rng *rand.Rand, n int, sp lossyts.DatasetSpec) []*lossyts.Series {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(i%sp.Period) / float64(sp.Period)
+			}
+			return []*lossyts.Series{timeseries.New("ramp", 0, sp.Interval, v)}
+		},
+	})
+}
+
+// TestRegisteredListsAreExactlyTheRegistrations pins the registry contents
+// seen through the root API: the paper's built-ins plus exactly what this
+// test binary registered — nothing hidden, nothing missing.
+func TestRegisteredListsAreExactlyTheRegistrations(t *testing.T) {
+	wantMethods := []lossyts.Method{"GORILLA", "PMC", "S-PMC", "SWING", "SZ"}
+	if got := lossyts.RegisteredMethods(); !reflect.DeepEqual(got, wantMethods) {
+		t.Errorf("RegisteredMethods() = %v, want %v", got, wantMethods)
+	}
+
+	wantModels := append([]string(nil), lossyts.ModelNames...)
+	sort.Strings(wantModels)
+	if got := lossyts.RegisteredModels(); !reflect.DeepEqual(got, wantModels) {
+		t.Errorf("RegisteredModels() = %v, want %v", got, wantModels)
+	}
+
+	wantDatasets := append([]string{"ApiTestRamp"}, lossyts.DatasetNames...)
+	sort.Strings(wantDatasets)
+	if got := lossyts.RegisteredDatasets(); !reflect.DeepEqual(got, wantDatasets) {
+		t.Errorf("RegisteredDatasets() = %v, want %v", got, wantDatasets)
+	}
+}
+
+func TestRegisteredDatasetLoadsThroughRootAPI(t *testing.T) {
+	ds, err := lossyts.LoadDataset("ApiTestRamp", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.SeasonalPeriod != 24 || ds.Target().Len() != 3000 {
+		t.Fatalf("spec not honoured: period %d, len %d", ds.SeasonalPeriod, ds.Target().Len())
+	}
+}
+
+func TestUnknownNameTypedErrorsThroughRootAPI(t *testing.T) {
+	var um *lossyts.UnknownMethodError
+	if _, err := lossyts.Compress("NoSuchMethod", lossyts.NewSeries("x", 0, 60, []float64{1, 2}), 0.1); !errors.As(err, &um) {
+		t.Errorf("Compress: want *UnknownMethodError, got %v", err)
+	}
+	var umo *lossyts.UnknownModelError
+	if _, err := lossyts.NewModel("NoSuchModel", lossyts.DefaultForecastConfig()); !errors.As(err, &umo) {
+		t.Errorf("NewModel: want *UnknownModelError, got %v", err)
+	}
+	var ud *lossyts.UnknownDatasetError
+	if _, err := lossyts.LoadDataset("NoSuchDataset", 1, 1); !errors.As(err, &ud) {
+		t.Errorf("LoadDataset: want *UnknownDatasetError, got %v", err)
+	}
+}
+
+func TestRunGridContextThroughRootAPI(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := lossyts.DefaultEvalOptions()
+	opts.Datasets = []string{"ETTm1"}
+	opts.Models = []string{"Arima"}
+	if _, err := lossyts.RunGridContext(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExternalPayloadHelpers builds a payload with the re-exported header
+// and gzip helpers, the way an external compressor implementation would.
+func TestExternalPayloadHelpers(t *testing.T) {
+	s := lossyts.NewSeries("x", 0, 60, []float64{1, 2, 3})
+	// The helpers demand a registered method: unknown names must fail.
+	var buf bytes.Buffer
+	if err := lossyts.EncodePayloadHeader(&buf, "NoSuchMethod", s); err == nil {
+		t.Fatal("EncodePayloadHeader accepted an unregistered method")
+	}
+	if err := lossyts.EncodePayloadHeader(&buf, lossyts.PMC, s); err != nil {
+		t.Fatal(err)
+	}
+	c, err := lossyts.FinishPayload(lossyts.PMC, 0.1, s, buf.Bytes(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Method != lossyts.PMC || c.N != 3 || len(c.Payload) == 0 {
+		t.Fatalf("payload not finished: %+v", c)
+	}
+	if math.IsNaN(c.Epsilon) || c.Epsilon != 0.1 {
+		t.Fatalf("epsilon %v", c.Epsilon)
+	}
+}
