@@ -135,6 +135,66 @@ func TestPublicAPIConstants(t *testing.T) {
 	}
 }
 
+// TestPublicAPIStreaming drives the full streaming surface: chunked
+// dataset generation, chunked encoding (byte-identical to batch), chunked
+// decoding, and the bridge back to an in-memory series.
+func TestPublicAPIStreaming(t *testing.T) {
+	src, err := lossyts.StreamDataset("ETTm1", 0.02, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := lossyts.NewStreamEncoderAt(lossyts.PMC, src.Start(), src.Interval(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := enc.PushChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := enc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := lossyts.MustLoadDataset("ETTm1", 0.02, 1)
+	batch, err := lossyts.Compress(lossyts.PMC, ds.Target(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(streamed.Payload) != string(batch.Payload) {
+		t.Fatal("streamed payload differs from batch payload")
+	}
+
+	dec, err := lossyts.NewStreamDecoder(streamed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lossyts.CollectSeries("rt", dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batch.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("decoded %d points, want %d", got.Len(), want.Len())
+	}
+	for i := range got.Values {
+		if got.Values[i] != want.Values[i] {
+			t.Fatalf("decoded value %d differs", i)
+		}
+	}
+}
+
 func TestPublicAPISyntheticAndAnomaly(t *testing.T) {
 	spec := lossyts.DefaultSyntheticSpec()
 	spec.Length = 2000

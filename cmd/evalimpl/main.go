@@ -32,6 +32,7 @@ func main() {
 		loadGrid   = flag.String("loadgrid", "", "load a previously saved evaluation grid instead of recomputing")
 		common     = cli.Bind(flag.CommandLine)
 	)
+	common.BindStream(flag.CommandLine)
 	flag.Parse()
 
 	stopProfiles, err := common.Start()
@@ -57,6 +58,8 @@ func main() {
 	opts.Seed = *seed
 	opts.Parallelism = common.Parallelism
 	opts.ReferenceKernels = common.RefKernels
+	opts.Stream = common.Stream
+	opts.ChunkSize = common.ChunkSize
 	if *datasets != "" {
 		opts.Datasets = cli.SplitList(*datasets)
 	}

@@ -1,0 +1,271 @@
+// Command streambench compares the memory footprint of the batch and
+// chunked-streaming data planes over the generate → compress → reconstruct
+// path and writes the comparison to a JSON file (BENCH_stream.json by
+// default). The batch side materialises the full synthetic frame before
+// compressing; the streaming side generates, compresses, and reconstructs
+// chunk by chunk, so its allocations are O(chunk) plus the payload instead
+// of O(n) — while producing the byte-identical payload, which the tool
+// verifies. CI runs it with -quick as a smoke check; EXPERIMENTS.md quotes
+// the full run's numbers.
+//
+// Usage:
+//
+//	streambench [-quick] [-out BENCH_stream.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"lossyts/internal/cli"
+	"lossyts/internal/compress"
+	"lossyts/internal/datasets"
+)
+
+// measurement is one timed pass through the generate→compress→reconstruct
+// path. AllocBytes and Mallocs are runtime.MemStats deltas: cumulative
+// allocation, the honest signal of how much data the path materialises.
+type measurement struct {
+	Mode         string  `json:"mode"` // "batch" or "stream"
+	Chunk        int     `json:"chunk,omitempty"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	Mallocs      uint64  `json:"mallocs"`
+	MsTotal      float64 `json:"ms_total"`
+	PayloadBytes int     `json:"payload_bytes"`
+}
+
+// datasetResult compares the two data planes on one dataset.
+type datasetResult struct {
+	Dataset string        `json:"dataset"`
+	N       int           `json:"n"`
+	Batch   measurement   `json:"batch"`
+	Streams []measurement `json:"streams"`
+	// Identical reports that every streamed payload matched the batch
+	// payload byte for byte.
+	Identical bool `json:"identical"`
+	// AllocRatio is batch allocation over the smallest streaming
+	// allocation: how many times more memory the batch plane touches.
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+type report struct {
+	Tool   string  `json:"tool"`
+	Quick  bool    `json:"quick"`
+	GoArch string  `json:"goarch"`
+	Method string  `json:"method"`
+	Eps    float64 `json:"eps"`
+	Scale  float64 `json:"scale"`
+	Seed   int64   `json:"seed"`
+	// Note documents what the streaming numbers exclude: the one-time O(n)
+	// calibration pass is warmed (and cached) before measuring, because a
+	// long-running process pays it once per dataset configuration.
+	Note     string          `json:"note"`
+	Results  []datasetResult `json:"results"`
+	Headline struct {
+		MinAllocRatio float64 `json:"min_alloc_ratio"`
+		AllIdentical  bool    `json:"all_identical"`
+	} `json:"headline"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_stream.json", "output JSON path")
+		quick  = flag.Bool("quick", false, "smoke mode: small scale, one chunk size")
+		method = flag.String("method", "PMC", "compression method to stream")
+		eps    = flag.Float64("eps", 0.05, "pointwise relative error bound")
+		scale  = flag.Float64("scale", 0.2, "dataset length scale in (0, 1]")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		names  = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
+		common = cli.BindProfiling(flag.CommandLine)
+	)
+	flag.Parse()
+	stopProfiles, err := common.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streambench:", err)
+		os.Exit(1)
+	}
+	runErr := run(*out, *quick, *method, *eps, *scale, *seed, cli.SplitList(*names))
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "streambench:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "streambench:", runErr)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quick bool, method string, eps, scale float64, seed int64, names []string) error {
+	m := compress.Method(method)
+	if _, err := compress.New(m); err != nil {
+		return err
+	}
+	chunks := []int{128, 512, 2048}
+	if quick {
+		scale = 0.02
+		chunks = []int{512}
+	}
+	if len(names) == 0 {
+		names = datasets.Names
+	}
+	rep := report{
+		Tool:   "streambench",
+		Quick:  quick,
+		GoArch: runtime.GOARCH,
+		Method: method,
+		Eps:    eps,
+		Scale:  scale,
+		Seed:   seed,
+		Note: "alloc_bytes are cumulative runtime.MemStats deltas over generate+compress+reconstruct; " +
+			"the streaming side's one-time calibration pass is warmed before measuring (cached per dataset config)",
+	}
+	rep.Headline.MinAllocRatio = 0
+	rep.Headline.AllIdentical = true
+	for _, name := range names {
+		dr, err := benchDataset(name, m, eps, scale, seed, chunks)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep.Results = append(rep.Results, dr)
+		if rep.Headline.MinAllocRatio == 0 || dr.AllocRatio < rep.Headline.MinAllocRatio {
+			rep.Headline.MinAllocRatio = dr.AllocRatio
+		}
+		rep.Headline.AllIdentical = rep.Headline.AllIdentical && dr.Identical
+		fmt.Printf("%-8s n=%-7d batch %8.1f KB   stream(best) %8.1f KB   ratio %6.1fx   identical=%v\n",
+			name, dr.N, float64(dr.Batch.AllocBytes)/1024,
+			float64(dr.Batch.AllocBytes)/1024/dr.AllocRatio, dr.AllocRatio, dr.Identical)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// benchDataset measures the batch plane once and the streaming plane at each
+// chunk size, checking that every streamed payload equals the batch payload.
+func benchDataset(name string, m compress.Method, eps, scale float64, seed int64, chunks []int) (datasetResult, error) {
+	var dr datasetResult
+	dr.Dataset = name
+
+	// Batch: materialise the whole frame, compress the target, reconstruct.
+	var batchPayload []byte
+	batch, err := measure(func() (int, error) {
+		ds, err := datasets.Load(name, scale, seed)
+		if err != nil {
+			return 0, err
+		}
+		target := ds.Target()
+		dr.N = target.Len()
+		comp, err := compress.New(m)
+		if err != nil {
+			return 0, err
+		}
+		c, err := comp.Compress(target, eps)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := c.Decompress(); err != nil {
+			return 0, err
+		}
+		batchPayload = c.Payload
+		return len(c.Payload), nil
+	})
+	if err != nil {
+		return dr, err
+	}
+	batch.Mode = "batch"
+	dr.Batch = batch
+
+	// Warm the streaming calibration cache so the measured passes reflect
+	// the steady state of a long-running process.
+	if warm, err := datasets.StreamTarget(name, scale, seed, chunks[0]); err != nil {
+		return dr, err
+	} else if warm.Len() != dr.N {
+		return dr, fmt.Errorf("stream length %d != batch %d", warm.Len(), dr.N)
+	}
+
+	dr.Identical = true
+	var best uint64
+	for _, chunk := range chunks {
+		var payload []byte
+		sm, err := measure(func() (int, error) {
+			src, err := datasets.StreamTarget(name, scale, seed, chunk)
+			if err != nil {
+				return 0, err
+			}
+			enc, err := compress.NewStreamEncoderAt(m, src.Start(), src.Interval(), eps)
+			if err != nil {
+				return 0, err
+			}
+			for {
+				c, ok := src.Next()
+				if !ok {
+					break
+				}
+				if err := enc.PushChunk(c); err != nil {
+					return 0, err
+				}
+			}
+			if err := src.Err(); err != nil {
+				return 0, err
+			}
+			c, err := enc.Close()
+			if err != nil {
+				return 0, err
+			}
+			dec, err := compress.NewStreamDecoder(c, chunk)
+			if err != nil {
+				return 0, err
+			}
+			for {
+				if _, ok := dec.Next(); !ok {
+					break
+				}
+			}
+			if err := dec.Err(); err != nil {
+				return 0, err
+			}
+			payload = c.Payload
+			return len(c.Payload), nil
+		})
+		if err != nil {
+			return dr, err
+		}
+		sm.Mode = "stream"
+		sm.Chunk = chunk
+		dr.Streams = append(dr.Streams, sm)
+		dr.Identical = dr.Identical && bytes.Equal(payload, batchPayload)
+		if best == 0 || sm.AllocBytes < best {
+			best = sm.AllocBytes
+		}
+	}
+	if best > 0 {
+		dr.AllocRatio = float64(dr.Batch.AllocBytes) / float64(best)
+	}
+	return dr, nil
+}
+
+// measure runs fn once between forced GCs and returns its MemStats deltas.
+func measure(fn func() (int, error)) (measurement, error) {
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	payloadLen, err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		return measurement{}, err
+	}
+	return measurement{
+		AllocBytes:   ms1.TotalAlloc - ms0.TotalAlloc,
+		Mallocs:      ms1.Mallocs - ms0.Mallocs,
+		MsTotal:      float64(elapsed.Nanoseconds()) / 1e6,
+		PayloadBytes: payloadLen,
+	}, nil
+}

@@ -24,6 +24,11 @@ type Common struct {
 	// CPUProfile and MemProfile are profile output paths ("" = off).
 	CPUProfile string
 	MemProfile string
+	// Stream routes the data plane through chunked streaming (identical
+	// results, bounded ingest/compress memory); ChunkSize is the chunk
+	// length in points (0 = the timeseries default).
+	Stream    bool
+	ChunkSize int
 }
 
 // BindProfiling registers the profiling flags on fs and returns the
@@ -43,6 +48,15 @@ func Bind(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Parallelism, "parallelism", 0, "worker bound (0 = all CPUs, 1 = sequential; results are identical)")
 	fs.BoolVar(&c.RefKernels, "refkernels", false, "use the reference (unblocked, unfused, unpooled) nn kernels")
 	return c
+}
+
+// BindStream registers the streaming data-plane flags. Commands whose data
+// path has a chunked mode (tscompress, evalimpl, streambench) add these on
+// top of their other bindings; results are identical in either mode, only
+// the memory profile changes.
+func (c *Common) BindStream(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Stream, "stream", false, "use the chunked streaming data plane (identical results, bounded memory)")
+	fs.IntVar(&c.ChunkSize, "chunk", 0, "streaming chunk length in points (0 = default)")
 }
 
 // Start applies the kernel mode and starts the requested profilers. The

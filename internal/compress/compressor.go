@@ -2,6 +2,7 @@ package compress
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -101,25 +102,44 @@ type header struct {
 // implementations — built-in and external — call it first, append their
 // encoded body, and hand the buffer to Finish.
 func EncodeHeader(buf *bytes.Buffer, m Method, s *timeseries.Series) error {
+	return EncodeHeaderN(buf, m, s.Start, s.Interval, s.Len())
+}
+
+// EncodeHeaderN is EncodeHeader for producers that know the series geometry
+// without holding its values — the streaming encoder writes its header this
+// way at Close, so finishing a stream never materialises an O(n) slice.
+func EncodeHeaderN(buf *bytes.Buffer, m Method, start, interval int64, n int) error {
 	code, err := methodCode(m)
 	if err != nil {
 		return err
 	}
-	if s.Start < 0 || s.Start > math.MaxUint32 {
-		return fmt.Errorf("compress: start timestamp %d does not fit the 32-bit header field", s.Start)
+	if start < 0 || start > math.MaxUint32 {
+		return fmt.Errorf("compress: start timestamp %d does not fit the 32-bit header field", start)
 	}
-	if s.Interval < 0 || s.Interval > math.MaxUint16 {
-		return fmt.Errorf("compress: interval %d does not fit the 16-bit header field", s.Interval)
+	if interval < 0 || interval > math.MaxUint16 {
+		return fmt.Errorf("compress: interval %d does not fit the 16-bit header field", interval)
 	}
 	buf.WriteByte(code)
 	var scratch [4]byte
-	binary.LittleEndian.PutUint32(scratch[:], uint32(s.Start))
+	binary.LittleEndian.PutUint32(scratch[:], uint32(start))
 	buf.Write(scratch[:])
-	binary.LittleEndian.PutUint16(scratch[:2], uint16(s.Interval))
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(interval))
 	buf.Write(scratch[:2])
-	binary.LittleEndian.PutUint32(scratch[:], uint32(s.Len()))
+	binary.LittleEndian.PutUint32(scratch[:], uint32(n))
 	buf.Write(scratch[:])
 	return nil
+}
+
+// allocHint caps the initial capacity of decode output slices. The claimed
+// count comes from an untrusted header field, so pre-allocating it in full
+// would let a corrupt (or fuzzed) 20-byte frame demand gigabytes before any
+// body byte is validated; growth past the hint is amortised by append.
+func allocHint(count int) int {
+	const maxPrealloc = 1 << 16
+	if count < maxPrealloc {
+		return count
+	}
+	return maxPrealloc
 }
 
 func decodeHeader(raw []byte) (header, []byte, error) {
@@ -153,17 +173,31 @@ func Finish(m Method, epsilon float64, s *timeseries.Series, body []byte, segmen
 // RawGzipSize returns the size in bytes of the raw dataset's .gz encoding,
 // the numerator of the paper's compression ratio (Eq. 3). As in the paper,
 // the raw dataset is the exported CSV — one "timestamp,value" row per data
-// point — with gzip applied directly to it (§3.2, §3.5).
+// point — with gzip applied directly to it (§3.2, §3.5). Rows stream
+// through the gzip writer into a counting sink, so only the size is
+// computed and the CSV is never materialised; deflate output depends only
+// on the input bytes, not on write boundaries, so the count matches what
+// gzipping the whole buffer would produce.
 func RawGzipSize(s *timeseries.Series) (int, error) {
-	var buf bytes.Buffer
+	var cw countingWriter
+	zw := gzip.NewWriter(&cw)
 	for i, v := range s.Values {
-		fmt.Fprintf(&buf, "%s,%g\n", time.Unix(s.TimeAt(i), 0).UTC().Format("2006-01-02 15:04:05"), v)
+		if _, err := fmt.Fprintf(zw, "%s,%g\n", time.Unix(s.TimeAt(i), 0).UTC().Format("2006-01-02 15:04:05"), v); err != nil {
+			return 0, err
+		}
 	}
-	gz, err := GzipBytes(buf.Bytes())
-	if err != nil {
+	if err := zw.Close(); err != nil {
 		return 0, err
 	}
-	return len(gz), nil
+	return cw.n, nil
+}
+
+// countingWriter discards its input and records how many bytes passed.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
 }
 
 // Ratio returns the compression ratio raw/compressed for a compressed

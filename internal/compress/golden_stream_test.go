@@ -1,0 +1,166 @@
+package compress
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"testing"
+
+	"lossyts/internal/datasets"
+	"lossyts/internal/timeseries"
+)
+
+// TestStreamedGoldenHashes builds a golden SHA-256 table from the batch
+// payloads of every streaming compressor × every registered dataset × three
+// error bounds, then requires the chunked streaming path (encode from a
+// chunk Source, decode through StreamDecoder) to reproduce each entry
+// exactly. The table is computed from the batch path at test time rather
+// than hard-coded: the contract under test is stream ≡ batch, and baking in
+// bytes would instead pin the payloads to one architecture's floating-point
+// rounding.
+func TestStreamedGoldenHashes(t *testing.T) {
+	epsilons := []float64{0.01, 0.1, 0.5}
+	names := datasets.Names
+	if len(names) != 6 {
+		t.Fatalf("expected the paper's 6 datasets, registry has %v", names)
+	}
+	type key struct {
+		ds   string
+		m    Method
+		eps  float64
+		hash string
+	}
+	var golden []key
+	series := map[string]*timeseries.Series{}
+	for _, name := range names {
+		ds, err := datasets.Load(name, 0.02, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := ds.Target()
+		series[name] = s
+		for _, m := range streamMethods() {
+			comp, err := New(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eps := range epsilons {
+				batch, err := comp.Compress(s, eps)
+				if err != nil {
+					t.Fatalf("%s/%s/%v: %v", name, m, eps, err)
+				}
+				sum := sha256.Sum256(batch.Payload)
+				golden = append(golden, key{ds: name, m: m, eps: eps, hash: hex.EncodeToString(sum[:])})
+			}
+		}
+	}
+	if len(golden) != 6*4*3 {
+		t.Fatalf("golden table has %d entries, want 72", len(golden))
+	}
+	for _, g := range golden {
+		s := series[g.ds]
+		enc, err := NewStreamEncoderAt(g.m, s.Start, s.Interval, g.eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := s.Chunks(timeseries.DefaultChunkSize)
+		for {
+			c, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := enc.PushChunk(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		streamed, err := enc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(streamed.Payload)
+		if got := hex.EncodeToString(sum[:]); got != g.hash {
+			t.Errorf("%s/%s/eps=%v: streamed payload hash %s != golden %s", g.ds, g.m, g.eps, got[:12], g.hash[:12])
+		}
+		// The streamed payload must also reconstruct chunk-by-chunk to the
+		// batch decompression, bit for bit.
+		want, err := streamed.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewStreamDecoder(streamed, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := timeseries.Collect("", dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s/%s/eps=%v: streamed reconstruction differs", g.ds, g.m, g.eps)
+		}
+	}
+}
+
+// TestConcurrentStreamEncoders runs many encoders over the same shared
+// series from separate goroutines — the evaluation grid's stream mode does
+// exactly this, one encoder per (method, epsilon) cell — and checks every
+// result against the batch payload. Run with -race this doubles as the
+// stress test that kernels share no hidden state.
+func TestConcurrentStreamEncoders(t *testing.T) {
+	s := synthSeries(2000, 77)
+	want := map[Method][]byte{}
+	for _, m := range streamMethods() {
+		comp, _ := New(m)
+		batch, err := comp.Compress(s, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[m] = batch.Payload
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		for _, m := range streamMethods() {
+			wg.Add(1)
+			go func(m Method) {
+				defer wg.Done()
+				enc, err := NewStreamEncoder(m, s, 0.1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				src := s.Chunks(128)
+				for {
+					c, ok := src.Next()
+					if !ok {
+						break
+					}
+					if err := enc.PushChunk(c); err != nil {
+						errs <- err
+						return
+					}
+				}
+				streamed, err := enc.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(streamed.Payload, want[m]) {
+					errs <- errConcurrentMismatch(m)
+				}
+			}(m)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type errConcurrentMismatch Method
+
+func (e errConcurrentMismatch) Error() string {
+	return "concurrent " + string(e) + " encoder diverged from batch"
+}

@@ -3,6 +3,7 @@ package compress
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math"
 	"math/bits"
 
@@ -22,98 +23,183 @@ func (Gorilla) Method() Method { return MethodGorilla }
 
 func init() {
 	Register(Registration{
-		Method: MethodGorilla,
-		Code:   4,
-		New:    func() (Compressor, error) { return Gorilla{}, nil },
-		Decode: gorillaDecode,
+		Method:       MethodGorilla,
+		Code:         4,
+		New:          func() (Compressor, error) { return Gorilla{}, nil },
+		Decode:       gorillaDecode,
+		NewStream:    newGorillaStream,
+		DecodeStream: gorillaDecodeStream,
 	})
 }
 
-// Compress losslessly encodes s; epsilon is ignored.
+// Compress losslessly encodes s; epsilon is ignored. The batch path drives
+// the same streaming kernel as StreamEncoder, so both produce identical
+// bytes by construction.
 func (g Gorilla) Compress(s *timeseries.Series, _ float64) (*Compressed, error) {
 	if s.Len() == 0 {
 		return nil, errors.New("compress: empty series")
 	}
+	k := &gorillaStream{prevLead: 65}
+	for _, v := range s.Values {
+		k.Push(v)
+	}
+	encoded, segments := k.Finish()
 	var body bytes.Buffer
 	if err := EncodeHeader(&body, MethodGorilla, s); err != nil {
 		return nil, err
 	}
-	var bw BitWriter
-	prev := math.Float64bits(s.Values[0])
-	bw.WriteBits(prev, 64)
-	prevLead, prevMean := 65, 0 // 65 marks "no previous window"
-	for _, v := range s.Values[1:] {
-		cur := math.Float64bits(v)
-		xor := prev ^ cur
-		prev = cur
-		if xor == 0 {
-			bw.WriteBit(0)
-			continue
-		}
-		bw.WriteBit(1)
-		lead := bits.LeadingZeros64(xor)
-		trail := bits.TrailingZeros64(xor)
-		if lead > 31 {
-			lead = 31 // the leading-zero count field is 5 bits wide
-		}
-		mean := 64 - lead - trail
-		if prevLead <= lead && prevMean >= mean+(lead-prevLead) {
-			// The meaningful bits fit inside the previous window: reuse it.
-			bw.WriteBit(0)
-			bw.WriteBits(xor>>uint(64-prevLead-prevMean), uint(prevMean))
-			continue
-		}
-		bw.WriteBit(1)
-		bw.WriteBits(uint64(lead), 5)
-		bw.WriteBits(uint64(mean-1), 6) // meaningful length 1..64 stored as 0..63
-		bw.WriteBits(xor>>uint(trail), uint(mean))
-		prevLead, prevMean = lead, mean
-	}
-	body.Write(bw.Bytes())
-	// Gorilla compresses the whole series as one segment.
-	return Finish(MethodGorilla, 0, s, body.Bytes(), 1)
+	body.Write(encoded)
+	return Finish(MethodGorilla, 0, s, body.Bytes(), segments)
 }
 
-func gorillaDecode(body []byte, count int) ([]float64, error) {
-	br := NewBitReader(body)
-	first, err := br.ReadBits(64)
-	if err != nil {
-		return nil, err
+// gorillaStream is Gorilla's incremental kernel: the previous value's bits
+// and the previous meaningful-bit window — O(1) state (XOR chaining is
+// naturally online; the original Gorilla is a streaming store).
+type gorillaStream struct {
+	bw       BitWriter
+	n        int
+	prev     uint64
+	prevLead int // 65 marks "no previous window"
+	prevMean int
+}
+
+func newGorillaStream(_ float64, _ bool) (StreamKernel, error) {
+	return &gorillaStream{prevLead: 65}, nil
+}
+
+// lossless marks the method as ignoring the error bound (see losslessKernel).
+func (*gorillaStream) lossless() {}
+
+func (k *gorillaStream) Push(v float64) {
+	cur := math.Float64bits(v)
+	if k.n == 0 {
+		k.n = 1
+		k.prev = cur
+		k.bw.WriteBits(cur, 64)
+		return
 	}
-	values := make([]float64, 0, count)
-	values = append(values, math.Float64frombits(first))
-	prev := first
-	prevLead, prevMean := 0, 0
+	k.n++
+	xor := k.prev ^ cur
+	k.prev = cur
+	if xor == 0 {
+		k.bw.WriteBit(0)
+		return
+	}
+	k.bw.WriteBit(1)
+	lead := bits.LeadingZeros64(xor)
+	trail := bits.TrailingZeros64(xor)
+	if lead > 31 {
+		lead = 31 // the leading-zero count field is 5 bits wide
+	}
+	mean := 64 - lead - trail
+	if k.prevLead <= lead && k.prevMean >= mean+(lead-k.prevLead) {
+		// The meaningful bits fit inside the previous window: reuse it.
+		k.bw.WriteBit(0)
+		k.bw.WriteBits(xor>>uint(64-k.prevLead-k.prevMean), uint(k.prevMean))
+		return
+	}
+	k.bw.WriteBit(1)
+	k.bw.WriteBits(uint64(lead), 5)
+	k.bw.WriteBits(uint64(mean-1), 6) // meaningful length 1..64 stored as 0..63
+	k.bw.WriteBits(xor>>uint(trail), uint(mean))
+	k.prevLead, k.prevMean = lead, mean
+}
+
+// Finish returns the bit-packed body; Gorilla compresses the whole series as
+// one segment.
+func (k *gorillaStream) Finish() ([]byte, int) {
+	return k.bw.Bytes(), 1
+}
+
+func (k *gorillaStream) Segments() int {
+	if k.n > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Pending is always 0: every pushed value is already bit-encoded.
+func (k *gorillaStream) Pending() int { return 0 }
+
+func gorillaDecode(body []byte, count int) ([]float64, error) {
+	values := make([]float64, 0, allocHint(count))
+	vs := &gorillaValues{br: NewBitReader(body), remaining: count, needFirst: true}
+	var buf [256]float64
 	for len(values) < count {
-		b, err := br.ReadBit()
+		n, err := vs.Next(buf[:])
+		values = append(values, buf[:n]...)
 		if err != nil {
 			return nil, err
 		}
-		if b == 0 {
-			values = append(values, math.Float64frombits(prev))
-			continue
-		}
-		if b, err = br.ReadBit(); err != nil {
-			return nil, err
-		}
-		if b == 1 {
-			lead, err := br.ReadBits(5)
-			if err != nil {
-				return nil, err
-			}
-			meanLen, err := br.ReadBits(6)
-			if err != nil {
-				return nil, err
-			}
-			prevLead, prevMean = int(lead), int(meanLen)+1
-		}
-		meaningful, err := br.ReadBits(uint(prevMean))
-		if err != nil {
-			return nil, err
-		}
-		xor := meaningful << uint(64-prevLead-prevMean)
-		prev ^= xor
-		values = append(values, math.Float64frombits(prev))
 	}
 	return values, nil
+}
+
+// gorillaValues replays the XOR chain incrementally: the carried state is
+// the previous value's bits and the previous meaningful-bit window.
+type gorillaValues struct {
+	br        *BitReader
+	remaining int
+	needFirst bool
+	prev      uint64
+	prevLead  int
+	prevMean  int
+}
+
+func gorillaDecodeStream(body []byte, count int) (ValueStream, error) {
+	return &gorillaValues{br: NewBitReader(body), remaining: count, needFirst: true}, nil
+}
+
+func (p *gorillaValues) Next(dst []float64) (int, error) {
+	if p.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && p.remaining > 0 {
+		if p.needFirst {
+			first, err := p.br.ReadBits(64)
+			if err != nil {
+				return n, err
+			}
+			p.needFirst = false
+			p.prev = first
+			dst[n] = math.Float64frombits(first)
+			n++
+			p.remaining--
+			continue
+		}
+		b, err := p.br.ReadBit()
+		if err != nil {
+			return n, err
+		}
+		if b == 0 {
+			dst[n] = math.Float64frombits(p.prev)
+			n++
+			p.remaining--
+			continue
+		}
+		if b, err = p.br.ReadBit(); err != nil {
+			return n, err
+		}
+		if b == 1 {
+			lead, err := p.br.ReadBits(5)
+			if err != nil {
+				return n, err
+			}
+			meanLen, err := p.br.ReadBits(6)
+			if err != nil {
+				return n, err
+			}
+			p.prevLead, p.prevMean = int(lead), int(meanLen)+1
+		}
+		meaningful, err := p.br.ReadBits(uint(p.prevMean))
+		if err != nil {
+			return n, err
+		}
+		p.prev ^= meaningful << uint(64-p.prevLead-p.prevMean)
+		dst[n] = math.Float64frombits(p.prev)
+		n++
+		p.remaining--
+	}
+	return n, nil
 }

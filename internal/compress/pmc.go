@@ -27,16 +27,20 @@ func (PMC) Method() Method { return MethodPMC }
 
 func init() {
 	Register(Registration{
-		Method: MethodPMC,
-		Code:   1,
-		New:    func() (Compressor, error) { return PMC{}, nil },
-		Decode: pmcDecode,
+		Method:       MethodPMC,
+		Code:         1,
+		New:          func() (Compressor, error) { return PMC{}, nil },
+		Decode:       pmcDecode,
+		NewStream:    newPMCStream,
+		DecodeStream: pmcDecodeStream,
 	})
 }
 
 const maxSegmentLen = math.MaxUint16
 
-// Compress encodes s as mean-valued segments under the relative bound.
+// Compress encodes s as mean-valued segments under the relative bound. The
+// batch path drives the same streaming kernel as StreamEncoder, so both
+// produce identical bytes by construction.
 func (p PMC) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error) {
 	if s.Len() == 0 {
 		return nil, errors.New("compress: empty series")
@@ -44,50 +48,76 @@ func (p PMC) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error
 	if epsilon < 0 {
 		return nil, errors.New("compress: negative error bound")
 	}
+	k := &pmcStream{epsilon: epsilon, absolute: p.Absolute, lower: math.Inf(-1), upper: math.Inf(1)}
+	for _, v := range s.Values {
+		k.Push(v)
+	}
+	encoded, segments := k.Finish()
 	var body bytes.Buffer
 	if err := EncodeHeader(&body, MethodPMC, s); err != nil {
 		return nil, err
 	}
-	segments := 0
-	emit := func(n int, mean float64) {
-		var scratch [10]byte
-		binary.LittleEndian.PutUint16(scratch[:2], uint16(n))
-		binary.LittleEndian.PutUint64(scratch[2:], math.Float64bits(mean))
-		body.Write(scratch[:])
-		segments++
-	}
-
-	var (
-		count int
-		sum   float64
-		lower = math.Inf(-1)
-		upper = math.Inf(1)
-	)
-	for _, v := range s.Values {
-		tol := epsilon * math.Abs(v)
-		if p.Absolute {
-			tol = epsilon
-		}
-		newLower := math.Max(lower, v-tol)
-		newUpper := math.Min(upper, v+tol)
-		newSum := sum + v
-		newMean := newSum / float64(count+1)
-		if count < maxSegmentLen && newLower <= newMean && newMean <= newUpper {
-			count, sum, lower, upper = count+1, newSum, newLower, newUpper
-			continue
-		}
-		// The window without the latest point becomes a segment. Its mean is
-		// clamped into the feasible interval (guarding against floating-point
-		// drift in the running sum) and then snapped to the coarsest
-		// representable grid inside that interval so the stored coefficients
-		// compress well under the shared gzip stage.
-		emit(count, quantizeToInterval(sum/float64(count), lower, upper))
-		count, sum = 1, v
-		lower, upper = v-tol, v+tol
-	}
-	emit(count, quantizeToInterval(sum/float64(count), lower, upper))
+	body.Write(encoded)
 	return Finish(MethodPMC, epsilon, s, body.Bytes(), segments)
 }
+
+// pmcStream is PMC's incremental kernel: the open window's running sum and
+// feasible mean interval — O(1) state regardless of series length.
+type pmcStream struct {
+	epsilon  float64
+	absolute bool
+
+	count        int
+	sum          float64
+	lower, upper float64
+
+	segments int
+	body     bytes.Buffer
+}
+
+func newPMCStream(epsilon float64, absolute bool) (StreamKernel, error) {
+	return &pmcStream{epsilon: epsilon, absolute: absolute, lower: math.Inf(-1), upper: math.Inf(1)}, nil
+}
+
+func (k *pmcStream) Push(v float64) {
+	tol := k.epsilon * math.Abs(v)
+	if k.absolute {
+		tol = k.epsilon
+	}
+	newLower := math.Max(k.lower, v-tol)
+	newUpper := math.Min(k.upper, v+tol)
+	newSum := k.sum + v
+	newMean := newSum / float64(k.count+1)
+	if k.count < maxSegmentLen && newLower <= newMean && newMean <= newUpper {
+		k.count, k.sum, k.lower, k.upper = k.count+1, newSum, newLower, newUpper
+		return
+	}
+	k.emit()
+	k.count, k.sum = 1, v
+	k.lower, k.upper = v-tol, v+tol
+}
+
+// emit closes the open window as one segment. Its mean is clamped into the
+// feasible interval (guarding against floating-point drift in the running
+// sum) and then snapped to the coarsest representable grid inside that
+// interval so the stored coefficients compress well under the shared gzip
+// stage.
+func (k *pmcStream) emit() {
+	mean := quantizeToInterval(k.sum/float64(k.count), k.lower, k.upper)
+	var scratch [10]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.count))
+	binary.LittleEndian.PutUint64(scratch[2:], math.Float64bits(mean))
+	k.body.Write(scratch[:])
+	k.segments++
+}
+
+func (k *pmcStream) Finish() ([]byte, int) {
+	k.emit()
+	return k.body.Bytes(), k.segments
+}
+
+func (k *pmcStream) Segments() int { return k.segments }
+func (k *pmcStream) Pending() int  { return k.count }
 
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
@@ -126,7 +156,7 @@ func quantizeToInterval(v, lo, hi float64) float64 {
 }
 
 func pmcDecode(body []byte, count int) ([]float64, error) {
-	values := make([]float64, 0, count)
+	values := make([]float64, 0, allocHint(count))
 	pos := 0
 	for len(values) < count {
 		if pos+10 > len(body) {
@@ -143,4 +173,44 @@ func pmcDecode(body []byte, count int) ([]float64, error) {
 		}
 	}
 	return values, nil
+}
+
+// pmcValues replays PMC segments incrementally: the carried state is one
+// segment header (its remaining length and mean).
+type pmcValues struct {
+	body      []byte
+	pos       int
+	remaining int
+	segLeft   int
+	mean      float64
+}
+
+func pmcDecodeStream(body []byte, count int) (ValueStream, error) {
+	return &pmcValues{body: body, remaining: count}, nil
+}
+
+func (p *pmcValues) Next(dst []float64) (int, error) {
+	if p.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && p.remaining > 0 {
+		if p.segLeft == 0 {
+			if p.pos+10 > len(p.body) {
+				return n, io.ErrUnexpectedEOF
+			}
+			seg := int(binary.LittleEndian.Uint16(p.body[p.pos : p.pos+2]))
+			p.mean = math.Float64frombits(binary.LittleEndian.Uint64(p.body[p.pos+2 : p.pos+10]))
+			p.pos += 10
+			if seg == 0 || seg > p.remaining {
+				return n, errors.New("compress: corrupt PMC segment length")
+			}
+			p.segLeft = seg
+		}
+		dst[n] = p.mean
+		n++
+		p.segLeft--
+		p.remaining--
+	}
+	return n, nil
 }

@@ -26,6 +26,16 @@ type Registration struct {
 	// Decode reconstructs count values from a decompressed payload body
 	// (the bytes after the shared stream header).
 	Decode func(body []byte, count int) ([]float64, error)
+	// NewStream constructs the method's incremental encoder state (nil for
+	// batch-only methods, which NewStreamEncoder then rejects). absolute
+	// selects the classic |v − v̂| ≤ ε bound instead of the paper's relative
+	// bound. Streamed output must be byte-identical to the batch Compress
+	// of the same values.
+	NewStream func(epsilon float64, absolute bool) (StreamKernel, error)
+	// DecodeStream returns an incremental decoder over a payload body so
+	// reconstruction yields chunks instead of materialising the series
+	// (nil means StreamDecoder falls back to the batch Decode).
+	DecodeStream func(body []byte, count int) (ValueStream, error)
 }
 
 // UnknownMethodError is returned when a Method has no registration.

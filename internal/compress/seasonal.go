@@ -43,6 +43,10 @@ func init() {
 			return nil, fmt.Errorf("compress: SeasonalPMC needs a period; construct compress.SeasonalPMC{Period: p} directly")
 		},
 		Decode: seasonalPMCDecode,
+		// NewStream stays nil: the phase-mean profile needs a whole-series
+		// pass, so there is no bounded-memory encoder. Streaming callers wrap
+		// the batch compressor with NewBufferedStreamEncoder instead.
+		DecodeStream: seasonalPMCDecodeStream,
 	})
 }
 
@@ -121,21 +125,32 @@ func (sp SeasonalPMC) Compress(s *timeseries.Series, epsilon float64) (*Compress
 	return Finish(MethodSeasonalPMC, epsilon, s, body.Bytes(), segments)
 }
 
-func seasonalPMCDecode(body []byte, count int) ([]float64, error) {
+// seasonalProfile parses the stored phase profile, returning it together
+// with the offset of the residual segments that follow.
+func seasonalProfile(body []byte) (profile []float64, pos int, err error) {
 	if len(body) < 2 {
-		return nil, io.ErrUnexpectedEOF
+		return nil, 0, io.ErrUnexpectedEOF
 	}
 	m := int(binary.LittleEndian.Uint16(body[:2]))
-	pos := 2
+	pos = 2
 	if m < 2 || pos+4*m > len(body) {
-		return nil, errors.New("compress: corrupt SeasonalPMC profile")
+		return nil, 0, errors.New("compress: corrupt SeasonalPMC profile")
 	}
-	profile := make([]float64, m)
+	profile = make([]float64, m)
 	for p := range profile {
 		profile[p] = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[pos : pos+4])))
 		pos += 4
 	}
-	values := make([]float64, 0, count)
+	return profile, pos, nil
+}
+
+func seasonalPMCDecode(body []byte, count int) ([]float64, error) {
+	profile, pos, err := seasonalProfile(body)
+	if err != nil {
+		return nil, err
+	}
+	m := len(profile)
+	values := make([]float64, 0, allocHint(count))
 	for len(values) < count {
 		if pos+10 > len(body) {
 			return nil, io.ErrUnexpectedEOF
@@ -151,4 +166,52 @@ func seasonalPMCDecode(body []byte, count int) ([]float64, error) {
 		}
 	}
 	return values, nil
+}
+
+// seasonalValues replays SeasonalPMC incrementally: the carried state is the
+// phase profile (O(period)), the open residual segment, and the absolute
+// position that selects the phase.
+type seasonalValues struct {
+	body      []byte
+	pos       int
+	remaining int
+	profile   []float64
+	absIdx    int // values produced so far, mod period = phase
+	segLeft   int
+	mean      float64
+}
+
+func seasonalPMCDecodeStream(body []byte, count int) (ValueStream, error) {
+	profile, pos, err := seasonalProfile(body)
+	if err != nil {
+		return nil, err
+	}
+	return &seasonalValues{body: body, pos: pos, remaining: count, profile: profile}, nil
+}
+
+func (p *seasonalValues) Next(dst []float64) (int, error) {
+	if p.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && p.remaining > 0 {
+		if p.segLeft == 0 {
+			if p.pos+10 > len(p.body) {
+				return n, io.ErrUnexpectedEOF
+			}
+			seg := int(binary.LittleEndian.Uint16(p.body[p.pos : p.pos+2]))
+			p.mean = math.Float64frombits(binary.LittleEndian.Uint64(p.body[p.pos+2 : p.pos+10]))
+			p.pos += 10
+			if seg == 0 || seg > p.remaining {
+				return n, errors.New("compress: corrupt SeasonalPMC segment length")
+			}
+			p.segLeft = seg
+		}
+		dst[n] = p.profile[p.absIdx%len(p.profile)] + p.mean
+		n++
+		p.absIdx++
+		p.segLeft--
+		p.remaining--
+	}
+	return n, nil
 }

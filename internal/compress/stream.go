@@ -4,75 +4,136 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"math"
 
 	"lossyts/internal/timeseries"
 )
 
+// StreamKernel is the per-method incremental encoder state behind
+// StreamEncoder. A kernel sees one observation at a time, accumulates
+// finished segments in its own body encoding, and flushes the open window at
+// Finish. The batch Compress implementations drive the same kernels over the
+// whole series, so streamed and batch payloads are byte-identical by
+// construction — there is exactly one encoding of each method's per-point
+// logic in the package.
+//
+// Kernels are registered through Registration.NewStream; methods that need a
+// whole-series pass (SeasonalPMC's phase profile) leave it nil and are
+// reachable through NewBufferedStreamEncoder instead.
+type StreamKernel interface {
+	// Push feeds the next observation into the open window.
+	Push(v float64)
+	// Finish flushes the open window and returns the encoded payload body
+	// (the bytes after the shared header) and the final segment count. It is
+	// called exactly once, and only after at least one Push.
+	Finish() (body []byte, segments int)
+	// Segments reports the segments emitted so far, not counting the open
+	// window.
+	Segments() int
+	// Pending reports how many points sit in the open window — pushed but
+	// not yet represented by an emitted segment.
+	Pending() int
+}
+
+// losslessKernel marks kernels whose method ignores the error bound. The
+// assembled Compressed then records Epsilon 0, matching the batch encoder's
+// metadata for lossless methods.
+type losslessKernel interface{ lossless() }
+
 // StreamEncoder compresses a regular time series incrementally — the edge
 // deployment mode of the paper's wind-turbine scenario (§1): points are
-// pushed one at a time as the sensor produces them, finished segments
-// become available immediately for transmission, and Close flushes the open
-// window. PMC-Mean and Swing are both online algorithms, so the streaming
-// output is byte-identical to batch compression of the same values.
+// pushed one at a time (or chunk by chunk) as the sensor produces them,
+// finished segments become available immediately for transmission, and Close
+// flushes the open window. Every built-in method streams: PMC, Swing, and
+// Gorilla are online algorithms, and SZ carries one block plus two
+// reconstructed values of state. Streaming output is byte-identical to batch
+// compression of the same values.
 type StreamEncoder struct {
 	method   Method
 	epsilon  float64
-	absolute bool
-
 	start    int64
 	interval int64
 	n        int
-
-	segments int
-	body     bytes.Buffer // encoded segments, without header or gzip
+	kernel   StreamKernel
 	closed   bool
-
-	// PMC state.
-	count  int
-	sum    float64
-	meanLo float64
-	meanHi float64
-	// Swing state.
-	intercept float64
-	sLow      float64
-	sHigh     float64
 }
 
-// NewStreamEncoder returns an encoder for PMC or Swing (SZ and Gorilla are
-// block/batch oriented and not supported for streaming).
+// NewStreamEncoder returns a streaming encoder for the method, taking the
+// series geometry (start, interval) from s. Methods without an incremental
+// kernel are rejected; wrap them with NewBufferedStreamEncoder if O(n)
+// buffering is acceptable.
 func NewStreamEncoder(m Method, s *timeseries.Series, epsilon float64) (*StreamEncoder, error) {
-	if m != MethodPMC && m != MethodSwing {
-		return nil, fmt.Errorf("compress: streaming not supported for %s", m)
-	}
-	return newStreamEncoder(m, s, epsilon, false)
+	return NewStreamEncoderAt(m, s.Start, s.Interval, epsilon)
+}
+
+// NewStreamEncoderAt is NewStreamEncoder for callers that have no Series in
+// hand — a sensor driver or a chunk Source knows only the first timestamp
+// and the sampling interval.
+func NewStreamEncoderAt(m Method, start, interval int64, epsilon float64) (*StreamEncoder, error) {
+	return newStreamEncoder(m, start, interval, epsilon, false)
 }
 
 // NewAbsoluteStreamEncoder is NewStreamEncoder with the classic absolute
 // error bound |v − v̂| ≤ ε instead of the paper's relative bound.
 func NewAbsoluteStreamEncoder(m Method, s *timeseries.Series, epsilon float64) (*StreamEncoder, error) {
-	if m != MethodPMC && m != MethodSwing {
-		return nil, fmt.Errorf("compress: streaming not supported for %s", m)
-	}
-	return newStreamEncoder(m, s, epsilon, true)
+	return newStreamEncoder(m, s.Start, s.Interval, epsilon, true)
 }
 
-func newStreamEncoder(m Method, s *timeseries.Series, epsilon float64, absolute bool) (*StreamEncoder, error) {
+func newStreamEncoder(m Method, start, interval int64, epsilon float64, absolute bool) (*StreamEncoder, error) {
 	if epsilon < 0 {
 		return nil, errors.New("compress: negative error bound")
+	}
+	reg, err := lookup(m)
+	if err != nil {
+		return nil, err
+	}
+	if reg.NewStream == nil {
+		return nil, fmt.Errorf("compress: streaming not supported for %s", m)
+	}
+	kernel, err := reg.NewStream(epsilon, absolute)
+	if err != nil {
+		return nil, err
 	}
 	return &StreamEncoder{
 		method:   m,
 		epsilon:  epsilon,
-		absolute: absolute,
-		start:    s.Start,
-		interval: s.Interval,
-		meanLo:   math.Inf(-1),
-		meanHi:   math.Inf(1),
-		sLow:     math.Inf(-1),
-		sHigh:    math.Inf(1),
+		start:    start,
+		interval: interval,
+		kernel:   kernel,
 	}, nil
 }
+
+// NewBufferedStreamEncoder adapts any Compressor — including ones that need
+// whole-series passes, like SeasonalPMC's phase profile — to the
+// StreamEncoder API by buffering pushed values and running the batch
+// Compress at Close. Memory is O(n), not O(chunk); use it only for methods
+// that have no incremental kernel.
+func NewBufferedStreamEncoder(c Compressor, start, interval int64, epsilon float64) (*StreamEncoder, error) {
+	if epsilon < 0 {
+		return nil, errors.New("compress: negative error bound")
+	}
+	if c == nil {
+		return nil, errors.New("compress: nil compressor")
+	}
+	return &StreamEncoder{
+		method:   c.Method(),
+		epsilon:  epsilon,
+		start:    start,
+		interval: interval,
+		kernel:   &bufferedKernel{comp: c},
+	}, nil
+}
+
+// bufferedKernel holds the whole series and defers to the batch compressor
+// at Close (see NewBufferedStreamEncoder).
+type bufferedKernel struct {
+	comp   Compressor
+	values []float64
+}
+
+func (k *bufferedKernel) Push(v float64)        { k.values = append(k.values, v) }
+func (k *bufferedKernel) Finish() ([]byte, int) { return nil, 0 } // Close compresses directly
+func (k *bufferedKernel) Segments() int         { return 0 }
+func (k *bufferedKernel) Pending() int          { return len(k.values) }
 
 // Push adds the next observation. Finished segments accumulate internally;
 // call Segments to see how many have been emitted so far.
@@ -80,72 +141,41 @@ func (e *StreamEncoder) Push(v float64) error {
 	if e.closed {
 		return errors.New("compress: push after close")
 	}
+	e.kernel.Push(v)
 	e.n++
-	tol := e.epsilon * math.Abs(v)
-	if e.absolute {
-		tol = e.epsilon
-	}
-	switch e.method {
-	case MethodPMC:
-		newLo := math.Max(e.meanLo, v-tol)
-		newHi := math.Min(e.meanHi, v+tol)
-		newSum := e.sum + v
-		newMean := newSum / float64(e.count+1)
-		if e.count < maxSegmentLen && newLo <= newMean && newMean <= newHi {
-			e.count, e.sum, e.meanLo, e.meanHi = e.count+1, newSum, newLo, newHi
-			return nil
-		}
-		e.emitPMC()
-		e.count, e.sum = 1, v
-		e.meanLo, e.meanHi = v-tol, v+tol
-	case MethodSwing:
-		if e.count == 0 {
-			e.count, e.intercept = 1, v
-			e.sLow, e.sHigh = math.Inf(-1), math.Inf(1)
-			return nil
-		}
-		k := float64(e.count)
-		newLow := math.Max(e.sLow, (v-tol-e.intercept)/k)
-		newHigh := math.Min(e.sHigh, (v+tol-e.intercept)/k)
-		if e.count < maxSegmentLen && newLow <= newHigh {
-			e.count, e.sLow, e.sHigh = e.count+1, newLow, newHigh
-			return nil
-		}
-		e.emitSwing()
-		e.count, e.intercept = 1, v
-		e.sLow, e.sHigh = math.Inf(-1), math.Inf(1)
-	}
 	return nil
 }
 
-func (e *StreamEncoder) emitPMC() {
-	mean := quantizeToInterval(e.sum/float64(e.count), e.meanLo, e.meanHi)
-	var scratch [10]byte
-	putUint16(scratch[:2], uint16(e.count))
-	putUint64(scratch[2:], math.Float64bits(mean))
-	e.body.Write(scratch[:])
-	e.segments++
-}
-
-func (e *StreamEncoder) emitSwing() {
-	slope := 0.0
-	if e.count >= 2 {
-		slope = (e.sLow + e.sHigh) / 2
+// PushChunk feeds a whole chunk. The chunk must abut the points pushed so
+// far and share the encoder's interval — the same seam check as
+// Series.Append, so a dropped or duplicated chunk surfaces at the encoder
+// rather than as a silently shifted reconstruction.
+func (e *StreamEncoder) PushChunk(c timeseries.Chunk) error {
+	if e.closed {
+		return errors.New("compress: push after close")
 	}
-	var scratch [18]byte
-	putUint16(scratch[:2], uint16(e.count))
-	putUint64(scratch[2:10], math.Float64bits(slope))
-	putUint64(scratch[10:], math.Float64bits(e.intercept))
-	e.body.Write(scratch[:])
-	e.segments++
+	if c.Len() == 0 {
+		return nil
+	}
+	if c.Interval != e.interval {
+		return fmt.Errorf("compress: chunk interval %d does not match stream interval %d", c.Interval, e.interval)
+	}
+	if want := e.start + int64(e.n)*e.interval; c.Start != want {
+		return fmt.Errorf("compress: chunk starts at %d, stream expects %d", c.Start, want)
+	}
+	for _, v := range c.Values {
+		e.kernel.Push(v)
+	}
+	e.n += c.Len()
+	return nil
 }
 
 // Segments returns the number of segments emitted so far (not counting the
 // open window).
-func (e *StreamEncoder) Segments() int { return e.segments }
+func (e *StreamEncoder) Segments() int { return e.kernel.Segments() }
 
 // PendingPoints returns how many points sit in the open window.
-func (e *StreamEncoder) PendingPoints() int { return e.count }
+func (e *StreamEncoder) PendingPoints() int { return e.kernel.Pending() }
 
 // Close flushes the open window and returns the finished Compressed value
 // (gzip-compressed, identical to the batch output for the same input).
@@ -157,38 +187,28 @@ func (e *StreamEncoder) Close() (*Compressed, error) {
 		return nil, errors.New("compress: empty stream")
 	}
 	e.closed = true
-	switch e.method {
-	case MethodPMC:
-		e.emitPMC()
-	case MethodSwing:
-		e.emitSwing()
+	if bk, ok := e.kernel.(*bufferedKernel); ok {
+		return bk.comp.Compress(timeseries.New("", e.start, e.interval, bk.values), e.epsilon)
 	}
+	body, segments := e.kernel.Finish()
 	var full bytes.Buffer
-	header := timeseries.New("", e.start, e.interval, make([]float64, e.n))
-	if err := EncodeHeader(&full, e.method, header); err != nil {
+	if err := EncodeHeaderN(&full, e.method, e.start, e.interval, e.n); err != nil {
 		return nil, err
 	}
-	full.Write(e.body.Bytes())
+	full.Write(body)
 	gz, err := GzipBytes(full.Bytes())
 	if err != nil {
 		return nil, err
 	}
+	eps := e.epsilon
+	if _, ok := e.kernel.(losslessKernel); ok {
+		eps = 0
+	}
 	return &Compressed{
 		Method:   e.method,
-		Epsilon:  e.epsilon,
+		Epsilon:  eps,
 		N:        e.n,
-		Segments: e.segments,
+		Segments: segments,
 		Payload:  gz,
 	}, nil
-}
-
-func putUint16(b []byte, v uint16) {
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-}
-
-func putUint64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
 }

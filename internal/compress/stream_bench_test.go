@@ -1,0 +1,92 @@
+package compress
+
+import (
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+// The benchmarks below pair the batch and chunked-streaming paths over the
+// same series so -benchmem shows what each plane allocates. The streamed
+// payload is byte-identical to the batch one (TestStreamMatchesBatch); only
+// the memory profile differs.
+
+func benchSeries(n int) *timeseries.Series { return synthSeries(n, 63) }
+
+func BenchmarkBatchCompress(b *testing.B) {
+	s := benchSeries(20000)
+	comp, _ := New(MethodPMC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.Compress(s, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamEncode(b *testing.B) {
+	s := benchSeries(20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := NewStreamEncoder(MethodPMC, s, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := s.Chunks(512)
+		for {
+			c, ok := src.Next()
+			if !ok {
+				break
+			}
+			if err := enc.PushChunk(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := enc.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchDecompress(b *testing.B) {
+	s := benchSeries(20000)
+	comp, _ := New(MethodPMC)
+	c, err := comp.Compress(s, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decompress(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamDecode(b *testing.B) {
+	s := benchSeries(20000)
+	comp, _ := New(MethodPMC)
+	c, err := comp.Compress(s, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := NewStreamDecoder(c, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := dec.Next(); !ok {
+				break
+			}
+		}
+		if err := dec.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,9 +8,15 @@ import (
 	"lossyts/internal/timeseries"
 )
 
+// streamMethods are the methods with an incremental kernel (all built-ins
+// except SeasonalPMC, whose profile needs a whole-series pass).
+func streamMethods() []Method {
+	return []Method{MethodPMC, MethodSwing, MethodSZ, MethodGorilla}
+}
+
 func TestStreamMatchesBatch(t *testing.T) {
 	s := synthSeries(3000, 31)
-	for _, m := range []Method{MethodPMC, MethodSwing} {
+	for _, m := range streamMethods() {
 		for _, eps := range []float64{0.01, 0.1, 0.5} {
 			enc, err := NewStreamEncoder(m, s, eps)
 			if err != nil {
@@ -33,13 +39,19 @@ func TestStreamMatchesBatch(t *testing.T) {
 			if !bytes.Equal(streamed.Payload, batch.Payload) {
 				t.Errorf("%s eps=%v: streaming output differs from batch", m, eps)
 			}
-			if streamed.Segments != batch.Segments || streamed.N != batch.N {
-				t.Errorf("%s eps=%v: metadata differs (%d/%d segments, %d/%d points)",
-					m, eps, streamed.Segments, batch.Segments, streamed.N, batch.N)
+			if streamed.Segments != batch.Segments || streamed.N != batch.N || streamed.Epsilon != batch.Epsilon {
+				t.Errorf("%s eps=%v: metadata differs (%d/%d segments, %d/%d points, %v/%v epsilon)",
+					m, eps, streamed.Segments, batch.Segments, streamed.N, batch.N, streamed.Epsilon, batch.Epsilon)
 			}
 			dec, err := streamed.Decompress()
 			if err != nil {
 				t.Fatal(err)
+			}
+			if m == MethodGorilla {
+				if !s.Equal(dec) {
+					t.Errorf("gorilla streamed round trip not lossless")
+				}
+				continue
 			}
 			rel, _ := s.MaxRelError(dec)
 			if rel > eps*(1+1e-9) {
@@ -52,7 +64,7 @@ func TestStreamMatchesBatch(t *testing.T) {
 func TestStreamMatchesBatchProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		s := synthSeries(200, seed)
-		for _, m := range []Method{MethodPMC, MethodSwing} {
+		for _, m := range streamMethods() {
 			enc, err := NewStreamEncoder(m, s, 0.07)
 			if err != nil {
 				return false
@@ -82,13 +94,103 @@ func TestStreamMatchesBatchProperty(t *testing.T) {
 	}
 }
 
+func TestStreamPushChunkMatchesBatch(t *testing.T) {
+	s := synthSeries(1777, 7)
+	for _, m := range streamMethods() {
+		for _, chunk := range []int{1, 100, 512, 5000} {
+			enc, err := NewStreamEncoderAt(m, s.Start, s.Interval, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := s.Chunks(chunk)
+			for {
+				c, ok := src.Next()
+				if !ok {
+					break
+				}
+				if err := enc.PushChunk(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			streamed, err := enc.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			comp, _ := New(m)
+			batch, err := comp.Compress(s, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(streamed.Payload, batch.Payload) {
+				t.Errorf("%s chunk=%d: chunked streaming differs from batch", m, chunk)
+			}
+		}
+	}
+}
+
+func TestStreamPushChunkSeamValidation(t *testing.T) {
+	enc, err := NewStreamEncoderAt(MethodPMC, 1000, 60, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.PushChunk(timeseries.Chunk{Start: 1000, Interval: 60, Values: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.PushChunk(timeseries.Chunk{Start: 1180, Interval: 60, Values: []float64{3}}); err == nil {
+		t.Error("gapped chunk should be rejected")
+	}
+	if err := enc.PushChunk(timeseries.Chunk{Start: 1120, Interval: 30, Values: []float64{3}}); err == nil {
+		t.Error("interval mismatch should be rejected")
+	}
+	if err := enc.PushChunk(timeseries.Chunk{Start: 1120, Interval: 60, Values: []float64{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferedStreamEncoderSeasonal(t *testing.T) {
+	s := synthSeries(1200, 17)
+	comp := SeasonalPMC{Period: 48}
+	enc, err := NewBufferedStreamEncoder(comp, s.Start, s.Interval, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Values {
+		if err := enc.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if enc.PendingPoints() != s.Len() {
+		t.Fatalf("buffered encoder should hold all %d points, has %d pending", s.Len(), enc.PendingPoints())
+	}
+	streamed, err := enc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := comp.Compress(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Payload, batch.Payload) {
+		t.Error("buffered S-PMC streaming differs from batch")
+	}
+	if streamed.Segments != batch.Segments {
+		t.Errorf("segments %d != %d", streamed.Segments, batch.Segments)
+	}
+}
+
 func TestStreamLifecycle(t *testing.T) {
 	s := timeseries.New("x", 0, 60, []float64{1, 2, 3})
-	if _, err := NewStreamEncoder(MethodSZ, s, 0.1); err == nil {
-		t.Error("SZ streaming should be rejected")
+	if _, err := NewStreamEncoder(MethodSeasonalPMC, s, 0.1); err == nil {
+		t.Error("S-PMC streaming should be rejected (profile needs a whole-series pass)")
 	}
 	if _, err := NewStreamEncoder(MethodPMC, s, -1); err == nil {
 		t.Error("negative bound should be rejected")
+	}
+	if _, err := NewStreamEncoder(Method("NOPE"), s, 0.1); err == nil {
+		t.Error("unknown method should be rejected")
 	}
 	enc, err := NewStreamEncoder(MethodPMC, s, 0.1)
 	if err != nil {
@@ -109,6 +211,9 @@ func TestStreamLifecycle(t *testing.T) {
 	}
 	if err := enc.Push(6); err == nil {
 		t.Error("push after close should error")
+	}
+	if err := enc.PushChunk(timeseries.Chunk{Start: 60, Interval: 60, Values: []float64{6}}); err == nil {
+		t.Error("push chunk after close should error")
 	}
 	if _, err := enc.Close(); err == nil {
 		t.Error("double close should error")
@@ -140,6 +245,29 @@ func TestStreamSegmentsAvailableIncrementally(t *testing.T) {
 
 func TestAbsoluteStreamEncoder(t *testing.T) {
 	s := synthSeries(800, 55)
+	for _, m := range []Method{MethodPMC, MethodSwing, MethodSZ} {
+		enc, err := NewAbsoluteStreamEncoder(m, s, 1.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range s.Values {
+			if err := enc.Push(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := enc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxAbs, _ := s.MaxAbsError(dec)
+		if maxAbs > 1.5*(1+1e-9) {
+			t.Fatalf("%s: absolute stream bound broken: %v", m, maxAbs)
+		}
+	}
 	enc, err := NewAbsoluteStreamEncoder(MethodPMC, s, 1.5)
 	if err != nil {
 		t.Fatal(err)
@@ -153,14 +281,6 @@ func TestAbsoluteStreamEncoder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec, err := c.Decompress()
-	if err != nil {
-		t.Fatal(err)
-	}
-	maxAbs, _ := s.MaxAbsError(dec)
-	if maxAbs > 1.5*(1+1e-9) {
-		t.Fatalf("absolute stream bound broken: %v", maxAbs)
-	}
 	batch, err := (PMC{Absolute: true}).Compress(s, 1.5)
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +288,7 @@ func TestAbsoluteStreamEncoder(t *testing.T) {
 	if !bytes.Equal(c.Payload, batch.Payload) {
 		t.Fatal("absolute streaming differs from absolute batch")
 	}
-	if _, err := NewAbsoluteStreamEncoder(MethodSZ, s, 1); err == nil {
-		t.Error("SZ absolute streaming should be rejected")
+	if _, err := NewAbsoluteStreamEncoder(MethodSeasonalPMC, s, 1); err == nil {
+		t.Error("S-PMC absolute streaming should be rejected")
 	}
 }

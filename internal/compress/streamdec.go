@@ -1,0 +1,153 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"lossyts/internal/timeseries"
+)
+
+// ValueStream yields a payload's reconstructed values incrementally — the
+// decode-side counterpart of StreamKernel. Implementations are registered
+// through Registration.DecodeStream; methods without one decode in batch and
+// are served through a slice adapter.
+type ValueStream interface {
+	// Next fills dst with up to len(dst) reconstructed values and returns
+	// how many were produced. It returns 0, io.EOF once every value has been
+	// yielded; any other error means the payload is corrupt. A call may
+	// return n > 0 alongside an error when corruption is detected after
+	// valid values were produced.
+	Next(dst []float64) (int, error)
+}
+
+// sliceValues serves a batch-decoded slice through the ValueStream
+// interface, the fallback for registrations without DecodeStream.
+type sliceValues struct {
+	values []float64
+	pos    int
+}
+
+func (s *sliceValues) Next(dst []float64) (int, error) {
+	if s.pos >= len(s.values) {
+		return 0, io.EOF
+	}
+	n := copy(dst, s.values[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+// StreamDecoder reconstructs a compressed series chunk by chunk, holding
+// O(chunk) state instead of materialising the full series: each built-in
+// method replays its payload with bounded carried state (PMC/Swing: the open
+// segment; Gorilla: the previous value and bit window; SZ: the block cursor
+// and two reconstructed values; SeasonalPMC: the profile and open segment).
+//
+// StreamDecoder implements timeseries.Source, so a decoded payload plugs
+// directly into anything that consumes chunks — including Series.Append and
+// timeseries.Collect for callers that do want the whole series.
+//
+// The gzip-compressed payload is decoded up front (the encoded body is tiny
+// relative to the series — that is the point of compression); what is never
+// materialised is the O(n) value slice.
+type StreamDecoder struct {
+	vs       ValueStream
+	start    int64
+	interval int64
+	count    int
+	pos      int
+	buf      []float64
+	err      error
+}
+
+// NewStreamDecoder returns a chunked decoder over c's payload. Non-positive
+// chunk sizes fall back to timeseries.DefaultChunkSize.
+func NewStreamDecoder(c *Compressed, chunkSize int) (*StreamDecoder, error) {
+	if chunkSize <= 0 {
+		chunkSize = timeseries.DefaultChunkSize
+	}
+	raw, err := GunzipBytes(c.Payload)
+	if err != nil {
+		return nil, err
+	}
+	hdr, body, err := decodeHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.method != c.Method {
+		return nil, fmt.Errorf("compress: payload method %s does not match %s", hdr.method, c.Method)
+	}
+	reg, err := lookup(c.Method)
+	if err != nil {
+		return nil, err
+	}
+	var vs ValueStream
+	if reg.DecodeStream != nil {
+		vs, err = reg.DecodeStream(body, int(hdr.count))
+	} else {
+		var values []float64
+		values, err = reg.Decode(body, int(hdr.count))
+		vs = &sliceValues{values: values}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &StreamDecoder{
+		vs:       vs,
+		start:    int64(hdr.start),
+		interval: int64(hdr.interval),
+		count:    int(hdr.count),
+		buf:      make([]float64, chunkSize),
+	}, nil
+}
+
+// Len returns the total number of values the payload reconstructs to.
+func (d *StreamDecoder) Len() int { return d.count }
+
+// Start returns the first timestamp of the reconstructed series.
+func (d *StreamDecoder) Start() int64 { return d.start }
+
+// Interval returns the sampling interval of the reconstructed series.
+func (d *StreamDecoder) Interval() int64 { return d.interval }
+
+// Next returns the next reconstructed chunk. The chunk's Values alias an
+// internal buffer that is reused on the following call — the Source
+// contract; copy (e.g. via Series.Append) to retain. ok is false at end of
+// stream or on error; check Err to distinguish.
+func (d *StreamDecoder) Next() (timeseries.Chunk, bool) {
+	if d.err != nil || d.pos >= d.count {
+		return timeseries.Chunk{}, false
+	}
+	want := d.buf
+	if left := d.count - d.pos; left < len(want) {
+		want = want[:left]
+	}
+	n, err := d.vs.Next(want)
+	switch {
+	case err == nil:
+	case errors.Is(err, io.EOF):
+		if d.pos+n < d.count {
+			d.err = io.ErrUnexpectedEOF
+		}
+	default:
+		d.err = err
+	}
+	if n == 0 {
+		if d.err == nil && d.pos < d.count {
+			// A well-formed stream yields progress until count is reached.
+			d.err = io.ErrUnexpectedEOF
+		}
+		return timeseries.Chunk{}, false
+	}
+	c := timeseries.Chunk{
+		Start:    d.start + int64(d.pos)*d.interval,
+		Interval: d.interval,
+		Values:   d.buf[:n],
+	}
+	d.pos += n
+	return c, true
+}
+
+// Err returns the first corruption error encountered, or nil after a clean
+// end of stream.
+func (d *StreamDecoder) Err() error { return d.err }

@@ -1,0 +1,133 @@
+package compress
+
+import (
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+// decodeMethods compresses the series with every registered method
+// (SeasonalPMC with the test period) and returns the payloads.
+func decodeMethods(t *testing.T, s *timeseries.Series, eps float64) map[Method]*Compressed {
+	t.Helper()
+	out := map[Method]*Compressed{}
+	for _, m := range streamMethods() {
+		comp, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := comp.Compress(s, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[m] = c
+	}
+	c, err := SeasonalPMC{Period: 48}.Compress(s, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out[MethodSeasonalPMC] = c
+	return out
+}
+
+func TestStreamDecoderMatchesBatchDecode(t *testing.T) {
+	s := synthSeries(2500, 11)
+	for m, c := range decodeMethods(t, s, 0.1) {
+		batch, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range []int{1, 37, 512, 10000, 0} {
+			dec, err := NewStreamDecoder(c, chunk)
+			if err != nil {
+				t.Fatalf("%s: %v", m, err)
+			}
+			if dec.Len() != s.Len() || dec.Start() != s.Start || dec.Interval() != s.Interval {
+				t.Fatalf("%s: decoder metadata %d/%d/%d", m, dec.Len(), dec.Start(), dec.Interval())
+			}
+			got, err := timeseries.Collect("", dec)
+			if err != nil {
+				t.Fatalf("%s chunk=%d: %v", m, chunk, err)
+			}
+			if !got.Equal(batch) {
+				t.Errorf("%s chunk=%d: streamed reconstruction differs from batch", m, chunk)
+			}
+		}
+	}
+}
+
+func TestStreamDecoderChunkGeometry(t *testing.T) {
+	s := synthSeries(1000, 3)
+	comp, _ := New(MethodPMC)
+	c, err := comp.Compress(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewStreamDecoder(c, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := s.Start
+	total := 0
+	for {
+		chunk, ok := dec.Next()
+		if !ok {
+			break
+		}
+		if chunk.Len() == 0 || chunk.Len() > 64 {
+			t.Fatalf("chunk of %d values", chunk.Len())
+		}
+		if chunk.Start != prevEnd || chunk.Interval != s.Interval {
+			t.Fatalf("chunk at %d, want %d", chunk.Start, prevEnd)
+		}
+		prevEnd = chunk.End()
+		total += chunk.Len()
+	}
+	if err := dec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if total != s.Len() {
+		t.Fatalf("decoded %d of %d values", total, s.Len())
+	}
+}
+
+func TestStreamDecoderIsASource(t *testing.T) {
+	// StreamDecoder satisfies timeseries.Source, so reconstruction feeds
+	// anything chunk-aware without an adapter.
+	var _ timeseries.Source = (*StreamDecoder)(nil)
+}
+
+func TestStreamDecoderCorruptPayload(t *testing.T) {
+	s := synthSeries(500, 9)
+	comp, _ := New(MethodPMC)
+	c, err := comp.Compress(s, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the encoded body: the decoder must surface an error through
+	// Err, not hang or fabricate values.
+	raw, err := GunzipBytes(c.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := GzipBytes(raw[:len(raw)-5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Compressed{Method: c.Method, Epsilon: c.Epsilon, N: c.N, Segments: c.Segments, Payload: gz}
+	dec, err := NewStreamDecoder(bad, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := timeseries.Collect("", dec); err == nil {
+		t.Error("truncated payload should fail to collect")
+	}
+	if dec.Err() == nil {
+		t.Error("decoder should report the corruption")
+	}
+	// A method mismatch is caught at construction.
+	bad2 := &Compressed{Method: MethodSwing, N: c.N, Payload: c.Payload}
+	if _, err := NewStreamDecoder(bad2, 128); err == nil {
+		t.Error("method mismatch should be rejected")
+	}
+}

@@ -28,14 +28,18 @@ func (Swing) Method() Method { return MethodSwing }
 
 func init() {
 	Register(Registration{
-		Method: MethodSwing,
-		Code:   2,
-		New:    func() (Compressor, error) { return Swing{}, nil },
-		Decode: swingDecode,
+		Method:       MethodSwing,
+		Code:         2,
+		New:          func() (Compressor, error) { return Swing{}, nil },
+		Decode:       swingDecode,
+		NewStream:    newSwingStream,
+		DecodeStream: swingDecodeStream,
 	})
 }
 
-// Compress encodes s as linear segments under the relative bound.
+// Compress encodes s as linear segments under the relative bound. The batch
+// path drives the same streaming kernel as StreamEncoder, so both produce
+// identical bytes by construction.
 func (sw Swing) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error) {
 	if s.Len() == 0 {
 		return nil, errors.New("compress: empty series")
@@ -43,59 +47,84 @@ func (sw Swing) Compress(s *timeseries.Series, epsilon float64) (*Compressed, er
 	if epsilon < 0 {
 		return nil, errors.New("compress: negative error bound")
 	}
+	k := &swingStream{epsilon: epsilon, absolute: sw.Absolute, sLow: math.Inf(-1), sHigh: math.Inf(1)}
+	for _, v := range s.Values {
+		k.Push(v)
+	}
+	encoded, segments := k.Finish()
 	var body bytes.Buffer
 	if err := EncodeHeader(&body, MethodSwing, s); err != nil {
 		return nil, err
 	}
-	segments := 0
-	emit := func(n int, slope, intercept float64) {
-		var scratch [18]byte
-		binary.LittleEndian.PutUint16(scratch[:2], uint16(n))
-		binary.LittleEndian.PutUint64(scratch[2:10], math.Float64bits(slope))
-		binary.LittleEndian.PutUint64(scratch[10:], math.Float64bits(intercept))
-		body.Write(scratch[:])
-		segments++
-	}
-
-	var (
-		count     int // points in the open segment
-		intercept float64
-		sLow      = math.Inf(-1)
-		sHigh     = math.Inf(1)
-	)
-	finalSlope := func() float64 {
-		if count < 2 {
-			return 0
-		}
-		return (sLow + sHigh) / 2
-	}
-	for _, v := range s.Values {
-		if count == 0 {
-			count, intercept = 1, v
-			sLow, sHigh = math.Inf(-1), math.Inf(1)
-			continue
-		}
-		tol := epsilon * math.Abs(v)
-		if sw.Absolute {
-			tol = epsilon
-		}
-		k := float64(count) // local index of the incoming point
-		newLow := math.Max(sLow, (v-tol-intercept)/k)
-		newHigh := math.Min(sHigh, (v+tol-intercept)/k)
-		if count < maxSegmentLen && newLow <= newHigh {
-			count, sLow, sHigh = count+1, newLow, newHigh
-			continue
-		}
-		emit(count, finalSlope(), intercept)
-		count, intercept = 1, v
-		sLow, sHigh = math.Inf(-1), math.Inf(1)
-	}
-	emit(count, finalSlope(), intercept)
+	body.Write(encoded)
 	return Finish(MethodSwing, epsilon, s, body.Bytes(), segments)
 }
 
+// swingStream is Swing's incremental kernel: the open segment's anchor
+// intercept and the narrowing slope corridor — O(1) state regardless of
+// series length.
+type swingStream struct {
+	epsilon  float64
+	absolute bool
+
+	count     int // points in the open segment
+	intercept float64
+	sLow      float64
+	sHigh     float64
+
+	segments int
+	body     bytes.Buffer
+}
+
+func newSwingStream(epsilon float64, absolute bool) (StreamKernel, error) {
+	return &swingStream{epsilon: epsilon, absolute: absolute, sLow: math.Inf(-1), sHigh: math.Inf(1)}, nil
+}
+
+func (k *swingStream) Push(v float64) {
+	if k.count == 0 {
+		k.count, k.intercept = 1, v
+		k.sLow, k.sHigh = math.Inf(-1), math.Inf(1)
+		return
+	}
+	tol := k.epsilon * math.Abs(v)
+	if k.absolute {
+		tol = k.epsilon
+	}
+	i := float64(k.count) // local index of the incoming point
+	newLow := math.Max(k.sLow, (v-tol-k.intercept)/i)
+	newHigh := math.Min(k.sHigh, (v+tol-k.intercept)/i)
+	if k.count < maxSegmentLen && newLow <= newHigh {
+		k.count, k.sLow, k.sHigh = k.count+1, newLow, newHigh
+		return
+	}
+	k.emit()
+	k.count, k.intercept = 1, v
+	k.sLow, k.sHigh = math.Inf(-1), math.Inf(1)
+}
+
+func (k *swingStream) emit() {
+	slope := 0.0
+	if k.count >= 2 {
+		slope = (k.sLow + k.sHigh) / 2
+	}
+	var scratch [18]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.count))
+	binary.LittleEndian.PutUint64(scratch[2:10], math.Float64bits(slope))
+	binary.LittleEndian.PutUint64(scratch[10:], math.Float64bits(k.intercept))
+	k.body.Write(scratch[:])
+	k.segments++
+}
+
+func (k *swingStream) Finish() ([]byte, int) {
+	k.emit()
+	return k.body.Bytes(), k.segments
+}
+
+func (k *swingStream) Segments() int { return k.segments }
+func (k *swingStream) Pending() int  { return k.count }
+
 func swingDecode(body []byte, count int) ([]float64, error) {
-	values := make([]float64, 0, count)
+	values := make([]float64, 0, allocHint(count))
 	pos := 0
 	for len(values) < count {
 		if pos+18 > len(body) {
@@ -113,4 +142,49 @@ func swingDecode(body []byte, count int) ([]float64, error) {
 		}
 	}
 	return values, nil
+}
+
+// swingValues replays Swing segments incrementally: the carried state is one
+// segment (its remaining length, line coefficients, and local index).
+type swingValues struct {
+	body      []byte
+	pos       int
+	remaining int
+	segLeft   int
+	idx       int // local index within the open segment
+	slope     float64
+	intercept float64
+}
+
+func swingDecodeStream(body []byte, count int) (ValueStream, error) {
+	return &swingValues{body: body, remaining: count}, nil
+}
+
+func (p *swingValues) Next(dst []float64) (int, error) {
+	if p.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && p.remaining > 0 {
+		if p.segLeft == 0 {
+			if p.pos+18 > len(p.body) {
+				return n, io.ErrUnexpectedEOF
+			}
+			seg := int(binary.LittleEndian.Uint16(p.body[p.pos : p.pos+2]))
+			p.slope = math.Float64frombits(binary.LittleEndian.Uint64(p.body[p.pos+2 : p.pos+10]))
+			p.intercept = math.Float64frombits(binary.LittleEndian.Uint64(p.body[p.pos+10 : p.pos+18]))
+			p.pos += 18
+			if seg == 0 || seg > p.remaining {
+				return n, errors.New("compress: corrupt Swing segment length")
+			}
+			p.segLeft = seg
+			p.idx = 0
+		}
+		dst[n] = p.intercept + p.slope*float64(p.idx)
+		n++
+		p.idx++
+		p.segLeft--
+		p.remaining--
+	}
+	return n, nil
 }

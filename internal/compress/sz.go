@@ -41,10 +41,12 @@ func (SZ) Method() Method { return MethodSZ }
 
 func init() {
 	Register(Registration{
-		Method: MethodSZ,
-		Code:   3,
-		New:    func() (Compressor, error) { return NewSZ(), nil },
-		Decode: szDecode,
+		Method:       MethodSZ,
+		Code:         3,
+		New:          func() (Compressor, error) { return NewSZ(), nil },
+		Decode:       szDecode,
+		NewStream:    newSZStream,
+		DecodeStream: szDecodeStream,
 	})
 }
 
@@ -58,7 +60,9 @@ const (
 
 const szQuantRadius = 32767 // codes in [-radius, radius]; stored code 0 marks an exception
 
-// Compress encodes s under the pointwise relative bound epsilon.
+// Compress encodes s under the pointwise relative bound epsilon. The batch
+// path drives the same streaming kernel as StreamEncoder, so both produce
+// identical bytes by construction.
 func (z SZ) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error) {
 	if s.Len() == 0 {
 		return nil, errors.New("compress: empty series")
@@ -73,80 +77,149 @@ func (z SZ) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error)
 	if bs > math.MaxUint16 {
 		return nil, fmt.Errorf("compress: SZ block size %d too large", bs)
 	}
+	k := newSZStreamBS(bs, epsilon, z.Absolute)
+	for _, v := range s.Values {
+		k.Push(v)
+	}
+	encoded, segments := k.Finish()
 	var body bytes.Buffer
 	if err := EncodeHeader(&body, MethodSZ, s); err != nil {
 		return nil, err
 	}
-	n := s.Len()
-	nblocks := (n + bs - 1) / bs
-	var scratch [8]byte
-	binary.LittleEndian.PutUint16(scratch[:2], uint16(bs))
-	body.Write(scratch[:2])
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(nblocks))
-	body.Write(scratch[:4])
+	body.Write(encoded)
+	return Finish(MethodSZ, epsilon, s, body.Bytes(), segments)
+}
 
-	var (
-		codes      []uint16  // quantisation codes for all non-constant blocks
-		exceptions []float64 // verbatim values, in order of occurrence
-		decomp     = make([]float64, 0, n)
-	)
-	for b := 0; b < nblocks; b++ {
-		lo := b * bs
-		hi := lo + bs
-		if hi > n {
-			hi = n
+// szStream is SZ's incremental kernel. Prediction needs only the last two
+// reconstructed values (Lorenzo/Lorenzo2) plus the current block, so the
+// carried state is one block buffer, the two-value reconstruction history,
+// and the accumulated block metadata. The quantisation codes must be kept
+// until Finish — the Huffman table is built over the whole series, exactly
+// as SZ 2.1 does — so the kernel holds 2 bytes per point rather than being
+// strictly O(block); that is still 4× smaller than the values themselves
+// and is the price of byte-identity with the batch format.
+type szStream struct {
+	epsilon  float64
+	absolute bool
+	bs       int
+
+	block      []float64 // open (not yet encoded) block
+	meta       bytes.Buffer
+	nblocks    int
+	codes      []uint16
+	exceptions []float64
+
+	hist      [2]float64 // last two reconstructed values
+	nhist     int
+	lastRecon float64
+	segments  int // runs of identical reconstructed values (Figure 3)
+}
+
+func newSZStream(epsilon float64, absolute bool) (StreamKernel, error) {
+	return newSZStreamBS(NewSZ().BlockSize, epsilon, absolute), nil
+}
+
+func newSZStreamBS(bs int, epsilon float64, absolute bool) *szStream {
+	return &szStream{epsilon: epsilon, absolute: absolute, bs: bs, block: make([]float64, 0, bs)}
+}
+
+func (k *szStream) Push(v float64) {
+	k.block = append(k.block, v)
+	if len(k.block) == k.bs {
+		k.encodeBlock()
+	}
+}
+
+// pushRecon records a reconstructed value: it feeds the two-value prediction
+// history and the run-based segment count.
+func (k *szStream) pushRecon(r float64) {
+	if k.nhist == 0 {
+		k.segments = 1
+	} else if r != k.lastRecon {
+		k.segments++
+	}
+	k.lastRecon = r
+	if k.nhist < 2 {
+		k.hist[k.nhist] = r
+		k.nhist++
+	} else {
+		k.hist[0], k.hist[1] = k.hist[1], r
+	}
+}
+
+// prior returns the reconstruction history as a slice for the shared
+// predictor helpers, which index it from the end.
+func (k *szStream) prior() []float64 { return k.hist[:k.nhist] }
+
+func (k *szStream) encodeBlock() {
+	block := k.block
+	defer func() { k.block = k.block[:0] }()
+	k.nblocks++
+	var scratch [8]byte
+	if constantBlock(block) {
+		k.meta.WriteByte(szModeConstant)
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(block[0]))
+		k.meta.Write(scratch[:])
+		for range block {
+			k.pushRecon(block[0])
 		}
-		block := s.Values[lo:hi]
-		if constantBlock(block) {
-			body.WriteByte(szModeConstant)
-			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(block[0]))
-			body.Write(scratch[:])
-			for range block {
-				decomp = append(decomp, block[0])
-			}
+		return
+	}
+	mode, slope, intercept := szSelectPredictor(block, k.prior())
+	precision := szBlockPrecision(block, k.epsilon)
+	if k.absolute {
+		precision = roundDown32(k.epsilon)
+	}
+	k.meta.WriteByte(byte(mode))
+	binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(precision))
+	k.meta.Write(scratch[:4])
+	if mode == szModeRegression {
+		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(slope))
+		k.meta.Write(scratch[:4])
+		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(intercept))
+		k.meta.Write(scratch[:4])
+	}
+	p := float64(precision)
+	for i, v := range block {
+		pred := szPredict(mode, float64(slope), float64(intercept), i, k.prior())
+		code, recon, ok := szQuantize(v, pred, p, k.epsilon, k.absolute)
+		if !ok {
+			k.codes = append(k.codes, 0)
+			k.exceptions = append(k.exceptions, v)
+			k.pushRecon(v)
 			continue
 		}
-		mode, slope, intercept := szSelectPredictor(block, decomp)
-		precision := szBlockPrecision(block, epsilon)
-		if z.Absolute {
-			precision = roundDown32(epsilon)
-		}
-		body.WriteByte(byte(mode))
-		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(precision))
-		body.Write(scratch[:4])
-		if mode == szModeRegression {
-			binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(slope))
-			body.Write(scratch[:4])
-			binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(intercept))
-			body.Write(scratch[:4])
-		}
-		p := float64(precision)
-		for k, v := range block {
-			pred := szPredict(mode, float64(slope), float64(intercept), k, decomp)
-			code, recon, ok := szQuantize(v, pred, p, epsilon, z.Absolute)
-			if !ok {
-				codes = append(codes, 0)
-				exceptions = append(exceptions, v)
-				decomp = append(decomp, v)
-				continue
-			}
-			codes = append(codes, uint16(code+szQuantRadius+1))
-			decomp = append(decomp, recon)
-		}
+		k.codes = append(k.codes, uint16(code+szQuantRadius+1))
+		k.pushRecon(recon)
 	}
+}
 
+// Finish encodes the final partial block and assembles the payload body:
+// block count, per-block metadata, the (Huffman-coded) quantisation codes,
+// and the exception values — the same layout the batch encoder always wrote.
+func (k *szStream) Finish() ([]byte, int) {
+	if len(k.block) > 0 {
+		k.encodeBlock()
+	}
+	var body bytes.Buffer
+	var scratch [8]byte
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.bs))
+	body.Write(scratch[:2])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(k.nblocks))
+	body.Write(scratch[:4])
+	body.Write(k.meta.Bytes())
 	// Quantisation codes: Huffman when possible, raw fallback otherwise.
-	if len(codes) > 0 {
-		if enc, err := HuffmanEncode(codes); err == nil {
+	if len(k.codes) > 0 {
+		if enc, err := HuffmanEncode(k.codes); err == nil {
 			body.WriteByte(0)
 			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(enc)))
 			body.Write(scratch[:4])
 			body.Write(enc)
 		} else {
 			body.WriteByte(1)
-			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(codes)))
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.codes)))
 			body.Write(scratch[:4])
-			for _, c := range codes {
+			for _, c := range k.codes {
 				binary.LittleEndian.PutUint16(scratch[:2], c)
 				body.Write(scratch[:2])
 			}
@@ -154,24 +227,23 @@ func (z SZ) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error)
 	} else {
 		body.WriteByte(2) // no codes at all (every block constant)
 	}
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(exceptions)))
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.exceptions)))
 	body.Write(scratch[:4])
-	for _, v := range exceptions {
+	for _, v := range k.exceptions {
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
 		body.Write(scratch[:])
 	}
-	// For Figure 3's segment counting, SZ's quantisation produces a
-	// staircase; each run of identical reconstructed values is one segment.
-	// Tight bounds quantise finely (many runs), loose bounds coarsely
-	// (fewer runs), mirroring the paper's SZ trend.
-	segments := 1
-	for i := 1; i < len(decomp); i++ {
-		if decomp[i] != decomp[i-1] {
-			segments++
-		}
-	}
-	return Finish(MethodSZ, epsilon, s, body.Bytes(), segments)
+	return body.Bytes(), k.segments
 }
+
+// Segments reports the runs of identical reconstructed values seen so far;
+// for Figure 3's segment counting, SZ's quantisation produces a staircase
+// and each run is one segment. Tight bounds quantise finely (many runs),
+// loose bounds coarsely (fewer runs), mirroring the paper's SZ trend.
+func (k *szStream) Segments() int { return k.segments }
+
+// Pending reports the points buffered in the open block.
+func (k *szStream) Pending() int { return len(k.block) }
 
 func constantBlock(block []float64) bool {
 	for _, v := range block[1:] {
@@ -210,6 +282,8 @@ func roundDown32(p float64) float32 {
 
 // szSelectPredictor picks the block predictor with the smallest total
 // absolute residual, estimated on the raw values (as SZ does when sampling).
+// prior is the reconstruction history before the block; only its last two
+// values are read.
 func szSelectPredictor(block []float64, prior []float64) (mode int, slope, intercept float32) {
 	var lorenzo, lorenzo2, reg float64
 	// Linear fit of the block: index -> value.
@@ -277,8 +351,9 @@ func fitLine(v []float64) (slope, intercept float64) {
 	return slope, intercept
 }
 
-// szPredict returns the prediction for local index k given the decompressed
-// history so far (decomp holds every decompressed value before this point).
+// szPredict returns the prediction for local index k given the reconstructed
+// history before this point (only the last two values are read, so callers
+// may pass a two-value window).
 func szPredict(mode int, slope, intercept float64, k int, decomp []float64) float64 {
 	switch mode {
 	case szModeRegression:
@@ -320,24 +395,29 @@ func szQuantize(v, pred, p, epsilon float64, absolute bool) (code int, recon flo
 	return code, recon, true
 }
 
-func szDecode(body []byte, count int) ([]float64, error) {
+// szBlockMeta is one parsed block header of an SZ payload body.
+type szBlockMeta struct {
+	mode             int
+	precision        float64
+	slope, intercept float64
+	constant         float64
+	size             int
+}
+
+// szParseBody splits an SZ payload body into its parsed block metadata,
+// quantisation codes, and exception values — everything except the value
+// replay, which the batch and streaming decoders do differently.
+func szParseBody(body []byte, count int) (blocks []szBlockMeta, codes []uint16, exceptions []float64, err error) {
 	if len(body) < 6 {
-		return nil, io.ErrUnexpectedEOF
+		return nil, nil, nil, io.ErrUnexpectedEOF
 	}
 	bs := int(binary.LittleEndian.Uint16(body[:2]))
 	nblocks := int(binary.LittleEndian.Uint32(body[2:6]))
 	pos := 6
 	if bs <= 0 || nblocks < 0 {
-		return nil, errors.New("compress: corrupt SZ header")
+		return nil, nil, nil, errors.New("compress: corrupt SZ header")
 	}
-	type blockMeta struct {
-		mode             int
-		precision        float64
-		slope, intercept float64
-		constant         float64
-		size             int
-	}
-	blocks := make([]blockMeta, 0, nblocks)
+	blocks = make([]szBlockMeta, 0, allocHint(nblocks))
 	remaining := count
 	ncodes := 0
 	for b := 0; b < nblocks; b++ {
@@ -347,26 +427,26 @@ func szDecode(body []byte, count int) ([]float64, error) {
 		}
 		remaining -= size
 		if pos >= len(body) {
-			return nil, io.ErrUnexpectedEOF
+			return nil, nil, nil, io.ErrUnexpectedEOF
 		}
-		m := blockMeta{mode: int(body[pos]), size: size}
+		m := szBlockMeta{mode: int(body[pos]), size: size}
 		pos++
 		switch m.mode {
 		case szModeConstant:
 			if pos+8 > len(body) {
-				return nil, io.ErrUnexpectedEOF
+				return nil, nil, nil, io.ErrUnexpectedEOF
 			}
 			m.constant = math.Float64frombits(binary.LittleEndian.Uint64(body[pos : pos+8]))
 			pos += 8
 		case szModeLorenzo, szModeLorenzo2, szModeRegression:
 			if pos+4 > len(body) {
-				return nil, io.ErrUnexpectedEOF
+				return nil, nil, nil, io.ErrUnexpectedEOF
 			}
 			m.precision = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[pos : pos+4])))
 			pos += 4
 			if m.mode == szModeRegression {
 				if pos+8 > len(body) {
-					return nil, io.ErrUnexpectedEOF
+					return nil, nil, nil, io.ErrUnexpectedEOF
 				}
 				m.slope = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[pos : pos+4])))
 				m.intercept = float64(math.Float32frombits(binary.LittleEndian.Uint32(body[pos+4 : pos+8])))
@@ -374,44 +454,42 @@ func szDecode(body []byte, count int) ([]float64, error) {
 			}
 			ncodes += size
 		default:
-			return nil, fmt.Errorf("compress: unknown SZ block mode %d", m.mode)
+			return nil, nil, nil, fmt.Errorf("compress: unknown SZ block mode %d", m.mode)
 		}
 		blocks = append(blocks, m)
 	}
 	if remaining != 0 {
-		return nil, errors.New("compress: SZ block sizes do not cover the series")
+		return nil, nil, nil, errors.New("compress: SZ block sizes do not cover the series")
 	}
 	// Codes.
 	if pos >= len(body) {
-		return nil, io.ErrUnexpectedEOF
+		return nil, nil, nil, io.ErrUnexpectedEOF
 	}
 	codeEncoding := body[pos]
 	pos++
-	var codes []uint16
 	switch codeEncoding {
 	case 0:
 		if pos+4 > len(body) {
-			return nil, io.ErrUnexpectedEOF
+			return nil, nil, nil, io.ErrUnexpectedEOF
 		}
 		length := int(binary.LittleEndian.Uint32(body[pos : pos+4]))
 		pos += 4
-		if pos+length > len(body) {
-			return nil, io.ErrUnexpectedEOF
+		if length < 0 || pos+length > len(body) {
+			return nil, nil, nil, io.ErrUnexpectedEOF
 		}
-		var err error
 		codes, err = HuffmanDecode(body[pos : pos+length])
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		pos += length
 	case 1:
 		if pos+4 > len(body) {
-			return nil, io.ErrUnexpectedEOF
+			return nil, nil, nil, io.ErrUnexpectedEOF
 		}
 		m := int(binary.LittleEndian.Uint32(body[pos : pos+4]))
 		pos += 4
-		if pos+2*m > len(body) {
-			return nil, io.ErrUnexpectedEOF
+		if m < 0 || pos+2*m > len(body) {
+			return nil, nil, nil, io.ErrUnexpectedEOF
 		}
 		codes = make([]uint16, m)
 		for i := range codes {
@@ -421,27 +499,35 @@ func szDecode(body []byte, count int) ([]float64, error) {
 	case 2:
 		// no codes
 	default:
-		return nil, fmt.Errorf("compress: unknown SZ code encoding %d", codeEncoding)
+		return nil, nil, nil, fmt.Errorf("compress: unknown SZ code encoding %d", codeEncoding)
 	}
 	if len(codes) != ncodes {
-		return nil, fmt.Errorf("compress: SZ expected %d codes, got %d", ncodes, len(codes))
+		return nil, nil, nil, fmt.Errorf("compress: SZ expected %d codes, got %d", ncodes, len(codes))
 	}
 	// Exceptions.
 	if pos+4 > len(body) {
-		return nil, io.ErrUnexpectedEOF
+		return nil, nil, nil, io.ErrUnexpectedEOF
 	}
 	nex := int(binary.LittleEndian.Uint32(body[pos : pos+4]))
 	pos += 4
-	if pos+8*nex > len(body) {
-		return nil, io.ErrUnexpectedEOF
+	if nex < 0 || pos+8*nex > len(body) {
+		return nil, nil, nil, io.ErrUnexpectedEOF
 	}
-	exceptions := make([]float64, nex)
+	exceptions = make([]float64, nex)
 	for i := range exceptions {
 		exceptions[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[pos : pos+8]))
 		pos += 8
 	}
+	return blocks, codes, exceptions, nil
+}
+
+func szDecode(body []byte, count int) ([]float64, error) {
+	blocks, codes, exceptions, err := szParseBody(body, count)
+	if err != nil {
+		return nil, err
+	}
 	// Replay.
-	decomp := make([]float64, 0, count)
+	decomp := make([]float64, 0, allocHint(count))
 	ci, ei := 0, 0
 	for _, m := range blocks {
 		if m.mode == szModeConstant {
@@ -470,4 +556,82 @@ func szDecode(body []byte, count int) ([]float64, error) {
 		return nil, errors.New("compress: SZ trailing exceptions")
 	}
 	return decomp, nil
+}
+
+// szValues replays SZ blocks incrementally: the carried state is the block
+// cursor plus the two-value reconstruction history the predictors read.
+type szValues struct {
+	blocks     []szBlockMeta
+	codes      []uint16
+	exceptions []float64
+	remaining  int
+
+	bi, k  int // current block / index within it
+	ci, ei int // cursors into codes and exceptions
+	hist   [2]float64
+	nhist  int
+}
+
+func szDecodeStream(body []byte, count int) (ValueStream, error) {
+	blocks, codes, exceptions, err := szParseBody(body, count)
+	if err != nil {
+		return nil, err
+	}
+	return &szValues{blocks: blocks, codes: codes, exceptions: exceptions, remaining: count}, nil
+}
+
+func (p *szValues) push(r float64) float64 {
+	if p.nhist < 2 {
+		p.hist[p.nhist] = r
+		p.nhist++
+	} else {
+		p.hist[0], p.hist[1] = p.hist[1], r
+	}
+	return r
+}
+
+func (p *szValues) Next(dst []float64) (int, error) {
+	if p.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(dst) && p.remaining > 0 {
+		if p.bi >= len(p.blocks) {
+			// szParseBody guarantees block sizes cover count, so this is
+			// unreachable on well-formed metadata.
+			return n, errors.New("compress: SZ blocks exhausted")
+		}
+		m := p.blocks[p.bi]
+		if p.k >= m.size {
+			p.bi++
+			p.k = 0
+			continue
+		}
+		var v float64
+		if m.mode == szModeConstant {
+			v = m.constant
+		} else {
+			stored := p.codes[p.ci]
+			p.ci++
+			if stored == 0 {
+				if p.ei >= len(p.exceptions) {
+					return n, errors.New("compress: SZ exception stream exhausted")
+				}
+				v = p.exceptions[p.ei]
+				p.ei++
+			} else {
+				code := int(stored) - szQuantRadius - 1
+				pred := szPredict(m.mode, m.slope, m.intercept, p.k, p.hist[:p.nhist])
+				v = pred + float64(code)*2*m.precision
+			}
+		}
+		dst[n] = p.push(v)
+		n++
+		p.k++
+		p.remaining--
+	}
+	if p.remaining == 0 && p.ei != len(p.exceptions) {
+		return n, errors.New("compress: SZ trailing exceptions")
+	}
+	return n, nil
 }

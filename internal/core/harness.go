@@ -264,7 +264,11 @@ func RunGridContext(ctx context.Context, opts Options) (*GridResult, error) {
 	nn.UseReferenceKernels(opts.ReferenceKernels)
 
 	start := time.Now()
-	rc := newRunContext(ctx, opts, DefaultPipeline())
+	pipeline := DefaultPipeline()
+	if opts.Stream {
+		pipeline = StreamingPipeline()
+	}
+	rc := newRunContext(ctx, opts, pipeline)
 	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}}
 	// Datasets are independent; evaluate them concurrently up to the
 	// parallelism bound. Each evaluation owns its models and RNGs, and each

@@ -11,6 +11,7 @@ import (
 
 	"lossyts/internal/compress"
 	"lossyts/internal/forecast"
+	"lossyts/internal/timeseries"
 )
 
 // Options configures a full evaluation run.
@@ -47,6 +48,19 @@ type Options struct {
 	// graphs. Kernel numerics differ below ~1e-9, so it is part of the
 	// memoisation key.
 	ReferenceKernels bool
+	// Stream routes the ingest → compress → reconstruct prefix of the stage
+	// pipeline through the chunked streaming data plane: the dataset target
+	// is generated chunk by chunk (datasets.StreamTarget), every grid cell
+	// is compressed by a streaming encoder fed from one shared chunk pass
+	// over the test subset, and reconstructions are decoded chunk by chunk.
+	// Results are bit-identical to the batch pipeline — payloads match byte
+	// for byte — so like Parallelism it is excluded from the memoisation
+	// key.
+	Stream bool
+	// ChunkSize is the chunk length (points) the streaming data plane uses;
+	// 0 means timeseries.DefaultChunkSize. Chunking never changes results,
+	// so it too is excluded from the memoisation key.
+	ChunkSize int
 }
 
 // DefaultOptions is the paper's grid at laptop scale: all datasets, models,
@@ -145,6 +159,14 @@ func (o Options) parallelism() int {
 		return o.Parallelism
 	}
 	return runtime.NumCPU()
+}
+
+// chunkSize resolves the streaming chunk length.
+func (o Options) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return timeseries.DefaultChunkSize
 }
 
 // key is the memoisation key: all fields that influence the grid.

@@ -169,8 +169,10 @@ func (p *Pipeline) run(rc *RunContext, st *pipelineState) error {
 type pipelineState struct {
 	name string
 
-	// Ingest outputs.
-	ds               *datasets.Dataset
+	// Ingest outputs. period and interval come from the dataset metadata,
+	// whichever ingest path (batch Load or chunked stream) produced it.
+	period           int
+	interval         int64
 	test             *timeseries.Series
 	cfg              forecast.Config
 	scaler           timeseries.StandardScaler
@@ -199,7 +201,14 @@ func runIngest(rc *RunContext, st *pipelineState) error {
 	if err != nil {
 		return err
 	}
-	target := ds.Target()
+	st.period, st.interval = ds.SeasonalPeriod, ds.Interval
+	return finishIngest(rc, st, ds.Target())
+}
+
+// finishIngest is the tail of the ingest stage shared by the batch and
+// streaming paths: split, scale, result scaffolding, and the lossless
+// Gorilla baseline. st.period and st.interval must be set by the caller.
+func finishIngest(rc *RunContext, st *pipelineState, target *timeseries.Series) error {
 	train, val, test, err := target.Split(0.7, 0.1, 0.2)
 	if err != nil {
 		return err
@@ -208,7 +217,7 @@ func runIngest(rc *RunContext, st *pipelineState) error {
 	if cfg.InputLen == 0 {
 		cfg = forecast.DefaultConfig()
 	}
-	cfg.SeasonalPeriod = ds.SeasonalPeriod
+	cfg.SeasonalPeriod = st.period
 	if cfg.InputLen >= test.Len()-cfg.Horizon {
 		return fmt.Errorf("test subset too short (%d) for input %d + horizon %d; increase Scale",
 			test.Len(), cfg.InputLen, cfg.Horizon)
@@ -216,7 +225,6 @@ func runIngest(rc *RunContext, st *pipelineState) error {
 	if err := st.scaler.Fit(train.Values); err != nil {
 		return err
 	}
-	st.ds = ds
 	st.test = test
 	st.cfg = cfg
 	st.scTrain = st.scaler.Transform(train.Values)
@@ -225,18 +233,55 @@ func runIngest(rc *RunContext, st *pipelineState) error {
 	st.trainLen, st.valLen = train.Len(), val.Len()
 	st.dr = &DatasetResult{
 		Name:           st.name,
-		SeasonalPeriod: ds.SeasonalPeriod,
-		Interval:       ds.Interval,
+		SeasonalPeriod: st.period,
+		Interval:       st.interval,
 		RawValues:      target.Values,
 		RawTest:        test.Values,
 		Baselines:      map[string]stats.Metrics{},
 	}
-	gor, err := (compress.Gorilla{}).Compress(test, 0)
+	gor, err := gorillaBaseline(rc, test)
 	if err != nil {
 		return err
 	}
 	st.dr.GorillaCR, err = compress.Ratio(test, gor)
 	return err
+}
+
+// gorillaBaseline compresses the test subset losslessly. The streaming mode
+// feeds a chunk source into the streaming encoder — same payload, byte for
+// byte — so the whole ingest prefix exercises the chunked data plane.
+func gorillaBaseline(rc *RunContext, test *timeseries.Series) (*compress.Compressed, error) {
+	if !rc.opts.Stream {
+		return (compress.Gorilla{}).Compress(test, 0)
+	}
+	enc, err := compress.NewStreamEncoderAt(compress.MethodGorilla, test.Start, test.Interval, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := pushAll(rc, test.Chunks(rc.opts.chunkSize()), enc); err != nil {
+		return nil, err
+	}
+	return enc.Close()
+}
+
+// pushAll drains a chunk source into one or more streaming encoders,
+// checking cancellation at chunk boundaries.
+func pushAll(rc *RunContext, src timeseries.Source, encs ...*compress.StreamEncoder) error {
+	for {
+		if err := rc.Err(); err != nil {
+			return err
+		}
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		for _, enc := range encs {
+			if err := enc.PushChunk(c); err != nil {
+				return err
+			}
+		}
+	}
+	return src.Err()
 }
 
 // runCompress builds the model-independent compression grid: one cell per
@@ -317,7 +362,7 @@ func runWindow(rc *RunContext, st *pipelineState) error {
 		rawWindows: rawWindows,
 		cells:      make([]cellPlan, len(st.dr.Cells)),
 		evalStride: evalStride,
-		phaseStart: (st.trainLen + st.valLen) % st.ds.SeasonalPeriod,
+		phaseStart: (st.trainLen + st.valLen) % st.period,
 	}
 	for ci, cell := range st.dr.Cells {
 		if err := rc.Err(); err != nil {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStreamGridMatchesBatch proves Options.Stream is a pure data-plane
+// change: a grid computed through the chunked streaming pipeline — streamed
+// dataset generation, one shared chunk pass through per-cell streaming
+// encoders, chunked reconstruction — equals the batch grid bit for bit,
+// down to the decompressed values. An odd chunk size is used on purpose so
+// chunk boundaries land mid-segment everywhere.
+func TestStreamGridMatchesBatch(t *testing.T) {
+	swapGridCache(t)
+
+	batch := equivalenceOptions()
+	gBatch, err := RunGrid(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream and ChunkSize are not part of the memoisation key (results are
+	// identical by design), so force a fresh computation.
+	ResetGridCache()
+	stream := equivalenceOptions()
+	stream.Stream = true
+	stream.ChunkSize = 73
+	gStream, err := RunGrid(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gBatch == gStream {
+		t.Fatal("second RunGrid returned the memoised grid; the comparison is vacuous")
+	}
+
+	for _, name := range batch.datasets() {
+		db, ds := gBatch.Datasets[name], gStream.Datasets[name]
+		if db == nil || ds == nil {
+			t.Fatalf("%s: missing dataset result", name)
+		}
+		if db.SeasonalPeriod != ds.SeasonalPeriod || db.Interval != ds.Interval {
+			t.Errorf("%s: metadata differs: %d/%d vs %d/%d",
+				name, db.SeasonalPeriod, db.Interval, ds.SeasonalPeriod, ds.Interval)
+		}
+		if len(db.RawValues) != len(ds.RawValues) {
+			t.Fatalf("%s: raw lengths differ: %d vs %d", name, len(db.RawValues), len(ds.RawValues))
+		}
+		for i := range db.RawValues {
+			if math.Float64bits(db.RawValues[i]) != math.Float64bits(ds.RawValues[i]) {
+				t.Fatalf("%s: streamed ingest diverges at value %d", name, i)
+			}
+		}
+		if db.GorillaCR != ds.GorillaCR {
+			t.Errorf("%s: GorillaCR differs: %v vs %v", name, db.GorillaCR, ds.GorillaCR)
+		}
+		for _, model := range batch.models() {
+			if db.Baselines[model] != ds.Baselines[model] {
+				t.Errorf("%s/%s: baselines differ", name, model)
+			}
+		}
+		if len(db.Cells) != len(ds.Cells) {
+			t.Fatalf("%s: cell counts differ: %d vs %d", name, len(db.Cells), len(ds.Cells))
+		}
+		for i, cb := range db.Cells {
+			cs := ds.Cells[i]
+			if cb.Method != cs.Method || cb.Epsilon != cs.Epsilon {
+				t.Fatalf("%s: cell %d ordering differs: %s/%v vs %s/%v",
+					name, i, cb.Method, cb.Epsilon, cs.Method, cs.Epsilon)
+			}
+			if cb.CR != cs.CR || cb.Segments != cs.Segments {
+				t.Errorf("%s %s eps=%v: CR/segments differ: %v/%d vs %v/%d",
+					name, cb.Method, cb.Epsilon, cb.CR, cb.Segments, cs.CR, cs.Segments)
+			}
+			if cb.TE != cs.TE {
+				t.Errorf("%s %s eps=%v: TE differs", name, cb.Method, cb.Epsilon)
+			}
+			if len(cb.Decompressed) != len(cs.Decompressed) {
+				t.Fatalf("%s %s eps=%v: reconstruction lengths differ", name, cb.Method, cb.Epsilon)
+			}
+			for j := range cb.Decompressed {
+				if math.Float64bits(cb.Decompressed[j]) != math.Float64bits(cs.Decompressed[j]) {
+					t.Fatalf("%s %s eps=%v: reconstruction diverges at %d", name, cb.Method, cb.Epsilon, j)
+				}
+			}
+			for _, model := range batch.models() {
+				if cb.ModelMetrics[model] != cs.ModelMetrics[model] {
+					t.Errorf("%s %s eps=%v %s: metrics differ", name, cb.Method, cb.Epsilon, model)
+				}
+				if cb.TFE[model] != cs.TFE[model] {
+					t.Errorf("%s %s eps=%v %s: TFE differs", name, cb.Method, cb.Epsilon, model)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingPipelineShape checks the streaming pipeline advertises the
+// same stage graph as the batch one, so stage timings and insertion points
+// stay mode-independent.
+func TestStreamingPipelineShape(t *testing.T) {
+	b, s := DefaultPipeline().StageNames(), StreamingPipeline().StageNames()
+	if len(b) != len(s) {
+		t.Fatalf("stage counts differ: %v vs %v", b, s)
+	}
+	for i := range b {
+		if b[i] != s[i] {
+			t.Fatalf("stage %d differs: %s vs %s", i, b[i], s[i])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"lossyts/internal/compress"
+	"lossyts/internal/datasets"
+	"lossyts/internal/stats"
+	"lossyts/internal/timeseries"
+)
+
+// StreamingPipeline is DefaultPipeline with the ingest → compress →
+// reconstruct prefix routed through the chunked streaming data plane
+// (Options.Stream). The stage names are unchanged, so timings, reports, and
+// InsertBefore/InsertAfter extensions work identically in either mode, and
+// the results are bit-identical to the batch pipeline — the compression
+// payloads byte for byte (see TestStreamGridMatchesBatch). The remaining
+// stages collapse to batch at the window stage: model training needs random
+// access over the whole test subset, so that is where chunks end.
+func StreamingPipeline() *Pipeline {
+	return NewPipeline(
+		Stage{Name: StageIngest, Run: runIngestStream},
+		Stage{Name: StageCompress, Run: runCompressStream},
+		Stage{Name: StageReconstruct, Run: runReconstructStream},
+		Stage{Name: StageWindow, Run: runWindow},
+		Stage{Name: StageTrain, Run: runTrain},
+		Stage{Name: StageForecast, Run: runForecast},
+		Stage{Name: StageAnalyze, Run: runAnalyze},
+	)
+}
+
+// runIngestStream ingests the dataset target chunk by chunk from the
+// streaming generator — no full synthetic frame is ever allocated; secondary
+// columns are never materialised — and assembles just the target series the
+// rest of the evaluation needs before handing off to the shared ingest tail.
+func runIngestStream(rc *RunContext, st *pipelineState) error {
+	src, err := datasets.StreamTarget(st.name, rc.opts.Scale, rc.opts.Seed, rc.opts.chunkSize())
+	if err != nil {
+		return err
+	}
+	st.period, st.interval = src.Period(), src.Interval()
+	target := timeseries.New(src.TargetName(), src.Start(), src.Interval(), make([]float64, 0, src.Len()))
+	for {
+		if err := rc.Err(); err != nil {
+			return err
+		}
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := target.Append(c); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	return finishIngest(rc, st, target)
+}
+
+// runCompressStream builds the same (method, error bound) grid as
+// runCompress from a single chunked pass over the test subset: one streaming
+// encoder per cell, every chunk fanned out to all of them. The cell order —
+// methods outer, bounds inner — matches the batch stage exactly, and so do
+// the payloads, byte for byte.
+func runCompressStream(rc *RunContext, st *pipelineState) error {
+	type cellEnc struct {
+		m   compress.Method
+		eps float64
+		enc *compress.StreamEncoder
+	}
+	var encs []cellEnc
+	var streams []*compress.StreamEncoder
+	for _, m := range rc.opts.methods() {
+		// Construct the batch compressor first so an unusable method fails
+		// with the same error the batch stage reports.
+		comp, err := compress.New(m)
+		if err != nil {
+			return err
+		}
+		for _, eps := range rc.opts.errorBounds() {
+			enc, err := compress.NewStreamEncoderAt(m, st.test.Start, st.test.Interval, eps)
+			if err != nil {
+				// A registered method without an incremental kernel buffers
+				// and batch-compresses at Close — identical payload, O(n)
+				// memory for that cell only.
+				enc, err = compress.NewBufferedStreamEncoder(comp, st.test.Start, st.test.Interval, eps)
+				if err != nil {
+					return err
+				}
+			}
+			encs = append(encs, cellEnc{m: m, eps: eps, enc: enc})
+			streams = append(streams, enc)
+		}
+	}
+	if err := pushAll(rc, st.test.Chunks(rc.opts.chunkSize()), streams...); err != nil {
+		return err
+	}
+	for _, ce := range encs {
+		c, err := ce.enc.Close()
+		if err != nil {
+			return err
+		}
+		st.dr.Cells = append(st.dr.Cells, &Cell{
+			Method:       ce.m,
+			Epsilon:      ce.eps,
+			Segments:     c.Segments,
+			ModelMetrics: map[string]stats.Metrics{},
+			TFE:          map[string]float64{},
+		})
+		st.comps = append(st.comps, c)
+	}
+	return nil
+}
+
+// runReconstructStream mirrors runReconstruct but decodes every cell chunk
+// by chunk through a StreamDecoder; the O(chunk) reconstructions are only
+// concatenated because the window stage needs the full test subset.
+func runReconstructStream(rc *RunContext, st *pipelineState) error {
+	for ci, cell := range st.dr.Cells {
+		if err := rc.Err(); err != nil {
+			return err
+		}
+		dec, err := compress.NewStreamDecoder(st.comps[ci], rc.opts.chunkSize())
+		if err != nil {
+			return err
+		}
+		values := make([]float64, 0, dec.Len())
+		for {
+			c, ok := dec.Next()
+			if !ok {
+				break
+			}
+			values = append(values, c.Values...)
+		}
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if cell.CR, err = compress.Ratio(st.test, st.comps[ci]); err != nil {
+			return err
+		}
+		if cell.TE, err = stats.Evaluate(st.test.Values, values); err != nil {
+			return err
+		}
+		cell.Decompressed = values
+	}
+	st.dr.buildIndex()
+	st.comps = nil // payloads are dead weight once reconstructed
+	return nil
+}

@@ -1,0 +1,38 @@
+package datasets
+
+import "testing"
+
+// BenchmarkLoad and BenchmarkStreamTarget pair the two generation planes:
+// Load materialises every frame column plus the post-processing copies,
+// StreamTarget holds one chunk buffer and O(1) recurrence state (after the
+// cached calibration pass). The streamed values are bit-identical
+// (TestStreamTargetMatchesLoad).
+
+func BenchmarkLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load("Wind", 0.05, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamTarget(b *testing.B) {
+	// Warm the calibration cache so the loop measures the steady state.
+	if _, err := StreamTarget("Wind", 0.05, 1, 512); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts, err := StreamTarget("Wind", 0.05, 1, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := ts.Next(); !ok {
+				break
+			}
+		}
+	}
+}

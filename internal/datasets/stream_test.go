@@ -1,0 +1,151 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"lossyts/internal/timeseries"
+)
+
+// TestStreamTargetMatchesLoad is the tentpole contract of the streaming
+// generator: for every registered paper dataset, collecting the streamed
+// chunks must reproduce the batch-generated target column bit for bit — the
+// same rng draws, the same rescaling coefficients, the same quantisation
+// clip bounds.
+func TestStreamTargetMatchesLoad(t *testing.T) {
+	for _, name := range Names {
+		for _, seed := range []int64{1, 7} {
+			ds, err := Load(name, 0.01, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ds.Target()
+			for _, chunk := range []int{256, 1000, 0} {
+				ts, err := StreamTarget(name, 0.01, seed, chunk)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if ts.Len() != want.Len() || ts.Start() != want.Start || ts.Interval() != want.Interval {
+					t.Fatalf("%s: stream metadata %d/%d/%d, want %d/%d/%d",
+						name, ts.Len(), ts.Start(), ts.Interval(), want.Len(), want.Start, want.Interval)
+				}
+				got, err := timeseries.Collect(name, ts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if got.Len() != want.Len() {
+					t.Fatalf("%s seed=%d chunk=%d: streamed %d values, batch %d", name, seed, chunk, got.Len(), want.Len())
+				}
+				for i := range want.Values {
+					if math.Float64bits(got.Values[i]) != math.Float64bits(want.Values[i]) {
+						t.Fatalf("%s seed=%d chunk=%d: value %d streamed %v, batch %v",
+							name, seed, chunk, i, got.Values[i], want.Values[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamTargetMetadata checks the accessors against the registry specs.
+func TestStreamTargetMetadata(t *testing.T) {
+	ts, err := StreamTarget("ElecDem", 0.01, 1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := SpecOf("ElecDem")
+	if ts.Name() != "ElecDem" || ts.TargetName() != "DEMAND" {
+		t.Fatalf("names %q/%q", ts.Name(), ts.TargetName())
+	}
+	if ts.Period() != sp.Period || ts.Interval() != sp.Interval {
+		t.Fatalf("period/interval %d/%d", ts.Period(), ts.Interval())
+	}
+	if ts.Err() != nil {
+		t.Fatal(ts.Err())
+	}
+}
+
+// TestStreamTargetChunkGeometry checks that streamed chunks abut and respect
+// the requested size, and that chunk buffers are reused (the documented
+// aliasing contract).
+func TestStreamTargetChunkGeometry(t *testing.T) {
+	ts, err := StreamTarget("Weather", 0.01, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevEnd := ts.Start()
+	total := 0
+	var firstBuf []float64
+	for {
+		c, ok := ts.Next()
+		if !ok {
+			break
+		}
+		if c.Len() == 0 || c.Len() > 100 {
+			t.Fatalf("chunk of %d values", c.Len())
+		}
+		if c.Start != prevEnd || c.Interval != ts.Interval() {
+			t.Fatalf("chunk at %d, want %d", c.Start, prevEnd)
+		}
+		if firstBuf == nil {
+			firstBuf = c.Values[:1]
+		} else if total+c.Len() <= ts.Len() && c.Len() == 100 && &firstBuf[0] != &c.Values[0] {
+			t.Fatal("full-size chunks should reuse the internal buffer")
+		}
+		prevEnd = c.End()
+		total += c.Len()
+	}
+	if total != ts.Len() {
+		t.Fatalf("streamed %d of %d values", total, ts.Len())
+	}
+}
+
+// TestStreamTargetFallback exercises a registration without a StreamSpec
+// (RegTestSine, registered in registry_test.go): StreamTarget must serve it
+// from a batch Load behind the same interface.
+func TestStreamTargetFallback(t *testing.T) {
+	ts, err := StreamTarget("RegTestSine", 1, 3, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Load("RegTestSine", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := timeseries.Collect("", ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want.Target()) {
+		t.Fatal("fallback stream differs from batch Load")
+	}
+}
+
+// TestStreamTargetErrors covers the argument validation.
+func TestStreamTargetErrors(t *testing.T) {
+	if _, err := StreamTarget("NoSuchDataset", 0.1, 1, 128); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := StreamTarget("ETTm1", 0, 1, 128); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := StreamTarget("ETTm1", 1.5, 1, 128); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+}
+
+// TestCalibrationCached checks that the O(n) calibration pass runs once per
+// (name, n, seed) — repeated streams share the cached coefficients.
+func TestCalibrationCached(t *testing.T) {
+	a, err := StreamTarget("ETTm1", 0.01, 42, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StreamTarget("ETTm1", 0.01, 42, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.cal != b.cal {
+		t.Fatal("calibration not shared between identical streams")
+	}
+}

@@ -1,0 +1,128 @@
+package timeseries
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func chunkTestSeries(n int) *Series {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i) * 1.5
+	}
+	return New("c", 1000, 60, v)
+}
+
+func TestChunksRoundTrip(t *testing.T) {
+	for _, size := range []int{1, 7, 64, 1000, 0, -3} {
+		s := chunkTestSeries(257)
+		got, err := Collect("c", s.Chunks(size))
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !got.Equal(s) || got.Start != s.Start || got.Interval != s.Interval {
+			t.Fatalf("size %d: collected series differs", size)
+		}
+	}
+}
+
+func TestChunksMetadata(t *testing.T) {
+	s := chunkTestSeries(10)
+	src := s.Chunks(4)
+	var starts []int64
+	var lens []int
+	for {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		if c.Interval != 60 {
+			t.Fatalf("chunk interval %d", c.Interval)
+		}
+		if c.End() != c.Start+int64(c.Len())*60 {
+			t.Fatal("End inconsistent with Len")
+		}
+		starts = append(starts, c.Start)
+		lens = append(lens, c.Len())
+	}
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+	wantStarts := []int64{1000, 1240, 1480}
+	wantLens := []int{4, 4, 2}
+	for i := range wantStarts {
+		if starts[i] != wantStarts[i] || lens[i] != wantLens[i] {
+			t.Fatalf("chunk %d: start %d len %d, want %d/%d", i, starts[i], lens[i], wantStarts[i], wantLens[i])
+		}
+	}
+}
+
+func TestChunksAlias(t *testing.T) {
+	// Chunks of an in-memory series are views, not copies.
+	s := chunkTestSeries(8)
+	c, _ := s.Chunks(4).Next()
+	c.Values[0] = -99
+	if s.Values[0] != -99 {
+		t.Fatal("chunk should alias the series values")
+	}
+}
+
+func TestAppendCopiesAndValidates(t *testing.T) {
+	s := &Series{Name: "a"}
+	buf := []float64{1, 2}
+	if err := s.Append(Chunk{Start: 0, Interval: 10, Values: buf}); err != nil {
+		t.Fatal(err)
+	}
+	// The producer reuses its buffer; the series must be unaffected.
+	buf[0], buf[1] = 3, 4
+	if err := s.Append(Chunk{Start: 20, Interval: 10, Values: buf}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i, v := range want {
+		if s.Values[i] != v {
+			t.Fatalf("values = %v, want %v", s.Values, want)
+		}
+	}
+	if s.Start != 0 || s.Interval != 10 {
+		t.Fatalf("metadata not adopted: %+v", s)
+	}
+	// A gap and an interval mismatch are both rejected at the seam.
+	if err := s.Append(Chunk{Start: 50, Interval: 10, Values: []float64{5}}); err == nil {
+		t.Error("gapped chunk should be rejected")
+	}
+	if err := s.Append(Chunk{Start: 40, Interval: 20, Values: []float64{5}}); err == nil {
+		t.Error("interval mismatch should be rejected")
+	}
+	// Empty chunks are no-ops.
+	if err := s.Append(Chunk{Start: 999, Interval: 1}); err != nil {
+		t.Error(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestChunksPropertyPartition(t *testing.T) {
+	f := func(n uint8, size uint8) bool {
+		s := chunkTestSeries(int(n))
+		src := s.Chunks(int(size))
+		total := 0
+		prevEnd := s.Start
+		for {
+			c, ok := src.Next()
+			if !ok {
+				break
+			}
+			if c.Len() == 0 || c.Start != prevEnd {
+				return false
+			}
+			prevEnd = c.End()
+			total += c.Len()
+		}
+		return total == s.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

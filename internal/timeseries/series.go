@@ -29,8 +29,15 @@ type Series struct {
 	Values   []float64
 }
 
-// New returns a Series with the given metadata and values. The values slice
-// is used directly (not copied).
+// New returns a Series with the given metadata and values.
+//
+// The values slice is used directly, NOT copied: the series aliases the
+// caller's array, and mutations on either side are visible to both. This
+// no-copy contract is what lets dataset generators, payload decoders, and
+// Segment views share storage without doubling memory, but it means a
+// caller that keeps writing into values after New must not assume the
+// series is a snapshot — use Clone (or Append, which always copies) for an
+// independent series.
 func New(name string, start, interval int64, values []float64) *Series {
 	return &Series{Name: name, Start: start, Interval: interval, Values: values}
 }

@@ -25,11 +25,30 @@ type (
 	StandardScaler = timeseries.StandardScaler
 	// WindowSet is a batch of (input, target) forecasting windows.
 	WindowSet = timeseries.WindowSet
+	// Chunk is a bounded run of consecutive points — the unit of the
+	// streaming data plane. Its Values slice is only valid until the next
+	// Source.Next call; copy if you need to keep it.
+	Chunk = timeseries.Chunk
+	// SeriesSource yields a series chunk by chunk. Implement it to feed
+	// third-party data (files, sockets, sensors) into the streaming
+	// encoders without materialising the series; Series.Chunks adapts an
+	// in-memory series.
+	SeriesSource = timeseries.Source
 )
+
+// DefaultChunkSize is the chunk length used when a caller passes a
+// non-positive chunk size to the streaming APIs.
+const DefaultChunkSize = timeseries.DefaultChunkSize
 
 // NewSeries constructs a regular time series.
 func NewSeries(name string, start, interval int64, values []float64) *Series {
 	return timeseries.New(name, start, interval, values)
+}
+
+// CollectSeries drains a chunk source into an in-memory series — the
+// bridge back from the streaming data plane to the batch APIs.
+func CollectSeries(name string, src SeriesSource) (*Series, error) {
+	return timeseries.Collect(name, src)
 }
 
 // MakeWindows slices values into overlapping (input, target) forecasting
@@ -103,13 +122,46 @@ func DecompressFrame(r *FrameResult, template *Frame) (*Frame, error) {
 	return compress.DecompressFrame(r, template)
 }
 
-// StreamEncoder compresses a series incrementally (PMC or Swing), producing
-// byte-identical output to batch compression — the paper's edge scenario.
-type StreamEncoder = compress.StreamEncoder
+// Streaming data plane: encode and decode chunk by chunk with bounded
+// memory. Streamed payloads are byte-identical to batch compression —
+// batch Compress drives the same incremental kernels — so ratios, error
+// bounds, and decoded values cannot differ between the two planes.
+type (
+	// StreamEncoder compresses a series incrementally (Push or PushChunk),
+	// producing byte-identical output to batch compression — the paper's
+	// edge scenario.
+	StreamEncoder = compress.StreamEncoder
+	// StreamDecoder reconstructs a compressed series chunk by chunk; it is
+	// a SeriesSource, so the decoded stream can feed any chunk consumer.
+	StreamDecoder = compress.StreamDecoder
+)
 
 // NewStreamEncoder returns a streaming encoder for the series' metadata.
+// PMC, Swing, SZ, and Gorilla stream through true incremental kernels;
+// other registered methods buffer internally and fall back to batch
+// encoding at Close (same bytes, batch memory).
 func NewStreamEncoder(m Method, s *Series, epsilon float64) (*StreamEncoder, error) {
 	return compress.NewStreamEncoder(m, s, epsilon)
+}
+
+// NewStreamEncoderAt is NewStreamEncoder for callers that know the start
+// timestamp and sampling interval but have no materialised Series — the
+// usual case at the edge.
+func NewStreamEncoderAt(m Method, start, interval int64, epsilon float64) (*StreamEncoder, error) {
+	return compress.NewStreamEncoderAt(m, start, interval, epsilon)
+}
+
+// NewBufferedStreamEncoder wraps any Compressor (e.g. an externally
+// registered one with no incremental kernel) in the StreamEncoder
+// interface by buffering points and batch-compressing at Close.
+func NewBufferedStreamEncoder(c Compressor, start, interval int64, epsilon float64) (*StreamEncoder, error) {
+	return compress.NewBufferedStreamEncoder(c, start, interval, epsilon)
+}
+
+// NewStreamDecoder returns a chunked decoder over a compressed payload
+// (any registered method). chunkSize ≤ 0 uses DefaultChunkSize.
+func NewStreamDecoder(c *Compressed, chunkSize int) (*StreamDecoder, error) {
+	return compress.NewStreamDecoder(c, chunkSize)
 }
 
 // CompressorRegistration declares an externally implemented compression
@@ -203,6 +255,20 @@ func MustLoadDataset(name string, scale float64, seed int64) *Dataset {
 	return datasets.MustLoad(name, scale, seed)
 }
 
+// DatasetStream generates a dataset's target column chunk by chunk — a
+// SeriesSource whose values are bit-identical to
+// LoadDataset(...).Target().Values with O(chunk) steady-state memory (after
+// a one-time cached calibration pass per configuration). Datasets
+// registered without streaming support fall back to batch generation
+// behind the same interface.
+type DatasetStream = datasets.TargetStream
+
+// StreamDataset returns a chunked generator for a dataset's target column.
+// chunkSize ≤ 0 uses DefaultChunkSize.
+func StreamDataset(name string, scale float64, seed int64, chunkSize int) (*DatasetStream, error) {
+	return datasets.StreamTarget(name, scale, seed, chunkSize)
+}
+
 // DatasetSpec is the target statistics of a registered dataset (length,
 // sampling interval, seasonal period, and Table 1 summary statistics).
 type DatasetSpec = datasets.Spec
@@ -273,7 +339,10 @@ func CheckDrift(raw, decompressed []float64, period int) (*DriftReport, error) {
 type (
 	// EvalOptions configures a full evaluation run. Its Parallelism field
 	// bounds the harness's worker pools (0 = NumCPU, 1 = sequential);
-	// results are bit-identical at every setting.
+	// results are bit-identical at every setting. Its Stream field runs the
+	// ingest→compress→reconstruct stages through the chunked streaming data
+	// plane (ChunkSize points at a time) — also bit-identical, so neither
+	// field participates in grid memoisation.
 	EvalOptions = core.Options
 	// GridResult is the memoised output of the full evaluation grid.
 	GridResult = core.GridResult
