@@ -28,11 +28,12 @@ func main() {
 		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
 		models     = flag.String("models", "", "comma-separated model subset (default: all seven)")
 		maxTFE     = flag.Float64("tfe", 0.1, "TFE tolerance for -experiment recommend")
-		saveGrid   = flag.String("savegrid", "", "after the run, save the evaluation grid to this file (gzip JSON)")
+		saveGrid   = flag.String("savegrid", "", "after the run, save the evaluation grid to this file (cell store)")
 		loadGrid   = flag.String("loadgrid", "", "load a previously saved evaluation grid instead of recomputing")
 		common     = cli.Bind(flag.CommandLine)
 	)
 	common.BindStream(flag.CommandLine)
+	common.BindStore(flag.CommandLine)
 	flag.Parse()
 
 	stopProfiles, err := common.Start()
@@ -60,6 +61,7 @@ func main() {
 	opts.ReferenceKernels = common.RefKernels
 	opts.Stream = common.Stream
 	opts.ChunkSize = common.ChunkSize
+	opts.Store = common.Store
 	if *datasets != "" {
 		opts.Datasets = cli.SplitList(*datasets)
 	}
@@ -92,6 +94,13 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "grid saved to %s\n", *saveGrid)
 		}
+	}
+	// Say where the grid's cells came from — computed, loaded, or a
+	// resumed mix — so nobody misreads a loaded grid's zero timings as a
+	// measurement. RunGrid is memoised, so this recomputes nothing; it
+	// only reports when a grid actually exists for these options.
+	if g, err := core.RunGridCached(opts); err == nil {
+		fmt.Fprintln(os.Stderr, g.Provenance.String())
 	}
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, "evalimpl:", err)

@@ -1,0 +1,40 @@
+// Command gridstore inspects a cell-addressed result store: which grid
+// signatures it holds, how many cell records per dataset, and whether it
+// records a completed run (loadable) or only checkpoints of an interrupted
+// one (resumable).
+//
+//	gridstore results.cells
+//	gridstore -verify results.cells   # additionally assemble the grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lossyts/internal/core"
+)
+
+func main() {
+	verify := flag.Bool("verify", false, "assemble the stored grid (errors if the store has no completed run)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gridstore [-verify] <store file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	info, err := core.InspectStore(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gridstore:", err)
+		os.Exit(1)
+	}
+	fmt.Print(info.String())
+	if *verify {
+		g, err := core.LoadGrid(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gridstore:", err)
+			os.Exit(1)
+		}
+		fmt.Println(g.Provenance.String())
+	}
+}

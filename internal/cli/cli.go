@@ -29,6 +29,10 @@ type Common struct {
 	// length in points (0 = the timeseries default).
 	Stream    bool
 	ChunkSize int
+	// Store is the path of a cell-addressed result store ("" = off):
+	// completed grid cells are checkpointed there as they finish and
+	// reused by later runs (see core.Options.Store).
+	Store string
 }
 
 // BindProfiling registers the profiling flags on fs and returns the
@@ -57,6 +61,14 @@ func Bind(fs *flag.FlagSet) *Common {
 func (c *Common) BindStream(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Stream, "stream", false, "use the chunked streaming data plane (identical results, bounded memory)")
 	fs.IntVar(&c.ChunkSize, "chunk", 0, "streaming chunk length in points (0 = default)")
+}
+
+// BindStore registers the result-store flag. Commands that evaluate grid
+// cells through the harness (evalimpl, tsforecast) offer it: with a store,
+// every completed cell is checkpointed durably, an interrupted run resumes
+// where it stopped, and a grown grid computes only its delta.
+func (c *Common) BindStore(fs *flag.FlagSet) {
+	fs.StringVar(&c.Store, "store", "", "cell-addressed result store: checkpoint finished cells here, resume interrupted runs, recompute only grid deltas")
 }
 
 // Start applies the kernel mode and starts the requested profilers. The

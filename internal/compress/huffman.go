@@ -33,9 +33,9 @@ func (h huffmanHeap) Less(i, j int) bool {
 	// Tie-break on symbol for determinism.
 	return h[i].symbol < h[j].symbol
 }
-func (h huffmanHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *huffmanHeap) Push(x interface{}) { *h = append(*h, x.(*huffmanNode)) }
-func (h *huffmanHeap) Pop() interface{} {
+func (h huffmanHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *huffmanHeap) Push(x any)   { *h = append(*h, x.(*huffmanNode)) }
+func (h *huffmanHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

@@ -1,0 +1,276 @@
+// Package cellstore implements the append-only record journal behind the
+// evaluation grid's cell-addressed result store. A store file is a short
+// header followed by self-delimiting, CRC-guarded (key, payload) records;
+// the last record for a key wins, so updates are plain appends and a
+// half-written tail (killed process, full disk) never corrupts the records
+// before it — Open truncates the file back to the last valid record.
+//
+// The format is deliberately dumb: no compaction, no B-tree, no background
+// goroutines. Grid cells are written once per (option set, cell) and read
+// back as a batch, so an append-only journal with an in-memory index is
+// both the simplest and the fastest structure that survives a kill -9.
+package cellstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Magic identifies a cell-store file: seven format bytes plus one version
+// byte. Version bumps are format-incompatible; record-level schema
+// evolution happens in the keys and payloads, not here.
+const (
+	magic   = "LTSCELL"
+	Version = 1
+)
+
+// maxRecordLen bounds a single record (length field included). The largest
+// legitimate record is a paper-scale dataset record (raw values of the
+// longest series, Gorilla-encoded); 1 GiB leaves orders of magnitude of
+// headroom while keeping a corrupt length field from demanding the moon.
+const maxRecordLen = 1 << 30
+
+// Store is an open cell store. All methods are safe for concurrent use;
+// appends are serialised internally.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	size  int64 // current end-of-file offset
+	index map[string][]byte
+	order []string // keys in first-write order, for deterministic listing
+}
+
+// Open opens (creating if absent) the store at path and replays its
+// journal into the in-memory index. A corrupt or truncated tail — a
+// half-appended record from a killed writer — is cut off at the last valid
+// record; everything before it is recovered intact.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, index: map[string][]byte{}}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Create opens the store at path, discarding any previous contents — the
+// canonical-write mode SaveGrid uses so saved grids are byte-deterministic.
+func Create(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, index: map[string][]byte{}}
+	if err := s.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// IsStore reports whether the file at path begins with the cell-store
+// magic, without opening it as a store.
+func IsStore(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false
+	}
+	return string(hdr[:7]) == magic
+}
+
+func (s *Store) writeHeader() error {
+	var hdr [8]byte
+	copy(hdr[:], magic)
+	hdr[7] = Version
+	if _, err := s.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	s.size = int64(len(hdr))
+	return nil
+}
+
+// load replays the journal. An empty file gets a fresh header; a non-store
+// file is rejected; a valid prefix followed by garbage is truncated back to
+// the end of the valid prefix.
+func (s *Store) load() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	if fi.Size() == 0 {
+		return s.writeHeader()
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(s.f, hdr[:]); err != nil {
+		return fmt.Errorf("cellstore: %s: reading header: %w", s.path, err)
+	}
+	if string(hdr[:7]) != magic {
+		return fmt.Errorf("cellstore: %s is not a cell store", s.path)
+	}
+	if hdr[7] != Version {
+		return fmt.Errorf("cellstore: %s has store version %d, want %d", s.path, hdr[7], Version)
+	}
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return err
+	}
+	valid := int64(len(hdr)) // end offset of the last valid record
+	off := 0
+	for off < len(data) {
+		key, payload, n := parseRecord(data[off:])
+		if n <= 0 {
+			break // corrupt or truncated tail: stop at the last valid record
+		}
+		s.put(key, payload)
+		off += n
+		valid += int64(n)
+	}
+	s.size = valid
+	if valid < fi.Size() {
+		// Cut the bad tail off so future appends extend a valid journal.
+		if err := s.f.Truncate(valid); err != nil {
+			return fmt.Errorf("cellstore: %s: truncating corrupt tail: %w", s.path, err)
+		}
+	}
+	return nil
+}
+
+// parseRecord decodes one record from b, returning its key, payload, and
+// total encoded length, or n <= 0 if b does not begin with a valid record.
+func parseRecord(b []byte) (key string, payload []byte, n int) {
+	if len(b) < 8 {
+		return "", nil, 0
+	}
+	length := binary.LittleEndian.Uint32(b[:4])
+	if length < 2 || length > maxRecordLen || int(length) > len(b)-8 {
+		return "", nil, 0
+	}
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	body := b[8 : 8+int(length)]
+	if crc32.ChecksumIEEE(body) != sum {
+		return "", nil, 0
+	}
+	keyLen := int(binary.LittleEndian.Uint16(body[:2]))
+	if keyLen > len(body)-2 {
+		return "", nil, 0
+	}
+	return string(body[2 : 2+keyLen]), body[2+keyLen:], 8 + int(length)
+}
+
+// put records key -> payload in the index, tracking first-write order.
+func (s *Store) put(key string, payload []byte) {
+	if _, seen := s.index[key]; !seen {
+		s.order = append(s.order, key)
+	}
+	s.index[key] = payload
+}
+
+// Put appends a record for key. The write is a single write(2) call, so a
+// killed process loses at most the record in flight — never an earlier one
+// — and Open's tail recovery handles the partial write.
+func (s *Store) Put(key string, payload []byte) error {
+	if len(key) > math.MaxUint16 {
+		return fmt.Errorf("cellstore: key of %d bytes exceeds the 64 KiB key limit", len(key))
+	}
+	body := make([]byte, 2+len(key)+len(payload))
+	binary.LittleEndian.PutUint16(body[:2], uint16(len(key)))
+	copy(body[2:], key)
+	copy(body[2+len(key):], payload)
+	rec := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(rec[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(body))
+	copy(rec[8:], body)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return err
+	}
+	s.size += int64(len(rec))
+	s.put(key, payload)
+	return nil
+}
+
+// Get returns the latest payload stored for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.index[key]
+	return p, ok
+}
+
+// Has reports whether key has a record.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Keys returns every live key, sorted, so listings are deterministic
+// regardless of append order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Size returns the store file's size in bytes.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Sync flushes the journal to stable storage (power-loss durability; a
+// plain process kill never loses completed Put calls, which go straight to
+// the kernel).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close syncs and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

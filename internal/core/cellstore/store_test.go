@@ -1,0 +1,276 @@
+package cellstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func tempStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cells.store")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := tempStore(t)
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("a")
+	if !ok || string(got) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	if got, ok = s.Get("b"); !ok || len(got) != 0 {
+		t.Fatalf("Get(b) = %q, %v", got, ok)
+	}
+	if _, ok = s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	if s.Len() != 2 || !s.Has("a") || s.Has("zzz") {
+		t.Fatalf("Len/Has wrong: %d", s.Len())
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestLastRecordWins(t *testing.T) {
+	s, path := tempStore(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Put("k", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := s.Get("k"); string(got) != "v2" {
+		t.Fatalf("in-memory Get = %q, want v2", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, _ := re.Get("k"); string(got) != "v2" {
+		t.Fatalf("replayed Get = %q, want v2", got)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("Len after replay = %d", re.Len())
+	}
+}
+
+func TestReopenAppends(t *testing.T) {
+	s, path := tempStore(t)
+	if err := s.Put("first", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Put("second", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	again, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	for k, want := range map[string]string{"first": "1", "second": "2"} {
+		if got, ok := again.Get(k); !ok || string(got) != want {
+			t.Fatalf("Get(%s) = %q, %v", k, got, ok)
+		}
+	}
+}
+
+// TestCorruptTailRecovery covers the crash contract: records before the
+// corruption survive; the bad tail is truncated; the store keeps working.
+func TestCorruptTailRecovery(t *testing.T) {
+	cases := map[string]struct {
+		corrupt        func([]byte) []byte
+		victimSurvives bool
+	}{
+		// A record cut off mid-payload, as a killed writer leaves it.
+		"truncated": {func(b []byte) []byte { return b[:len(b)-3] }, false},
+		// Garbage appended after the last record: every real record is
+		// intact; only the junk is cut off.
+		"garbage": {func(b []byte) []byte { return append(b, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3) }, true},
+		// A bit flipped inside the final record's payload (CRC mismatch).
+		"bitflip": {func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }, false},
+	}
+	for name, tc := range cases {
+		corrupt, victimSurvives := tc.corrupt, tc.victimSurvives
+		t.Run(name, func(t *testing.T) {
+			s, path := tempStore(t)
+			if err := s.Put("keep1", []byte("p1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("keep2", []byte("p2")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("victim", []byte("will be damaged")); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(append([]byte(nil), blob...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			for k, want := range map[string]string{"keep1": "p1", "keep2": "p2"} {
+				if got, ok := re.Get(k); !ok || string(got) != want {
+					t.Fatalf("%s lost after recovery: %q, %v", k, got, ok)
+				}
+			}
+			if _, ok := re.Get("victim"); ok != victimSurvives {
+				t.Fatalf("victim survived = %v, want %v", ok, victimSurvives)
+			}
+			// The store stays usable: new appends land after the truncation
+			// point and replay cleanly.
+			if err := re.Put("after", []byte("ok")); err != nil {
+				t.Fatal(err)
+			}
+			re.Close()
+			fin, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fin.Close()
+			if got, ok := fin.Get("after"); !ok || string(got) != "ok" {
+				t.Fatalf("post-recovery append lost: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsForeignFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-store")
+	if err := os.WriteFile(path, []byte("{\"json\": true}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("foreign file opened as a store")
+	}
+	if IsStore(path) {
+		t.Fatal("IsStore accepted a foreign file")
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.store")
+	s, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("old", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Fatalf("Create kept %d old records", s2.Len())
+	}
+	if !IsStore(path) {
+		t.Fatal("IsStore rejected a real store")
+	}
+}
+
+// TestDeterministicBytes: the same record sequence produces the same file
+// bytes — the property grid-save byte-identity tests build on.
+func TestDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(path string) []byte {
+		s, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := s.Put(fmt.Sprintf("key-%d", i), bytes.Repeat([]byte{byte(i)}, i*7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Close()
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a := write(filepath.Join(dir, "a"))
+	b := write(filepath.Join(dir, "b"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical record sequences serialised differently")
+	}
+}
+
+// TestConcurrentPuts hammers Put from many goroutines (run under -race in
+// CI); every record must survive a reopen.
+func TestConcurrentPuts(t *testing.T) {
+	s, path := tempStore(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := s.Put(key, []byte(key)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 8*25 {
+		t.Fatalf("replayed %d records, want %d", re.Len(), 8*25)
+	}
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 25; i++ {
+			key := fmt.Sprintf("w%d-%d", w, i)
+			if got, ok := re.Get(key); !ok || string(got) != key {
+				t.Fatalf("lost %s", key)
+			}
+		}
+	}
+}
+
+func TestOversizedKeyRejected(t *testing.T) {
+	s, _ := tempStore(t)
+	if err := s.Put(string(bytes.Repeat([]byte{'k'}, 1<<17)), nil); err == nil {
+		t.Fatal("64 KiB+ key accepted")
+	}
+}

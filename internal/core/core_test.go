@@ -316,11 +316,14 @@ func TestTableRendering(t *testing.T) {
 
 func TestFormatFloat(t *testing.T) {
 	cases := map[float64]string{
-		0:        "0",
-		12345:    "12345",
-		42.42:    "42.42",
-		0.123456: "0.1235",
-		-3333:    "-3333",
+		0:            "0",
+		12345:        "12345",
+		42.42:        "42.42",
+		0.123456:     "0.1235",
+		-3333:        "-3333",
+		math.NaN():   "NaN",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
 	}
 	for in, want := range cases {
 		if got := formatFloat(in); got != want {

@@ -63,7 +63,7 @@ func Table2(g *GridResult) (*Table, error) {
 	}
 	for _, m := range g.Opts.models() {
 		for _, metric := range []string{"R", "RSE", "RMSE", "NRMSE"} {
-			row := []interface{}{m, metric}
+			row := []any{m, metric}
 			for _, ds := range names {
 				b := g.Datasets[ds].Baselines[m]
 				var v float64
@@ -201,7 +201,7 @@ func Table5(g *GridResult) (*Table, error) {
 		}
 		labels := []string{"EB", "TE", "CR", "TFE"}
 		for mi, label := range labels {
-			row := []interface{}{string(m), label}
+			row := []any{string(m), label}
 			var sum float64
 			for _, name := range g.Opts.datasets() {
 				v := cols[name][mi]
@@ -246,7 +246,7 @@ func Table6(g *GridResult) (*Table, error) {
 					acc[f.short] = append(acc[f.short], r.RelDiff[f.name])
 				}
 			}
-			row := []interface{}{label, string(m)}
+			row := []any{label, string(m)}
 			for _, f := range sensitivityFeatures {
 				vals := acc[f.short]
 				if len(vals) == 0 {
@@ -300,8 +300,8 @@ func Table7(g *GridResult) (*Table, error) {
 		Title:  "Table 7: Best models based on NRMSE and TFE",
 		Header: append([]string{"Criterion"}, g.Opts.datasets()...),
 	}
-	nrmseRow := []interface{}{"NRMSE"}
-	tfeRow := []interface{}{"TFE"}
+	nrmseRow := []any{"NRMSE"}
+	tfeRow := []any{"TFE"}
 	for _, name := range g.Opts.datasets() {
 		ds := g.Datasets[name]
 		best, bestV := "", math.Inf(1)
@@ -500,7 +500,7 @@ func Figure6(g *GridResult) (*Table, error) {
 		Header: header,
 	}
 	for _, m := range g.Opts.models() {
-		row := []interface{}{m}
+		row := []any{m}
 		for _, name := range g.Opts.datasets() {
 			ds := g.Datasets[name]
 			var sum float64

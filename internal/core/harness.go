@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lossyts/internal/compress"
+	"lossyts/internal/core/cellstore"
 	"lossyts/internal/features"
 	"lossyts/internal/forecast"
 	"lossyts/internal/nn"
@@ -35,14 +36,6 @@ type Cell struct {
 	TFE map[string]float64
 }
 
-// cellKey identifies a grid cell within one dataset. Epsilon comparison is
-// exact (==), matching the grid construction: bounds are taken verbatim
-// from Options, never recomputed.
-type cellKey struct {
-	method compress.Method
-	eps    float64
-}
-
 // DatasetResult is the full grid for one dataset.
 type DatasetResult struct {
 	Name           string
@@ -58,24 +51,28 @@ type DatasetResult struct {
 	Baselines map[string]stats.Metrics
 	Cells     []*Cell
 
-	// index maps (method, epsilon) to its cell for O(1) lookup. It is built
-	// once before the result escapes its constructor and is read-only after.
-	index map[cellKey]*Cell
+	// index maps each cell's address to its cell for O(1) lookup. It is
+	// built once before the result escapes its constructor and is read-only
+	// after. Epsilon comparison is exact (==), matching the grid
+	// construction: bounds are taken verbatim from Options, never
+	// recomputed — the same exactness the persistent store's CellKey relies
+	// on.
+	index map[CellAddr]*Cell
 }
 
 // buildIndex (re)derives the keyed cell lookup from Cells. Constructors
 // (evaluateDataset, LoadGrid) call it before the result is shared.
 func (d *DatasetResult) buildIndex() {
-	d.index = make(map[cellKey]*Cell, len(d.Cells))
+	d.index = make(map[CellAddr]*Cell, len(d.Cells))
 	for _, c := range d.Cells {
-		d.index[cellKey{c.Method, c.Epsilon}] = c
+		d.index[CellAddr{c.Method, c.Epsilon}] = c
 	}
 }
 
 // Cell returns the grid cell for (method, eps), or nil.
 func (d *DatasetResult) Cell(m compress.Method, eps float64) *Cell {
 	if d.index != nil {
-		return d.index[cellKey{m, eps}]
+		return d.index[CellAddr{m, eps}]
 	}
 	// Hand-assembled results (tests) may lack the index; fall back to a scan.
 	for _, c := range d.Cells {
@@ -127,6 +124,7 @@ type StageTiming struct {
 type timingAcc struct {
 	setup, compression, planning, forecast atomic.Int64 // nanoseconds
 	units, cellEvals                       atomic.Int64
+	cellsLoaded, cellsComputed             atomic.Int64
 
 	mu      sync.Mutex
 	stageNs map[string]int64
@@ -180,13 +178,59 @@ func (a *timingAcc) snapshot(wall time.Duration, order []string) PhaseTimings {
 	return pt
 }
 
+// Provenance records how a GridResult came to be, so consumers of
+// persisted or resumed grids see an honest account instead of misleading
+// zero timings: "loaded" grids legitimately have no phase timings, and a
+// "resumed" grid's timings cover only the cells it actually computed.
+type Provenance struct {
+	// Source is "computed" (every cell evaluated this run), "loaded"
+	// (every cell read from a store or saved grid), or "resumed" (a mix:
+	// stored cells reused, missing cells computed).
+	Source string
+	// StorePath is the result store or saved-grid file involved ("" for a
+	// purely in-memory computation).
+	StorePath string
+	// CellsComputed and CellsLoaded count grid cells evaluated by this run
+	// versus reused from the store.
+	CellsComputed int
+	CellsLoaded   int
+}
+
+// Provenance sources.
+const (
+	SourceComputed = "computed"
+	SourceLoaded   = "loaded"
+	SourceResumed  = "resumed"
+)
+
+// String renders a one-line provenance summary for reports.
+func (p Provenance) String() string {
+	switch p.Source {
+	case SourceLoaded:
+		return fmt.Sprintf("grid loaded from %s (%d cells; timings are not meaningful for loaded grids)",
+			p.StorePath, p.CellsLoaded)
+	case SourceResumed:
+		return fmt.Sprintf("grid resumed from %s (%d cells loaded, %d computed; timings cover the computed delta only)",
+			p.StorePath, p.CellsLoaded, p.CellsComputed)
+	default:
+		if p.StorePath != "" {
+			return fmt.Sprintf("grid computed (%d cells, checkpointed to %s)", p.CellsComputed, p.StorePath)
+		}
+		return fmt.Sprintf("grid computed (%d cells)", p.CellsComputed)
+	}
+}
+
 // GridResult is the complete evaluation output shared by all experiments.
 type GridResult struct {
 	Opts     Options
 	Datasets map[string]*DatasetResult
 	// Timings reports per-phase wall clock and work counters of the run
-	// that computed this grid (zero for grids loaded from disk).
+	// that computed this grid. Grids loaded from disk have zero timings and
+	// resumed grids only the computed delta's; Provenance says which.
 	Timings PhaseTimings
+	// Provenance records whether the cells were computed, loaded from a
+	// store, or a resumed mix of both.
+	Provenance Provenance
 
 	mu       sync.Mutex
 	features map[string]features.Vector // lazy characteristic vectors
@@ -224,6 +268,19 @@ func ResetGridCache() {
 	gridMu.Lock()
 	gridCache = map[string]*GridResult{}
 	gridMu.Unlock()
+}
+
+// RunGridCached returns the memoised grid for opts if a prior call in this
+// process computed or loaded one, without triggering any evaluation.
+// Report-only callers (e.g. provenance lines) use it so experiments that
+// never needed the grid do not suddenly compute it.
+func RunGridCached(opts Options) (*GridResult, error) {
+	gridMu.Lock()
+	defer gridMu.Unlock()
+	if g, ok := gridCache[opts.key()]; ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("core: no grid has been computed for these options")
 }
 
 // RunGrid executes the paper's evaluation scenario over the configured grid
@@ -269,6 +326,19 @@ func RunGridContext(ctx context.Context, opts Options) (*GridResult, error) {
 		pipeline = StreamingPipeline()
 	}
 	rc := newRunContext(ctx, opts, pipeline)
+	if opts.Store != "" {
+		store, err := cellstore.Open(opts.Store)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening result store: %w", err)
+		}
+		defer store.Close()
+		rc.store = store
+		// The checkpoint stage exists only in store-backed runs, so
+		// store-less pipelines keep their canonical stage list.
+		if err := pipeline.InsertAfter(StageAnalyze, Stage{Name: StageCheckpoint, Run: runCheckpoint}); err != nil {
+			return nil, err
+		}
+	}
 	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}}
 	// Datasets are independent; evaluate them concurrently up to the
 	// parallelism bound. Each evaluation owns its models and RNGs, and each
@@ -317,10 +387,39 @@ func RunGridContext(ctx context.Context, opts Options) (*GridResult, error) {
 		g.Datasets[name] = outs[i].dr
 	}
 	g.Timings = rc.acc.snapshot(time.Since(start), rc.pipeline.StageNames())
+	g.Provenance = rc.provenance()
+	if rc.store != nil {
+		// Record the completed option set last: its presence marks the
+		// store as a finished run LoadGrid can assemble, so a kill at any
+		// earlier point leaves an unambiguous checkpoint store.
+		if err := putOptsRecord(rc.store, opts); err != nil {
+			return nil, fmt.Errorf("core: recording completed run: %w", err)
+		}
+	}
 	gridMu.Lock()
 	gridCache[key] = g
 	gridMu.Unlock()
 	return g, nil
+}
+
+// provenance summarises where the run's cells came from, from the
+// loaded/computed counters the stages accumulated.
+func (rc *RunContext) provenance() Provenance {
+	p := Provenance{
+		Source:        SourceComputed,
+		CellsComputed: int(rc.acc.cellsComputed.Load()),
+		CellsLoaded:   int(rc.acc.cellsLoaded.Load()),
+	}
+	if rc.store != nil {
+		p.StorePath = rc.store.Path()
+	}
+	switch {
+	case p.CellsLoaded > 0 && p.CellsComputed > 0:
+		p.Source = SourceResumed
+	case p.CellsLoaded > 0:
+		p.Source = SourceLoaded
+	}
+	return p
 }
 
 // datasetPlan caches everything the (model, seed) units share within one
@@ -374,6 +473,20 @@ var errUnitSkipped = errors.New("core: unit skipped after earlier failure")
 // bit-identical to a sequential run.
 func evaluateDataset(rc *RunContext, name string) (*DatasetResult, error) {
 	st := &pipelineState{name: name}
+	if rc.store != nil {
+		sd, err := loadStoredDataset(rc.store, rc.opts, name)
+		if err != nil {
+			return nil, err
+		}
+		// A dataset the store fully covers skips the pipeline outright —
+		// no ingest, no compression, no training. Partial coverage hands
+		// the stored cells to the pipeline, which computes only the delta.
+		if sd.complete(rc.opts) {
+			rc.acc.cellsLoaded.Add(int64(len(rc.opts.methods()) * len(rc.opts.errorBounds())))
+			return sd.assemble(rc.opts), nil
+		}
+		st.loaded = sd
+	}
 	if err := rc.pipeline.run(rc, st); err != nil {
 		return nil, err
 	}

@@ -61,6 +61,14 @@ type Options struct {
 	// 0 means timeseries.DefaultChunkSize. Chunking never changes results,
 	// so it too is excluded from the memoisation key.
 	ChunkSize int
+	// Store is the path of a cell-addressed result store ("" = off). With a
+	// store, RunGridContext checkpoints every completed cell as its dataset
+	// finishes, skips cells already present on re-run — so a killed run
+	// resumes where it left off — and computes only the delta when the grid
+	// grows (new error bounds, methods, datasets, or models). Stored and
+	// recomputed cells are bit-identical by construction (see CellKey), so
+	// like Parallelism the field is excluded from the memoisation key.
+	Store string
 }
 
 // DefaultOptions is the paper's grid at laptop scale: all datasets, models,
@@ -169,11 +177,23 @@ func (o Options) chunkSize() int {
 	return timeseries.DefaultChunkSize
 }
 
-// key is the memoisation key: all fields that influence the grid.
-// Parallelism is deliberately excluded — it changes only scheduling, and
-// the harness guarantees bit-identical results at every setting.
+// key is the memoisation key: the grid signature shared with the result
+// store (every cell-identity field, see Options.CellKey) plus the grid
+// selectors. Parallelism, Stream, ChunkSize, and Store are deliberately
+// excluded — they change scheduling, memory, or persistence, and the
+// harness guarantees bit-identical results at every setting.
 func (o Options) key() string {
-	return fmt.Sprintf("%v|%d|%v|%v|%v|%v|%d|%d|%d|%+v|%v",
-		o.Scale, o.Seed, o.datasets(), o.models(), o.methods(), o.errorBounds(),
-		o.DeepSeeds, o.ShallowSeeds, o.MaxEvalWindows, o.Forecast, o.ReferenceKernels)
+	return fmt.Sprintf("%s|%v|%v|%v|%v",
+		o.gridSignature(), o.datasets(), o.models(), o.methods(), o.errorBounds())
+}
+
+// normalized clears the fields that never change results (scheduling,
+// streaming, persistence) so persisted option sets compare and serialise
+// identically however the grid was computed.
+func (o Options) normalized() Options {
+	o.Parallelism = 0
+	o.Stream = false
+	o.ChunkSize = 0
+	o.Store = ""
+	return o
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/stats"
+)
+
+const v1FixturePath = "testdata/grid_v1.json.gz"
+
+// v1FixtureGrid is the tiny grid frozen into the checked-in legacy
+// fixture: one dataset, one model, one cell, with distinctive values so
+// the migration test can verify every field survived.
+func v1FixtureGrid() gridFileV1 {
+	opts := DefaultOptions()
+	opts.Scale = 0.25
+	opts.Seed = 7
+	opts.Datasets = []string{"ETTm1"}
+	opts.Models = []string{"Arima"}
+	opts.Methods = []compress.Method{compress.MethodPMC}
+	opts.ErrorBounds = []float64{0.1}
+	return gridFileV1{
+		Version: gridFileVersionV1,
+		Opts:    opts,
+		Datasets: map[string]*datasetFileV1{
+			"ETTm1": {
+				Name:           "ETTm1",
+				SeasonalPeriod: 96,
+				Interval:       900,
+				RawValues:      []float64{1, 2.5, -3, 4.125, 2, 1.75},
+				RawTest:        []float64{4.125, 2, 1.75},
+				GorillaCR:      1.5,
+				Baselines: map[string]stats.Metrics{
+					"Arima": {R: 0.9, RSE: 0.2, RMSE: 0.3, NRMSE: 0.25},
+				},
+				Cells: []*cellFileV1{{
+					Method:       compress.MethodPMC,
+					Epsilon:      0.1,
+					CR:           3.25,
+					Segments:     2,
+					TE:           stats.Metrics{R: 0.99, RSE: 0.01, RMSE: 0.05, NRMSE: 0.04},
+					Decompressed: []float64{4.1, 2.05, 1.75},
+					ModelMetrics: map[string]stats.Metrics{
+						"Arima": {R: 0.88, RSE: 0.22, RMSE: 0.31, NRMSE: 0.27},
+					},
+					TFE: map[string]float64{"Arima": 0.08},
+				}},
+			},
+		},
+	}
+}
+
+// TestRegenerateV1Fixture rewrites the checked-in legacy fixture when run
+// with REGEN_V1_FIXTURE=1. It exists so the fixture's provenance is in the
+// repo: the bytes are exactly what the pre-store SaveGrid produced for
+// v1FixtureGrid (monolithic gzip-compressed JSON).
+func TestRegenerateV1Fixture(t *testing.T) {
+	if os.Getenv("REGEN_V1_FIXTURE") == "" {
+		t.Skip("set REGEN_V1_FIXTURE=1 to rewrite the fixture")
+	}
+	j, err := json.Marshal(v1FixtureGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz, err := compress.GzipBytes(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(v1FixturePath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v1FixturePath, gz, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridV1Migration loads the checked-in legacy (v1, monolithic JSON)
+// grid file and migrates it to a cell store via SaveGrid, verifying the
+// values survive both hops.
+func TestGridV1Migration(t *testing.T) {
+	swapGridCache(t)
+	want := v1FixtureGrid()
+
+	check := func(t *testing.T, g *GridResult) {
+		t.Helper()
+		ds := g.Datasets["ETTm1"]
+		if ds == nil {
+			t.Fatal("missing dataset")
+		}
+		wds := want.Datasets["ETTm1"]
+		if ds.GorillaCR != wds.GorillaCR || ds.SeasonalPeriod != wds.SeasonalPeriod || ds.Interval != wds.Interval {
+			t.Fatalf("dataset metadata mismatch: %+v", ds)
+		}
+		if ds.Baselines["Arima"] != wds.Baselines["Arima"] {
+			t.Fatalf("baseline mismatch: %+v", ds.Baselines)
+		}
+		c := ds.Cell(compress.MethodPMC, 0.1)
+		if c == nil {
+			t.Fatal("cell lookup failed on migrated grid")
+		}
+		wc := wds.Cells[0]
+		if c.CR != wc.CR || c.Segments != wc.Segments || c.TE != wc.TE {
+			t.Fatalf("cell mismatch: %+v", c)
+		}
+		if c.ModelMetrics["Arima"] != wc.ModelMetrics["Arima"] || c.TFE["Arima"] != wc.TFE["Arima"] {
+			t.Fatalf("cell metrics mismatch: %+v", c)
+		}
+		for i, v := range wc.Decompressed {
+			if c.Decompressed[i] != v {
+				t.Fatalf("decompressed[%d] = %v, want %v", i, c.Decompressed[i], v)
+			}
+		}
+	}
+
+	g, err := LoadGrid(v1FixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Provenance.Source != SourceLoaded || g.Provenance.CellsLoaded != 1 {
+		t.Fatalf("v1 provenance = %+v", g.Provenance)
+	}
+	check(t, g)
+
+	// Migrate: SaveGrid writes the store format; LoadGrid reads it back.
+	migrated := filepath.Join(t.TempDir(), "migrated.cells")
+	if err := SaveGrid(g, migrated); err != nil {
+		t.Fatal(err)
+	}
+	ResetGridCache()
+	g2, err := LoadGrid(migrated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, g2)
+}

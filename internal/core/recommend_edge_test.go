@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/stats"
+)
+
+// recommendGrid hand-assembles a minimal grid for edge-case probing: two
+// cells, one comfortably inside any sane tolerance, one far outside.
+func recommendGrid() *GridResult {
+	opts := DefaultOptions()
+	opts.Datasets = []string{"D"}
+	opts.Models = []string{"Arima"}
+	ds := &DatasetResult{
+		Name: "D",
+		Cells: []*Cell{
+			{Method: compress.MethodPMC, Epsilon: 0.05, CR: 2,
+				TE:  stats.Metrics{NRMSE: 0.01},
+				TFE: map[string]float64{"Arima": 0.02}},
+			{Method: compress.MethodPMC, Epsilon: 0.4, CR: 10,
+				TE:  stats.Metrics{NRMSE: 0.3},
+				TFE: map[string]float64{"Arima": 5}},
+		},
+	}
+	ds.buildIndex()
+	return &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{"D": ds}}
+}
+
+func TestRecommendEdgeCases(t *testing.T) {
+	t.Run("no cell within tolerance", func(t *testing.T) {
+		g := recommendGrid()
+		if _, err := Recommend(g, "D", 0.001, nil); err == nil {
+			t.Fatal("tolerance below every cell's TFE should error")
+		}
+	})
+
+	t.Run("NaN TFE is not a candidate", func(t *testing.T) {
+		g := recommendGrid()
+		// Give the high-CR cell a NaN TFE: it must be skipped, not win.
+		g.Datasets["D"].Cells[1].TFE["Arima"] = math.NaN()
+		rec, err := Recommend(g, "D", 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Epsilon != 0.05 {
+			t.Fatalf("NaN-TFE cell recommended: %+v", rec)
+		}
+		// All-NaN means no candidate at all.
+		g.Datasets["D"].Cells[0].TFE["Arima"] = math.NaN()
+		if _, err := Recommend(g, "D", 10, nil); err == nil {
+			t.Fatal("grid with only NaN TFE should error")
+		}
+	})
+
+	t.Run("absent TFE is not a candidate", func(t *testing.T) {
+		g := recommendGrid()
+		g.Datasets["D"].Cells[1].TFE = map[string]float64{}
+		rec, err := Recommend(g, "D", 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Epsilon != 0.05 {
+			t.Fatalf("TFE-less cell recommended: %+v", rec)
+		}
+	})
+
+	t.Run("empty models slice falls back to options", func(t *testing.T) {
+		g := recommendGrid()
+		want, err := Recommend(g, "D", 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Recommend(g, "D", 10, []string{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("empty slice gave %+v, nil gave %+v", got, want)
+		}
+	})
+
+	t.Run("unknown model only", func(t *testing.T) {
+		g := recommendGrid()
+		if _, err := Recommend(g, "D", 10, []string{"Nope"}); err == nil {
+			t.Fatal("model absent from every cell should error, not recommend blindly")
+		}
+	})
+
+	t.Run("store-backed grid", func(t *testing.T) {
+		// A grid loaded from a store must recommend identically to the
+		// in-memory grid it was saved from.
+		g := quickGrid(t)
+		want, err := Recommend(g, "ETTm1", 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "rec.cells")
+		if err := SaveGrid(g, path); err != nil {
+			t.Fatal(err)
+		}
+		swapGridCache(t)
+		loaded, err := LoadGrid(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Recommend(loaded, "ETTm1", 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("store-backed recommendation %+v, want %+v", got, want)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -13,7 +14,7 @@ type Table struct {
 }
 
 // AddRow appends a row of cells (fmt.Sprint applied to each value).
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -28,6 +29,12 @@ func (t *Table) AddRow(cells ...interface{}) {
 
 func formatFloat(v float64) string {
 	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
 	case v == 0:
 		return "0"
 	case v >= 1000 || v <= -1000:

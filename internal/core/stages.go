@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lossyts/internal/compress"
+	"lossyts/internal/core/cellstore"
 	"lossyts/internal/datasets"
 	"lossyts/internal/forecast"
 	"lossyts/internal/stats"
@@ -26,6 +27,10 @@ type RunContext struct {
 	opts     Options
 	acc      *timingAcc
 	pipeline *Pipeline
+	// store is the open result store when Options.Store is set; nil
+	// otherwise. Datasets load their stored cells from it before the
+	// pipeline runs and the checkpoint stage appends to it as they finish.
+	store *cellstore.Store
 }
 
 func newRunContext(ctx context.Context, opts Options, p *Pipeline) *RunContext {
@@ -52,6 +57,12 @@ const (
 	StageForecast    = "forecast"    // predict raw and per-cell windows
 	StageAnalyze     = "analyze"     // deterministic merge, TFE attribution
 )
+
+// StageCheckpoint persists a finished dataset's records to the run's
+// result store. RunGridContext inserts it after StageAnalyze only when a
+// store is configured, so store-less pipelines keep the exact stage list
+// the timing tests and reports assert.
+const StageCheckpoint = "checkpoint"
 
 // Stage is one named, separately timed step of the evaluation pipeline.
 // Stages communicate through the pipelineState they share; the engine runs
@@ -181,8 +192,22 @@ type pipelineState struct {
 	trainLen, valLen int
 	dr               *DatasetResult
 
-	// Compress → Reconstruct handoff, parallel to dr.Cells.
+	// Compress → Reconstruct handoff, parallel to dr.Cells. A nil entry
+	// marks a cell loaded from the result store: its reconstruction is
+	// already in the Cell, so the reconstruct stage skips it.
 	comps []*compress.Compressed
+
+	// loaded is what the result store already holds for this dataset (nil
+	// without a store, or when the dataset was never checkpointed).
+	loaded *storedDataset
+	// evalCells indexes the dr.Cells entries this run must (re)evaluate;
+	// plan.cells and unitResult.cells are parallel to it, not to dr.Cells.
+	// Without a store it lists every cell.
+	evalCells []int
+	// wantModels is the ordered subset of the requested models that must
+	// actually be trained — those missing from any evalCell or from the
+	// stored baselines. Without a store it is the full requested list.
+	wantModels []string
 
 	// Window outputs.
 	plan *datasetPlan
@@ -192,6 +217,40 @@ type pipelineState struct {
 	units   []unit
 	trained [][]forecast.Model
 	results [][]unitResult
+}
+
+// deltaPlan decides which cells and models this run actually computes,
+// given what the store already holds. Without a store nothing is loaded,
+// so the plan is the full grid and the pipeline behaves exactly as it did
+// before the store existed. Model order follows the requested list, so a
+// delta run merges seeds in the same order as a full run — the property
+// the bit-identity guarantee rests on.
+func (st *pipelineState) deltaPlan(requested []string) {
+	st.evalCells = nil
+	st.wantModels = nil
+	needModel := make(map[string]bool, len(requested))
+	for _, model := range requested {
+		if _, ok := st.dr.Baselines[model]; !ok {
+			needModel[model] = true
+		}
+	}
+	for ci, cell := range st.dr.Cells {
+		missing := false
+		for _, model := range requested {
+			if _, ok := cell.ModelMetrics[model]; !ok {
+				needModel[model] = true
+				missing = true
+			}
+		}
+		if missing {
+			st.evalCells = append(st.evalCells, ci)
+		}
+	}
+	for _, model := range requested {
+		if needModel[model] {
+			st.wantModels = append(st.wantModels, model)
+		}
+	}
 }
 
 // runIngest generates the dataset, splits and scales it, and computes the
@@ -239,6 +298,10 @@ func finishIngest(rc *RunContext, st *pipelineState, target *timeseries.Series) 
 		RawTest:        test.Values,
 		Baselines:      map[string]stats.Metrics{},
 	}
+	// Stored raw-data baselines carry over for models this run will not
+	// retrain; any model it does retrain overwrites its entry with a
+	// bit-identical value.
+	st.loaded.fillBaselines(st.dr.Baselines)
 	gor, err := gorillaBaseline(rc, test)
 	if err != nil {
 		return err
@@ -296,6 +359,15 @@ func runCompress(rc *RunContext, st *pipelineState) error {
 			if err := rc.Err(); err != nil {
 				return err
 			}
+			// A cell already in the result store slots straight into the
+			// grid: its reconstruction was persisted, so compressing again
+			// would be pure waste. The nil comps entry tells the
+			// reconstruct stage to leave it alone.
+			if lc := st.loaded.cell(m, eps); lc != nil {
+				st.dr.Cells = append(st.dr.Cells, lc)
+				st.comps = append(st.comps, nil)
+				continue
+			}
 			c, err := comp.Compress(st.test, eps)
 			if err != nil {
 				return err
@@ -320,6 +392,9 @@ func runReconstruct(rc *RunContext, st *pipelineState) error {
 	for ci, cell := range st.dr.Cells {
 		if err := rc.Err(); err != nil {
 			return err
+		}
+		if st.comps[ci] == nil {
+			continue // loaded from the store, reconstruction already present
 		}
 		dec, err := st.comps[ci].Decompress()
 		if err != nil {
@@ -352,28 +427,34 @@ func runWindow(rc *RunContext, st *pipelineState) error {
 	if err != nil {
 		return err
 	}
+	// With a store, only the delta — cells or models the store lacks —
+	// is planned, trained, and evaluated; stored results ride along
+	// untouched. Without one the delta is the whole grid.
+	st.deltaPlan(rc.opts.models())
 	// The scaled decompression and its paired windows depend only on the
 	// cell, so they are computed exactly once and shared (read-only) by
-	// every (model, seed) unit.
+	// every (model, seed) unit — and only for cells that actually need
+	// evaluation.
 	st.plan = &datasetPlan{
 		cfg:        cfg,
 		scTrain:    st.scTrain,
 		scVal:      st.scVal,
 		rawWindows: rawWindows,
-		cells:      make([]cellPlan, len(st.dr.Cells)),
+		cells:      make([]cellPlan, len(st.evalCells)),
 		evalStride: evalStride,
 		phaseStart: (st.trainLen + st.valLen) % st.period,
 	}
-	for ci, cell := range st.dr.Cells {
+	for pi, ci := range st.evalCells {
 		if err := rc.Err(); err != nil {
 			return err
 		}
+		cell := st.dr.Cells[ci]
 		scDec := st.scaler.Transform(cell.Decompressed)
 		ws, err := timeseries.MakePairedWindows(scDec, st.scTest, cfg.InputLen, cfg.Horizon, evalStride)
 		if err != nil {
 			return err
 		}
-		st.plan.cells[ci] = cellPlan{method: cell.Method, epsilon: cell.Epsilon, windows: ws}
+		st.plan.cells[pi] = cellPlan{method: cell.Method, epsilon: cell.Epsilon, windows: ws}
 	}
 	return nil
 }
@@ -432,7 +513,7 @@ func (st *pipelineState) unitErr(rc *RunContext) error {
 // the pool is a pure scheduling change; training honours cancellation at
 // epoch boundaries via forecast.FitContext.
 func runTrain(rc *RunContext, st *pipelineState) error {
-	st.models = rc.opts.models()
+	st.models = st.wantModels
 	st.trained = make([][]forecast.Model, len(st.models))
 	st.results = make([][]unitResult, len(st.models))
 	st.units = nil
@@ -527,17 +608,18 @@ func runForecast(rc *RunContext, st *pipelineState) error {
 func runAnalyze(rc *RunContext, st *pipelineState) error {
 	for mi, modelName := range st.models {
 		base := make([]stats.Metrics, len(st.results[mi]))
-		cellAcc := make([][]stats.Metrics, len(st.dr.Cells))
+		cellAcc := make([][]stats.Metrics, len(st.evalCells))
 		for si, res := range st.results[mi] {
 			base[si] = res.base
-			for ci := range st.dr.Cells {
-				cellAcc[ci] = append(cellAcc[ci], res.cells[ci])
+			for pi := range st.evalCells {
+				cellAcc[pi] = append(cellAcc[pi], res.cells[pi])
 			}
 		}
 		baseMean := meanMetrics(base)
 		st.dr.Baselines[modelName] = baseMean
-		for ci, cell := range st.dr.Cells {
-			mm := meanMetrics(cellAcc[ci])
+		for pi, ci := range st.evalCells {
+			cell := st.dr.Cells[ci]
+			mm := meanMetrics(cellAcc[pi])
 			cell.ModelMetrics[modelName] = mm
 			if tfe, err := stats.TFE(mm.NRMSE, baseMean.NRMSE); err == nil {
 				cell.TFE[modelName] = tfe
@@ -545,5 +627,27 @@ func runAnalyze(rc *RunContext, st *pipelineState) error {
 		}
 	}
 	st.trained = nil // trained models are no longer needed once merged
+	rc.acc.cellsComputed.Add(int64(len(st.evalCells)))
+	rc.acc.cellsLoaded.Add(int64(len(st.dr.Cells) - len(st.evalCells)))
+	return nil
+}
+
+// runCheckpoint appends the finished dataset to the result store: the
+// dataset record first — so a present cell record always implies an
+// at-least-as-new dataset record on resume — then one record per cell
+// this run computed. Each record is a single durable append; a kill
+// between two of them loses only the record in flight.
+func runCheckpoint(rc *RunContext, st *pipelineState) error {
+	if err := putDatasetRecord(rc.store, rc.opts, st.dr); err != nil {
+		return err
+	}
+	for _, ci := range st.evalCells {
+		if err := rc.Err(); err != nil {
+			return err
+		}
+		if err := putCellRecord(rc.store, rc.opts, st.name, st.dr.Cells[ci]); err != nil {
+			return err
+		}
+	}
 	return nil
 }

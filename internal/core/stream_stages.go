@@ -63,9 +63,10 @@ func runIngestStream(rc *RunContext, st *pipelineState) error {
 // the payloads, byte for byte.
 func runCompressStream(rc *RunContext, st *pipelineState) error {
 	type cellEnc struct {
-		m   compress.Method
-		eps float64
-		enc *compress.StreamEncoder
+		m      compress.Method
+		eps    float64
+		enc    *compress.StreamEncoder // nil when loaded from the store
+		loaded *Cell
 	}
 	var encs []cellEnc
 	var streams []*compress.StreamEncoder
@@ -77,6 +78,12 @@ func runCompressStream(rc *RunContext, st *pipelineState) error {
 			return err
 		}
 		for _, eps := range rc.opts.errorBounds() {
+			// Cells already in the result store need no encoder at all —
+			// they keep their grid slot and skip the chunk fan-out.
+			if lc := st.loaded.cell(m, eps); lc != nil {
+				encs = append(encs, cellEnc{m: m, eps: eps, loaded: lc})
+				continue
+			}
 			enc, err := compress.NewStreamEncoderAt(m, st.test.Start, st.test.Interval, eps)
 			if err != nil {
 				// A registered method without an incremental kernel buffers
@@ -91,10 +98,17 @@ func runCompressStream(rc *RunContext, st *pipelineState) error {
 			streams = append(streams, enc)
 		}
 	}
-	if err := pushAll(rc, st.test.Chunks(rc.opts.chunkSize()), streams...); err != nil {
-		return err
+	if len(streams) > 0 {
+		if err := pushAll(rc, st.test.Chunks(rc.opts.chunkSize()), streams...); err != nil {
+			return err
+		}
 	}
 	for _, ce := range encs {
+		if ce.loaded != nil {
+			st.dr.Cells = append(st.dr.Cells, ce.loaded)
+			st.comps = append(st.comps, nil)
+			continue
+		}
 		c, err := ce.enc.Close()
 		if err != nil {
 			return err
@@ -118,6 +132,9 @@ func runReconstructStream(rc *RunContext, st *pipelineState) error {
 	for ci, cell := range st.dr.Cells {
 		if err := rc.Err(); err != nil {
 			return err
+		}
+		if st.comps[ci] == nil {
+			continue // loaded from the store, reconstruction already present
 		}
 		dec, err := compress.NewStreamDecoder(st.comps[ci], rc.opts.chunkSize())
 		if err != nil {

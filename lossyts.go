@@ -341,11 +341,20 @@ type (
 	// bounds the harness's worker pools (0 = NumCPU, 1 = sequential);
 	// results are bit-identical at every setting. Its Stream field runs the
 	// ingest→compress→reconstruct stages through the chunked streaming data
-	// plane (ChunkSize points at a time) — also bit-identical, so neither
-	// field participates in grid memoisation.
+	// plane (ChunkSize points at a time) — also bit-identical. Its Store
+	// field names a cell-addressed result store: every finished cell is
+	// checkpointed there, an interrupted run resumes where it stopped, and
+	// a grown grid recomputes only its delta — again bit-identical, so none
+	// of these fields participate in grid memoisation.
 	EvalOptions = core.Options
 	// GridResult is the memoised output of the full evaluation grid.
 	GridResult = core.GridResult
+	// GridProvenance records how a GridResult came to be — computed, loaded
+	// from a store, or a resumed mix — with the cell counts of each, so
+	// consumers never misread a loaded grid's zero timings as a measurement.
+	GridProvenance = core.Provenance
+	// GridStoreInfo summarises a result store file (InspectGridStore).
+	GridStoreInfo = core.StoreInfo
 	// ReportTable is an aligned text table produced by the experiments.
 	ReportTable = core.Table
 )
@@ -374,13 +383,22 @@ func RunGridContext(ctx context.Context, opts EvalOptions) (*GridResult, error) 
 // next call to recompute (test and benchmark hook).
 func ResetGridCache() { core.ResetGridCache() }
 
-// SaveGrid persists an evaluation grid to a gzip-JSON file so expensive
-// runs can be reused across processes.
+// SaveGrid persists an evaluation grid as a cell-addressed result store —
+// one compressed record per grid cell, reconstructions encoded with the
+// repo's lossless Gorilla codec — so expensive runs can be reused across
+// processes. Saving the same grid twice produces byte-identical files.
 func SaveGrid(g *GridResult, path string) error { return core.SaveGrid(g, path) }
 
-// LoadGrid reads a grid saved with SaveGrid and registers it in the
-// in-process cache.
+// LoadGrid reads a saved grid — a store written by SaveGrid, a finished
+// checkpoint store from EvalOptions.Store, or a legacy gzip-JSON grid
+// file — and registers it in the in-process cache. The loaded grid's
+// Provenance says where its cells came from.
 func LoadGrid(path string) (*GridResult, error) { return core.LoadGrid(path) }
+
+// InspectGridStore summarises a result store file without assembling the
+// grid: which option signatures it holds, cell counts per dataset, and
+// whether it records a completed (loadable) run.
+func InspectGridStore(path string) (GridStoreInfo, error) { return core.InspectStore(path) }
 
 // Recommendation is a concrete compression operating point.
 type Recommendation = core.Recommendation
