@@ -1,0 +1,272 @@
+// Command loadbench is a closed-loop load generator for tsserve. It drives
+// the expensive endpoint (/v1/forecast) in two phases — a cold phase of
+// distinct requests that must be computed, then a warm phase that repeats
+// them against the now-populated cache — and writes latency percentiles,
+// throughput, and the cache hit-rate to a JSON report (BENCH_serve.json by
+// default). Every response carries X-Lossyts-Cache (miss | dedup | hit), so
+// the report separates computed latency from cached latency exactly.
+//
+// Usage:
+//
+//	tsserve -addr localhost:8750 -cache /tmp/serve.cells &
+//	loadbench [-url http://localhost:8750] [-quick] [-out BENCH_serve.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lossyts/internal/cli"
+)
+
+// sample is one completed request.
+type sample struct {
+	layer string // X-Lossyts-Cache: miss, dedup, hit ("" on error)
+	ms    float64
+	err   error
+}
+
+// latencySummary condenses a latency population.
+type latencySummary struct {
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// phaseResult is one load phase: request count, wall-clock throughput, and
+// per-cache-layer latency splits.
+type phaseResult struct {
+	Phase    string                    `json:"phase"`
+	Requests int                       `json:"requests"`
+	Reqps    float64                   `json:"reqps"`
+	All      latencySummary            `json:"all"`
+	ByLayer  map[string]latencySummary `json:"by_layer"`
+}
+
+type report struct {
+	Tool        string      `json:"tool"`
+	Quick       bool        `json:"quick"`
+	GoArch      string      `json:"goarch"`
+	URL         string      `json:"url"`
+	Endpoint    string      `json:"endpoint"`
+	Concurrency int         `json:"concurrency"`
+	Keys        int         `json:"keys"`
+	Points      int         `json:"points"`
+	Cold        phaseResult `json:"cold"`
+	Warm        phaseResult `json:"warm"`
+	// ServerStats is the target's /v1/stats snapshot after the run.
+	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+	Headline    struct {
+		// ColdMissP50Ms is the median latency of computed (cache-miss)
+		// requests; HitP50Ms the median of store-served requests.
+		ColdMissP50Ms float64 `json:"cold_miss_p50_ms"`
+		HitP50Ms      float64 `json:"hit_p50_ms"`
+		// Speedup is cold-miss p50 over hit p50 — how much the dedupe
+		// plane buys on repeated questions.
+		Speedup float64 `json:"speedup"`
+		// WarmHitRate is the fraction of warm-phase requests answered
+		// from the durable cache.
+		WarmHitRate float64 `json:"warm_hit_rate"`
+	} `json:"headline"`
+}
+
+func main() {
+	var (
+		lb       = cli.BindLoadBench(flag.CommandLine)
+		model    = flag.String("model", "DLinear", "forecast model to request")
+		method   = flag.String("method", "PMC", "compression method to request")
+		eps      = flag.Float64("eps", 0.1, "pointwise relative error bound")
+		points   = flag.Int("points", 2400, "series length per request body")
+		epochs   = flag.Int("epochs", 6, "training epochs per forecast request")
+		inputLen = flag.Int("input", 48, "forecast input window")
+		horizon  = flag.Int("horizon", 12, "forecast horizon")
+		period   = flag.Int("period", 48, "seasonal period of the synthetic series")
+	)
+	flag.Parse()
+	if lb.Quick {
+		lb.Concurrency, lb.Keys, lb.Warm = 4, 4, 32
+		*points, *epochs = 1200, 2
+	}
+	if err := run(lb, *model, *method, *eps, *points, *epochs, *inputLen, *horizon, *period); err != nil {
+		fmt.Fprintln(os.Stderr, "loadbench:", err)
+		os.Exit(1)
+	}
+}
+
+// body renders the shared synthetic series: seasonal with a little
+// structure, long enough that training dominates cold latency.
+func body(points, period int) string {
+	var b strings.Builder
+	b.Grow(points * 10)
+	for i := 0; i < points; i++ {
+		v := 10 + 5*math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.3*math.Sin(float64(i)*0.91)
+		fmt.Fprintf(&b, "%.6f\n", v)
+	}
+	return b.String()
+}
+
+// runPhase drives reqs requests through workers closed-loop workers: each
+// worker issues its next request only after the previous one completed.
+func runPhase(client *http.Client, urls []string, payload string, reqs, workers int) ([]sample, float64) {
+	jobs := make(chan int)
+	samples := make([]sample, reqs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(urls[i%len(urls)], "text/plain", strings.NewReader(payload))
+				if err != nil {
+					samples[i] = sample{err: err}
+					continue
+				}
+				_, cpErr := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				if resp.StatusCode != http.StatusOK {
+					samples[i] = sample{err: fmt.Errorf("status %d", resp.StatusCode), ms: ms}
+					continue
+				}
+				samples[i] = sample{layer: resp.Header.Get("X-Lossyts-Cache"), ms: ms, err: cpErr}
+			}
+		}()
+	}
+	for i := 0; i < reqs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return samples, time.Since(start).Seconds()
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func summarise(ms []float64) latencySummary {
+	if len(ms) == 0 {
+		return latencySummary{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return latencySummary{
+		Count:  len(sorted),
+		P50Ms:  percentile(sorted, 0.50),
+		P99Ms:  percentile(sorted, 0.99),
+		MeanMs: sum / float64(len(sorted)),
+	}
+}
+
+// phaseOf folds samples into a phaseResult, failing on any request error.
+func phaseOf(name string, samples []sample, elapsed float64) (phaseResult, error) {
+	var all []float64
+	byLayer := map[string][]float64{}
+	for i, s := range samples {
+		if s.err != nil {
+			return phaseResult{}, fmt.Errorf("%s request %d: %w", name, i, s.err)
+		}
+		all = append(all, s.ms)
+		byLayer[s.layer] = append(byLayer[s.layer], s.ms)
+	}
+	pr := phaseResult{
+		Phase:    name,
+		Requests: len(samples),
+		Reqps:    float64(len(samples)) / elapsed,
+		All:      summarise(all),
+		ByLayer:  map[string]latencySummary{},
+	}
+	for layer, ms := range byLayer {
+		pr.ByLayer[layer] = summarise(ms)
+	}
+	return pr, nil
+}
+
+func run(lb *cli.LoadBench, model, method string, eps float64, points, epochs, inputLen, horizon, period int) error {
+	base := strings.TrimRight(lb.URL, "/")
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// One URL per key: the seed parameter separates the cache keys, so the
+	// cold phase computes lb.Keys distinct grid cells.
+	urls := make([]string, lb.Keys)
+	for k := range urls {
+		urls[k] = fmt.Sprintf("%s/v1/forecast?model=%s&method=%s&eps=%g&input=%d&horizon=%d&period=%d&epochs=%d&seed=%d",
+			base, model, method, eps, inputLen, horizon, period, epochs, k+1)
+	}
+	payload := body(points, period)
+
+	// Reachability first, so a missing server is one clear error.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("tsserve not reachable at %s: %w", base, err)
+	}
+	resp.Body.Close()
+
+	rep := report{
+		Tool: "loadbench", Quick: lb.Quick, GoArch: runtime.GOARCH,
+		URL: base, Endpoint: "/v1/forecast",
+		Concurrency: lb.Concurrency, Keys: lb.Keys, Points: points,
+	}
+
+	coldSamples, coldSecs := runPhase(client, urls, payload, lb.Keys, lb.Concurrency)
+	if rep.Cold, err = phaseOf("cold", coldSamples, coldSecs); err != nil {
+		return err
+	}
+	warmSamples, warmSecs := runPhase(client, urls, payload, lb.Warm, lb.Concurrency)
+	if rep.Warm, err = phaseOf("warm", warmSamples, warmSecs); err != nil {
+		return err
+	}
+
+	rep.Headline.ColdMissP50Ms = rep.Cold.ByLayer["miss"].P50Ms
+	rep.Headline.HitP50Ms = rep.Warm.ByLayer["hit"].P50Ms
+	if rep.Headline.HitP50Ms > 0 {
+		rep.Headline.Speedup = rep.Headline.ColdMissP50Ms / rep.Headline.HitP50Ms
+	}
+	rep.Headline.WarmHitRate = float64(rep.Warm.ByLayer["hit"].Count) / float64(lb.Warm)
+
+	if sresp, err := client.Get(base + "/v1/stats"); err == nil {
+		raw, _ := io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		rep.ServerStats = json.RawMessage(raw)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(lb.Out, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadbench: cold miss p50 %.1f ms, hit p50 %.2f ms (%.0fx), warm hit rate %.0f%%, warm %.0f req/s -> %s\n",
+		rep.Headline.ColdMissP50Ms, rep.Headline.HitP50Ms, rep.Headline.Speedup,
+		100*rep.Headline.WarmHitRate, rep.Warm.Reqps, lb.Out)
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command tsserve is the serving-plane daemon: a stdlib net/http server
+// exposing the repo's compression and forecasting stack as four endpoints.
+//
+//	POST /v1/compress?method=&eps=      value body  → compressed payload
+//	POST /v1/decompress?method=         payload     → value text, streamed
+//	POST /v1/forecast?model=&method=&eps= value body → grid-cell JSON
+//	POST /v1/recommend?maxte= | ?dataset=&maxtfe=    → operating point JSON
+//	GET  /v1/stats, /healthz
+//
+// Request bodies are capped and streamed through the chunked data plane, a
+// client disconnect cancels the computation it was waiting on, and results
+// dedupe through the -cache cell store behind a singleflight layer: N
+// concurrent identical requests compute once, repeats are answered from the
+// store (X-Lossyts-Cache: hit | dedup | miss).
+//
+// Usage:
+//
+//	tsserve [-addr localhost:8750] [-cache serve.cells] [-gridstore grid.cells]
+//
+// SIGINT/SIGTERM drain in-flight requests, then close the cache store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lossyts/internal/cli"
+	"lossyts/internal/serve"
+)
+
+func main() {
+	var (
+		sv     = cli.BindServe(flag.CommandLine)
+		chunk  = flag.Int("chunk", 0, "streaming chunk length in points (0 = default)")
+		common = cli.BindProfiling(flag.CommandLine)
+	)
+	flag.Parse()
+	stopProfiles, err := common.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsserve:", err)
+		os.Exit(1)
+	}
+	runErr := run(sv, *chunk)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsserve:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tsserve:", runErr)
+		os.Exit(1)
+	}
+}
+
+func run(sv *cli.Serve, chunk int) error {
+	s, err := serve.New(serve.Options{
+		MaxBodyBytes: int64(sv.MaxBodyKB) << 10,
+		ChunkSize:    chunk,
+		CachePath:    sv.Cache,
+		GridStore:    sv.GridStore,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              sv.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("tsserve: listening on %s (cache=%q gridstore=%q)", sv.Addr, sv.Cache, sv.GridStore)
+
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+
+	log.Printf("tsserve: draining (stats %+v)", s.Stats())
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		s.Close()
+		return err
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	log.Printf("tsserve: done (%d records cached)", s.CacheLen())
+	return shutErr
+}

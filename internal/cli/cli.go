@@ -71,6 +71,59 @@ func (c *Common) BindStore(fs *flag.FlagSet) {
 	fs.StringVar(&c.Store, "store", "", "cell-addressed result store: checkpoint finished cells here, resume interrupted runs, recompute only grid deltas")
 }
 
+// Serve carries the serving-plane options (cmd/tsserve) after flag parsing.
+type Serve struct {
+	// Addr is the listen address of the HTTP daemon.
+	Addr string
+	// Cache is the path of the durable result cache ("" = singleflight
+	// dedupe only, nothing survives a restart).
+	Cache string
+	// GridStore optionally points at a completed evaluation-grid store so
+	// /v1/recommend can answer dataset-level queries from it.
+	GridStore string
+	// MaxBodyKB caps each request body in KiB (0 = the serve default).
+	MaxBodyKB int
+}
+
+// BindServe registers the serving-plane flag group.
+func BindServe(fs *flag.FlagSet) *Serve {
+	s := &Serve{}
+	fs.StringVar(&s.Addr, "addr", "localhost:8750", "listen address")
+	fs.StringVar(&s.Cache, "cache", "", "durable result cache (cell-store path; empty = in-flight dedupe only)")
+	fs.StringVar(&s.GridStore, "gridstore", "", "completed evaluation-grid store for /v1/recommend dataset queries (read-only)")
+	fs.IntVar(&s.MaxBodyKB, "maxbody", 0, "per-request body cap in KiB (0 = server default)")
+	return s
+}
+
+// LoadBench carries the load-generator options (cmd/loadbench) after flag
+// parsing.
+type LoadBench struct {
+	// URL is the base URL of the tsserve instance under test.
+	URL string
+	// Out is the JSON report path.
+	Out string
+	// Concurrency is the number of closed-loop workers.
+	Concurrency int
+	// Keys is the number of distinct request bodies (cold-phase size).
+	Keys int
+	// Warm is the number of warm-phase requests (served from cache).
+	Warm int
+	// Quick shrinks everything to a CI smoke run.
+	Quick bool
+}
+
+// BindLoadBench registers the load-generator flag group.
+func BindLoadBench(fs *flag.FlagSet) *LoadBench {
+	l := &LoadBench{}
+	fs.StringVar(&l.URL, "url", "http://localhost:8750", "base URL of the tsserve under test")
+	fs.StringVar(&l.Out, "out", "BENCH_serve.json", "output JSON path")
+	fs.IntVar(&l.Concurrency, "concurrency", 8, "closed-loop worker count")
+	fs.IntVar(&l.Keys, "keys", 16, "distinct request bodies (cold-phase size)")
+	fs.IntVar(&l.Warm, "warm", 256, "warm-phase request count")
+	fs.BoolVar(&l.Quick, "quick", false, "smoke mode: few keys, short warm phase")
+	return l
+}
+
 // Start applies the kernel mode and starts the requested profilers. The
 // returned stop function flushes the profiles and must run on every exit
 // path — os.Exit skips defers, so callers invoke it explicitly before

@@ -39,13 +39,17 @@ const maxRecordLen = 1 << 30
 // Store is an open cell store. All methods are safe for concurrent use;
 // appends are serialised internally.
 type Store struct {
-	mu    sync.Mutex
-	f     *os.File
-	path  string
-	size  int64 // current end-of-file offset
-	index map[string][]byte
-	order []string // keys in first-write order, for deterministic listing
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	size     int64 // current end-of-file offset
+	readOnly bool
+	index    map[string][]byte
+	order    []string // keys in first-write order, for deterministic listing
 }
+
+// ErrReadOnly is returned by Put on a store opened with OpenReadOnly.
+var ErrReadOnly = fmt.Errorf("cellstore: store is open read-only")
 
 // Open opens (creating if absent) the store at path and replays its
 // journal into the in-memory index. A corrupt or truncated tail — a
@@ -57,6 +61,25 @@ func Open(path string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{f: f, path: path, index: map[string][]byte{}}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenReadOnly opens an existing store without write access: the file is
+// opened O_RDONLY and a corrupt or half-appended tail is simply ignored
+// rather than truncated. That makes it safe for any number of concurrent
+// readers to open a store that a single live writer is still appending to —
+// a reader that lands mid-append sees the valid prefix and never touches
+// the writer's in-flight record. Put and Sync return ErrReadOnly.
+func OpenReadOnly(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, readOnly: true, index: map[string][]byte{}}
 	if err := s.load(); err != nil {
 		f.Close()
 		return nil, err
@@ -114,6 +137,11 @@ func (s *Store) load() error {
 		return err
 	}
 	if fi.Size() == 0 {
+		if s.readOnly {
+			// An empty file has no header to validate and a reader cannot
+			// write one; it is simply not a store (yet).
+			return fmt.Errorf("cellstore: %s is empty, not a cell store", s.path)
+		}
 		return s.writeHeader()
 	}
 	var hdr [8]byte
@@ -142,8 +170,10 @@ func (s *Store) load() error {
 		valid += int64(n)
 	}
 	s.size = valid
-	if valid < fi.Size() {
-		// Cut the bad tail off so future appends extend a valid journal.
+	if valid < fi.Size() && !s.readOnly {
+		// Cut the bad tail off so future appends extend a valid journal. A
+		// read-only open must not: the "corrupt" tail may be a live writer's
+		// record in flight, and truncating it would corrupt the writer.
 		if err := s.f.Truncate(valid); err != nil {
 			return fmt.Errorf("cellstore: %s: truncating corrupt tail: %w", s.path, err)
 		}
@@ -185,6 +215,9 @@ func (s *Store) put(key string, payload []byte) {
 // killed process loses at most the record in flight — never an earlier one
 // — and Open's tail recovery handles the partial write.
 func (s *Store) Put(key string, payload []byte) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	if len(key) > math.MaxUint16 {
 		return fmt.Errorf("cellstore: key of %d bytes exceeds the 64 KiB key limit", len(key))
 	}
@@ -251,12 +284,18 @@ func (s *Store) Size() int64 {
 // Path returns the store's file path.
 func (s *Store) Path() string { return s.path }
 
+// ReadOnly reports whether the store was opened with OpenReadOnly.
+func (s *Store) ReadOnly() bool { return s.readOnly }
+
 // Sync flushes the journal to stable storage (power-loss durability; a
 // plain process kill never loses completed Put calls, which go straight to
 // the kernel).
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	return s.f.Sync()
 }
 
@@ -267,7 +306,10 @@ func (s *Store) Close() error {
 	if s.f == nil {
 		return nil
 	}
-	err := s.f.Sync()
+	var err error
+	if !s.readOnly {
+		err = s.f.Sync()
+	}
 	if cerr := s.f.Close(); err == nil {
 		err = cerr
 	}

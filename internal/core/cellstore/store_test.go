@@ -268,6 +268,144 @@ func TestConcurrentPuts(t *testing.T) {
 	}
 }
 
+// TestOpenReadOnlyDoesNotTruncateWriterTail is the regression test for the
+// single-writer/many-readers contract: a reader that opens the store while a
+// writer's record append is still in flight (a partial record at the tail)
+// must see the valid prefix and leave the file byte-for-byte untouched.
+// Before OpenReadOnly existed, read paths used Open, which truncates the
+// "corrupt" tail — destroying the live writer's in-flight record.
+func TestOpenReadOnlyDoesNotTruncateWriterTail(t *testing.T) {
+	s, path := tempStore(t)
+	if err := s.Put("done", []byte("complete record")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a writer mid-append: half a record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xaa, 0xbb}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := OpenReadOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if !ro.ReadOnly() {
+		t.Fatal("ReadOnly() = false on a read-only store")
+	}
+	if got, ok := ro.Get("done"); !ok || string(got) != "complete record" {
+		t.Fatalf("valid prefix not readable: %q, %v", got, ok)
+	}
+	if err := ro.Put("x", nil); err != ErrReadOnly {
+		t.Fatalf("Put on read-only store: err = %v, want ErrReadOnly", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("read-only open changed the file: %d bytes -> %d bytes", len(before), len(after))
+	}
+
+	// The writer finishes its append (full record over its partial one, as
+	// Open's recovery + WriteAt would); both records must then be visible to
+	// a fresh reader.
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put("late", []byte("writer continues")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	ro2, err := OpenReadOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro2.Close()
+	if got, _ := ro2.Get("late"); string(got) != "writer continues" {
+		t.Fatalf("writer's completed append invisible to reader: %q", got)
+	}
+}
+
+func TestOpenReadOnlyRejectsMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenReadOnly(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("OpenReadOnly created or accepted a missing file")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReadOnly(empty); err == nil {
+		t.Fatal("OpenReadOnly accepted an empty file")
+	}
+	if fi, err := os.Stat(empty); err != nil || fi.Size() != 0 {
+		t.Fatalf("read-only open of an empty file wrote to it: %v, %v", fi, err)
+	}
+}
+
+// TestConcurrentReadersWithSingleWriter hammers OpenReadOnly against a live
+// writer (run under -race in CI): every reader must open cleanly and see a
+// valid record prefix, whatever append it lands in the middle of.
+func TestConcurrentReadersWithSingleWriter(t *testing.T) {
+	s, path := tempStore(t)
+	if err := s.Put("seed", []byte("present from the start")); err != nil {
+		t.Fatal(err)
+	}
+	const puts = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < puts; i++ {
+			if err := s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				ro, err := OpenReadOnly(path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := ro.Get("seed"); !ok || string(got) != "present from the start" {
+					t.Errorf("reader lost the seed record: %q, %v", got, ok)
+				}
+				ro.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	// Nothing the readers did may have damaged the journal.
+	s.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != puts+1 {
+		t.Fatalf("replayed %d records, want %d", re.Len(), puts+1)
+	}
+}
+
 func TestOversizedKeyRejected(t *testing.T) {
 	s, _ := tempStore(t)
 	if err := s.Put(string(bytes.Repeat([]byte{'k'}, 1<<17)), nil); err == nil {

@@ -356,9 +356,11 @@ func LoadGrid(path string) (*GridResult, error) {
 
 // loadGridStore assembles a grid from a cell store. The store must hold a
 // completed option set (SaveGrid always writes one; RunGridContext writes
-// it when the run finishes) and every cell that option set requests.
+// it when the run finishes) and every cell that option set requests. The
+// store is opened read-only, so any number of loaders can read a store
+// that a single live writer is still appending to.
 func loadGridStore(path string) (*GridResult, error) {
-	s, err := cellstore.Open(path)
+	s, err := cellstore.OpenReadOnly(path)
 	if err != nil {
 		return nil, err
 	}
@@ -440,8 +442,10 @@ func (si StoreInfo) String() string {
 
 // InspectStore summarises a store file without decoding record payloads:
 // which grid signatures it holds, and how many cell records per dataset.
+// Like LoadGrid it opens the store read-only — inspecting a store another
+// process is writing never races the writer.
 func InspectStore(path string) (StoreInfo, error) {
-	s, err := cellstore.Open(path)
+	s, err := cellstore.OpenReadOnly(path)
 	if err != nil {
 		return StoreInfo{}, err
 	}

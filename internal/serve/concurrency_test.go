@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutinesBack polls until the goroutine count drains back to (near)
+// the baseline, failing the test if request workers leak past the deadline.
+func waitGoroutinesBack(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 { // tolerate unrelated runtime goroutines
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSingleflightDedupe64 is the core dedupe contract under the race
+// detector: 64 concurrent identical requests against a cold store must
+// trigger exactly one computation and write exactly one store record — every
+// other request is answered by the singleflight layer or the durable cache.
+//
+// The onCompute hook holds the leader's computation open until all 64
+// requests have entered the handler (observable through the request
+// counter), so the concurrency is real, not accidental.
+func TestSingleflightDedupe64(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	release := make(chan struct{})
+	s.onCompute = func(string) { <-release }
+
+	const workers = 64
+	body := testSeries(800)
+	type result struct {
+		status int
+		body   string
+		layer  string
+	}
+	results := make(chan result, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := post(t, ts, "/v1/compress?method=PMC&eps=0.5", body)
+			results <- result{resp.StatusCode, string(out), resp.Header.Get("X-Lossyts-Cache")}
+		}()
+	}
+	// Release the leader only once every request is in the handler.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Requests < workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests arrived", s.Stats().Requests, workers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var first string
+	layers := map[string]int{}
+	for r := range results {
+		if r.status != http.StatusOK {
+			t.Fatalf("status %d: %s", r.status, r.body)
+		}
+		if first == "" {
+			first = r.body
+		} else if r.body != first {
+			t.Fatal("concurrent identical requests returned different payloads")
+		}
+		layers[r.layer]++
+	}
+	st := s.Stats()
+	if st.Computations != 1 {
+		t.Fatalf("Computations = %d, want exactly 1 (layers: %v)", st.Computations, layers)
+	}
+	if got := s.CacheLen(); got != 1 {
+		t.Fatalf("store records = %d, want exactly 1", got)
+	}
+	if st.Hits+st.Dedups != workers-1 {
+		t.Fatalf("hits(%d) + dedups(%d) != %d (stats %+v, layers %v)",
+			st.Hits, st.Dedups, workers-1, st, layers)
+	}
+	if layers["miss"] != 1 {
+		t.Fatalf("want exactly one miss response, got layers %v", layers)
+	}
+}
+
+// TestMixedKeyStress hammers the server with 128 requests across 8 distinct
+// keys (different error bounds) with no artificial serialization: per key
+// there must be exactly one computation and one store record, every response
+// for a key must be byte-identical, and afterwards no goroutine may linger.
+func TestMixedKeyStress(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s, ts := newTestServer(t, Options{})
+
+	const keys = 8
+	const perKey = 16
+	body := testSeries(600)
+	bodies := make([][]string, keys) // responses per key
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan string, keys*perKey)
+	for k := 0; k < keys; k++ {
+		for i := 0; i < perKey; i++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				eps := fmt.Sprintf("0.%d1", k+1)
+				resp, out := post(t, ts, "/v1/compress?method=SWING&eps="+eps, body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("eps %s: status %d: %s", eps, resp.StatusCode, out)
+					return
+				}
+				mu.Lock()
+				bodies[k] = append(bodies[k], string(out))
+				mu.Unlock()
+			}(k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	for k := 0; k < keys; k++ {
+		if len(bodies[k]) != perKey {
+			t.Fatalf("key %d: %d responses, want %d", k, len(bodies[k]), perKey)
+		}
+		for _, b := range bodies[k] {
+			if b != bodies[k][0] {
+				t.Fatalf("key %d: divergent responses", k)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Computations != keys {
+		t.Fatalf("Computations = %d, want %d (one per key; stats %+v)", st.Computations, keys, st)
+	}
+	if got := s.CacheLen(); got != keys {
+		t.Fatalf("store records = %d, want %d", got, keys)
+	}
+	if st.Hits+st.Dedups != keys*(perKey-1) {
+		t.Fatalf("hits(%d) + dedups(%d) != %d (stats %+v)", st.Hits, st.Dedups, keys*(perKey-1), st)
+	}
+
+	ts.Client().CloseIdleConnections()
+	waitGoroutinesBack(t, baseline)
+}
+
+// TestDedupeWithoutStore proves the singleflight layer stands alone: with no
+// durable cache configured, concurrent identical requests still share one
+// computation (later sequential requests recompute — nothing remembers them).
+func TestDedupeWithoutStore(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := mountTestServer(t, s)
+	release := make(chan struct{})
+	s.onCompute = func(string) { <-release }
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, out := post(t, ts, "/v1/compress?method=PMC&eps=0.5", testSeries(300))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, out)
+			}
+		}()
+	}
+	// Without a durable store there is no second dedupe layer, so wait until
+	// every follower is parked on the in-flight call before releasing the
+	// leader — the flight-group waiter count makes that observable.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.group.waiting() < workers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers parked (stats %+v)", s.group.waiting(), s.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Computations != 1 {
+		t.Fatalf("Computations = %d, want 1 from pure singleflight", st.Computations)
+	}
+	if st.Dedups != workers-1 {
+		t.Fatalf("Dedups = %d, want %d", st.Dedups, workers-1)
+	}
+	if s.CacheLen() != 0 {
+		t.Fatal("no store configured but CacheLen > 0")
+	}
+}

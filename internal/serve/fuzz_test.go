@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/timeseries"
+)
+
+// sameFloat is bit-exact equality with NaN ≡ NaN: the text round-trip
+// canonicalises NaN payload bits, which is not a reconstruction difference.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// FuzzServeCompressRoundTrip differentially fuzzes the HTTP compress →
+// decompress path against the library: a body the value parser accepts must
+// get a 200 whose payload decompresses over HTTP to exactly the batch
+// codec's reconstruction (the endpoints are a transport, not a second
+// codec); a body it rejects must get a 400; and no body may panic a handler
+// or desynchronise point counts.
+func FuzzServeCompressRoundTrip(f *testing.F) {
+	s, err := New(Options{}) // no durable cache: every iteration computes
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	f.Add("1.5 2.5 3.5 4.5", uint8(0), uint8(1))
+	f.Add("1,2,3,4,5,6,7,8,9,10\n11,12", uint8(1), uint8(0))
+	f.Add(testSeries(100), uint8(2), uint8(2))
+	f.Add("0 0 0 0 0 0", uint8(0), uint8(0))
+	f.Add("banana", uint8(1), uint8(1))
+	f.Add("NaN 1 2", uint8(2), uint8(0))
+	f.Add("1e308 -1e308 5", uint8(2), uint8(0))
+
+	bounds := []string{"0", "0.1", "1.5"}
+	f.Fuzz(func(t *testing.T, body string, mi, ei uint8) {
+		if len(body) > 4096 {
+			t.Skip("oversized body")
+		}
+		method := compress.Methods[int(mi)%len(compress.Methods)]
+		eps := bounds[int(ei)%len(bounds)]
+		epsF, _ := strconv.ParseFloat(eps, 64)
+
+		// The reference: what should this body mean?
+		values, parseErr := readValues(context.Background(), strings.NewReader(body), io.Discard, 64)
+
+		req := httptest.NewRequest("POST", "/v1/compress?method="+string(method)+"&eps="+eps, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		if parseErr != nil {
+			if rec.Code != 400 {
+				t.Fatalf("status %d on a malformed body, want 400 (%s)", rec.Code, rec.Body)
+			}
+			return
+		}
+		comp, err := compress.New(method)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, batchErr := comp.Compress(timeseries.New("fuzz", 0, 60, values), epsF)
+		if batchErr != nil {
+			if rec.Code == 200 {
+				t.Fatalf("endpoint compressed a series the batch codec rejects (%v)", batchErr)
+			}
+			return
+		}
+		if rec.Code != 200 {
+			t.Fatalf("status %d on a compressible body: %s", rec.Code, rec.Body)
+		}
+		n, err := strconv.Atoi(rec.Header().Get("X-Lossyts-Points"))
+		if err != nil || n != len(values) {
+			t.Fatalf("X-Lossyts-Points = %q, want %d", rec.Header().Get("X-Lossyts-Points"), len(values))
+		}
+		payload := rec.Body.String()
+
+		dreq := httptest.NewRequest("POST", "/v1/decompress?method="+string(method), strings.NewReader(payload))
+		drec := httptest.NewRecorder()
+		h.ServeHTTP(drec, dreq)
+		if drec.Code != 200 {
+			t.Fatalf("decompress: status %d on a payload we just produced: %s", drec.Code, drec.Body)
+		}
+		var got []float64
+		sc := bufio.NewScanner(drec.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "#") {
+				t.Fatalf("mid-stream decode error on a payload we just produced: %s", line)
+			}
+			v, err := strconv.ParseFloat(line, 64)
+			if err != nil {
+				t.Fatalf("unparseable output line %q: %v", line, err)
+			}
+			got = append(got, v)
+		}
+		if len(got) != n {
+			t.Fatalf("decompressed %d values over HTTP, header promised %d", len(got), n)
+		}
+
+		want, err := c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Values) != len(got) {
+			t.Fatalf("HTTP reconstruction has %d values, batch %d", len(got), len(want.Values))
+		}
+		for i := range got {
+			if !sameFloat(got[i], want.Values[i]) {
+				t.Fatalf("value %d: HTTP %x != batch %x", i, math.Float64bits(got[i]), math.Float64bits(want.Values[i]))
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package serve is the serving plane: a stdlib net/http daemon that exposes
+// the repo's compression and forecasting facade as four endpoints —
+// /v1/compress, /v1/decompress, /v1/forecast, /v1/recommend — so the
+// paper's grid cells can be answered interactively ("compress this series
+// at this bound and tell me the forecast impact") instead of by re-running
+// grids.
+//
+// Three properties carry the load:
+//
+//   - Request bodies are size-capped (per-request memory bound) and flow
+//     through the chunked streaming data plane: values are tokenised into
+//     chunks and pushed through the incremental codec kernels, and
+//     decompression streams chunk by chunk back to the client.
+//   - Every request runs under its request-scoped context; a client
+//     disconnect cancels the computation at chunk, cell, and training-epoch
+//     boundaries.
+//   - Expensive results dedupe through a shared cell store behind a
+//     singleflight layer: N concurrent identical requests trigger exactly
+//     one computation, and later identical requests are served from the
+//     store without computing at all.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/core"
+	"lossyts/internal/core/cellstore"
+	"lossyts/internal/forecast"
+	"lossyts/internal/timeseries"
+)
+
+// DefaultMaxBodyBytes is the per-request body cap when Options.MaxBodyBytes
+// is zero: large enough for paper-scale series uploads, small enough that a
+// burst of maximal requests stays within a small machine's memory.
+const DefaultMaxBodyBytes = 32 << 20
+
+// StatusClientClosedRequest is the status recorded when a request's context
+// is cancelled mid-computation (the nginx 499 convention). The client is
+// gone, so the response is written only for logs and tests.
+const StatusClientClosedRequest = 499
+
+// Options configures a Server.
+type Options struct {
+	// MaxBodyBytes caps each request body; requests beyond it get 413.
+	// 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// ChunkSize is the chunk length (points) of the streaming data plane
+	// passes; 0 means timeseries.DefaultChunkSize.
+	ChunkSize int
+	// CachePath names the cell-store journal the server caches results in
+	// ("" = no durable cache; concurrent identical requests still dedupe
+	// through the singleflight layer). The server is the store's single
+	// writer; other processes may read it concurrently with
+	// cellstore.OpenReadOnly.
+	CachePath string
+	// GridStore optionally names a completed evaluation-grid store (written
+	// by SaveGrid or a finished Options.Store run). When set, /v1/recommend
+	// answers dataset-level queries (?dataset=...&maxtfe=...) from the
+	// precomputed grid via core.Recommend. The grid is loaded read-only at
+	// startup, so a grid runner appending to the file is never disturbed.
+	GridStore string
+	// Forecast is the default forecasting configuration of /v1/forecast;
+	// zero values fall back to forecast.DefaultConfig with the serving
+	// plane's reduced training budget (8 epochs, 256 train windows).
+	// Individual requests may override input/horizon/epochs/seed by query
+	// parameter.
+	Forecast forecast.Config
+}
+
+// DefaultForecastConfig is the serving plane's training budget: the paper's
+// hyperparameters with the same reduced epoch and window caps the default
+// evaluation grid uses, so one interactive request answers in interactive
+// time.
+func DefaultForecastConfig() forecast.Config {
+	cfg := forecast.DefaultConfig()
+	cfg.Epochs = 8
+	cfg.MaxTrainWindows = 256
+	return cfg
+}
+
+// Stats is a snapshot of the server's request counters.
+type Stats struct {
+	// Requests counts every request routed to a /v1/ endpoint.
+	Requests int64 `json:"requests"`
+	// Hits counts requests served from the durable cell-store cache.
+	Hits int64 `json:"hits"`
+	// Dedups counts requests that joined another request's in-flight
+	// computation (singleflight followers).
+	Dedups int64 `json:"dedups"`
+	// Computations counts computations actually executed (singleflight
+	// leaders plus uncacheable work).
+	Computations int64 `json:"computations"`
+	// Cancelled counts requests abandoned because the client disconnected.
+	Cancelled int64 `json:"cancelled"`
+	// Errors counts requests that failed with a non-cancellation error.
+	Errors int64 `json:"errors"`
+}
+
+// Server implements the serving plane. Construct with New, mount Handler on
+// an http.Server, and Close when done (closes the cache store).
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	cache *cellstore.Store // nil when CachePath is ""
+	grid  *core.GridResult // nil when GridStore is ""
+	group flightGroup
+
+	requests, hits, dedups, computations, cancelled, errs atomic.Int64
+
+	// onCompute, when non-nil, is called at the start of every computation
+	// (singleflight leaders only) with the cache key. Test hook: the
+	// concurrency tests use it to hold the leader's computation open until
+	// every concurrent request has arrived.
+	onCompute func(key string)
+}
+
+// New builds a Server, opening the cache store (single writer) and loading
+// the optional grid store (read-only) up front so misconfiguration fails at
+// startup, not on the first request.
+func New(opts Options) (*Server, error) {
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = timeseries.DefaultChunkSize
+	}
+	if opts.Forecast.InputLen == 0 {
+		opts.Forecast = DefaultForecastConfig()
+	}
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	if opts.CachePath != "" {
+		store, err := cellstore.Open(opts.CachePath)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening cache store: %w", err)
+		}
+		s.cache = store
+	}
+	if opts.GridStore != "" {
+		g, err := core.LoadGrid(opts.GridStore)
+		if err != nil {
+			if s.cache != nil {
+				s.cache.Close()
+			}
+			return nil, fmt.Errorf("serve: loading grid store: %w", err)
+		}
+		s.grid = g
+	}
+	s.mux.HandleFunc("POST /v1/compress", s.endpoint(s.handleCompress))
+	s.mux.HandleFunc("POST /v1/decompress", s.endpoint(s.handleDecompress))
+	s.mux.HandleFunc("POST /v1/forecast", s.endpoint(s.handleForecast))
+	s.mux.HandleFunc("POST /v1/recommend", s.endpoint(s.handleRecommend))
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close closes the cache store. In-flight requests that race Close may fail;
+// callers shut the http.Server down first.
+func (s *Server) Close() error {
+	if s.cache != nil {
+		return s.cache.Close()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.requests.Load(),
+		Hits:         s.hits.Load(),
+		Dedups:       s.dedups.Load(),
+		Computations: s.computations.Load(),
+		Cancelled:    s.cancelled.Load(),
+		Errors:       s.errs.Load(),
+	}
+}
+
+// CacheLen reports how many records the durable cache holds (0 without one).
+func (s *Server) CacheLen() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
+
+// httpError is an error with a definite HTTP status, used for request
+// validation failures.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// badRequest builds a 400 error.
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// endpoint wraps a handler with the shared request plumbing: the body cap,
+// the request counter, and the error-to-status mapping.
+func (s *Server) endpoint(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+		if err := h(w, r); err != nil {
+			status := s.statusOf(r, err)
+			switch status {
+			case StatusClientClosedRequest:
+				s.cancelled.Add(1)
+			default:
+				s.errs.Add(1)
+			}
+			http.Error(w, err.Error(), status)
+		}
+	}
+}
+
+// statusOf maps a handler error to its HTTP status. The registries' typed
+// unknown-name errors are client errors (the name came from the request);
+// the body cap surfaces as 413; a cancelled request context dominates every
+// other error, because computations abandoned mid-flight fail in arbitrary
+// ways once their context is dead.
+func (s *Server) statusOf(r *http.Request, err error) int {
+	if r.Context().Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return StatusClientClosedRequest
+	}
+	var maxBytes *http.MaxBytesError
+	if errors.As(err, &maxBytes) {
+		return http.StatusRequestEntityTooLarge
+	}
+	var unknownMethod *compress.UnknownMethodError
+	var unknownModel *forecast.UnknownModelError
+	if errors.As(err, &unknownMethod) || errors.As(err, &unknownModel) {
+		return http.StatusBadRequest
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return http.StatusInternalServerError
+}

@@ -1,0 +1,69 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent computations by key: while one call
+// for a key is in flight, later calls for the same key block and share its
+// result instead of computing again. It is the standard singleflight shape
+// (stdlib-only — the module vendors nothing), reduced to what the serving
+// cache needs: N concurrent identical requests against a cold cache trigger
+// exactly one computation.
+//
+// Unlike a cache, a flight entry lives only as long as the computation: once
+// the leader returns, the key is forgotten and the durable result store
+// takes over as the dedupe layer for later arrivals.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation and its eventual result.
+type flightCall struct {
+	done    chan struct{}
+	waiters int // callers parked on done, guarded by flightGroup.mu
+	val     []byte
+	err     error
+}
+
+// waiting reports how many callers are currently parked on in-flight calls —
+// concurrency tests use it to release a held leader only once every follower
+// has genuinely joined the flight.
+func (g *flightGroup) waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, c := range g.m {
+		n += c.waiters
+	}
+	return n
+}
+
+// Do runs fn for key, unless a call for key is already in flight, in which
+// case it waits for that call and returns its result. shared reports whether
+// the returned value came from another caller's computation.
+//
+// The returned byte slice is shared across callers and must be treated as
+// read-only.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

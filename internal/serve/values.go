@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"lossyts/internal/timeseries"
+)
+
+// isValueSep reports whether b separates value tokens in a request body.
+// Newlines, commas, and blanks all work, so `seq`, CSV columns, and JSON-ish
+// number lists can be piped in without reformatting.
+func isValueSep(b byte) bool {
+	switch b {
+	case ' ', '\t', '\r', '\n', ',', ';':
+		return true
+	}
+	return false
+}
+
+// scanTokens is the bufio.SplitFunc for value bodies.
+func scanTokens(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	start := 0
+	for start < len(data) && isValueSep(data[start]) {
+		start++
+	}
+	for i := start; i < len(data); i++ {
+		if isValueSep(data[i]) {
+			return i + 1, data[start:i], nil
+		}
+	}
+	if atEOF && len(data) > start {
+		return len(data), data[start:], nil
+	}
+	return start, nil, nil
+}
+
+// readValues tokenises a request body into a value series, streaming tokens
+// chunk by chunk: ctx is checked at every chunk boundary, so a disconnected
+// client stops the parse within one chunk. The body bytes also feed h (the
+// content hash the cache keys on). The returned slice's length is bounded by
+// the request body cap upstream.
+func readValues(ctx context.Context, r io.Reader, h io.Writer, chunkSize int) ([]float64, error) {
+	sc := bufio.NewScanner(io.TeeReader(r, h))
+	sc.Split(scanTokens)
+	values := make([]float64, 0, chunkSize)
+	sinceCheck := 0
+	for sc.Scan() {
+		tok := sc.Text()
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, badRequest("value %d: %q is not a number", len(values)+1, tok)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, badRequest("value %d: %q is not finite", len(values)+1, tok)
+		}
+		values = append(values, v)
+		if sinceCheck++; sinceCheck >= chunkSize {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err // a *http.MaxBytesError lands here → 413
+	}
+	if len(values) == 0 {
+		return nil, badRequest("empty body: send whitespace-, newline-, or comma-separated values")
+	}
+	return values, nil
+}
+
+// readRaw reads a binary body (compressed payloads) fully, feeding h.
+func readRaw(r io.Reader, h io.Writer) ([]byte, error) {
+	body, err := io.ReadAll(io.TeeReader(r, h))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, badRequest("empty body: send a compressed payload")
+	}
+	return body, nil
+}
+
+// chunksOf drives values through fn in chunkSize pieces with the correct
+// per-chunk timestamps — the bridge from a parsed request body onto the
+// chunked data plane (StreamEncoder.PushChunk and friends).
+func chunksOf(ctx context.Context, values []float64, start, interval int64, chunkSize int, fn func(c timeseries.Chunk) error) error {
+	for lo := 0; lo < len(values); lo += chunkSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + chunkSize
+		if hi > len(values) {
+			hi = len(values)
+		}
+		c := timeseries.Chunk{
+			Start:    start + int64(lo)*interval,
+			Interval: interval,
+			Values:   values[lo:hi],
+		}
+		if err := fn(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// requestHash accumulates the cache key of a request: every parameter that
+// changes the response, then the body bytes (via readValues/readRaw's tee).
+type requestHash struct {
+	h interface {
+		io.Writer
+		Sum([]byte) []byte
+	}
+}
+
+func newRequestHash(endpoint string) *requestHash {
+	rh := &requestHash{h: sha256.New()}
+	fmt.Fprintf(rh.h, "%s\x00", endpoint)
+	return rh
+}
+
+// param mixes one named parameter into the key.
+func (rh *requestHash) param(name string, v any) {
+	fmt.Fprintf(rh.h, "%s=%v\x00", name, v)
+}
+
+// Write feeds body bytes (io.TeeReader target).
+func (rh *requestHash) Write(p []byte) (int, error) { return rh.h.Write(p) }
+
+// key renders the final cache key under the serve namespace. The "serve"
+// prefix keeps these records disjoint from grid cell/dataset records, so a
+// cache store and a grid store could even share a file without collisions.
+func (rh *requestHash) key() string {
+	return "serve|" + hex.EncodeToString(rh.h.Sum(nil))
+}
+
+// floatParam parses an optional float query parameter.
+func floatParam(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, badRequest("parameter %s: %q is not a number", name, raw)
+	}
+	return v, nil
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(r *http.Request, name string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, badRequest("parameter %s: %q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// cached runs one cacheable computation: store lookup first, then the
+// singleflight layer, then compute. The X-Lossyts-Cache response header
+// records which layer answered — "hit" (durable store), "dedup" (joined
+// another request's in-flight computation), or "miss" (computed here).
+//
+// A singleflight follower whose leader was cancelled retries the
+// computation itself: the leader's client hung up, but this request's
+// client is still waiting, and a context error from someone else's request
+// must never leak into this one.
+func (s *Server) cached(ctx context.Context, w http.ResponseWriter, key string, compute func() ([]byte, error)) ([]byte, error) {
+	if s.cache != nil {
+		if payload, ok := s.cache.Get(key); ok {
+			s.hits.Add(1)
+			w.Header().Set("X-Lossyts-Cache", "hit")
+			return payload, nil
+		}
+	}
+	var fromCache bool
+	run := func() ([]byte, error) {
+		if s.cache != nil {
+			// Re-check under the flight: a request that missed the lookup
+			// above but won flight leadership only after the previous leader
+			// stored its result must not recompute (the classic stampede
+			// residual). This check makes "N identical requests, exactly one
+			// computation" structural rather than probabilistic.
+			if payload, ok := s.cache.Get(key); ok {
+				fromCache = true
+				return payload, nil
+			}
+		}
+		if s.onCompute != nil {
+			s.onCompute(key)
+		}
+		s.computations.Add(1)
+		out, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if s.cache != nil {
+			if err := s.cache.Put(key, out); err != nil {
+				return nil, fmt.Errorf("serve: caching result: %w", err)
+			}
+		}
+		return out, nil
+	}
+	for attempt := 0; ; attempt++ {
+		out, err, shared := s.group.Do(key, run)
+		if shared && err != nil && attempt == 0 && isCancellation(err) && ctx.Err() == nil {
+			continue // the leader's client hung up; ours is still waiting
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case shared:
+			s.dedups.Add(1)
+			w.Header().Set("X-Lossyts-Cache", "dedup")
+		case fromCache:
+			s.hits.Add(1)
+			w.Header().Set("X-Lossyts-Cache", "hit")
+		default:
+			w.Header().Set("X-Lossyts-Cache", "miss")
+		}
+		return out, nil
+	}
+}
+
+// isCancellation reports whether err stems from a cancelled context.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

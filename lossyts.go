@@ -11,6 +11,7 @@ import (
 	"lossyts/internal/features"
 	"lossyts/internal/forecast"
 	"lossyts/internal/impact"
+	"lossyts/internal/serve"
 	"lossyts/internal/stats"
 	"lossyts/internal/timeseries"
 )
@@ -447,3 +448,21 @@ func InjectSpikes(values []float64, n int, magnitude float64, seed int64) ([]flo
 func ScoreDetections(detected, truth []int, tolerance int) (precision, recall, f1 float64) {
 	return anomaly.Score(detected, truth, tolerance)
 }
+
+// Serving plane: an embeddable HTTP server (cmd/tsserve is the daemon)
+// exposing /v1/compress, /v1/decompress, /v1/forecast, and /v1/recommend.
+// Request bodies stream through the chunked data plane under a per-request
+// memory cap, computations are cancelled when clients disconnect, and
+// results dedupe through a shared cell store behind a singleflight layer.
+type (
+	// ServeOptions configures an embedded Server.
+	ServeOptions = serve.Options
+	// ServeStats is a snapshot of a Server's request counters.
+	ServeStats = serve.Stats
+	// Server answers the /v1/ endpoints; mount Handler() on an http.Server.
+	Server = serve.Server
+)
+
+// NewServer builds a serving-plane Server: it opens the durable cache store
+// (single writer) and loads the optional grid store read-only.
+func NewServer(opts ServeOptions) (*Server, error) { return serve.New(opts) }
