@@ -1,0 +1,8 @@
+//go:build race
+
+package compress
+
+// raceEnabled reports whether this test binary was built with -race; the
+// zero-allocation assertions are skipped there because the race runtime
+// instruments allocations.
+const raceEnabled = true

@@ -13,10 +13,42 @@ import (
 )
 
 // BitWriter accumulates individual bits into a byte slice, most significant
-// bit first.
+// bit first. The zero value is ready to use; initPooled backs it with the
+// package buffer pool so kernels reuse bit buffers across streams.
 type BitWriter struct {
-	buf  []byte
-	nbit uint8 // bits used in the final byte (0 means the last byte is full)
+	buf    []byte
+	nbit   uint8 // free bits in the final byte (0 means the last byte is full)
+	pooled *sbuf[byte]
+}
+
+// initPooled backs the writer with a pooled buffer of at least n bytes.
+// Call release to return it; Bytes() views are invalidated by release.
+func (w *BitWriter) initPooled(n int) {
+	if w.pooled != nil || len(w.buf) > 0 {
+		return
+	}
+	w.pooled = bytePool.get(n)
+	w.buf = w.pooled.s
+}
+
+// release returns a pooled backing buffer and leaves the writer empty.
+func (w *BitWriter) release() {
+	if w.pooled != nil {
+		// The buffer may have been regrown by append since initPooled; the
+		// wrapper is updated so the current backing array is what returns to
+		// the pool.
+		w.pooled.s = w.buf
+		bytePool.put(w.pooled)
+		w.pooled = nil
+	}
+	w.buf = nil
+	w.nbit = 0
+}
+
+// Reset empties the writer, retaining its backing buffer for reuse.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
 }
 
 // WriteBit appends a single bit (any non-zero b writes 1).
@@ -32,14 +64,43 @@ func (w *BitWriter) WriteBit(b uint64) {
 }
 
 // WriteBits appends the n least significant bits of v, most significant
-// first. n must be at most 64.
+// first. n must be at most 64. The inner loop moves up to a whole byte per
+// iteration — and whole bytes at a time once the writer is byte-aligned —
+// instead of a call per bit, which is what keeps the Gorilla and Huffman
+// encode paths in registers.
 func (w *BitWriter) WriteBits(v uint64, n uint) {
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit((v >> uint(i)) & 1)
+	if n > 64 {
+		// Mirror the historical per-bit behaviour: bits above the word width
+		// are zeros.
+		for ; n > 64; n-- {
+			w.WriteBit(0)
+		}
+	}
+	// Fill the open byte first.
+	if w.nbit != 0 && n > 0 {
+		k := uint(w.nbit)
+		if k > n {
+			k = n
+		}
+		chunk := byte(v >> (n - k) & (1<<k - 1))
+		w.buf[len(w.buf)-1] |= chunk << (uint(w.nbit) - k)
+		w.nbit -= uint8(k)
+		n -= k
+	}
+	// Byte-aligned: emit whole bytes directly.
+	for n >= 8 {
+		n -= 8
+		w.buf = append(w.buf, byte(v>>n))
+	}
+	if n > 0 {
+		w.buf = append(w.buf, byte(v&(1<<n-1))<<(8-n))
+		w.nbit = 8 - uint8(n)
 	}
 }
 
-// Bytes returns the accumulated bytes; trailing unused bits are zero.
+// Bytes returns the accumulated bytes; trailing unused bits are zero. The
+// view aliases the writer's internal buffer and is invalidated by further
+// writes, Reset, or release.
 func (w *BitWriter) Bytes() []byte { return w.buf }
 
 // Len returns the number of whole bytes accumulated so far.
@@ -54,6 +115,9 @@ type BitReader struct {
 
 // NewBitReader returns a reader over buf.
 func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// reset rewinds the reader to the first bit of its buffer.
+func (r *BitReader) reset() { r.pos, r.bit = 0, 0 }
 
 // ReadBit returns the next bit.
 func (r *BitReader) ReadBit() (uint64, error) {
@@ -70,18 +134,30 @@ func (r *BitReader) ReadBit() (uint64, error) {
 }
 
 // ReadBits returns the next n bits as the low bits of a uint64. n must be at
-// most 64.
+// most 64. Like WriteBits, it consumes up to a whole byte per iteration
+// rather than a call per bit.
 func (r *BitReader) ReadBits(n uint) (uint64, error) {
 	if n > 64 {
 		return 0, errors.New("compress: ReadBits n > 64")
 	}
 	var v uint64
-	for i := uint(0); i < n; i++ {
-		b, err := r.ReadBit()
-		if err != nil {
-			return 0, err
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, io.ErrUnexpectedEOF
 		}
-		v = v<<1 | b
+		avail := uint(8 - r.bit)
+		k := avail
+		if k > n {
+			k = n
+		}
+		chunk := uint64(r.buf[r.pos]>>(avail-k)) & (1<<k - 1)
+		v = v<<k | chunk
+		r.bit += uint8(k)
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+		n -= k
 	}
 	return v, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"time"
 
 	"lossyts/internal/timeseries"
@@ -55,26 +56,79 @@ func (c *Compressed) Size() int { return len(c.Payload) }
 
 // Decompress reconstructs the time series from the payload.
 func (c *Compressed) Decompress() (*timeseries.Series, error) {
-	raw, err := GunzipBytes(c.Payload)
-	if err != nil {
-		return nil, err
-	}
-	hdr, body, err := decodeHeader(raw)
-	if err != nil {
-		return nil, err
-	}
-	if hdr.method != c.Method {
-		return nil, fmt.Errorf("compress: payload method %s does not match %s", hdr.method, c.Method)
-	}
-	reg, err := lookup(c.Method)
-	if err != nil {
-		return nil, err
-	}
-	values, err := reg.Decode(body, int(hdr.count))
+	values, hdr, err := c.appendValues(nil)
 	if err != nil {
 		return nil, err
 	}
 	return timeseries.New("", int64(hdr.start), int64(hdr.interval), values), nil
+}
+
+// AppendValues decompresses the payload and appends every reconstructed
+// value to dst, returning the extended slice — the decode-side mirror of
+// StreamEncoder.CloseAppend. Callers with a request-scoped buffer (GetFloats
+// or a retained slice) decode repeatedly without per-op slice allocation;
+// the gunzipped frame lives in a pooled buffer for the duration of the call.
+// On error the (possibly extended) dst is returned alongside, so a pooled
+// buffer is never lost.
+func (c *Compressed) AppendValues(dst []float64) ([]float64, error) {
+	out, _, err := c.appendValues(dst)
+	return out, err
+}
+
+func (c *Compressed) appendValues(dst []float64) ([]float64, header, error) {
+	raw := bytePool.get(2 * len(c.Payload))
+	defer bytePool.put(raw)
+	var err error
+	raw.s, err = AppendGunzip(raw.s, c.Payload)
+	if err != nil {
+		return dst, header{}, err
+	}
+	hdr, body, err := decodeHeader(raw.s)
+	if err != nil {
+		return dst, header{}, err
+	}
+	if hdr.method != c.Method {
+		return dst, hdr, fmt.Errorf("compress: payload method %s does not match %s", hdr.method, c.Method)
+	}
+	reg, err := lookup(c.Method)
+	if err != nil {
+		return dst, hdr, err
+	}
+	if reg.DecodeStream == nil {
+		values, err := reg.Decode(body, int(hdr.count))
+		if err != nil {
+			return dst, hdr, err
+		}
+		return append(dst, values...), hdr, nil
+	}
+	vs, err := reg.DecodeStream(body, int(hdr.count))
+	if err != nil {
+		return dst, hdr, err
+	}
+	base := len(dst)
+	hint := allocHint(int(hdr.count)) + 1 // never grow by zero
+	for {
+		if len(dst) == cap(dst) {
+			dst = slices.Grow(dst, hint)
+		}
+		n, err := vs.Next(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return dst, hdr, err
+		}
+		if n == 0 {
+			// A ValueStream yields progress or an error; a stall here would
+			// loop forever on a misbehaving external registration.
+			return dst, hdr, io.ErrUnexpectedEOF
+		}
+	}
+	if got := len(dst) - base; got != int(hdr.count) {
+		return dst, hdr, fmt.Errorf("compress: payload decoded to %d values, header claims %d", got, hdr.count)
+	}
+	return dst, hdr, nil
 }
 
 // New returns the compressor implementing the given method, consulting the
@@ -128,6 +182,69 @@ func EncodeHeaderN(buf *bytes.Buffer, m Method, start, interval int64, n int) er
 	binary.LittleEndian.PutUint32(scratch[:], uint32(n))
 	buf.Write(scratch[:])
 	return nil
+}
+
+// appendHeader is EncodeHeaderN in append form: it writes the shared stream
+// header onto dst and returns the extended slice, byte-identical to the
+// buffer-based encoder. The no-copy close path (StreamEncoder.CloseAppend,
+// kernelCompress) frames payloads this way so assembling a frame touches
+// only pooled memory.
+func appendHeader(dst []byte, m Method, start, interval int64, n int) ([]byte, error) {
+	code, err := methodCode(m)
+	if err != nil {
+		return dst, err
+	}
+	if start < 0 || start > math.MaxUint32 {
+		return dst, fmt.Errorf("compress: start timestamp %d does not fit the 32-bit header field", start)
+	}
+	if interval < 0 || interval > math.MaxUint16 {
+		return dst, fmt.Errorf("compress: interval %d does not fit the 16-bit header field", interval)
+	}
+	var scratch [4]byte
+	dst = append(dst, code)
+	binary.LittleEndian.PutUint32(scratch[:], uint32(start))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(interval))
+	dst = append(dst, scratch[:2]...)
+	binary.LittleEndian.PutUint32(scratch[:], uint32(n))
+	dst = append(dst, scratch[:4]...)
+	return dst, nil
+}
+
+// kernelCompress is the shared batch path behind the built-in Compress
+// implementations: it drives the method's stream kernel over the whole
+// series — which is what makes batch and streamed payloads byte-identical by
+// construction — then frames and gzips the body through pooled buffers and
+// releases the kernel's scratch. Only the returned Payload is a fresh heap
+// allocation, because batch callers retain it indefinitely.
+func kernelCompress(m Method, epsilon float64, s *timeseries.Series, k StreamKernel) (*Compressed, error) {
+	for _, v := range s.Values {
+		k.Push(v)
+	}
+	frame := bytePool.get(s.Len() + 64)
+	var err error
+	frame.s, err = appendHeader(frame.s, m, s.Start, s.Interval, s.Len())
+	if err != nil {
+		bytePool.put(frame)
+		return nil, err
+	}
+	var segments int
+	if fa, ok := k.(FinishAppender); ok {
+		frame.s, segments = fa.AppendFinish(frame.s)
+	} else {
+		var body []byte
+		body, segments = k.Finish()
+		frame.s = append(frame.s, body...)
+	}
+	gz, err := GzipBytes(frame.s)
+	bytePool.put(frame)
+	if r, ok := k.(kernelReleaser); ok {
+		r.release()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Compressed{Method: m, Epsilon: epsilon, N: s.Len(), Segments: segments, Payload: gz}, nil
 }
 
 // allocHint caps the initial capacity of decode output slices. The claimed

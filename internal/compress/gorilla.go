@@ -1,7 +1,6 @@
 package compress
 
 import (
-	"bytes"
 	"errors"
 	"io"
 	"math"
@@ -40,16 +39,7 @@ func (g Gorilla) Compress(s *timeseries.Series, _ float64) (*Compressed, error) 
 		return nil, errors.New("compress: empty series")
 	}
 	k := &gorillaStream{prevLead: 65}
-	for _, v := range s.Values {
-		k.Push(v)
-	}
-	encoded, segments := k.Finish()
-	var body bytes.Buffer
-	if err := EncodeHeader(&body, MethodGorilla, s); err != nil {
-		return nil, err
-	}
-	body.Write(encoded)
-	return Finish(MethodGorilla, 0, s, body.Bytes(), segments)
+	return kernelCompress(MethodGorilla, 0, s, k)
 }
 
 // gorillaStream is Gorilla's incremental kernel: the previous value's bits
@@ -75,6 +65,7 @@ func (k *gorillaStream) Push(v float64) {
 	if k.n == 0 {
 		k.n = 1
 		k.prev = cur
+		k.bw.initPooled(1024)
 		k.bw.WriteBits(cur, 64)
 		return
 	}
@@ -85,7 +76,6 @@ func (k *gorillaStream) Push(v float64) {
 		k.bw.WriteBit(0)
 		return
 	}
-	k.bw.WriteBit(1)
 	lead := bits.LeadingZeros64(xor)
 	trail := bits.TrailingZeros64(xor)
 	if lead > 31 {
@@ -93,14 +83,20 @@ func (k *gorillaStream) Push(v float64) {
 	}
 	mean := 64 - lead - trail
 	if k.prevLead <= lead && k.prevMean >= mean+(lead-k.prevLead) {
-		// The meaningful bits fit inside the previous window: reuse it.
-		k.bw.WriteBit(0)
+		// The meaningful bits fit inside the previous window: reuse it. The
+		// "10" control pair is fused into one write, and — when the window is
+		// short enough — fused with the meaningful bits too, so the common
+		// case is a single WriteBits call per value.
+		if k.prevMean <= 62 {
+			k.bw.WriteBits(2<<uint(k.prevMean)|xor>>uint(64-k.prevLead-k.prevMean), uint(k.prevMean)+2)
+			return
+		}
+		k.bw.WriteBits(2, 2)
 		k.bw.WriteBits(xor>>uint(64-k.prevLead-k.prevMean), uint(k.prevMean))
 		return
 	}
-	k.bw.WriteBit(1)
-	k.bw.WriteBits(uint64(lead), 5)
-	k.bw.WriteBits(uint64(mean-1), 6) // meaningful length 1..64 stored as 0..63
+	// New window: "11" + 5-bit lead + 6-bit (mean-1), fused into 13 bits.
+	k.bw.WriteBits(3<<11|uint64(lead)<<6|uint64(mean-1), 13)
 	k.bw.WriteBits(xor>>uint(trail), uint(mean))
 	k.prevLead, k.prevMean = lead, mean
 }
@@ -110,6 +106,23 @@ func (k *gorillaStream) Push(v float64) {
 func (k *gorillaStream) Finish() ([]byte, int) {
 	return k.bw.Bytes(), 1
 }
+
+// AppendFinish implements FinishAppender: the bit-packed body is copied onto
+// dst in one append, so closing a stream touches no fresh memory.
+func (k *gorillaStream) AppendFinish(dst []byte) ([]byte, int) {
+	return append(dst, k.bw.Bytes()...), 1
+}
+
+// reset rewinds the kernel for a fresh series, keeping its bit buffer.
+func (k *gorillaStream) reset() {
+	k.bw.Reset()
+	k.n, k.prev = 0, 0
+	k.prevLead, k.prevMean = 65, 0
+}
+
+// release returns the bit buffer to the pool; the kernel must not be used
+// afterwards.
+func (k *gorillaStream) release() { k.bw.release() }
 
 func (k *gorillaStream) Segments() int {
 	if k.n > 0 {
@@ -139,6 +152,7 @@ func gorillaDecode(body []byte, count int) ([]float64, error) {
 // the previous value's bits and the previous meaningful-bit window.
 type gorillaValues struct {
 	br        *BitReader
+	total     int
 	remaining int
 	needFirst bool
 	prev      uint64
@@ -147,7 +161,14 @@ type gorillaValues struct {
 }
 
 func gorillaDecodeStream(body []byte, count int) (ValueStream, error) {
-	return &gorillaValues{br: NewBitReader(body), remaining: count, needFirst: true}, nil
+	return &gorillaValues{br: NewBitReader(body), total: count, remaining: count, needFirst: true}, nil
+}
+
+// rewind restarts the replay from the first value (see valueRewinder).
+func (p *gorillaValues) rewind() {
+	p.br.reset()
+	p.remaining, p.needFirst = p.total, true
+	p.prev, p.prevLead, p.prevMean = 0, 0, 0
 }
 
 func (p *gorillaValues) Next(dst []float64) (int, error) {
@@ -182,15 +203,12 @@ func (p *gorillaValues) Next(dst []float64) (int, error) {
 			return n, err
 		}
 		if b == 1 {
-			lead, err := p.br.ReadBits(5)
+			// Lead (5 bits) and meaningful length (6 bits) read in one go.
+			win, err := p.br.ReadBits(11)
 			if err != nil {
 				return n, err
 			}
-			meanLen, err := p.br.ReadBits(6)
-			if err != nil {
-				return n, err
-			}
-			p.prevLead, p.prevMean = int(lead), int(meanLen)+1
+			p.prevLead, p.prevMean = int(win>>6), int(win&63)+1
 		}
 		meaningful, err := p.br.ReadBits(uint(p.prevMean))
 		if err != nil {

@@ -1,13 +1,27 @@
 package compress
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"sync"
 )
+
+// The Huffman coder runs once per SZ payload over the whole quantisation
+// code stream, so it sits on the hot compress path. It works entirely on
+// flat, pooled arrays — dense per-symbol frequency/length/code tables, an
+// index-based node arena and binary heap, and counting-sorted canonical
+// order — with no maps, no container/heap interface boxing, and no
+// recursion, so a warm encode or decode allocates nothing.
+//
+// The emitted bytes are identical to the historical map-based
+// implementation: node keys (freq, symbol) form a strict total order (leaf
+// symbols are unique and an internal node's symbol is the minimum of its
+// disjoint subtree), so the merge sequence — and therefore every code
+// length, canonical code, and table byte — is fully determined by the
+// symbol frequencies alone.
 
 // maxHuffmanCodeLen bounds canonical code lengths so codes fit comfortably
 // in a uint64 during encoding. Residual-quantisation alphabets are small and
@@ -15,154 +29,256 @@ import (
 // and callers fall back to raw symbol storage.
 const maxHuffmanCodeLen = 56
 
-// huffmanNode is an internal tree node used during construction.
-type huffmanNode struct {
+const huffSymbols = 1 << 16
+
+// huffNode is one node of the code tree, held in a flat arena and linked by
+// index; left < 0 marks a leaf.
+type huffNode struct {
 	freq        uint64
-	symbol      uint16
-	leaf        bool
-	left, right *huffmanNode
+	sym         uint16
+	left, right int32
 }
 
-type huffmanHeap []*huffmanNode
+// huffScratch is the pooled working state shared by encode and decode. The
+// dense per-symbol tables are allocated once per scratch (4 MB total) and
+// cleaned sparsely — only the entries named by present are touched — so a
+// small alphabet pays for its own symbols, not for 65536.
+type huffScratch struct {
+	freq    []uint64 // per-symbol frequency (encode)
+	lens    []uint8  // per-symbol code length
+	codes   []uint64 // per-symbol canonical code (encode)
+	marks   []uint32 // per-symbol epoch stamp (decode table parsing)
+	epoch   uint32
+	present []uint16 // symbols in play, ascending
+	order   []uint16 // present counting-sorted by (length, symbol)
+	nodes   []huffNode
+	heap    []int32
+	stack   []int32
+	depth   []uint16 // parallel to stack
+	// Canonical decode tables indexed by code length (lengths come from
+	// untrusted bytes, so the full 0..255 range is representable).
+	count  [256]uint32
+	first  [256]uint64
+	offset [256]uint32
+	bw     BitWriter
+}
 
-func (h huffmanHeap) Len() int { return len(h) }
-func (h huffmanHeap) Less(i, j int) bool {
-	if h[i].freq != h[j].freq {
-		return h[i].freq < h[j].freq
+var huffPool = sync.Pool{New: func() any {
+	return &huffScratch{
+		freq:  make([]uint64, huffSymbols),
+		lens:  make([]uint8, huffSymbols),
+		codes: make([]uint64, huffSymbols),
+		marks: make([]uint32, huffSymbols),
 	}
-	// Tie-break on symbol for determinism.
-	return h[i].symbol < h[j].symbol
-}
-func (h huffmanHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *huffmanHeap) Push(x any)   { *h = append(*h, x.(*huffmanNode)) }
-func (h *huffmanHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+}}
+
+// clean re-zeroes the sparse entries this use touched and returns the
+// scratch to the pool.
+func (h *huffScratch) clean() {
+	for _, s := range h.present {
+		l := h.lens[s]
+		h.count[l], h.first[l], h.offset[l] = 0, 0, 0
+		h.freq[s] = 0
+		h.lens[s] = 0
+	}
+	h.present = h.present[:0]
+	h.order = h.order[:0]
+	h.nodes = h.nodes[:0]
+	h.heap = h.heap[:0]
+	h.stack = h.stack[:0]
+	h.depth = h.depth[:0]
+	h.bw.Reset()
+	huffPool.Put(h)
 }
 
-// huffmanCodeLengths returns the canonical Huffman code length per symbol
-// present in syms (map from symbol to frequency).
-func huffmanCodeLengths(freq map[uint16]uint64) (map[uint16]uint8, error) {
-	if len(freq) == 0 {
-		return nil, errors.New("compress: huffman with empty alphabet")
+// heap helpers: a plain binary min-heap of node-arena indexes ordered by
+// (freq, symbol) — a strict total order, see the package comment.
+
+func (h *huffScratch) nodeLess(a, b int32) bool {
+	na, nb := &h.nodes[a], &h.nodes[b]
+	if na.freq != nb.freq {
+		return na.freq < nb.freq
 	}
-	if len(freq) == 1 {
-		for s := range freq {
-			return map[uint16]uint8{s: 1}, nil
+	return na.sym < nb.sym
+}
+
+func (h *huffScratch) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			return
 		}
+		if j2 := j + 1; j2 < n && h.nodeLess(h.heap[j2], h.heap[j]) {
+			j = j2
+		}
+		if !h.nodeLess(h.heap[j], h.heap[i]) {
+			return
+		}
+		h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+		i = j
 	}
-	h := make(huffmanHeap, 0, len(freq))
-	for s, f := range freq {
-		h = append(h, &huffmanNode{freq: f, symbol: s, leaf: true})
+}
+
+func (h *huffScratch) heapPop() int32 {
+	top := h.heap[0]
+	n := len(h.heap) - 1
+	h.heap[0] = h.heap[n]
+	h.heap = h.heap[:n]
+	if n > 0 {
+		h.siftDown(0)
 	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).(*huffmanNode)
-		b := heap.Pop(&h).(*huffmanNode)
-		heap.Push(&h, &huffmanNode{freq: a.freq + b.freq, symbol: min16(a.symbol, b.symbol), left: a, right: b})
+	return top
+}
+
+func (h *huffScratch) heapPush(v int32) {
+	h.heap = append(h.heap, v)
+	i := len(h.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.nodeLess(h.heap[i], h.heap[parent]) {
+			return
+		}
+		h.heap[i], h.heap[parent] = h.heap[parent], h.heap[i]
+		i = parent
 	}
-	root := h[0]
-	lengths := make(map[uint16]uint8, len(freq))
-	var walk func(n *huffmanNode, depth uint8) error
-	walk = func(n *huffmanNode, depth uint8) error {
-		if n.leaf {
-			if depth > maxHuffmanCodeLen {
-				return fmt.Errorf("compress: huffman code length %d exceeds limit", depth)
+}
+
+// buildLengths fills lens for every symbol in present (which must be sorted
+// and non-empty) from the frequencies in freq.
+func (h *huffScratch) buildLengths() error {
+	if len(h.present) == 1 {
+		h.lens[h.present[0]] = 1
+		return nil
+	}
+	for _, s := range h.present {
+		h.nodes = append(h.nodes, huffNode{freq: h.freq[s], sym: s, left: -1})
+		h.heap = append(h.heap, int32(len(h.nodes)-1))
+	}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	for len(h.heap) > 1 {
+		a := h.heapPop()
+		b := h.heapPop()
+		sym := h.nodes[a].sym
+		if s := h.nodes[b].sym; s < sym {
+			sym = s
+		}
+		h.nodes = append(h.nodes, huffNode{freq: h.nodes[a].freq + h.nodes[b].freq, sym: sym, left: a, right: b})
+		h.heapPush(int32(len(h.nodes) - 1))
+	}
+	// Depth-first walk of the arena assigns leaf depths as code lengths.
+	h.stack = append(h.stack[:0], h.heap[0])
+	h.depth = append(h.depth[:0], 0)
+	for len(h.stack) > 0 {
+		n := len(h.stack) - 1
+		ni, d := h.stack[n], h.depth[n]
+		h.stack, h.depth = h.stack[:n], h.depth[:n]
+		node := &h.nodes[ni]
+		if node.left < 0 {
+			if d > maxHuffmanCodeLen {
+				return fmt.Errorf("compress: huffman code length %d exceeds limit", d)
 			}
-			if depth == 0 {
-				depth = 1
+			if d == 0 {
+				d = 1
 			}
-			lengths[n.symbol] = depth
-			return nil
+			h.lens[node.sym] = uint8(d)
+			continue
 		}
-		if err := walk(n.left, depth+1); err != nil {
-			return err
-		}
-		return walk(n.right, depth+1)
+		h.stack = append(h.stack, node.left, node.right)
+		h.depth = append(h.depth, d+1, d+1)
 	}
-	if err := walk(root, 0); err != nil {
-		return nil, err
-	}
-	return lengths, nil
+	return nil
 }
 
-func min16(a, b uint16) uint16 {
-	if a < b {
-		return a
+// assignCanonical counting-sorts present by (length, symbol) into order and
+// assigns canonical codes exactly as the historical implementation did:
+// shorter codes first, ties by symbol order, code <<= length delta between
+// entries. It also fills the per-length count/first/offset decode tables.
+func (h *huffScratch) assignCanonical() {
+	for _, s := range h.present {
+		h.count[h.lens[s]]++
 	}
-	return b
-}
-
-// canonicalCodes assigns canonical codes (shorter codes first, ties by
-// symbol order) given code lengths.
-func canonicalCodes(lengths map[uint16]uint8) map[uint16]uint64 {
-	type sl struct {
-		sym uint16
-		len uint8
+	var starts [256]uint32
+	var acc uint32
+	for l := 0; l < 256; l++ {
+		starts[l] = acc
+		h.offset[l] = acc
+		acc += h.count[l]
 	}
-	list := make([]sl, 0, len(lengths))
-	for s, l := range lengths {
-		list = append(list, sl{s, l})
+	h.order = slices.Grow(h.order[:0], len(h.present))[:len(h.present)]
+	for _, s := range h.present {
+		l := h.lens[s]
+		h.order[starts[l]] = s
+		starts[l]++
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].len != list[j].len {
-			return list[i].len < list[j].len
-		}
-		return list[i].sym < list[j].sym
-	})
-	codes := make(map[uint16]uint64, len(list))
 	var code uint64
 	var prevLen uint8
-	for _, e := range list {
-		code <<= uint(e.len - prevLen)
-		codes[e.sym] = code
+	for i, s := range h.order {
+		l := h.lens[s]
+		code <<= uint(l - prevLen)
+		if l > prevLen || i == 0 {
+			h.first[l] = code
+		}
+		h.codes[s] = code
 		code++
-		prevLen = e.len
+		prevLen = l
 	}
-	return codes
+}
+
+// AppendHuffman appends the Huffman encoding of the symbol stream to dst
+// and returns the extended slice. The code is canonical, built from the
+// stream's own frequencies, and the output embeds the code table so it is
+// self-describing. On error dst is returned unextended, so pooled buffers
+// are never lost.
+func AppendHuffman(dst []byte, symbols []uint16) ([]byte, error) {
+	if len(symbols) == 0 {
+		return dst, errors.New("compress: huffman with empty alphabet")
+	}
+	h := huffPool.Get().(*huffScratch)
+	defer h.clean()
+	for _, s := range symbols {
+		if h.freq[s] == 0 {
+			h.present = append(h.present, s)
+		}
+		h.freq[s]++
+	}
+	slices.Sort(h.present)
+	if err := h.buildLengths(); err != nil {
+		return dst, err
+	}
+	h.assignCanonical()
+
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(symbols)))
+	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(h.present)))
+	dst = append(dst, scratch[:4]...)
+	for _, s := range h.present {
+		binary.LittleEndian.PutUint16(scratch[:2], s)
+		dst = append(dst, scratch[0], scratch[1], h.lens[s])
+	}
+	h.bw.initPooled(len(symbols))
+	for _, s := range symbols {
+		h.bw.WriteBits(h.codes[s], uint(h.lens[s]))
+	}
+	dst = append(dst, h.bw.Bytes()...)
+	h.bw.release()
+	return dst, nil
 }
 
 // HuffmanEncode compresses the symbol stream with a canonical Huffman code
 // built from the stream's own frequencies. The output embeds the code table
 // so it is self-describing.
 func HuffmanEncode(symbols []uint16) ([]byte, error) {
-	freq := make(map[uint16]uint64)
-	for _, s := range symbols {
-		freq[s]++
-	}
-	lengths, err := huffmanCodeLengths(freq)
-	if err != nil {
-		return nil, err
-	}
-	codes := canonicalCodes(lengths)
-
-	var out []byte
-	var scratch [8]byte
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(symbols)))
-	out = append(out, scratch[:4]...)
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(lengths)))
-	out = append(out, scratch[:4]...)
-	// Table: sorted by symbol for determinism.
-	syms := make([]uint16, 0, len(lengths))
-	for s := range lengths {
-		syms = append(syms, s)
-	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
-	for _, s := range syms {
-		binary.LittleEndian.PutUint16(scratch[:2], s)
-		out = append(out, scratch[0], scratch[1], lengths[s])
-	}
-	var bw BitWriter
-	for _, s := range symbols {
-		bw.WriteBits(codes[s], uint(lengths[s]))
-	}
-	return append(out, bw.Bytes()...), nil
+	return AppendHuffman(nil, symbols)
 }
 
-// HuffmanDecode reverses HuffmanEncode.
+// HuffmanDecode reverses HuffmanEncode. Decoding walks the canonical
+// first-code tables bit by bit — a code of length l matches iff it falls in
+// [first[l], first[l]+count[l]) — which accepts exactly the codes the
+// historical (length, code)→symbol map contained.
 func HuffmanDecode(data []byte) ([]uint16, error) {
 	if len(data) < 8 {
 		return nil, io.ErrUnexpectedEOF
@@ -170,45 +286,42 @@ func HuffmanDecode(data []byte) ([]uint16, error) {
 	n := binary.LittleEndian.Uint32(data[:4])
 	nsym := binary.LittleEndian.Uint32(data[4:8])
 	pos := 8
-	lengths := make(map[uint16]uint8, nsym)
+	h := huffPool.Get().(*huffScratch)
+	defer h.clean()
+	h.epoch++
 	for i := uint32(0); i < nsym; i++ {
 		if pos+3 > len(data) {
 			return nil, io.ErrUnexpectedEOF
 		}
 		s := binary.LittleEndian.Uint16(data[pos : pos+2])
-		lengths[s] = data[pos+2]
+		if h.marks[s] != h.epoch {
+			h.marks[s] = h.epoch
+			h.present = append(h.present, s)
+		}
+		h.lens[s] = data[pos+2] // duplicate table entries: last one wins
 		pos += 3
 	}
-	codes := canonicalCodes(lengths)
-	// Decoding table: (length, code) -> symbol.
-	type key struct {
-		len  uint8
-		code uint64
+	if len(h.present) == 0 {
+		return nil, errors.New("compress: invalid huffman stream")
 	}
-	table := make(map[key]uint16, len(codes))
-	maxLen := uint8(0)
-	for s, c := range codes {
-		l := lengths[s]
-		table[key{l, c}] = s
-		if l > maxLen {
-			maxLen = l
-		}
-	}
-	br := NewBitReader(data[pos:])
-	out := make([]uint16, 0, n)
+	slices.Sort(h.present)
+	h.assignCanonical()
+	maxLen := h.lens[h.order[len(h.order)-1]]
+
+	br := BitReader{buf: data[pos:]}
+	out := make([]uint16, 0, allocHint(int(n)))
 	for uint32(len(out)) < n {
 		var code uint64
-		var l uint8
 		found := false
-		for l < maxLen {
+		for l := uint8(0); l < maxLen; {
 			b, err := br.ReadBit()
 			if err != nil {
 				return nil, err
 			}
 			code = code<<1 | b
 			l++
-			if s, ok := table[key{l, code}]; ok {
-				out = append(out, s)
+			if c := h.count[l]; c > 0 && code >= h.first[l] && code-h.first[l] < uint64(c) {
+				out = append(out, h.order[h.offset[l]+uint32(code-h.first[l])])
 				found = true
 				break
 			}

@@ -1,7 +1,6 @@
 package compress
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -49,20 +48,12 @@ func (p PMC) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error
 		return nil, errors.New("compress: negative error bound")
 	}
 	k := &pmcStream{epsilon: epsilon, absolute: p.Absolute, lower: math.Inf(-1), upper: math.Inf(1)}
-	for _, v := range s.Values {
-		k.Push(v)
-	}
-	encoded, segments := k.Finish()
-	var body bytes.Buffer
-	if err := EncodeHeader(&body, MethodPMC, s); err != nil {
-		return nil, err
-	}
-	body.Write(encoded)
-	return Finish(MethodPMC, epsilon, s, body.Bytes(), segments)
+	return kernelCompress(MethodPMC, epsilon, s, k)
 }
 
 // pmcStream is PMC's incremental kernel: the open window's running sum and
-// feasible mean interval — O(1) state regardless of series length.
+// feasible mean interval — O(1) state regardless of series length. The body
+// accumulates in a pooled buffer (see reset/release).
 type pmcStream struct {
 	epsilon  float64
 	absolute bool
@@ -72,7 +63,7 @@ type pmcStream struct {
 	lower, upper float64
 
 	segments int
-	body     bytes.Buffer
+	body     *sbuf[byte]
 }
 
 func newPMCStream(epsilon float64, absolute bool) (StreamKernel, error) {
@@ -104,16 +95,43 @@ func (k *pmcStream) Push(v float64) {
 // stage.
 func (k *pmcStream) emit() {
 	mean := quantizeToInterval(k.sum/float64(k.count), k.lower, k.upper)
+	if k.body == nil {
+		k.body = bytePool.get(256)
+	}
 	var scratch [10]byte
 	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.count))
 	binary.LittleEndian.PutUint64(scratch[2:], math.Float64bits(mean))
-	k.body.Write(scratch[:])
+	k.body.s = append(k.body.s, scratch[:]...)
 	k.segments++
 }
 
 func (k *pmcStream) Finish() ([]byte, int) {
 	k.emit()
-	return k.body.Bytes(), k.segments
+	return k.body.s, k.segments
+}
+
+// AppendFinish implements FinishAppender: the accumulated body is copied
+// onto dst in one append, so closing a stream touches no fresh memory.
+func (k *pmcStream) AppendFinish(dst []byte) ([]byte, int) {
+	k.emit()
+	return append(dst, k.body.s...), k.segments
+}
+
+// reset rewinds the kernel for a fresh series, keeping its body buffer.
+func (k *pmcStream) reset() {
+	k.count, k.sum = 0, 0
+	k.lower, k.upper = math.Inf(-1), math.Inf(1)
+	k.segments = 0
+	if k.body != nil {
+		k.body.s = k.body.s[:0]
+	}
+}
+
+// release returns the body buffer to the pool; the kernel must not be used
+// afterwards.
+func (k *pmcStream) release() {
+	bytePool.put(k.body)
+	k.body = nil
 }
 
 func (k *pmcStream) Segments() int { return k.segments }
@@ -179,6 +197,7 @@ func pmcDecode(body []byte, count int) ([]float64, error) {
 // segment header (its remaining length and mean).
 type pmcValues struct {
 	body      []byte
+	total     int
 	pos       int
 	remaining int
 	segLeft   int
@@ -186,7 +205,12 @@ type pmcValues struct {
 }
 
 func pmcDecodeStream(body []byte, count int) (ValueStream, error) {
-	return &pmcValues{body: body, remaining: count}, nil
+	return &pmcValues{body: body, total: count, remaining: count}, nil
+}
+
+// rewind restarts the replay from the first value (see valueRewinder).
+func (p *pmcValues) rewind() {
+	p.pos, p.remaining, p.segLeft, p.mean = 0, p.total, 0, 0
 }
 
 func (p *pmcValues) Next(dst []float64) (int, error) {

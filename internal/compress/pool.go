@@ -1,0 +1,164 @@
+package compress
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// This file is the codec compute layer's buffer pool: size-classed free
+// lists of []byte, []float64, and []uint16 shared by all four stream
+// kernels, the chunked StreamDecoder, the frame writer, and the gzip stage.
+// It generalises the internal/nn arena pattern (power-of-two size classes,
+// pointers stored in sync.Pool so Put never allocates an interface box) to
+// the codec path: steady-state encode and decode do zero heap allocation
+// because every scratch buffer — kernel bodies, bit-writer backing arrays,
+// Huffman scratch, gunzipped frames, chunk buffers — is drawn from and
+// returned to these pools.
+//
+// Aliasing contract: a slice obtained from the pool (directly via
+// GetBytes/GetFloats or indirectly through the no-copy Append APIs) may be
+// handed to a later caller the moment it is Put back. Never retain a view
+// of pooled memory past the Put; copy first with Detach (or Compressed.Clone)
+// when a longer lifetime is needed.
+
+// Buffers are pooled in power-of-two size classes from 64 to 16M elements.
+// Larger requests are allocated plainly and, on put, dropped for the GC.
+const (
+	poolMinShift = 6
+	poolMaxShift = 24
+	poolClasses  = poolMaxShift - poolMinShift + 1
+)
+
+// poolClass maps a requested element count to its size class, or -1 when
+// the request is too large to pool.
+func poolClass(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	s := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if s < poolMinShift {
+		s = poolMinShift
+	}
+	if s > poolMaxShift {
+		return -1
+	}
+	return s - poolMinShift
+}
+
+// sbuf wraps a pooled slice. The wrapper object is what sync.Pool stores, so
+// neither Get nor Put allocates once the pools are warm; wrappers are
+// fungible across slices (see wrapPool).
+type sbuf[T any] struct{ s []T }
+
+// bufPool is one element type's set of size-classed pools.
+type bufPool[T any] struct {
+	classes [poolClasses]sync.Pool
+	// wraps caches empty sbuf wrappers so the exported naked-slice API
+	// (GetBytes/PutBytes) is also allocation-free in steady state.
+	wraps sync.Pool
+}
+
+// get returns a wrapper whose slice has length 0 and capacity at least n
+// (rounded up to the size class). The slice contents are arbitrary.
+func (p *bufPool[T]) get(n int) *sbuf[T] {
+	c := poolClass(n)
+	if c >= 0 {
+		if v := p.classes[c].Get(); v != nil {
+			return v.(*sbuf[T])
+		}
+		n = 1 << (c + poolMinShift)
+	}
+	return &sbuf[T]{s: make([]T, 0, n)}
+}
+
+// put returns a wrapper (and its slice) to the pool serving the slice's
+// capacity class. Undersized, oversized, or nil slices are dropped for the
+// GC. The class is the largest power of two the capacity covers — rounding
+// DOWN, unlike get — so a slice grown by append to an off-class capacity
+// (e.g. 5376) still honours the capacity contract of the class it is filed
+// under (4096), rather than shortchanging a later get from the class above.
+func (p *bufPool[T]) put(b *sbuf[T]) {
+	if b == nil || cap(b.s) == 0 {
+		return
+	}
+	s := bits.Len(uint(cap(b.s))) - 1 // floor(log2 cap)
+	if s < poolMinShift || s > poolMaxShift {
+		return
+	}
+	b.s = b.s[:0]
+	p.classes[s-poolMinShift].Put(b)
+}
+
+// getSlice and putSlice are the naked-slice forms: the wrapper is parked in
+// the wraps cache between uses, so the round trip allocates nothing.
+func (p *bufPool[T]) getSlice(n int) []T {
+	w := p.get(n)
+	s := w.s
+	w.s = nil
+	p.wraps.Put(w)
+	return s
+}
+
+func (p *bufPool[T]) putSlice(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	var w *sbuf[T]
+	if v := p.wraps.Get(); v != nil {
+		w = v.(*sbuf[T])
+	} else {
+		w = new(sbuf[T])
+	}
+	w.s = s[:0]
+	p.put(w)
+}
+
+var (
+	bytePool  bufPool[byte]
+	floatPool bufPool[float64]
+	u16Pool   bufPool[uint16]
+)
+
+// GetBytes returns a pooled byte slice with length 0 and capacity at least
+// n, for use with append. Return it with PutBytes when done; see the
+// aliasing contract at the top of this file.
+func GetBytes(n int) []byte { return bytePool.getSlice(n) }
+
+// PutBytes returns a slice obtained from GetBytes (or grown from one by
+// append) to the pool. The caller must not use b, nor anything aliasing its
+// backing array, after the call.
+func PutBytes(b []byte) { bytePool.putSlice(b) }
+
+// GetFloats returns a pooled float64 slice with length 0 and capacity at
+// least n, for use with append. Return it with PutFloats when done.
+func GetFloats(n int) []float64 { return floatPool.getSlice(n) }
+
+// PutFloats returns a slice obtained from GetFloats to the pool. The caller
+// must not use f after the call.
+func PutFloats(f []float64) { floatPool.putSlice(f) }
+
+// Detach copies b into a fresh heap allocation, severing any aliasing with
+// pooled or caller-owned memory. Use it when a payload produced by a
+// no-copy Append API must outlive the buffer it was appended to — e.g. a
+// handler that caches the payload after returning its request buffer.
+func Detach(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Clone returns a deep copy of c whose Payload is freshly allocated. The
+// no-copy encoder entry points (StreamEncoder.CloseAppend) return payloads
+// that alias the caller's buffer; Clone is how such a result is safely
+// retained past the buffer's reuse or return to the pool.
+func (c *Compressed) Clone() *Compressed {
+	if c == nil {
+		return nil
+	}
+	out := *c
+	out.Payload = Detach(c.Payload)
+	return &out
+}

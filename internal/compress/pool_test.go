@@ -1,0 +1,203 @@
+package compress
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolClass(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{64, 0},
+		{65, 1},
+		{128, 1},
+		{129, 2},
+		{1 << 24, poolClasses - 1},
+		{1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := poolClass(c.n); got != c.want {
+			t.Errorf("poolClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPoolGetCapacityContract(t *testing.T) {
+	var p bufPool[byte]
+	for _, n := range []int{0, 1, 64, 100, 4096, 1 << 20, 1<<24 + 5} {
+		b := p.get(n)
+		if len(b.s) != 0 {
+			t.Errorf("get(%d): len %d, want 0", n, len(b.s))
+		}
+		if cap(b.s) < n {
+			t.Errorf("get(%d): cap %d < %d", n, cap(b.s), n)
+		}
+		p.put(b)
+	}
+}
+
+// A slice grown by append lands at an off-class capacity; put must file it
+// under the class below, so a later get from that class still receives at
+// least the capacity it asked for.
+func TestPoolPutOffClassCapacity(t *testing.T) {
+	var p bufPool[byte]
+	grown := &sbuf[byte]{s: make([]byte, 0, 5376)} // between 4096 and 8192
+	p.put(grown)
+	got := p.get(8192)
+	if got == grown {
+		t.Fatalf("off-class cap 5376 served for get(8192): cap %d < 8192", cap(got.s))
+	}
+	if cap(got.s) < 8192 {
+		t.Fatalf("get(8192): cap %d < 8192", cap(got.s))
+	}
+	got2 := p.get(4096)
+	if got2 != grown {
+		t.Skip("pool did not retain the grown buffer (valid sync.Pool behaviour)")
+	}
+	if cap(got2.s) < 4096 {
+		t.Fatalf("get(4096) returned cap %d < 4096", cap(got2.s))
+	}
+}
+
+func TestPoolPutDropsUnpoolable(t *testing.T) {
+	var p bufPool[byte]
+	p.put(nil)                                    // must not panic
+	p.put(&sbuf[byte]{})                          // nil slice dropped
+	p.put(&sbuf[byte]{s: make([]byte, 0, 16)})    // below min class dropped
+	p.put(&sbuf[byte]{s: make([]byte, 0, 1<<25)}) // above max class dropped
+	for i := range p.classes {
+		if v := p.classes[i].Get(); v != nil {
+			t.Fatalf("class %d retained an unpoolable buffer (cap %d)", i, cap(v.(*sbuf[byte]).s))
+		}
+	}
+}
+
+func TestGetPutSliceRoundTrip(t *testing.T) {
+	b := GetBytes(1000)
+	if len(b) != 0 || cap(b) < 1000 {
+		t.Fatalf("GetBytes(1000): len %d cap %d", len(b), cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	PutBytes(b)
+	f := GetFloats(256)
+	if len(f) != 0 || cap(f) < 256 {
+		t.Fatalf("GetFloats(256): len %d cap %d", len(f), cap(f))
+	}
+	PutFloats(f)
+	PutBytes(nil) // must not panic
+	PutFloats(nil)
+}
+
+func TestDetachSeversAliasing(t *testing.T) {
+	if Detach(nil) != nil {
+		t.Fatal("Detach(nil) != nil")
+	}
+	src := []byte{1, 2, 3}
+	d := Detach(src)
+	src[0] = 99
+	if d[0] != 1 {
+		t.Fatal("Detach result aliases source")
+	}
+}
+
+// CloseAppend's payload aliases the caller's buffer — the documented sharp
+// edge. Clone must produce a payload that survives the buffer's reuse.
+func TestCloneSeversPooledPayload(t *testing.T) {
+	s := synthSeries(512, 3)
+	enc, err := NewStreamEncoder(MethodPMC, s, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Values {
+		if err := enc.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := GetBytes(64)
+	c, err := enc.CloseAppend(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Payload) > 0 && len(c.Payload) <= cap(buf) && &c.Payload[0] != &buf[:1][0] {
+		t.Fatal("CloseAppend payload does not alias the caller's buffer")
+	}
+	kept := c.Clone()
+	enc.Release()
+	// Simulate the buffer being reused after PutBytes: scribble over it.
+	for i := range c.Payload {
+		c.Payload[i] = 0xAA
+	}
+	PutBytes(c.Payload)
+	got, err := kept.Decompress()
+	if err != nil {
+		t.Fatalf("cloned payload corrupted by buffer reuse: %v", err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("clone decoded %d values, want %d", got.Len(), s.Len())
+	}
+}
+
+// Concurrent encoders hammering the shared pools: meaningful mainly under
+// -race, which sees any unsynchronised reuse of a pooled buffer.
+func TestPoolConcurrentStress(t *testing.T) {
+	s := synthSeries(2048, 11)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			methods := streamMethods()
+			for i := 0; i < 20; i++ {
+				m := methods[(seed+i)%len(methods)]
+				enc, err := NewStreamEncoder(m, s, 0.05)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, v := range s.Values {
+					if err := enc.Push(v); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				buf := GetBytes(512)
+				c, err := enc.CloseAppend(buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				kept := c.Clone()
+				PutBytes(c.Payload)
+				enc.Release()
+				dec, err := NewStreamDecoder(kept, 256)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total := 0
+				for {
+					chunk, ok := dec.Next()
+					if !ok {
+						break
+					}
+					total += chunk.Len()
+				}
+				if err := dec.Err(); err != nil {
+					t.Error(err)
+					return
+				}
+				dec.Release()
+				if total != s.Len() {
+					t.Errorf("%s: decoded %d of %d values", m, total, s.Len())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

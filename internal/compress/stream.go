@@ -1,7 +1,6 @@
 package compress
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 
@@ -38,6 +37,26 @@ type StreamKernel interface {
 // assembled Compressed then records Epsilon 0, matching the batch encoder's
 // metadata for lossless methods.
 type losslessKernel interface{ lossless() }
+
+// FinishAppender is the no-copy form of StreamKernel.Finish: the kernel
+// appends its encoded body onto dst instead of exposing an internal buffer.
+// Kernels that implement it let CloseAppend assemble the whole frame in one
+// pooled buffer; like Finish, it is called exactly once. External kernels
+// may implement it for the same benefit — the registry interface itself is
+// unchanged.
+type FinishAppender interface {
+	AppendFinish(dst []byte) (out []byte, segments int)
+}
+
+// kernelReseter is implemented by kernels that can be rewound to their
+// initial state while keeping their scratch buffers, enabling
+// StreamEncoder.Reset to make one encoder serve many series with zero
+// steady-state allocation.
+type kernelReseter interface{ reset() }
+
+// kernelReleaser is implemented by kernels holding pooled scratch buffers;
+// release returns them to the package pools (see StreamEncoder.Release).
+type kernelReleaser interface{ release() }
 
 // StreamEncoder compresses a regular time series incrementally — the edge
 // deployment mode of the paper's wind-turbine scenario (§1): points are
@@ -134,6 +153,7 @@ func (k *bufferedKernel) Push(v float64)        { k.values = append(k.values, v)
 func (k *bufferedKernel) Finish() ([]byte, int) { return nil, 0 } // Close compresses directly
 func (k *bufferedKernel) Segments() int         { return 0 }
 func (k *bufferedKernel) Pending() int          { return len(k.values) }
+func (k *bufferedKernel) reset()                { k.values = k.values[:0] }
 
 // Push adds the next observation. Finished segments accumulate internally;
 // call Segments to see how many have been emitted so far.
@@ -179,7 +199,18 @@ func (e *StreamEncoder) PendingPoints() int { return e.kernel.Pending() }
 
 // Close flushes the open window and returns the finished Compressed value
 // (gzip-compressed, identical to the batch output for the same input).
-func (e *StreamEncoder) Close() (*Compressed, error) {
+func (e *StreamEncoder) Close() (*Compressed, error) { return e.CloseAppend(nil) }
+
+// CloseAppend is Close in append form: the finished gzip payload is appended
+// onto dst, so a caller with a request-scoped buffer (GetBytes or a retained
+// slice) closes streams with zero per-op allocation beyond the Compressed
+// struct itself. The returned Payload aliases dst's backing array — never
+// return dst to a pool or reuse it while the Compressed is live; use
+// Compressed.Clone (or Detach) to retain the payload past the buffer's
+// lifetime. Buffered encoders (NewBufferedStreamEncoder) compress in batch
+// and return a heap payload that does not alias dst. On error the caller
+// still owns the dst slice it passed in.
+func (e *StreamEncoder) CloseAppend(dst []byte) (*Compressed, error) {
 	if e.closed {
 		return nil, errors.New("compress: already closed")
 	}
@@ -190,13 +221,23 @@ func (e *StreamEncoder) Close() (*Compressed, error) {
 	if bk, ok := e.kernel.(*bufferedKernel); ok {
 		return bk.comp.Compress(timeseries.New("", e.start, e.interval, bk.values), e.epsilon)
 	}
-	body, segments := e.kernel.Finish()
-	var full bytes.Buffer
-	if err := EncodeHeaderN(&full, e.method, e.start, e.interval, e.n); err != nil {
+	frame := bytePool.get(e.n + 64)
+	var err error
+	frame.s, err = appendHeader(frame.s, e.method, e.start, e.interval, e.n)
+	if err != nil {
+		bytePool.put(frame)
 		return nil, err
 	}
-	full.Write(body)
-	gz, err := GzipBytes(full.Bytes())
+	var segments int
+	if fa, ok := e.kernel.(FinishAppender); ok {
+		frame.s, segments = fa.AppendFinish(frame.s)
+	} else {
+		var body []byte
+		body, segments = e.kernel.Finish()
+		frame.s = append(frame.s, body...)
+	}
+	dst, err = AppendGzip(dst, frame.s)
+	bytePool.put(frame)
 	if err != nil {
 		return nil, err
 	}
@@ -209,6 +250,34 @@ func (e *StreamEncoder) Close() (*Compressed, error) {
 		Epsilon:  eps,
 		N:        e.n,
 		Segments: segments,
-		Payload:  gz,
+		Payload:  dst,
 	}, nil
+}
+
+// Reset rewinds the encoder to compress a fresh series with the given
+// geometry, keeping the kernel's scratch buffers — the amortisation that
+// lets one encoder serve a whole request stream with zero steady-state
+// allocation. Methods whose kernels cannot rewind return an error and the
+// encoder is unchanged.
+func (e *StreamEncoder) Reset(start, interval int64) error {
+	r, ok := e.kernel.(kernelReseter)
+	if !ok {
+		return fmt.Errorf("compress: %s kernel does not support Reset", e.method)
+	}
+	r.reset()
+	e.start, e.interval = start, interval
+	e.n = 0
+	e.closed = false
+	return nil
+}
+
+// Release returns the kernel's pooled scratch buffers to the package pools.
+// Call it when the encoder will not be reused (after Close, or to abandon an
+// open stream); the encoder must not be used afterwards. Close does not
+// release automatically so that Reset-based reuse keeps its buffers warm.
+func (e *StreamEncoder) Release() {
+	if r, ok := e.kernel.(kernelReleaser); ok {
+		r.release()
+	}
+	e.closed = true
 }

@@ -21,6 +21,12 @@ type ValueStream interface {
 	Next(dst []float64) (int, error)
 }
 
+// valueRewinder is implemented by value streams that can restart the replay
+// from the first value without re-parsing the payload body — the decode-side
+// counterpart of kernelReseter, used by the zero-allocation decode tests and
+// benchmarks.
+type valueRewinder interface{ rewind() }
+
 // sliceValues serves a batch-decoded slice through the ValueStream
 // interface, the fallback for registrations without DecodeStream.
 type sliceValues struct {
@@ -36,6 +42,8 @@ func (s *sliceValues) Next(dst []float64) (int, error) {
 	s.pos += n
 	return n, nil
 }
+
+func (s *sliceValues) rewind() { s.pos = 0 }
 
 // StreamDecoder reconstructs a compressed series chunk by chunk, holding
 // O(chunk) state instead of materialising the full series: each built-in
@@ -58,6 +66,10 @@ type StreamDecoder struct {
 	pos      int
 	buf      []float64
 	err      error
+	// Pooled backing for the gunzipped frame (which the per-method value
+	// streams read from in place) and the chunk buffer; see Release.
+	raw   *sbuf[byte]
+	chunk *sbuf[float64]
 }
 
 // NewStreamDecoder returns a chunked decoder over c's payload. Non-positive
@@ -66,19 +78,25 @@ func NewStreamDecoder(c *Compressed, chunkSize int) (*StreamDecoder, error) {
 	if chunkSize <= 0 {
 		chunkSize = timeseries.DefaultChunkSize
 	}
-	raw, err := GunzipBytes(c.Payload)
+	raw := bytePool.get(2 * len(c.Payload))
+	var err error
+	raw.s, err = AppendGunzip(raw.s, c.Payload)
 	if err != nil {
+		bytePool.put(raw)
 		return nil, err
 	}
-	hdr, body, err := decodeHeader(raw)
+	hdr, body, err := decodeHeader(raw.s)
 	if err != nil {
+		bytePool.put(raw)
 		return nil, err
 	}
 	if hdr.method != c.Method {
+		bytePool.put(raw)
 		return nil, fmt.Errorf("compress: payload method %s does not match %s", hdr.method, c.Method)
 	}
 	reg, err := lookup(c.Method)
 	if err != nil {
+		bytePool.put(raw)
 		return nil, err
 	}
 	var vs ValueStream
@@ -90,15 +108,33 @@ func NewStreamDecoder(c *Compressed, chunkSize int) (*StreamDecoder, error) {
 		vs = &sliceValues{values: values}
 	}
 	if err != nil {
+		bytePool.put(raw)
 		return nil, err
 	}
+	chunk := floatPool.get(chunkSize)
 	return &StreamDecoder{
 		vs:       vs,
 		start:    int64(hdr.start),
 		interval: int64(hdr.interval),
 		count:    int(hdr.count),
-		buf:      make([]float64, chunkSize),
+		buf:      chunk.s[:chunkSize],
+		raw:      raw,
+		chunk:    chunk,
 	}, nil
+}
+
+// Release returns the decoder's pooled buffers (the gunzipped frame and the
+// chunk buffer) to the package pools. Call it once the stream is drained or
+// abandoned; the decoder — and any chunk it previously yielded — must not be
+// used afterwards. Decoders that are simply dropped without Release remain
+// correct; the buffers are then reclaimed by the GC instead of reused.
+func (d *StreamDecoder) Release() {
+	bytePool.put(d.raw)
+	floatPool.put(d.chunk)
+	d.raw, d.chunk = nil, nil
+	d.vs = nil
+	d.buf = nil
+	d.pos = d.count // Next now reports end-of-stream
 }
 
 // Len returns the total number of values the payload reconstructs to.

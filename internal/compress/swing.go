@@ -1,7 +1,6 @@
 package compress
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"io"
@@ -48,21 +47,13 @@ func (sw Swing) Compress(s *timeseries.Series, epsilon float64) (*Compressed, er
 		return nil, errors.New("compress: negative error bound")
 	}
 	k := &swingStream{epsilon: epsilon, absolute: sw.Absolute, sLow: math.Inf(-1), sHigh: math.Inf(1)}
-	for _, v := range s.Values {
-		k.Push(v)
-	}
-	encoded, segments := k.Finish()
-	var body bytes.Buffer
-	if err := EncodeHeader(&body, MethodSwing, s); err != nil {
-		return nil, err
-	}
-	body.Write(encoded)
-	return Finish(MethodSwing, epsilon, s, body.Bytes(), segments)
+	return kernelCompress(MethodSwing, epsilon, s, k)
 }
 
 // swingStream is Swing's incremental kernel: the open segment's anchor
 // intercept and the narrowing slope corridor — O(1) state regardless of
-// series length.
+// series length. The body accumulates in a pooled buffer (see
+// reset/release).
 type swingStream struct {
 	epsilon  float64
 	absolute bool
@@ -73,7 +64,7 @@ type swingStream struct {
 	sHigh     float64
 
 	segments int
-	body     bytes.Buffer
+	body     *sbuf[byte]
 }
 
 func newSwingStream(epsilon float64, absolute bool) (StreamKernel, error) {
@@ -107,17 +98,44 @@ func (k *swingStream) emit() {
 	if k.count >= 2 {
 		slope = (k.sLow + k.sHigh) / 2
 	}
+	if k.body == nil {
+		k.body = bytePool.get(256)
+	}
 	var scratch [18]byte
 	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.count))
 	binary.LittleEndian.PutUint64(scratch[2:10], math.Float64bits(slope))
 	binary.LittleEndian.PutUint64(scratch[10:], math.Float64bits(k.intercept))
-	k.body.Write(scratch[:])
+	k.body.s = append(k.body.s, scratch[:]...)
 	k.segments++
 }
 
 func (k *swingStream) Finish() ([]byte, int) {
 	k.emit()
-	return k.body.Bytes(), k.segments
+	return k.body.s, k.segments
+}
+
+// AppendFinish implements FinishAppender: the accumulated body is copied
+// onto dst in one append, so closing a stream touches no fresh memory.
+func (k *swingStream) AppendFinish(dst []byte) ([]byte, int) {
+	k.emit()
+	return append(dst, k.body.s...), k.segments
+}
+
+// reset rewinds the kernel for a fresh series, keeping its body buffer.
+func (k *swingStream) reset() {
+	k.count, k.intercept = 0, 0
+	k.sLow, k.sHigh = math.Inf(-1), math.Inf(1)
+	k.segments = 0
+	if k.body != nil {
+		k.body.s = k.body.s[:0]
+	}
+}
+
+// release returns the body buffer to the pool; the kernel must not be used
+// afterwards.
+func (k *swingStream) release() {
+	bytePool.put(k.body)
+	k.body = nil
 }
 
 func (k *swingStream) Segments() int { return k.segments }
@@ -148,6 +166,7 @@ func swingDecode(body []byte, count int) ([]float64, error) {
 // segment (its remaining length, line coefficients, and local index).
 type swingValues struct {
 	body      []byte
+	total     int
 	pos       int
 	remaining int
 	segLeft   int
@@ -157,7 +176,13 @@ type swingValues struct {
 }
 
 func swingDecodeStream(body []byte, count int) (ValueStream, error) {
-	return &swingValues{body: body, remaining: count}, nil
+	return &swingValues{body: body, total: count, remaining: count}, nil
+}
+
+// rewind restarts the replay from the first value (see valueRewinder).
+func (p *swingValues) rewind() {
+	p.pos, p.remaining, p.segLeft, p.idx = 0, p.total, 0, 0
+	p.slope, p.intercept = 0, 0
 }
 
 func (p *swingValues) Next(dst []float64) (int, error) {

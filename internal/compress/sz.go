@@ -1,7 +1,6 @@
 package compress
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -78,16 +77,7 @@ func (z SZ) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error)
 		return nil, fmt.Errorf("compress: SZ block size %d too large", bs)
 	}
 	k := newSZStreamBS(bs, epsilon, z.Absolute)
-	for _, v := range s.Values {
-		k.Push(v)
-	}
-	encoded, segments := k.Finish()
-	var body bytes.Buffer
-	if err := EncodeHeader(&body, MethodSZ, s); err != nil {
-		return nil, err
-	}
-	body.Write(encoded)
-	return Finish(MethodSZ, epsilon, s, body.Bytes(), segments)
+	return kernelCompress(MethodSZ, epsilon, s, k)
 }
 
 // szStream is SZ's incremental kernel. Prediction needs only the last two
@@ -104,10 +94,10 @@ type szStream struct {
 	bs       int
 
 	block      []float64 // open (not yet encoded) block
-	meta       bytes.Buffer
+	meta       *sbuf[byte]
 	nblocks    int
-	codes      []uint16
-	exceptions []float64
+	codes      *sbuf[uint16]
+	exceptions *sbuf[float64]
 
 	hist      [2]float64 // last two reconstructed values
 	nhist     int
@@ -120,7 +110,15 @@ func newSZStream(epsilon float64, absolute bool) (StreamKernel, error) {
 }
 
 func newSZStreamBS(bs int, epsilon float64, absolute bool) *szStream {
-	return &szStream{epsilon: epsilon, absolute: absolute, bs: bs, block: make([]float64, 0, bs)}
+	return &szStream{
+		epsilon:    epsilon,
+		absolute:   absolute,
+		bs:         bs,
+		block:      make([]float64, 0, bs),
+		meta:       bytePool.get(512),
+		codes:      u16Pool.get(1024),
+		exceptions: floatPool.get(64),
+	}
 }
 
 func (k *szStream) Push(v float64) {
@@ -157,9 +155,9 @@ func (k *szStream) encodeBlock() {
 	k.nblocks++
 	var scratch [8]byte
 	if constantBlock(block) {
-		k.meta.WriteByte(szModeConstant)
+		k.meta.s = append(k.meta.s, szModeConstant)
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(block[0]))
-		k.meta.Write(scratch[:])
+		k.meta.s = append(k.meta.s, scratch[:]...)
 		for range block {
 			k.pushRecon(block[0])
 		}
@@ -170,26 +168,26 @@ func (k *szStream) encodeBlock() {
 	if k.absolute {
 		precision = roundDown32(k.epsilon)
 	}
-	k.meta.WriteByte(byte(mode))
+	k.meta.s = append(k.meta.s, byte(mode))
 	binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(precision))
-	k.meta.Write(scratch[:4])
+	k.meta.s = append(k.meta.s, scratch[:4]...)
 	if mode == szModeRegression {
 		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(slope))
-		k.meta.Write(scratch[:4])
+		k.meta.s = append(k.meta.s, scratch[:4]...)
 		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(intercept))
-		k.meta.Write(scratch[:4])
+		k.meta.s = append(k.meta.s, scratch[:4]...)
 	}
 	p := float64(precision)
 	for i, v := range block {
 		pred := szPredict(mode, float64(slope), float64(intercept), i, k.prior())
 		code, recon, ok := szQuantize(v, pred, p, k.epsilon, k.absolute)
 		if !ok {
-			k.codes = append(k.codes, 0)
-			k.exceptions = append(k.exceptions, v)
+			k.codes.s = append(k.codes.s, 0)
+			k.exceptions.s = append(k.exceptions.s, v)
 			k.pushRecon(v)
 			continue
 		}
-		k.codes = append(k.codes, uint16(code+szQuantRadius+1))
+		k.codes.s = append(k.codes.s, uint16(code+szQuantRadius+1))
 		k.pushRecon(recon)
 	}
 }
@@ -198,42 +196,74 @@ func (k *szStream) encodeBlock() {
 // block count, per-block metadata, the (Huffman-coded) quantisation codes,
 // and the exception values — the same layout the batch encoder always wrote.
 func (k *szStream) Finish() ([]byte, int) {
+	body, segments := k.AppendFinish(nil)
+	return body, segments
+}
+
+// AppendFinish implements FinishAppender: the payload body is assembled
+// directly onto dst. The Huffman stage appends in place behind a
+// length-backfill slot; if it fails (pathological code lengths), the
+// appended bytes are truncated away and the raw encoding takes their place —
+// the same fallback, and the same bytes, as the historical buffer-based
+// Finish.
+func (k *szStream) AppendFinish(dst []byte) ([]byte, int) {
 	if len(k.block) > 0 {
 		k.encodeBlock()
 	}
-	var body bytes.Buffer
 	var scratch [8]byte
 	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.bs))
-	body.Write(scratch[:2])
+	dst = append(dst, scratch[:2]...)
 	binary.LittleEndian.PutUint32(scratch[:4], uint32(k.nblocks))
-	body.Write(scratch[:4])
-	body.Write(k.meta.Bytes())
+	dst = append(dst, scratch[:4]...)
+	dst = append(dst, k.meta.s...)
 	// Quantisation codes: Huffman when possible, raw fallback otherwise.
-	if len(k.codes) > 0 {
-		if enc, err := HuffmanEncode(k.codes); err == nil {
-			body.WriteByte(0)
-			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(enc)))
-			body.Write(scratch[:4])
-			body.Write(enc)
+	if len(k.codes.s) > 0 {
+		mark := len(dst)
+		dst = append(dst, 0, 0, 0, 0, 0) // encoding byte + length backfill slot
+		out, err := AppendHuffman(dst, k.codes.s)
+		if err == nil {
+			dst = out
+			binary.LittleEndian.PutUint32(dst[mark+1:mark+5], uint32(len(dst)-mark-5))
 		} else {
-			body.WriteByte(1)
-			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.codes)))
-			body.Write(scratch[:4])
-			for _, c := range k.codes {
+			dst = dst[:mark]
+			dst = append(dst, 1)
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.codes.s)))
+			dst = append(dst, scratch[:4]...)
+			for _, c := range k.codes.s {
 				binary.LittleEndian.PutUint16(scratch[:2], c)
-				body.Write(scratch[:2])
+				dst = append(dst, scratch[:2]...)
 			}
 		}
 	} else {
-		body.WriteByte(2) // no codes at all (every block constant)
+		dst = append(dst, 2) // no codes at all (every block constant)
 	}
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.exceptions)))
-	body.Write(scratch[:4])
-	for _, v := range k.exceptions {
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.exceptions.s)))
+	dst = append(dst, scratch[:4]...)
+	for _, v := range k.exceptions.s {
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
-		body.Write(scratch[:])
+		dst = append(dst, scratch[:]...)
 	}
-	return body.Bytes(), k.segments
+	return dst, k.segments
+}
+
+// reset rewinds the kernel for a fresh series, keeping all scratch buffers.
+func (k *szStream) reset() {
+	k.block = k.block[:0]
+	k.meta.s = k.meta.s[:0]
+	k.nblocks = 0
+	k.codes.s = k.codes.s[:0]
+	k.exceptions.s = k.exceptions.s[:0]
+	k.nhist, k.lastRecon = 0, 0
+	k.segments = 0
+}
+
+// release returns the scratch buffers to their pools; the kernel must not be
+// used afterwards.
+func (k *szStream) release() {
+	bytePool.put(k.meta)
+	u16Pool.put(k.codes)
+	floatPool.put(k.exceptions)
+	k.meta, k.codes, k.exceptions = nil, nil, nil
 }
 
 // Segments reports the runs of identical reconstructed values seen so far;
@@ -288,31 +318,21 @@ func szSelectPredictor(block []float64, prior []float64) (mode int, slope, inter
 	var lorenzo, lorenzo2, reg float64
 	// Linear fit of the block: index -> value.
 	sl, ic := fitLine(block)
-	prev := func(k int) float64 {
-		if k > 0 {
-			return block[k-1]
-		}
-		if len(prior) > 0 {
-			return prior[len(prior)-1]
-		}
-		return 0
+	// The previous-one/previous-two values roll through the loop instead of
+	// being recomputed by per-index closures; the seeds cover local index 0
+	// exactly as the indexed lookups did.
+	var prev, prev2 float64
+	if len(prior) > 0 {
+		prev = prior[len(prior)-1]
 	}
-	prev2 := func(k int) float64 {
-		if k > 1 {
-			return block[k-2]
-		}
-		if k == 1 && len(prior) > 0 {
-			return prior[len(prior)-1]
-		}
-		if len(prior) > 1 {
-			return prior[len(prior)-2]
-		}
-		return 0
+	if len(prior) > 1 {
+		prev2 = prior[len(prior)-2]
 	}
 	for k, v := range block {
-		lorenzo += math.Abs(v - prev(k))
-		lorenzo2 += math.Abs(v - (2*prev(k) - prev2(k)))
+		lorenzo += math.Abs(v - prev)
+		lorenzo2 += math.Abs(v - (2*prev - prev2))
 		reg += math.Abs(v - (sl*float64(k) + ic))
+		prev2, prev = prev, v
 	}
 	switch {
 	case reg <= lorenzo && reg <= lorenzo2:
@@ -564,6 +584,7 @@ type szValues struct {
 	blocks     []szBlockMeta
 	codes      []uint16
 	exceptions []float64
+	total      int
 	remaining  int
 
 	bi, k  int // current block / index within it
@@ -577,7 +598,14 @@ func szDecodeStream(body []byte, count int) (ValueStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &szValues{blocks: blocks, codes: codes, exceptions: exceptions, remaining: count}, nil
+	return &szValues{blocks: blocks, codes: codes, exceptions: exceptions, total: count, remaining: count}, nil
+}
+
+// rewind restarts the replay from the first value (see valueRewinder).
+func (p *szValues) rewind() {
+	p.remaining = p.total
+	p.bi, p.k, p.ci, p.ei = 0, 0, 0, 0
+	p.nhist = 0
 }
 
 func (p *szValues) push(r float64) float64 {

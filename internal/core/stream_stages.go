@@ -110,6 +110,7 @@ func runCompressStream(rc *RunContext, st *pipelineState) error {
 			continue
 		}
 		c, err := ce.enc.Close()
+		ce.enc.Release() // the kernel scratch goes back to the codec pools
 		if err != nil {
 			return err
 		}
@@ -151,6 +152,7 @@ func runReconstructStream(rc *RunContext, st *pipelineState) error {
 		if err := dec.Err(); err != nil {
 			return err
 		}
+		dec.Release() // values were copied chunk by chunk; the buffers go back
 		if cell.CR, err = compress.Ratio(st.test, st.comps[ci]); err != nil {
 			return err
 		}

@@ -117,17 +117,24 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return nil, err
 		}
+		defer enc.Release()
 		if err := chunksOf(ctx, values, sp.start, sp.interval, s.opts.ChunkSize, enc.PushChunk); err != nil {
 			return nil, err
 		}
-		c, err := enc.Close()
+		// Close into a pooled request buffer; the payload aliases it, and
+		// json.Marshal copies, so the buffer goes straight back to the pool.
+		buf := compress.GetBytes(4096)
+		c, err := enc.CloseAppend(buf)
 		if err != nil {
+			compress.PutBytes(buf)
 			return nil, err
 		}
-		return json.Marshal(compressRecord{
+		rec, err := json.Marshal(compressRecord{
 			Method: c.Method, Epsilon: c.Epsilon, N: c.N, Segments: c.Segments,
 			Start: sp.start, Interval: sp.interval, Payload: c.Payload,
 		})
+		compress.PutBytes(c.Payload)
+		return rec, err
 	})
 	if err != nil {
 		return err
@@ -170,6 +177,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error 
 	if err != nil {
 		return badRequest("invalid payload: %v", err)
 	}
+	defer dec.Release()
 	s.computations.Add(1)
 	h := w.Header()
 	h.Set("Content-Type", "text/plain; charset=utf-8")
@@ -397,8 +405,10 @@ func (s *Server) computeForecast(ctx context.Context, modelName string, cfg fore
 		if err := chunksOf(ctx, test.Values, test.Start, test.Interval, s.opts.ChunkSize, enc.PushChunk); err != nil {
 			return nil, err
 		}
-		c, err := enc.Close()
+		buf := compress.GetBytes(4096)
+		c, err := enc.CloseAppend(buf)
 		if err != nil {
+			compress.PutBytes(buf)
 			return nil, err
 		}
 		cr, err := compress.Ratio(test, c)
@@ -409,7 +419,12 @@ func (s *Server) computeForecast(ctx context.Context, modelName string, cfg fore
 		if err != nil {
 			return nil, err
 		}
+		// The decoder gunzipped the payload into its own buffer, so the
+		// request-scoped payload buffer and the kernel scratch go back now.
+		compress.PutBytes(c.Payload)
+		enc.Release()
 		dec, err := timeseries.Collect("reconstructed", sdec)
+		sdec.Release()
 		if err != nil {
 			return nil, err
 		}
@@ -559,6 +574,9 @@ func computeRecommend(ctx context.Context, maxTE float64, methods []compress.Met
 	}
 	resp := recommendResponse{Source: "series", MaxTE: maxTE, Epsilon: math.NaN()}
 	bestCR := -1.0
+	// One pooled reconstruction buffer serves every candidate in the sweep.
+	vals := compress.GetFloats(series.Len())
+	defer func() { compress.PutFloats(vals) }()
 	for _, m := range methods {
 		comp, err := compress.New(m)
 		if err != nil {
@@ -572,11 +590,11 @@ func computeRecommend(ctx context.Context, maxTE float64, methods []compress.Met
 			if err != nil {
 				return nil, badRequest("%s at eps=%v: %v", m, eps, err)
 			}
-			dec, err := c.Decompress()
+			vals, err = c.AppendValues(vals[:0])
 			if err != nil {
 				return nil, err
 			}
-			te, err := stats.Evaluate(series.Values, dec.Values)
+			te, err := stats.Evaluate(series.Values, vals)
 			if err != nil {
 				return nil, err
 			}
