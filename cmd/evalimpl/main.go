@@ -5,8 +5,14 @@
 //	evalimpl -experiment table2            # one artefact
 //	evalimpl -experiment all -scale 0.05   # everything, 5% dataset length
 //	evalimpl -experiment table5 -full      # paper-scale run (very slow)
+//	evalimpl -store grid.cells -workers 4  # grid computed by 4 worker processes
 //
 // Artefacts: table1..table7, fig1..fig7, all.
+//
+// With -workers N (requires -store), the grid computation is split across N
+// locally spawned worker processes, each journaling its partition to its own
+// file; the coordinator merges the journals into -store and the run proceeds
+// as if one process had computed everything — the results are byte-identical.
 package main
 
 import (
@@ -22,14 +28,14 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "artefact to regenerate: table1..table7, fig1..fig7, or all")
-		scale      = flag.Float64("scale", 0.03, "dataset length scale in (0, 1]")
-		seed       = flag.Int64("seed", 1, "base random seed")
-		full       = flag.Bool("full", false, "paper-scale run: full lengths, 10/5 seeds (very slow)")
-		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all six)")
-		models     = flag.String("models", "", "comma-separated model subset (default: all seven)")
 		maxTFE     = flag.Float64("tfe", 0.1, "TFE tolerance for -experiment recommend")
 		saveGrid   = flag.String("savegrid", "", "after the run, save the evaluation grid to this file (cell store)")
 		loadGrid   = flag.String("loadgrid", "", "load a previously saved evaluation grid instead of recomputing")
+		workers    = flag.Int("workers", 0, "split the grid across N locally spawned worker processes (requires -store)")
+		bench      = flag.String("bench", "", "measure multi-worker scaling (1, 2, 4 workers) and write a JSON report to this file")
+		partition  = flag.String("partition", "", "internal: run as one grid worker (1-based i/n); used by the -workers coordinator")
+		peers      = flag.String("peers", "", "internal: comma-separated peer journals for the worker steal pass")
+		grid       = cli.BindGrid(flag.CommandLine)
 		common     = cli.Bind(flag.CommandLine)
 	)
 	common.BindStream(flag.CommandLine)
@@ -48,25 +54,36 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := core.DefaultOptions()
-	if *full {
-		opts = core.PaperOptions()
+	// Hidden worker mode: the -workers coordinator re-execs this binary once
+	// per partition with -partition i/n.
+	if *partition != "" {
+		code := workerMain(*partition, *peers, grid, common, os.Stdout, os.Stderr)
+		stopProfiles()
+		os.Exit(code)
 	}
-	opts.Scale = *scale
-	if *full {
-		opts.Scale = 1
+
+	if *bench != "" {
+		if err := benchWorkers(*bench, grid, common, os.Stderr); err != nil {
+			fail("evalimpl:", err)
+		}
+		fmt.Fprintf(os.Stderr, "scaling report written to %s\n", *bench)
+		if err := stopProfiles(); err != nil {
+			fail("evalimpl:", err)
+		}
+		return
 	}
-	opts.Seed = *seed
-	opts.Parallelism = common.Parallelism
-	opts.ReferenceKernels = common.RefKernels
-	opts.Stream = common.Stream
-	opts.ChunkSize = common.ChunkSize
-	opts.Store = common.Store
-	if *datasets != "" {
-		opts.Datasets = cli.SplitList(*datasets)
-	}
-	if *models != "" {
-		opts.Models = cli.SplitList(*models)
+
+	opts := grid.Options(common)
+
+	if *workers > 1 {
+		if common.Store == "" {
+			fail("evalimpl: -workers requires -store (the merged journal path)")
+		}
+		if _, err := coordinate(*workers, common.Store, grid, common, os.Stderr); err != nil {
+			fail(err)
+		}
+		// The store now holds every cell plus the worker-count stamp; the
+		// normal run below loads it and reports "merged" provenance.
 	}
 
 	if *loadGrid != "" {

@@ -1,40 +1,125 @@
-// Command gridstore inspects a cell-addressed result store: which grid
-// signatures it holds, how many cell records per dataset, and whether it
-// records a completed run (loadable) or only checkpoints of an interrupted
-// one (resumable).
+// Command gridstore inspects and manipulates cell-addressed result stores.
+//
+// Inspect (default): which grid signatures a store holds, how many cell
+// records per dataset, and whether it records a completed run (loadable) or
+// only checkpoints of an interrupted one (resumable).
 //
 //	gridstore results.cells
-//	gridstore -verify results.cells   # additionally assemble the grid
+//	gridstore -verify results.cells       # additionally assemble the grid
+//
+// Merge: combine per-worker journals into one canonical store, stamped with
+// the worker count for provenance. Journals from the same option set hold
+// bit-identical records for shared keys; any disagreement is an error.
+//
+//	gridstore merge merged.cells w1.cells w2.cells w3.cells
+//
+// Diff: compare two stores record by record — keys present in only one,
+// and keys present in both with different payloads. Exit code 1 when the
+// stores conflict or differ.
+//
+//	gridstore diff a.cells b.cells
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lossyts/internal/core"
+	"lossyts/internal/core/cellstore"
 )
 
 func main() {
-	verify := flag.Bool("verify", false, "assemble the stored grid (errors if the store has no completed run)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gridstore [-verify] <store file>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable argv and streams, so tests can drive every
+// subcommand without a subprocess.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "merge":
+			return runMerge(args[1:], stdout, stderr)
+		case "diff":
+			return runDiff(args[1:], stdout, stderr)
+		}
 	}
-	path := flag.Arg(0)
+	return runInspect(args, stdout, stderr)
+}
+
+func runInspect(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridstore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verify := fs.Bool("verify", false, "assemble the stored grid (errors if the store has no completed run)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: gridstore [-verify] <store file>")
+		fmt.Fprintln(stderr, "       gridstore merge <dst> <src>...")
+		fmt.Fprintln(stderr, "       gridstore diff <a> <b>")
+		return 2
+	}
+	path := fs.Arg(0)
 	info, err := core.InspectStore(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gridstore:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gridstore:", err)
+		return 1
 	}
-	fmt.Print(info.String())
+	fmt.Fprint(stdout, info.String())
 	if *verify {
 		g, err := core.LoadGrid(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gridstore:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "gridstore:", err)
+			return 1
 		}
-		fmt.Println(g.Provenance.String())
+		fmt.Fprintln(stdout, g.Provenance.String())
+	}
+	return 0
+}
+
+func runMerge(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 2 {
+		fmt.Fprintln(stderr, "usage: gridstore merge <dst> <src>...")
+		return 2
+	}
+	dst, srcs := args[0], args[1:]
+	stats, err := core.MergeWorkerStores(dst, srcs)
+	if err != nil {
+		fmt.Fprintln(stderr, "gridstore:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "merged %d journal(s) into %s: %d records\n", stats.Sources, dst, stats.Records)
+	return 0
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "usage: gridstore diff <a> <b>")
+		return 2
+	}
+	d, err := cellstore.Diff(args[0], args[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "gridstore:", err)
+		return 1
+	}
+	if d.Clean() {
+		fmt.Fprintln(stdout, "stores agree: same keys, same payloads")
+		return 0
+	}
+	printKeys(stdout, fmt.Sprintf("only in %s", args[0]), d.OnlyA)
+	printKeys(stdout, fmt.Sprintf("only in %s", args[1]), d.OnlyB)
+	printKeys(stdout, "conflicting payloads", d.Conflicts)
+	return 1
+}
+
+func printKeys(w io.Writer, label string, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s (%d):\n", label, len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(w, "  %s\n", k)
 	}
 }

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"lossyts/internal/core/cellstore"
+)
+
+// makeStore writes a store holding the given records and returns its path.
+func makeStore(t *testing.T, dir, name string, records map[string]string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	s, err := cellstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sortedKeys(records) {
+		if err := s.Put(k, []byte(records[k])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestRunSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	a := makeStore(t, dir, "a.cells", map[string]string{"k1": "v1", "shared": "s"})
+	b := makeStore(t, dir, "b.cells", map[string]string{"k2": "v2", "shared": "s"})
+	conflicting := makeStore(t, dir, "c.cells", map[string]string{"shared": "DIFFERENT"})
+
+	cases := []struct {
+		name       string
+		args       []string
+		wantCode   int
+		wantStdout []string // substrings that must appear
+		wantStderr []string
+	}{
+		{
+			name:       "no args usage",
+			args:       nil,
+			wantCode:   2,
+			wantStderr: []string{"usage: gridstore"},
+		},
+		{
+			name:       "inspect missing file",
+			args:       []string{filepath.Join(dir, "nope.cells")},
+			wantCode:   1,
+			wantStderr: []string{"gridstore:"},
+		},
+		{
+			name:       "merge usage",
+			args:       []string{"merge", "only-dst"},
+			wantCode:   2,
+			wantStderr: []string{"usage: gridstore merge"},
+		},
+		{
+			name:       "merge clean",
+			args:       []string{"merge", filepath.Join(dir, "merged.cells"), a, b},
+			wantCode:   0,
+			wantStdout: []string{"merged 2 journal(s)", "3 records"},
+		},
+		{
+			name:       "merge conflict",
+			args:       []string{"merge", filepath.Join(dir, "bad.cells"), a, conflicting},
+			wantCode:   1,
+			wantStderr: []string{"disagree", "shared"},
+		},
+		{
+			name:       "diff usage",
+			args:       []string{"diff", a},
+			wantCode:   2,
+			wantStderr: []string{"usage: gridstore diff"},
+		},
+		{
+			name:       "diff identical",
+			args:       []string{"diff", a, a},
+			wantCode:   0,
+			wantStdout: []string{"stores agree"},
+		},
+		{
+			name:     "diff differing",
+			args:     []string{"diff", a, b},
+			wantCode: 1,
+			wantStdout: []string{
+				"only in " + a, "k1",
+				"only in " + b, "k2",
+			},
+		},
+		{
+			name:       "diff conflict",
+			args:       []string{"diff", a, conflicting},
+			wantCode:   1,
+			wantStdout: []string{"conflicting payloads", "shared"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.wantCode {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, tc.wantCode, stderr.String())
+			}
+			for _, want := range tc.wantStdout {
+				if !strings.Contains(stdout.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+				}
+			}
+			for _, want := range tc.wantStderr {
+				if !strings.Contains(stderr.String(), want) {
+					t.Errorf("stderr missing %q:\n%s", want, stderr.String())
+				}
+			}
+		})
+	}
+}
+
+// TestMergeStampsWorkers: the merge subcommand produces a store whose
+// workers stamp records how many journals were combined.
+func TestMergeStampsWorkers(t *testing.T) {
+	dir := t.TempDir()
+	a := makeStore(t, dir, "a.cells", map[string]string{"k1": "v1"})
+	b := makeStore(t, dir, "b.cells", map[string]string{"k2": "v2"})
+	dst := filepath.Join(dir, "merged.cells")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"merge", dst, a, b}, &stdout, &stderr); code != 0 {
+		t.Fatalf("merge failed: %s", stderr.String())
+	}
+	s, err := cellstore.OpenReadOnly(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if v, ok := s.Get("workers"); !ok || string(v) != "2" {
+		t.Fatalf("workers stamp = %q, %v", v, ok)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import (
+	"lossyts"
+	"lossyts/internal/core"
+)
+
+// runPartition executes the worker's slice through the facade.
+func runPartition(opts core.Options, workers, index int, peers []string) (core.WorkerSummary, error) {
+	return lossyts.RunGridPartition(opts, workers, index, peers)
+}

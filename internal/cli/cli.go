@@ -6,9 +6,12 @@ package cli
 
 import (
 	"flag"
+	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 
+	"lossyts/internal/core"
 	"lossyts/internal/nn"
 	"lossyts/internal/profiling"
 )
@@ -69,6 +72,97 @@ func (c *Common) BindStream(fs *flag.FlagSet) {
 // where it stopped, and a grown grid computes only its delta.
 func (c *Common) BindStore(fs *flag.FlagSet) {
 	fs.StringVar(&c.Store, "store", "", "cell-addressed result store: checkpoint finished cells here, resume interrupted runs, recompute only grid deltas")
+}
+
+// Grid carries the grid-selection flags shared by the commands that run
+// the evaluation grid (evalimpl, gridworker), so a coordinator and the
+// partition workers it spawns parse identical grids from identical flags.
+type Grid struct {
+	// Scale shrinks dataset lengths ((0, 1]; overridden to 1 by Full).
+	Scale float64
+	// Seed is the base random seed.
+	Seed int64
+	// Full selects the paper-scale configuration.
+	Full bool
+	// Datasets and Models are comma-separated subset selections ("" = all).
+	Datasets string
+	Models   string
+}
+
+// BindGrid registers the grid-selection flag group.
+func BindGrid(fs *flag.FlagSet) *Grid {
+	g := &Grid{}
+	fs.Float64Var(&g.Scale, "scale", 0.03, "dataset length scale in (0, 1]")
+	fs.Int64Var(&g.Seed, "seed", 1, "base random seed")
+	fs.BoolVar(&g.Full, "full", false, "paper-scale run: full lengths, 10/5 seeds (very slow)")
+	fs.StringVar(&g.Datasets, "datasets", "", "comma-separated dataset subset (default: all six)")
+	fs.StringVar(&g.Models, "models", "", "comma-separated model subset (default: all seven)")
+	return g
+}
+
+// Options resolves the grid flags plus the shared compute flags into a core
+// option set — the one construction path every grid-running command uses,
+// so a worker can never disagree with its coordinator about which grid (and
+// therefore which cell keys) the flags mean.
+func (g *Grid) Options(c *Common) core.Options {
+	opts := core.DefaultOptions()
+	if g.Full {
+		opts = core.PaperOptions()
+		opts.Scale = 1
+	} else {
+		opts.Scale = g.Scale
+	}
+	opts.Seed = g.Seed
+	opts.Parallelism = c.Parallelism
+	opts.ReferenceKernels = c.RefKernels
+	opts.Stream = c.Stream
+	opts.ChunkSize = c.ChunkSize
+	opts.Store = c.Store
+	if g.Datasets != "" {
+		opts.Datasets = SplitList(g.Datasets)
+	}
+	if g.Models != "" {
+		opts.Models = SplitList(g.Models)
+	}
+	return opts
+}
+
+// Args renders the group back into command-line arguments; the coordinator
+// uses it to hand spawned workers exactly the grid it parsed.
+func (g *Grid) Args() []string {
+	args := []string{
+		"-scale", strconv.FormatFloat(g.Scale, 'g', -1, 64),
+		"-seed", strconv.FormatInt(g.Seed, 10),
+	}
+	if g.Full {
+		args = append(args, "-full")
+	}
+	if g.Datasets != "" {
+		args = append(args, "-datasets", g.Datasets)
+	}
+	if g.Models != "" {
+		args = append(args, "-models", g.Models)
+	}
+	return args
+}
+
+// ParsePartition parses the CLI's 1-based "i/n" partition syntax (e.g.
+// "2/3": partition 2 of 3) into the 0-based index and worker count of
+// core's WorkSet.Partition API.
+func ParsePartition(s string) (index, workers int, err error) {
+	lhs, rhs, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("partition %q: want i/n, e.g. 2/3", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(lhs))
+	n, err2 := strconv.Atoi(strings.TrimSpace(rhs))
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("partition %q: want i/n with integers, e.g. 2/3", s)
+	}
+	if n < 1 || i < 1 || i > n {
+		return 0, 0, fmt.Errorf("partition %q: need 1 <= i <= n", s)
+	}
+	return i - 1, n, nil
 }
 
 // Serve carries the serving-plane options (cmd/tsserve) after flag parsing.

@@ -47,3 +47,50 @@ func TestSplitList(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePartition(t *testing.T) {
+	good := map[string][2]int{ // input -> {index, workers}
+		"1/1":   {0, 1},
+		"2/3":   {1, 3},
+		"3/3":   {2, 3},
+		" 2 /4": {1, 4},
+	}
+	for in, want := range good {
+		index, workers, err := ParsePartition(in)
+		if err != nil {
+			t.Errorf("ParsePartition(%q): %v", in, err)
+			continue
+		}
+		if index != want[0] || workers != want[1] {
+			t.Errorf("ParsePartition(%q) = %d, %d, want %d, %d", in, index, workers, want[0], want[1])
+		}
+	}
+	for _, in := range []string{"", "3", "0/3", "4/3", "-1/3", "a/b", "1/0", "1//2"} {
+		if _, _, err := ParsePartition(in); err == nil {
+			t.Errorf("ParsePartition(%q) accepted", in)
+		}
+	}
+}
+
+// TestGridArgsRoundTrip: the argv a coordinator renders for its workers
+// parses back into the identical grid selection — the property that keeps
+// worker and coordinator agreeing on cell keys.
+func TestGridArgsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	g := BindGrid(fs)
+	if err := fs.Parse([]string{"-scale", "0.07", "-seed", "9", "-datasets", "ETTm1,Wind", "-models", "Arima"}); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
+	g2 := BindGrid(fs2)
+	if err := fs2.Parse(g.Args()); err != nil {
+		t.Fatal(err)
+	}
+	if *g != *g2 {
+		t.Fatalf("round-tripped grid %+v != %+v", *g2, *g)
+	}
+	c := &Common{Parallelism: 2, Stream: true}
+	if o1, o2 := g.Options(c), g2.Options(c); !reflect.DeepEqual(o1, o2) {
+		t.Fatalf("options differ: %+v vs %+v", o1, o2)
+	}
+}

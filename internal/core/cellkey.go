@@ -116,12 +116,32 @@ func (o Options) datasetRecordKey(dataset string) string {
 // complete against a store owns it, and LoadGrid assembles that run's grid.
 const optsRecordKey = "opts"
 
+// claimRecordKey is the advisory claim marker for one cell: a worker writes
+// it (with an empty payload) before computing the cell, so peers scanning
+// its journal can skip work already underway. Prefixing the full cell key
+// keeps claims from different option sets apart, exactly like cell records.
+func (o Options) claimRecordKey(dataset string, m compress.Method, eps float64) string {
+	return "claim|" + o.cellRecordKey(dataset, m, eps)
+}
+
+// workersRecordKey stamps a merged store with how many worker journals fed
+// it, so a later load can report merged provenance. Like claims, it is
+// bookkeeping, not grid data: loaders skip it and SaveGrid never emits it.
+const workersRecordKey = "workers"
+
+// keyKindClaim and keyKindWorkers classify the bookkeeping keys above.
+const (
+	keyKindClaim   = "claim"
+	keyKindWorkers = workersRecordKey
+)
+
 // keyKind classifies a store key by its leading field ("cell", "dataset",
-// "opts", or "" for foreign keys) and returns the '|'-separated fields.
+// "opts", "claim", "workers", or "" for foreign keys) and returns the
+// '|'-separated fields.
 func keyKind(key string) (kind string, fields []string) {
 	fields = strings.Split(key, "|")
 	switch fields[0] {
-	case "cell", "dataset", optsRecordKey:
+	case "cell", "dataset", optsRecordKey, keyKindClaim, keyKindWorkers:
 		return fields[0], fields
 	}
 	return "", fields

@@ -1,0 +1,171 @@
+package cellstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Merge and Diff treat store files as mergeable sets of (key, payload)
+// records — the property that makes per-worker journals combinable into one
+// canonical store. Both open their inputs through the same CRC-verified
+// replay as every other reader, so a corrupt or half-appended tail (a
+// kill -9'd worker mid-write) contributes its valid prefix and nothing
+// else.
+
+// MergeStats summarises one Merge call.
+type MergeStats struct {
+	// Sources is the number of source stores that contributed records
+	// (zero-length source files are skipped, not counted).
+	Sources int
+	// Records is the number of live keys written to the destination.
+	Records int
+	// Conflicts lists, sorted, every key for which two sources held
+	// different payload bytes. Later sources win in the output; callers
+	// that require agreement (MergeWorkerStores) treat a non-empty list as
+	// an error.
+	Conflicts []string
+}
+
+// Merge combines the source stores into a new store at dstPath, written
+// from scratch in sorted key order so the output is deterministic for a
+// given set of inputs. Within a source the usual journal semantics apply
+// (last record for a key wins); across sources, later srcPaths win.
+// Identical payloads for the same key are not a conflict — that is the
+// normal outcome of two workers racing a steal — but differing payloads
+// are recorded in MergeStats.Conflicts.
+//
+// A zero-length source file (a worker that died before its first write) is
+// skipped; a missing file is an error, because a silently dropped journal
+// would masquerade as a clean merge of less work.
+func Merge(dstPath string, srcPaths ...string) (MergeStats, error) {
+	var st MergeStats
+	merged := map[string][]byte{}
+	conflicted := map[string]bool{}
+	for _, src := range srcPaths {
+		fi, err := os.Stat(src)
+		if err != nil {
+			return st, fmt.Errorf("cellstore: merge source %s: %w", src, err)
+		}
+		if fi.Size() == 0 {
+			continue
+		}
+		s, err := OpenReadOnly(src)
+		if err != nil {
+			return st, fmt.Errorf("cellstore: merge source %s: %w", src, err)
+		}
+		for _, key := range s.Keys() {
+			payload, _ := s.Get(key)
+			if prev, seen := merged[key]; seen && !bytes.Equal(prev, payload) {
+				conflicted[key] = true
+			}
+			merged[key] = payload
+		}
+		s.Close()
+		st.Sources++
+	}
+	for key := range conflicted {
+		st.Conflicts = append(st.Conflicts, key)
+	}
+	sort.Strings(st.Conflicts)
+
+	dst, err := Create(dstPath)
+	if err != nil {
+		return st, err
+	}
+	keys := make([]string, 0, len(merged))
+	for key := range merged {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if err := dst.Put(key, merged[key]); err != nil {
+			dst.Close()
+			return st, err
+		}
+	}
+	st.Records = len(keys)
+	return st, dst.Close()
+}
+
+// DiffResult reports how two stores' record sets relate.
+type DiffResult struct {
+	// OnlyA and OnlyB list keys present in exactly one store, sorted.
+	OnlyA []string
+	OnlyB []string
+	// Conflicts lists keys present in both with differing payloads, sorted.
+	Conflicts []string
+}
+
+// Clean reports whether the two stores agree on every shared key and
+// neither holds keys the other lacks.
+func (d DiffResult) Clean() bool {
+	return len(d.OnlyA) == 0 && len(d.OnlyB) == 0 && len(d.Conflicts) == 0
+}
+
+// Diff compares two stores record by record. Like Merge it reads through
+// the CRC-verified replay, so a corrupt tail is ignored, and a zero-length
+// file compares as an empty store.
+func Diff(aPath, bPath string) (DiffResult, error) {
+	var d DiffResult
+	a, err := openForDiff(aPath)
+	if err != nil {
+		return d, err
+	}
+	if a != nil {
+		defer a.Close()
+	}
+	b, err := openForDiff(bPath)
+	if err != nil {
+		return d, err
+	}
+	if b != nil {
+		defer b.Close()
+	}
+	for _, key := range storeKeys(a) {
+		pa, _ := a.Get(key)
+		if b == nil {
+			d.OnlyA = append(d.OnlyA, key)
+			continue
+		}
+		pb, ok := b.Get(key)
+		switch {
+		case !ok:
+			d.OnlyA = append(d.OnlyA, key)
+		case !bytes.Equal(pa, pb):
+			d.Conflicts = append(d.Conflicts, key)
+		}
+	}
+	for _, key := range storeKeys(b) {
+		if a == nil || !a.Has(key) {
+			d.OnlyB = append(d.OnlyB, key)
+		}
+	}
+	return d, nil
+}
+
+// openForDiff opens a store read-only, mapping a zero-length file to a nil
+// (empty) store.
+func openForDiff(path string) (*Store, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("cellstore: diff input %s: %w", path, err)
+	}
+	if fi.Size() == 0 {
+		return nil, nil
+	}
+	s, err := OpenReadOnly(path)
+	if err != nil {
+		return nil, fmt.Errorf("cellstore: diff input %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// storeKeys returns a store's sorted keys, nil-safe.
+func storeKeys(s *Store) []string {
+	if s == nil {
+		return nil
+	}
+	return s.Keys()
+}

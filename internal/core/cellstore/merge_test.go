@@ -1,0 +1,219 @@
+package cellstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeStore creates a store at a fresh path in dir holding the given
+// records, written in map-iteration-free deterministic order.
+func writeStore(t *testing.T, dir, name string, records [][2]string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range records {
+		if err := s.Put(kv[0], []byte(kv[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMergeDisjointAndOverlapping(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStore(t, dir, "a.cells", [][2]string{{"cell/1", "one"}, {"shared", "same"}})
+	b := writeStore(t, dir, "b.cells", [][2]string{{"cell/2", "two"}, {"shared", "same"}})
+	dst := filepath.Join(dir, "merged.cells")
+
+	st, err := Merge(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources != 2 || st.Records != 3 || len(st.Conflicts) != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	m, err := OpenReadOnly(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if got := m.Keys(); !reflect.DeepEqual(got, []string{"cell/1", "cell/2", "shared"}) {
+		t.Fatalf("merged keys = %v", got)
+	}
+	// Overlapping identical payloads — the normal outcome of a steal race —
+	// are not a conflict.
+	if v, _ := m.Get("shared"); string(v) != "same" {
+		t.Fatalf("shared = %q", v)
+	}
+}
+
+func TestMergeConflictReportedLaterWins(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStore(t, dir, "a.cells", [][2]string{{"k", "from-a"}, {"j", "x"}})
+	b := writeStore(t, dir, "b.cells", [][2]string{{"k", "from-b"}, {"j", "y"}})
+	dst := filepath.Join(dir, "merged.cells")
+
+	st, err := Merge(dst, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Conflicts, []string{"j", "k"}) {
+		t.Fatalf("conflicts = %v", st.Conflicts)
+	}
+	m, err := OpenReadOnly(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if v, _ := m.Get("k"); string(v) != "from-b" {
+		t.Fatalf("later source should win: k = %q", v)
+	}
+}
+
+// TestMergeCorruptTailSource: a journal truncated mid-append (what kill -9
+// leaves behind) contributes its valid prefix — the torn record is simply
+// absent, never garbage.
+func TestMergeCorruptTailSource(t *testing.T) {
+	dir := t.TempDir()
+	whole := writeStore(t, dir, "whole.cells", [][2]string{
+		{"cell/1", "one"}, {"cell/2", "two"}, {"cell/3", "three"},
+	})
+	blob, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.cells")
+	if err := os.WriteFile(torn, blob[:len(blob)*55/100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	other := writeStore(t, dir, "other.cells", [][2]string{{"cell/9", "nine"}})
+	dst := filepath.Join(dir, "merged.cells")
+
+	st, err := Merge(dst, torn, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Conflicts) != 0 {
+		t.Fatalf("conflicts = %v", st.Conflicts)
+	}
+	m, err := OpenReadOnly(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// The torn store's surviving records merged; cell/9 from the healthy one
+	// is there; and every surviving payload is intact.
+	if !m.Has("cell/1") || !m.Has("cell/9") {
+		t.Fatalf("merged keys = %v", m.Keys())
+	}
+	if m.Has("cell/3") {
+		t.Fatal("record past the tear survived the truncation")
+	}
+	if v, _ := m.Get("cell/1"); string(v) != "one" {
+		t.Fatalf("cell/1 = %q", v)
+	}
+}
+
+func TestMergeEmptyAndMissingSources(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStore(t, dir, "a.cells", [][2]string{{"k", "v"}})
+	empty := filepath.Join(dir, "empty.cells")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A zero-length journal (worker died before its first write) is skipped.
+	st, err := Merge(filepath.Join(dir, "m1.cells"), a, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sources != 1 || st.Records != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A missing journal is an error: silently dropping one would masquerade
+	// as a clean merge of less work.
+	if _, err := Merge(filepath.Join(dir, "m2.cells"), a, filepath.Join(dir, "nope.cells")); err == nil {
+		t.Fatal("missing source accepted")
+	}
+}
+
+// TestMergeDeterministicBytes: merging the same sources produces
+// byte-identical output regardless of how the sources ordered their
+// appends, because the destination is rewritten in sorted key order.
+func TestMergeDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	a1 := writeStore(t, dir, "a1.cells", [][2]string{{"x", "1"}, {"y", "2"}})
+	a2 := writeStore(t, dir, "a2.cells", [][2]string{{"y", "2"}, {"x", "1"}})
+	d1 := filepath.Join(dir, "d1.cells")
+	d2 := filepath.Join(dir, "d2.cells")
+	if _, err := Merge(d1, a1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(d2, a2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("merge output depends on source append order")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStore(t, dir, "a.cells", [][2]string{{"both", "same"}, {"clash", "va"}, {"onlya", "1"}})
+	b := writeStore(t, dir, "b.cells", [][2]string{{"both", "same"}, {"clash", "vb"}, {"onlyb", "2"}})
+
+	d, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clean() {
+		t.Fatal("differing stores reported clean")
+	}
+	if !reflect.DeepEqual(d.OnlyA, []string{"onlya"}) ||
+		!reflect.DeepEqual(d.OnlyB, []string{"onlyb"}) ||
+		!reflect.DeepEqual(d.Conflicts, []string{"clash"}) {
+		t.Fatalf("diff = %+v", d)
+	}
+
+	same, err := Diff(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Clean() {
+		t.Fatalf("self-diff not clean: %+v", same)
+	}
+
+	// A zero-length file diffs as an empty store; a missing one is an error.
+	empty := filepath.Join(dir, "empty.cells")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	de, err := Diff(a, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(de.OnlyA) != 3 || len(de.OnlyB) != 0 || len(de.Conflicts) != 0 {
+		t.Fatalf("diff vs empty = %+v", de)
+	}
+	if _, err := Diff(a, filepath.Join(dir, "nope.cells")); err == nil {
+		t.Fatal("missing diff input accepted")
+	}
+}

@@ -184,8 +184,9 @@ func (a *timingAcc) snapshot(wall time.Duration, order []string) PhaseTimings {
 // "resumed" grid's timings cover only the cells it actually computed.
 type Provenance struct {
 	// Source is "computed" (every cell evaluated this run), "loaded"
-	// (every cell read from a store or saved grid), or "resumed" (a mix:
-	// stored cells reused, missing cells computed).
+	// (every cell read from a store or saved grid), "resumed" (a mix:
+	// stored cells reused, missing cells computed), or "merged" (the store
+	// was assembled from N worker journals by MergeWorkerStores).
 	Source string
 	// StorePath is the result store or saved-grid file involved ("" for a
 	// purely in-memory computation).
@@ -194,6 +195,11 @@ type Provenance struct {
 	// versus reused from the store.
 	CellsComputed int
 	CellsLoaded   int
+	// Workers is the number of worker journals merged into the store (0
+	// unless the store carries a MergeWorkerStores stamp). It is what
+	// distinguishes a merged grid from an ordinary resumed one: both reuse
+	// stored cells, but merged cells were computed by other processes.
+	Workers int
 }
 
 // Provenance sources.
@@ -201,6 +207,7 @@ const (
 	SourceComputed = "computed"
 	SourceLoaded   = "loaded"
 	SourceResumed  = "resumed"
+	SourceMerged   = "merged"
 )
 
 // String renders a one-line provenance summary for reports.
@@ -212,6 +219,9 @@ func (p Provenance) String() string {
 	case SourceResumed:
 		return fmt.Sprintf("grid resumed from %s (%d cells loaded, %d computed; timings cover the computed delta only)",
 			p.StorePath, p.CellsLoaded, p.CellsComputed)
+	case SourceMerged:
+		return fmt.Sprintf("grid merged from %d worker journals via %s (%d cells loaded, %d computed this run)",
+			p.Workers, p.StorePath, p.CellsLoaded, p.CellsComputed)
 	default:
 		if p.StorePath != "" {
 			return fmt.Sprintf("grid computed (%d cells, checkpointed to %s)", p.CellsComputed, p.StorePath)
@@ -327,30 +337,66 @@ func RunGridContext(ctx context.Context, opts Options) (*GridResult, error) {
 	}
 	rc := newRunContext(ctx, opts, pipeline)
 	if opts.Store != "" {
-		store, err := cellstore.Open(opts.Store)
-		if err != nil {
-			return nil, fmt.Errorf("core: opening result store: %w", err)
-		}
-		defer store.Close()
-		rc.store = store
-		// The checkpoint stage exists only in store-backed runs, so
-		// store-less pipelines keep their canonical stage list.
-		if err := pipeline.InsertAfter(StageAnalyze, Stage{Name: StageCheckpoint, Run: runCheckpoint}); err != nil {
+		if err := rc.openStore(); err != nil {
 			return nil, err
 		}
+		defer rc.store.Close()
 	}
 	g := &GridResult{Opts: opts, Datasets: map[string]*DatasetResult{}}
-	// Datasets are independent; evaluate them concurrently up to the
-	// parallelism bound. Each evaluation owns its models and RNGs, and each
-	// goroutine writes only its own slot, so no lock is needed and the
-	// result is identical to a sequential run.
-	names := opts.datasets()
+	results, err := runDatasets(rc, opts.datasets())
+	if err != nil {
+		return nil, err
+	}
+	for name, dr := range results {
+		g.Datasets[name] = dr
+	}
+	g.Timings = rc.acc.snapshot(time.Since(start), rc.pipeline.StageNames())
+	g.Provenance = rc.provenance()
+	if rc.store != nil {
+		// Record the completed option set last: its presence marks the
+		// store as a finished run LoadGrid can assemble, so a kill at any
+		// earlier point leaves an unambiguous checkpoint store.
+		if err := putOptsRecord(rc.store, opts); err != nil {
+			return nil, fmt.Errorf("core: recording completed run: %w", err)
+		}
+	}
+	gridMu.Lock()
+	gridCache[key] = g
+	gridMu.Unlock()
+	return g, nil
+}
+
+// openStore opens the run's result store, wires the checkpoint WorkExec,
+// inserts the checkpoint stage (store-less pipelines keep their canonical
+// stage list), and reads the merged-provenance stamp if one is present.
+func (rc *RunContext) openStore() error {
+	store, err := cellstore.Open(rc.opts.Store)
+	if err != nil {
+		return fmt.Errorf("core: opening result store: %w", err)
+	}
+	rc.store = store
+	rc.exec = NewWorkExec(store)
+	rc.workers = readWorkersStamp(store)
+	if err := rc.pipeline.InsertAfter(StageAnalyze, Stage{Name: StageCheckpoint, Run: runCheckpoint}); err != nil {
+		store.Close()
+		return err
+	}
+	return nil
+}
+
+// runDatasets evaluates the named datasets concurrently up to the
+// parallelism bound and returns the results by name. Each evaluation owns
+// its models and RNGs, and each goroutine writes only its own slot, so no
+// lock is needed and the results are identical to a sequential run. Both
+// the full grid runner and the partition runner drive their datasets
+// through it.
+func runDatasets(rc *RunContext, names []string) (map[string]*DatasetResult, error) {
 	type dsOut struct {
 		dr  *DatasetResult
 		err error
 	}
 	outs := make([]dsOut, len(names))
-	sem := make(chan struct{}, opts.parallelism())
+	sem := make(chan struct{}, rc.opts.parallelism())
 	var wg sync.WaitGroup
 	for i, name := range names {
 		i, name := i, name
@@ -369,7 +415,7 @@ func RunGridContext(ctx context.Context, opts Options) (*GridResult, error) {
 	wg.Wait()
 	// A cancelled run reports the cancellation itself, promptly and alone:
 	// every per-dataset error at this point is just ctx.Err() echoed back.
-	if err := ctx.Err(); err != nil {
+	if err := rc.Err(); err != nil {
 		return nil, err
 	}
 	// Surface every dataset failure, in dataset order, rather than only the
@@ -383,23 +429,11 @@ func RunGridContext(ctx context.Context, opts Options) (*GridResult, error) {
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}
+	results := make(map[string]*DatasetResult, len(names))
 	for i, name := range names {
-		g.Datasets[name] = outs[i].dr
+		results[name] = outs[i].dr
 	}
-	g.Timings = rc.acc.snapshot(time.Since(start), rc.pipeline.StageNames())
-	g.Provenance = rc.provenance()
-	if rc.store != nil {
-		// Record the completed option set last: its presence marks the
-		// store as a finished run LoadGrid can assemble, so a kill at any
-		// earlier point leaves an unambiguous checkpoint store.
-		if err := putOptsRecord(rc.store, opts); err != nil {
-			return nil, fmt.Errorf("core: recording completed run: %w", err)
-		}
-	}
-	gridMu.Lock()
-	gridCache[key] = g
-	gridMu.Unlock()
-	return g, nil
+	return results, nil
 }
 
 // provenance summarises where the run's cells came from, from the
@@ -414,6 +448,12 @@ func (rc *RunContext) provenance() Provenance {
 		p.StorePath = rc.store.Path()
 	}
 	switch {
+	case rc.workers > 0 && p.CellsLoaded > 0:
+		// The store was assembled from worker journals; cells "loaded" from
+		// it were computed by those workers, not resumed from our own
+		// earlier run. Any computed count on top is a post-merge delta.
+		p.Source = SourceMerged
+		p.Workers = rc.workers
 	case p.CellsLoaded > 0 && p.CellsComputed > 0:
 		p.Source = SourceResumed
 	case p.CellsLoaded > 0:
@@ -473,19 +513,34 @@ var errUnitSkipped = errors.New("core: unit skipped after earlier failure")
 // bit-identical to a sequential run.
 func evaluateDataset(rc *RunContext, name string) (*DatasetResult, error) {
 	st := &pipelineState{name: name}
+	addrs := rc.ownedAddrs(name)
 	if rc.store != nil {
 		sd, err := loadStoredDataset(rc.store, rc.opts, name)
 		if err != nil {
 			return nil, err
 		}
-		// A dataset the store fully covers skips the pipeline outright —
-		// no ingest, no compression, no training. Partial coverage hands
-		// the stored cells to the pipeline, which computes only the delta.
-		if sd.complete(rc.opts) {
-			rc.acc.cellsLoaded.Add(int64(len(rc.opts.methods()) * len(rc.opts.errorBounds())))
+		// A dataset whose owned cells the store fully covers skips the
+		// pipeline outright — no ingest, no compression, no training.
+		// Partial coverage hands the stored cells to the pipeline, which
+		// computes only the delta. Partition runs ask only about their own
+		// slice and never need an assembled result: their output is the
+		// journal, not a grid.
+		if sd.completeFor(rc.opts, addrs) {
+			rc.acc.cellsLoaded.Add(int64(len(addrs)))
+			if rc.owned != nil {
+				return nil, nil
+			}
 			return sd.assemble(rc.opts), nil
 		}
 		st.loaded = sd
+	}
+	// Journal the claim before computing: peers scanning this worker's
+	// journal skip these cells when stealing. Advisory only — a racing
+	// double-compute is bit-identical and merges cleanly.
+	if rc.owned != nil {
+		if err := rc.claim(name, addrs); err != nil {
+			return nil, err
+		}
 	}
 	if err := rc.pipeline.run(rc, st); err != nil {
 		return nil, err

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestPartitionMergeBitIdentical is the work plane's core contract: the
+// grid split across 3 workers (each journaling to its own store), merged
+// with MergeWorkerStores, loads into a grid whose persisted bytes equal a
+// single-process run's — at Parallelism 1 and at NumCPU — and reports
+// "merged" provenance with the worker count.
+func TestPartitionMergeBitIdentical(t *testing.T) {
+	swapGridCache(t)
+	dir := t.TempDir()
+
+	// Single-process reference.
+	ref := worksetTestOptions()
+	ref.Parallelism = 1
+	gWant, err := RunGrid(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, gWant)
+
+	// Three workers, each running its partition against its own journal.
+	journals := make([]string, 3)
+	ownedTotal, computedTotal := 0, 0
+	for i := range journals {
+		journals[i] = filepath.Join(dir, fmt.Sprintf("worker%d.cells", i+1))
+		wopts := worksetTestOptions()
+		wopts.Parallelism = 1
+		wopts.Store = journals[i]
+		sum, err := RunGridPartition(wopts, len(journals), i, nil)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i+1, err)
+		}
+		if sum.Partition != i+1 || sum.Workers != 3 {
+			t.Fatalf("worker %d summary = %+v", i+1, sum)
+		}
+		ownedTotal += sum.OwnedCells
+		computedTotal += sum.ComputedCells
+	}
+	if ownedTotal != 12 || computedTotal != 12 {
+		t.Fatalf("workers owned %d / computed %d cells, want 12 / 12", ownedTotal, computedTotal)
+	}
+
+	merged := filepath.Join(dir, "merged.cells")
+	stats, err := MergeWorkerStores(merged, journals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sources != 3 || len(stats.Conflicts) != 0 {
+		t.Fatalf("merge stats = %+v", stats)
+	}
+
+	for name, parallelism := range map[string]int{"sequential": 1, "numcpu": runtime.NumCPU()} {
+		t.Run(name, func(t *testing.T) {
+			ResetGridCache()
+			opts := worksetTestOptions()
+			opts.Parallelism = parallelism
+			opts.Store = merged
+			g, err := RunGrid(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p := g.Provenance; p.Source != SourceMerged || p.Workers != 3 ||
+				p.CellsLoaded != 12 || p.CellsComputed != 0 {
+				t.Fatalf("merged provenance = %+v", p)
+			}
+			if got := saveBytes(t, g); !bytes.Equal(got, want) {
+				t.Fatal("merged grid's persisted bytes differ from the single-process run's")
+			}
+		})
+	}
+}
+
+// TestPartitionStealCoversDeadWorkers: a worker whose peers never wrote a
+// byte (journals missing) steals their entire share, so one worker with a
+// steal pass completes the whole grid.
+func TestPartitionStealCoversDeadWorkers(t *testing.T) {
+	swapGridCache(t)
+	dir := t.TempDir()
+
+	opts := worksetTestOptions()
+	opts.Parallelism = 1
+	opts.Store = filepath.Join(dir, "survivor.cells")
+	deadPeers := []string{filepath.Join(dir, "dead1.cells"), filepath.Join(dir, "dead2.cells")}
+	sum, err := RunGridPartition(opts, 3, 0, deadPeers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OwnedCells != 4 || sum.StolenCells != 8 || sum.ComputedCells != 12 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	// The survivor's journal alone merges into a complete store.
+	merged := filepath.Join(dir, "merged.cells")
+	if _, err := MergeWorkerStores(merged, []string{opts.Store}); err != nil {
+		t.Fatal(err)
+	}
+	ResetGridCache()
+	check := worksetTestOptions()
+	check.Store = merged
+	g, err := RunGrid(check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := g.Provenance; p.CellsLoaded != 12 || p.CellsComputed != 0 {
+		t.Fatalf("provenance = %+v", p)
+	}
+}
+
+// TestPartitionWorkerKilledAndResumed: a worker SIGKILLed mid-write (its
+// journal truncated at an arbitrary byte) reruns its partition, resumes
+// from the surviving records, and the merged grid is still bit-identical.
+func TestPartitionWorkerKilledAndResumed(t *testing.T) {
+	swapGridCache(t)
+	dir := t.TempDir()
+
+	ref := worksetTestOptions()
+	gWant, err := RunGrid(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, gWant)
+
+	journals := make([]string, 3)
+	for i := range journals {
+		journals[i] = filepath.Join(dir, fmt.Sprintf("worker%d.cells", i+1))
+		wopts := worksetTestOptions()
+		wopts.Store = journals[i]
+		if _, err := RunGridPartition(wopts, len(journals), i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill simulation on worker 2: keep an arbitrary prefix of its journal,
+	// then rerun the same partition. The rerun loads what survived and
+	// computes only the rest.
+	blob, err := os.ReadFile(journals[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journals[1], blob[:len(blob)*55/100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wopts := worksetTestOptions()
+	wopts.Store = journals[1]
+	sum, err := RunGridPartition(wopts, len(journals), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ComputedCells+sum.LoadedCells != sum.OwnedCells {
+		t.Fatalf("resumed worker summary = %+v", sum)
+	}
+
+	merged := filepath.Join(dir, "merged.cells")
+	if _, err := MergeWorkerStores(merged, journals); err != nil {
+		t.Fatal(err)
+	}
+	ResetGridCache()
+	opts := worksetTestOptions()
+	opts.Store = merged
+	g, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := saveBytes(t, g); !bytes.Equal(got, want) {
+		t.Fatal("grid merged from a killed-and-resumed worker differs")
+	}
+}
+
+// TestPartitionRequiresStore: partition runs journal by definition.
+func TestPartitionRequiresStore(t *testing.T) {
+	if _, err := RunGridPartition(worksetTestOptions(), 3, 0, nil); err == nil {
+		t.Fatal("partition run without a store accepted")
+	}
+	bad := worksetTestOptions()
+	bad.Store = filepath.Join(t.TempDir(), "w.cells")
+	if _, err := RunGridPartition(bad, 3, 3, nil); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -98,13 +99,15 @@ func unmarshalRecord(payload []byte, v any) error {
 	return json.Unmarshal(j, v)
 }
 
-// putCellRecord checkpoints one cell under its canonical CellKey.
-func putCellRecord(s *cellstore.Store, o Options, dataset string, c *Cell) error {
+// marshalCellRecord renders one cell's persisted record bytes. A pure
+// function of the cell, so two runs producing bit-identical cells produce
+// bit-identical records — the property the merge and resume tests compare.
+func marshalCellRecord(c *Cell) ([]byte, error) {
 	dec, err := encodeFloats(c.Decompressed)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	payload, err := marshalRecord(&cellRecord{
+	return marshalRecord(&cellRecord{
 		Method:       c.Method,
 		Epsilon:      c.Epsilon,
 		CR:           c.CR,
@@ -114,25 +117,19 @@ func putCellRecord(s *cellstore.Store, o Options, dataset string, c *Cell) error
 		ModelMetrics: c.ModelMetrics,
 		TFE:          c.TFE,
 	})
-	if err != nil {
-		return err
-	}
-	return s.Put(o.cellRecordKey(dataset, c.Method, c.Epsilon), payload)
 }
 
-// putDatasetRecord checkpoints a dataset's shared state. It is written
-// before the dataset's cell records so that on resume a present cell
-// record implies its dataset record is at least as new.
-func putDatasetRecord(s *cellstore.Store, o Options, ds *DatasetResult) error {
+// marshalDatasetRecord renders a dataset's shared-state record bytes.
+func marshalDatasetRecord(ds *DatasetResult) ([]byte, error) {
 	raw, err := encodeFloats(ds.RawValues)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rawTest, err := encodeFloats(ds.RawTest)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	payload, err := marshalRecord(&datasetRecord{
+	return marshalRecord(&datasetRecord{
 		Name:           ds.Name,
 		SeasonalPeriod: ds.SeasonalPeriod,
 		Interval:       ds.Interval,
@@ -141,10 +138,26 @@ func putDatasetRecord(s *cellstore.Store, o Options, ds *DatasetResult) error {
 		GorillaCR:      ds.GorillaCR,
 		Baselines:      ds.Baselines,
 	})
-	if err != nil {
-		return err
+}
+
+// cellWorkUnit is one cell checkpoint as a work-plane unit: the canonical
+// CellKey plus the record marshalling. The batch path executes it with
+// WorkExec.Refresh (the delta planner already decided it must be written).
+func cellWorkUnit(o Options, dataset string, c *Cell) WorkUnit {
+	return WorkUnit{
+		Key:     o.cellRecordKey(dataset, c.Method, c.Epsilon),
+		Compute: func(context.Context) ([]byte, error) { return marshalCellRecord(c) },
 	}
-	return s.Put(o.datasetRecordKey(ds.Name), payload)
+}
+
+// datasetWorkUnit is a dataset checkpoint as a work-plane unit. It is
+// executed before the dataset's cell units so that on resume a present cell
+// record always implies an at-least-as-new dataset record.
+func datasetWorkUnit(o Options, ds *DatasetResult) WorkUnit {
+	return WorkUnit{
+		Key:     o.datasetRecordKey(ds.Name),
+		Compute: func(context.Context) ([]byte, error) { return marshalDatasetRecord(ds) },
+	}
 }
 
 // putOptsRecord records the completed option set; LoadGrid assembles the
@@ -263,9 +276,11 @@ func (sd *storedDataset) fillBaselines(dst map[string]stats.Metrics) {
 	}
 }
 
-// complete reports whether sd already covers every requested cell and
-// model, in which case the whole dataset pipeline can be skipped.
-func (sd *storedDataset) complete(o Options) bool {
+// completeFor reports whether sd already covers the given cells (and every
+// requested model), in which case the pipeline can be skipped for them. A
+// partition run asks about its owned slice of the dataset; a full run asks
+// about the whole grid via complete.
+func (sd *storedDataset) completeFor(o Options, addrs []CellAddr) bool {
 	if sd == nil {
 		return false
 	}
@@ -275,20 +290,33 @@ func (sd *storedDataset) complete(o Options) bool {
 			return false
 		}
 	}
-	for _, m := range o.methods() {
-		for _, eps := range o.errorBounds() {
-			c := sd.cells[CellAddr{m, eps}]
-			if c == nil {
+	for _, a := range addrs {
+		c := sd.cells[a]
+		if c == nil {
+			return false
+		}
+		for _, model := range models {
+			if _, ok := c.ModelMetrics[model]; !ok {
 				return false
-			}
-			for _, model := range models {
-				if _, ok := c.ModelMetrics[model]; !ok {
-					return false
-				}
 			}
 		}
 	}
 	return true
+}
+
+// complete reports whether sd already covers every requested cell and
+// model, in which case the whole dataset pipeline can be skipped.
+func (sd *storedDataset) complete(o Options) bool {
+	if sd == nil {
+		return false
+	}
+	var addrs []CellAddr
+	for _, m := range o.methods() {
+		for _, eps := range o.errorBounds() {
+			addrs = append(addrs, CellAddr{m, eps})
+		}
+	}
+	return sd.completeFor(o, addrs)
 }
 
 // assemble builds the DatasetResult view from stored records, cells in
@@ -315,24 +343,29 @@ func (sd *storedDataset) assemble(o Options) *DatasetResult {
 // SaveGrid writes the grid as a canonical cell store: datasets in option
 // order, cells in grid order, option set last. The write sequence is a
 // pure function of the grid, so two saves of bit-identical grids produce
-// bit-identical files — the property the resume tests compare.
+// bit-identical files — the property the resume tests and the multi-worker
+// merge tests compare. Records are executed as the same WorkUnits the
+// checkpoint stage uses, so the canonical save and the incremental
+// checkpoint path cannot drift apart.
 func SaveGrid(g *GridResult, path string) error {
 	s, err := cellstore.Create(path)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
+	exec := NewWorkExec(s)
+	ctx := context.Background()
 	opts := g.Opts.normalized()
 	for _, name := range opts.datasets() {
 		ds := g.Datasets[name]
 		if ds == nil {
 			return fmt.Errorf("core: grid has no dataset %s", name)
 		}
-		if err := putDatasetRecord(s, opts, ds); err != nil {
+		if _, err := exec.Refresh(ctx, datasetWorkUnit(opts, ds)); err != nil {
 			return err
 		}
 		for _, c := range ds.Cells {
-			if err := putCellRecord(s, opts, name, c); err != nil {
+			if _, err := exec.Refresh(ctx, cellWorkUnit(opts, name, c)); err != nil {
 				return err
 			}
 		}

@@ -31,6 +31,18 @@ type RunContext struct {
 	// otherwise. Datasets load their stored cells from it before the
 	// pipeline runs and the checkpoint stage appends to it as they finish.
 	store *cellstore.Store
+	// exec executes the run's checkpoint WorkUnits against store; non-nil
+	// exactly when store is. It is the same executor type the serving plane
+	// answers cache misses through.
+	exec *WorkExec
+	// owned, when non-nil, restricts the run to its slice of the grid: the
+	// compress stages only materialise owned cells, so every downstream
+	// stage (delta planning, training, checkpointing) sees a partial grid
+	// without knowing partitions exist. nil means the run owns everything.
+	owned *WorkSet
+	// workers is the worker-journal count stamped into a merged store (0
+	// for stores that were never merged); provenance reports it.
+	workers int
 }
 
 func newRunContext(ctx context.Context, opts Options, p *Pipeline) *RunContext {
@@ -359,6 +371,12 @@ func runCompress(rc *RunContext, st *pipelineState) error {
 			if err := rc.Err(); err != nil {
 				return err
 			}
+			// A partition run materialises only its owned cells; the rest
+			// of the grid belongs to peer workers and never enters dr.Cells,
+			// so every later stage sees a self-consistent partial grid.
+			if !rc.owns(st.name, CellAddr{m, eps}) {
+				continue
+			}
 			// A cell already in the result store slots straight into the
 			// grid: its reconstruction was persisted, so compressing again
 			// would be pure waste. The nil comps entry tells the
@@ -632,20 +650,23 @@ func runAnalyze(rc *RunContext, st *pipelineState) error {
 	return nil
 }
 
-// runCheckpoint appends the finished dataset to the result store: the
-// dataset record first — so a present cell record always implies an
-// at-least-as-new dataset record on resume — then one record per cell
-// this run computed. Each record is a single durable append; a kill
-// between two of them loses only the record in flight.
+// runCheckpoint appends the finished dataset to the result store via the
+// run's WorkExec: the dataset unit first — so a present cell record always
+// implies an at-least-as-new dataset record on resume — then one unit per
+// cell this run computed. Refresh (not Do) because the delta planner
+// already decided these must be written: a present-but-stale record (a
+// grown model list) must be overwritten, not skipped. Each record is a
+// single durable append; a kill between two of them loses only the record
+// in flight.
 func runCheckpoint(rc *RunContext, st *pipelineState) error {
-	if err := putDatasetRecord(rc.store, rc.opts, st.dr); err != nil {
+	if _, err := rc.exec.Refresh(rc.ctx, datasetWorkUnit(rc.opts, st.dr)); err != nil {
 		return err
 	}
 	for _, ci := range st.evalCells {
 		if err := rc.Err(); err != nil {
 			return err
 		}
-		if err := putCellRecord(rc.store, rc.opts, st.name, st.dr.Cells[ci]); err != nil {
+		if _, err := rc.exec.Refresh(rc.ctx, cellWorkUnit(rc.opts, st.name, st.dr.Cells[ci])); err != nil {
 			return err
 		}
 	}

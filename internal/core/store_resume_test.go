@@ -390,6 +390,8 @@ func TestProvenanceString(t *testing.T) {
 			"grid loaded from a.cells (6 cells; timings are not meaningful for loaded grids)"},
 		{Provenance{Source: SourceResumed, CellsLoaded: 4, CellsComputed: 2, StorePath: "a.cells"},
 			"grid resumed from a.cells (4 cells loaded, 2 computed; timings cover the computed delta only)"},
+		{Provenance{Source: SourceMerged, Workers: 3, CellsLoaded: 12, StorePath: "m.cells"},
+			"grid merged from 3 worker journals via m.cells (12 cells loaded, 0 computed this run)"},
 	}
 	for _, tc := range cases {
 		if got := tc.p.String(); got != tc.want {

@@ -78,6 +78,11 @@ func runCompressStream(rc *RunContext, st *pipelineState) error {
 			return err
 		}
 		for _, eps := range rc.opts.errorBounds() {
+			// A partition run materialises only its owned cells, exactly
+			// like the batch compress stage.
+			if !rc.owns(st.name, CellAddr{m, eps}) {
+				continue
+			}
 			// Cells already in the result store need no encoder at all —
 			// they keep their grid slot and skip the chunk fan-out.
 			if lc := st.loaded.cell(m, eps); lc != nil {

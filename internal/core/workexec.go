@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"lossyts/internal/core/cellstore"
+)
+
+// WorkUnit is the shared unit-of-work type of the work plane: a durable
+// record key plus the computation that produces the record's bytes. The
+// batch grid runner (checkpoints, SaveGrid) and the serving plane's cache
+// misses both flow through it, so "compute exactly this record once and
+// persist it" has a single implementation instead of two parallel ones.
+type WorkUnit struct {
+	Key     string
+	Compute func(ctx context.Context) ([]byte, error)
+}
+
+// WorkSource reports which layer of the executor answered a WorkUnit.
+type WorkSource int
+
+const (
+	// WorkComputed: this call ran the computation itself.
+	WorkComputed WorkSource = iota
+	// WorkHit: the durable store already held the record.
+	WorkHit
+	// WorkShared: the call joined another caller's in-flight computation.
+	WorkShared
+)
+
+// String renders the source for logs and cache headers.
+func (s WorkSource) String() string {
+	switch s {
+	case WorkHit:
+		return "hit"
+	case WorkShared:
+		return "dedup"
+	default:
+		return "miss"
+	}
+}
+
+// WorkExec executes WorkUnits against an optional durable store behind a
+// singleflight layer: N concurrent identical units trigger exactly one
+// computation, and completed units are answered from the store without
+// computing at all. A nil store degrades gracefully to in-flight dedupe
+// only.
+type WorkExec struct {
+	store *cellstore.Store // nil = no durable layer
+	group flightGroup
+
+	// OnCompute, when non-nil, is called right before every computation
+	// actually runs (singleflight leaders that missed the store) with the
+	// unit's key. The serving plane counts computations through it; tests
+	// use it to hold a leader open until every follower has arrived.
+	OnCompute func(key string)
+}
+
+// NewWorkExec builds an executor over store (nil for dedupe-only).
+func NewWorkExec(store *cellstore.Store) *WorkExec {
+	return &WorkExec{store: store}
+}
+
+// Waiting reports how many callers are parked on in-flight units —
+// concurrency tests use it to release a held leader only once every
+// follower has genuinely joined the flight.
+func (e *WorkExec) Waiting() int { return e.group.waiting() }
+
+// Do answers one unit: store lookup first, then the singleflight layer,
+// then compute-and-store. The returned WorkSource says which layer
+// answered. A follower whose leader was cancelled retries the computation
+// once itself — the leader's caller gave up, but this caller is still
+// waiting, and a context error from someone else's request must never leak
+// into this one.
+//
+// The returned bytes may be shared across callers and must be treated as
+// read-only.
+func (e *WorkExec) Do(ctx context.Context, u WorkUnit) ([]byte, WorkSource, error) {
+	if e.store != nil {
+		if payload, ok := e.store.Get(u.Key); ok {
+			return payload, WorkHit, nil
+		}
+	}
+	var fromStore bool
+	run := func() ([]byte, error) {
+		if e.store != nil {
+			// Re-check under the flight: a caller that missed the lookup
+			// above but won flight leadership only after the previous leader
+			// stored its result must not recompute (the classic stampede
+			// residual). This check makes "N identical units, exactly one
+			// computation" structural rather than probabilistic.
+			if payload, ok := e.store.Get(u.Key); ok {
+				fromStore = true
+				return payload, nil
+			}
+		}
+		return e.computeAndStore(ctx, u)
+	}
+	for attempt := 0; ; attempt++ {
+		out, err, shared := e.group.Do(u.Key, run)
+		if shared && err != nil && attempt == 0 && isCancellation(err) && ctx.Err() == nil {
+			continue // the leader's caller hung up; ours is still waiting
+		}
+		switch {
+		case err != nil:
+			return nil, WorkComputed, err
+		case shared:
+			return out, WorkShared, nil
+		case fromStore:
+			return out, WorkHit, nil
+		default:
+			return out, WorkComputed, nil
+		}
+	}
+}
+
+// Refresh is the batch path's write mode: compute the unit and overwrite
+// its stored record unconditionally, still deduplicating concurrent
+// identical refreshes through the flight layer. The grid's delta planner —
+// not record presence — decides what runs, because a present cell record
+// can still lack models a grown run needs; a skip-if-present executor
+// would silently starve those runs.
+func (e *WorkExec) Refresh(ctx context.Context, u WorkUnit) ([]byte, error) {
+	run := func() ([]byte, error) { return e.computeAndStore(ctx, u) }
+	for attempt := 0; ; attempt++ {
+		out, err, shared := e.group.Do(u.Key, run)
+		if shared && err != nil && attempt == 0 && isCancellation(err) && ctx.Err() == nil {
+			continue
+		}
+		return out, err
+	}
+}
+
+// computeAndStore runs the unit's computation and persists the result.
+func (e *WorkExec) computeAndStore(ctx context.Context, u WorkUnit) ([]byte, error) {
+	if e.OnCompute != nil {
+		e.OnCompute(u.Key)
+	}
+	out, err := u.Compute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if e.store != nil {
+		if err := e.store.Put(u.Key, out); err != nil {
+			return nil, fmt.Errorf("core: storing %s: %w", u.Key, err)
+		}
+	}
+	return out, nil
+}
+
+// isCancellation reports whether err stems from a cancelled context.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// flightGroup deduplicates concurrent computations by key: while one call
+// for a key is in flight, later calls for the same key block and share its
+// result instead of computing again. It is the standard singleflight shape
+// (stdlib-only — the module vendors nothing), reduced to what the work
+// plane needs.
+//
+// Unlike a cache, a flight entry lives only as long as the computation: once
+// the leader returns, the key is forgotten and the durable result store
+// takes over as the dedupe layer for later arrivals.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight computation and its eventual result.
+type flightCall struct {
+	done    chan struct{}
+	waiters int // callers parked on done, guarded by flightGroup.mu
+	val     []byte
+	err     error
+}
+
+// waiting reports how many callers are currently parked on in-flight calls.
+func (g *flightGroup) waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, c := range g.m {
+		n += c.waiters
+	}
+	return n
+}
+
+// Do runs fn for key, unless a call for key is already in flight, in which
+// case it waits for that call and returns its result. shared reports whether
+// the returned value came from another caller's computation.
+//
+// The returned byte slice is shared across callers and must be treated as
+// read-only.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"lossyts/internal/core/cellstore"
+)
+
+// The work plane makes "which cells does this process own" a first-class
+// concept. A WorkSet enumerates grid cells as WorkItems in the canonical
+// evaluation order, partitions deterministically into contiguous ranges, and
+// — through claim records journaled in the result store — lets cooperating
+// worker processes see and steal each other's unstarted work with no
+// coordinator state beyond the filesystem. Correctness never rests on the
+// claims: cells are bit-identical wherever they are computed (CellKey), so
+// two workers racing to the same cell produce the same bytes and the
+// last-record-wins merge keeps one of them.
+
+// WorkItem is one cell coordinate of the evaluation grid: the dataset and
+// the (method, error bound) address within it. Everything else that
+// determines the cell's bytes lives in the shared option set (see CellKey).
+type WorkItem struct {
+	Dataset string
+	Addr    CellAddr
+}
+
+// WorkSet is an ordered set of grid cells bound to the option set that
+// enumerates them. The order is the canonical evaluation order — datasets
+// outer, then methods, then bounds — so contiguous partitions keep dataset
+// locality (a worker owning a slice touches as few datasets as possible,
+// which matters because the per-dataset transform cache is per-process).
+type WorkSet struct {
+	opts  Options
+	items []WorkItem
+	index map[WorkItem]bool
+}
+
+// NewWorkSet enumerates the full grid the option set requests, in canonical
+// order.
+func (o Options) NewWorkSet() *WorkSet {
+	ws := &WorkSet{opts: o}
+	for _, name := range o.datasets() {
+		for _, m := range o.methods() {
+			for _, eps := range o.errorBounds() {
+				ws.items = append(ws.items, WorkItem{Dataset: name, Addr: CellAddr{Method: m, Epsilon: eps}})
+			}
+		}
+	}
+	ws.buildIndex()
+	return ws
+}
+
+func (ws *WorkSet) buildIndex() {
+	ws.index = make(map[WorkItem]bool, len(ws.items))
+	for _, it := range ws.items {
+		ws.index[it] = true
+	}
+}
+
+// derive builds a sub-set sharing ws's options and order.
+func (ws *WorkSet) derive(items []WorkItem) *WorkSet {
+	sub := &WorkSet{opts: ws.opts, items: items}
+	sub.buildIndex()
+	return sub
+}
+
+// Len returns the number of cells in the set.
+func (ws *WorkSet) Len() int { return len(ws.items) }
+
+// Items returns the cells in canonical order. The slice is shared;
+// callers must not mutate it.
+func (ws *WorkSet) Items() []WorkItem { return ws.items }
+
+// Contains reports whether the set owns the given cell.
+func (ws *WorkSet) Contains(dataset string, addr CellAddr) bool {
+	return ws.index[WorkItem{Dataset: dataset, Addr: addr}]
+}
+
+// Datasets lists the distinct datasets the set touches, in canonical order.
+func (ws *WorkSet) Datasets() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, it := range ws.items {
+		if !seen[it.Dataset] {
+			seen[it.Dataset] = true
+			names = append(names, it.Dataset)
+		}
+	}
+	return names
+}
+
+// addrsOf returns the cell addresses the set owns within one dataset, in
+// canonical order.
+func (ws *WorkSet) addrsOf(dataset string) []CellAddr {
+	var addrs []CellAddr
+	for _, it := range ws.items {
+		if it.Dataset == dataset {
+			addrs = append(addrs, it.Addr)
+		}
+	}
+	return addrs
+}
+
+// Partition returns the i-th of n contiguous range partitions (0 <= i < n).
+// Partitioning is deterministic and total: over all i the partitions are
+// disjoint, cover the set, preserve order, and differ in size by at most
+// one cell — every process that enumerates the same option set computes the
+// same split, so N workers need agree on nothing but (n, i). Invalid
+// arguments panic: the split is programmer-controlled, not data-driven.
+func (ws *WorkSet) Partition(n, i int) *WorkSet {
+	if n < 1 || i < 0 || i >= n {
+		panic(fmt.Sprintf("core: WorkSet.Partition(%d, %d): need 0 <= i < n", n, i))
+	}
+	lo := len(ws.items) * i / n
+	hi := len(ws.items) * (i + 1) / n
+	return ws.derive(ws.items[lo:hi])
+}
+
+// Minus returns the cells of ws not present in other, preserving order.
+func (ws *WorkSet) Minus(other *WorkSet) *WorkSet {
+	var items []WorkItem
+	for _, it := range ws.items {
+		if !other.index[it] {
+			items = append(items, it)
+		}
+	}
+	return ws.derive(items)
+}
+
+// Unclaimed filters the set down to cells that no peer journal has claimed
+// or checkpointed — the steal protocol's read side. Peers are opened
+// read-only (safe against live writers); a missing or still-empty journal
+// counts as holding nothing, so a worker that died before its first write
+// forfeits its whole slice. Claims are advisory: a cell claimed between the
+// scan and the steal is computed twice, bit-identically, and merge keeps one.
+func (ws *WorkSet) Unclaimed(peers ...string) (*WorkSet, error) {
+	remaining := append([]WorkItem(nil), ws.items...)
+	for _, path := range peers {
+		if len(remaining) == 0 {
+			break
+		}
+		fi, err := os.Stat(path)
+		if os.IsNotExist(err) || (err == nil && fi.Size() == 0) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		s, err := cellstore.OpenReadOnly(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading peer journal %s: %w", path, err)
+		}
+		var keep []WorkItem
+		for _, it := range remaining {
+			if s.Has(ws.opts.claimRecordKey(it.Dataset, it.Addr.Method, it.Addr.Epsilon)) ||
+				s.Has(ws.opts.cellRecordKey(it.Dataset, it.Addr.Method, it.Addr.Epsilon)) {
+				continue
+			}
+			keep = append(keep, it)
+		}
+		remaining = keep
+		s.Close()
+	}
+	return ws.derive(remaining), nil
+}
+
+// claim journals this worker's intent to compute the given cells of one
+// dataset. Claim payloads are deliberately empty and identical across
+// workers, so overlapping claims (a steal race) never register as merge
+// conflicts; who claimed is uninteresting, only that somebody did.
+func (rc *RunContext) claim(dataset string, addrs []CellAddr) error {
+	for _, a := range addrs {
+		if err := rc.store.Put(rc.opts.claimRecordKey(dataset, a.Method, a.Epsilon), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ownedAddrs returns the cell addresses this run must consider for a
+// dataset: the owned slice under a partition run, the full grid otherwise.
+func (rc *RunContext) ownedAddrs(dataset string) []CellAddr {
+	if rc.owned != nil {
+		return rc.owned.addrsOf(dataset)
+	}
+	addrs := make([]CellAddr, 0, len(rc.opts.methods())*len(rc.opts.errorBounds()))
+	for _, m := range rc.opts.methods() {
+		for _, eps := range rc.opts.errorBounds() {
+			addrs = append(addrs, CellAddr{Method: m, Epsilon: eps})
+		}
+	}
+	return addrs
+}
+
+// owns reports whether this run is responsible for a cell. Full runs own
+// everything; partition runs own exactly their WorkSet.
+func (rc *RunContext) owns(dataset string, addr CellAddr) bool {
+	return rc.owned == nil || rc.owned.Contains(dataset, addr)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lossyts/internal/core/cellstore"
+)
+
+// worksetTestOptions is a grid small enough to enumerate by hand: two
+// datasets x three methods x two bounds = 12 cells.
+func worksetTestOptions() Options {
+	o := storeTestOptions()
+	o.Datasets = []string{"ETTm1", "Weather"}
+	return o
+}
+
+func TestWorkSetCanonicalOrder(t *testing.T) {
+	o := worksetTestOptions()
+	ws := o.NewWorkSet()
+	if ws.Len() != 12 {
+		t.Fatalf("Len = %d, want 12 (2 datasets x 3 methods x 2 bounds)", ws.Len())
+	}
+	// Dataset-major, then methods, then bounds — the evaluation order.
+	items := ws.Items()
+	if items[0].Dataset != "ETTm1" || items[5].Dataset != "ETTm1" || items[6].Dataset != "Weather" {
+		t.Fatalf("dataset order wrong: %v", items)
+	}
+	first := CellAddr{Method: o.methods()[0], Epsilon: o.errorBounds()[0]}
+	if items[0].Addr != first {
+		t.Fatalf("items[0] = %+v, want %+v", items[0].Addr, first)
+	}
+	if got := ws.Datasets(); !reflect.DeepEqual(got, []string{"ETTm1", "Weather"}) {
+		t.Fatalf("Datasets = %v", got)
+	}
+	if !ws.Contains("Weather", first) || ws.Contains("Solar", first) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// TestWorkSetPartitionProperties: for every worker count, the partitions
+// are disjoint, cover the set, preserve canonical order, and differ in size
+// by at most one cell.
+func TestWorkSetPartitionProperties(t *testing.T) {
+	ws := worksetTestOptions().NewWorkSet()
+	for n := 1; n <= ws.Len()+2; n++ {
+		var joined []WorkItem
+		minSize, maxSize := ws.Len(), 0
+		for i := 0; i < n; i++ {
+			p := ws.Partition(n, i)
+			joined = append(joined, p.Items()...)
+			if p.Len() < minSize {
+				minSize = p.Len()
+			}
+			if p.Len() > maxSize {
+				maxSize = p.Len()
+			}
+		}
+		if !reflect.DeepEqual(joined, ws.Items()) {
+			t.Fatalf("n=%d: partitions do not rebuild the set in order", n)
+		}
+		if maxSize-minSize > 1 {
+			t.Fatalf("n=%d: partition sizes differ by %d", n, maxSize-minSize)
+		}
+	}
+	for _, bad := range [][2]int{{0, 0}, {3, -1}, {3, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			ws.Partition(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestWorkSetMinus(t *testing.T) {
+	ws := worksetTestOptions().NewWorkSet()
+	p0 := ws.Partition(3, 0)
+	rest := ws.Minus(p0)
+	if rest.Len() != ws.Len()-p0.Len() {
+		t.Fatalf("Minus len = %d", rest.Len())
+	}
+	for _, it := range p0.Items() {
+		if rest.Contains(it.Dataset, it.Addr) {
+			t.Fatalf("Minus kept %+v", it)
+		}
+	}
+	if !reflect.DeepEqual(ws.Minus(ws).Items(), []WorkItem(nil)) {
+		t.Fatal("ws - ws should be empty")
+	}
+}
+
+// TestWorkSetUnclaimed exercises the steal protocol's read side: claim
+// records and checkpointed cells both count as taken; missing and
+// zero-length peer journals count as holding nothing.
+func TestWorkSetUnclaimed(t *testing.T) {
+	o := worksetTestOptions()
+	ws := o.NewWorkSet()
+	dir := t.TempDir()
+
+	peer := filepath.Join(dir, "peer.cells")
+	s, err := cellstore.Open(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := ws.Items()[0]
+	stored := ws.Items()[1]
+	if err := s.Put(o.claimRecordKey(claimed.Dataset, claimed.Addr.Method, claimed.Addr.Epsilon), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(o.cellRecordKey(stored.Dataset, stored.Addr.Method, stored.Addr.Epsilon), []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rest, err := ws.Unclaimed(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rest.Len() != ws.Len()-2 {
+		t.Fatalf("Unclaimed len = %d, want %d", rest.Len(), ws.Len()-2)
+	}
+	if rest.Contains(claimed.Dataset, claimed.Addr) || rest.Contains(stored.Dataset, stored.Addr) {
+		t.Fatal("claimed/stored cells still reported unclaimed")
+	}
+
+	// A peer that never started (no journal) or died before its first write
+	// (zero-length journal) forfeits everything.
+	empty := filepath.Join(dir, "empty.cells")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	all, err := ws.Unclaimed(filepath.Join(dir, "nope.cells"), empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != ws.Len() {
+		t.Fatalf("missing/empty peers should hold nothing; len = %d", all.Len())
+	}
+}

@@ -188,9 +188,9 @@ func TestDedupeWithoutStore(t *testing.T) {
 	// every follower is parked on the in-flight call before releasing the
 	// leader — the flight-group waiter count makes that observable.
 	deadline := time.Now().Add(10 * time.Second)
-	for s.group.waiting() < workers-1 {
+	for s.exec.Waiting() < workers-1 {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d followers parked (stats %+v)", s.group.waiting(), s.Stats())
+			t.Fatalf("only %d followers parked (stats %+v)", s.exec.Waiting(), s.Stats())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -108,7 +108,11 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *cellstore.Store // nil when CachePath is ""
 	grid  *core.GridResult // nil when GridStore is ""
-	group flightGroup
+	// exec is the work-plane executor cache misses flow through — the same
+	// unit-of-work type the batch grid runner checkpoints cells with, so
+	// "compute exactly this record once and persist it" has one
+	// implementation, not a serving copy and a batch copy.
+	exec *core.WorkExec
 
 	requests, hits, dedups, computations, cancelled, errs atomic.Int64
 
@@ -139,6 +143,17 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: opening cache store: %w", err)
 		}
 		s.cache = store
+	}
+	s.exec = core.NewWorkExec(s.cache)
+	// The executor calls OnCompute exactly when a computation actually runs
+	// (flight leaders that missed the store), which is precisely when the
+	// computations counter must move — the invariant the stress tests
+	// assert (Hits+Dedups+Computations == Requests) hangs off this hook.
+	s.exec.OnCompute = func(key string) {
+		if s.onCompute != nil {
+			s.onCompute(key)
+		}
+		s.computations.Add(1)
 	}
 	if opts.GridStore != "" {
 		g, err := core.LoadGrid(opts.GridStore)

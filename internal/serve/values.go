@@ -5,13 +5,13 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
-	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"strconv"
 
+	"lossyts/internal/core"
 	"lossyts/internal/timeseries"
 )
 
@@ -171,74 +171,28 @@ func intParam(r *http.Request, name string, def int64) (int64, error) {
 	return v, nil
 }
 
-// cached runs one cacheable computation: store lookup first, then the
-// singleflight layer, then compute. The X-Lossyts-Cache response header
-// records which layer answered — "hit" (durable store), "dedup" (joined
-// another request's in-flight computation), or "miss" (computed here).
-//
-// A singleflight follower whose leader was cancelled retries the
-// computation itself: the leader's client hung up, but this request's
-// client is still waiting, and a context error from someone else's request
-// must never leak into this one.
+// cached runs one cacheable computation as a work-plane unit through the
+// server's executor: store lookup first, then the singleflight layer, then
+// compute (core.WorkExec.Do — the exact semantics the batch grid path
+// shares, including the follower-retries-cancelled-leader rule). The
+// X-Lossyts-Cache response header records which layer answered — "hit"
+// (durable store), "dedup" (joined another request's in-flight
+// computation), or "miss" (computed here).
 func (s *Server) cached(ctx context.Context, w http.ResponseWriter, key string, compute func() ([]byte, error)) ([]byte, error) {
-	if s.cache != nil {
-		if payload, ok := s.cache.Get(key); ok {
-			s.hits.Add(1)
-			w.Header().Set("X-Lossyts-Cache", "hit")
-			return payload, nil
-		}
+	u := core.WorkUnit{
+		Key:     key,
+		Compute: func(context.Context) ([]byte, error) { return compute() },
 	}
-	var fromCache bool
-	run := func() ([]byte, error) {
-		if s.cache != nil {
-			// Re-check under the flight: a request that missed the lookup
-			// above but won flight leadership only after the previous leader
-			// stored its result must not recompute (the classic stampede
-			// residual). This check makes "N identical requests, exactly one
-			// computation" structural rather than probabilistic.
-			if payload, ok := s.cache.Get(key); ok {
-				fromCache = true
-				return payload, nil
-			}
-		}
-		if s.onCompute != nil {
-			s.onCompute(key)
-		}
-		s.computations.Add(1)
-		out, err := compute()
-		if err != nil {
-			return nil, err
-		}
-		if s.cache != nil {
-			if err := s.cache.Put(key, out); err != nil {
-				return nil, fmt.Errorf("serve: caching result: %w", err)
-			}
-		}
-		return out, nil
+	out, src, err := s.exec.Do(ctx, u)
+	if err != nil {
+		return nil, err
 	}
-	for attempt := 0; ; attempt++ {
-		out, err, shared := s.group.Do(key, run)
-		if shared && err != nil && attempt == 0 && isCancellation(err) && ctx.Err() == nil {
-			continue // the leader's client hung up; ours is still waiting
-		}
-		if err != nil {
-			return nil, err
-		}
-		switch {
-		case shared:
-			s.dedups.Add(1)
-			w.Header().Set("X-Lossyts-Cache", "dedup")
-		case fromCache:
-			s.hits.Add(1)
-			w.Header().Set("X-Lossyts-Cache", "hit")
-		default:
-			w.Header().Set("X-Lossyts-Cache", "miss")
-		}
-		return out, nil
+	switch src {
+	case core.WorkShared:
+		s.dedups.Add(1)
+	case core.WorkHit:
+		s.hits.Add(1)
 	}
-}
-
-// isCancellation reports whether err stems from a cancelled context.
-func isCancellation(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	w.Header().Set("X-Lossyts-Cache", src.String())
+	return out, nil
 }

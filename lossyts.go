@@ -7,6 +7,7 @@ import (
 	"lossyts/internal/anomaly"
 	"lossyts/internal/compress"
 	"lossyts/internal/core"
+	"lossyts/internal/core/cellstore"
 	"lossyts/internal/datasets"
 	"lossyts/internal/features"
 	"lossyts/internal/forecast"
@@ -400,6 +401,38 @@ func LoadGrid(path string) (*GridResult, error) { return core.LoadGrid(path) }
 // grid: which option signatures it holds, cell counts per dataset, and
 // whether it records a completed (loadable) run.
 func InspectGridStore(path string) (GridStoreInfo, error) { return core.InspectStore(path) }
+
+// Distributed work plane: the grid as a partitionable job. Workers share
+// nothing but the filesystem — each runs one deterministic slice of the
+// cell space against its own journal, and the journals merge into one
+// canonical store byte-for-byte interchangeable with a single-process run's.
+type (
+	// GridWorkerSummary is a partition run's machine-readable provenance:
+	// cells owned, stolen, computed, and loaded, plus wall clock.
+	GridWorkerSummary = core.WorkerSummary
+	// GridMergeStats summarises a MergeGridStores call (sources, records,
+	// and any conflicting keys).
+	GridMergeStats = cellstore.MergeStats
+)
+
+// RunGridPartition evaluates partition index of workers (0-based) of the
+// grid opts describes, checkpointing into opts.Store (the worker's own
+// journal; required). When peers lists sibling journals, the worker makes
+// one steal pass after its slice drains, computing whatever no peer has
+// claimed or checkpointed. Partitioning is deterministic: every process
+// enumerating the same options computes the same split.
+func RunGridPartition(opts EvalOptions, workers, index int, peers []string) (GridWorkerSummary, error) {
+	return core.RunGridPartition(opts, workers, index, peers)
+}
+
+// MergeGridStores combines per-worker journals into one canonical store at
+// dst and stamps it with the worker count, so the merged grid's Provenance
+// reports "merged from N worker journals". Worker journals for the same
+// option set hold bit-identical records for shared keys; any payload
+// conflict is an error, not a silent overwrite.
+func MergeGridStores(dst string, workers []string) (GridMergeStats, error) {
+	return core.MergeWorkerStores(dst, workers)
+}
 
 // Recommendation is a concrete compression operating point.
 type Recommendation = core.Recommendation
