@@ -1,6 +1,8 @@
 package lossyts_test
 
 import (
+	"context"
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -246,5 +248,52 @@ func TestPublicAPIEnsemble(t *testing.T) {
 	}
 	if len(preds) != ws.Len() {
 		t.Fatalf("%d predictions", len(preds))
+	}
+}
+
+func TestPublicAPIMonitorSession(t *testing.T) {
+	opts := lossyts.SessionOptions{
+		Dataset:          "ElecDem",
+		Scale:            0.005,
+		Seed:             7,
+		Method:           lossyts.PMC,
+		Epsilon:          0.05,
+		Spikes:           5,
+		DriftAt:          0.7,
+		AnomalyThreshold: 9,
+	}
+	s, err := lossyts.NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points == 0 || len(rep.Events) == 0 {
+		t.Fatalf("empty session report: %+v", rep)
+	}
+	if rep.DriftDelay < 0 {
+		t.Fatalf("injected drift never detected: %+v", rep)
+	}
+	// The offline replay of the same session is byte-identical.
+	r, err := lossyts.NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := r.Replay(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(replayed)
+	if string(a) != string(b) {
+		t.Fatal("replay diverged from the streamed session")
+	}
+	// All built-ins support online updates.
+	for _, name := range lossyts.ModelNames {
+		if !lossyts.IsIncrementalModel(name) {
+			t.Errorf("%s not incremental", name)
+		}
 	}
 }

@@ -1,10 +1,11 @@
 // Command tsserve is the serving-plane daemon: a stdlib net/http server
-// exposing the repo's compression and forecasting stack as four endpoints.
+// exposing the repo's compression and forecasting stack as five endpoints.
 //
 //	POST /v1/compress?method=&eps=      value body  → compressed payload
 //	POST /v1/decompress?method=         payload     → value text, streamed
 //	POST /v1/forecast?model=&method=&eps= value body → grid-cell JSON
 //	POST /v1/recommend?maxte= | ?dataset=&maxtfe=    → operating point JSON
+//	GET  /v1/monitor?dataset=&method=&eps=           → online-session report JSON
 //	GET  /v1/stats, /healthz
 //
 // Request bodies are capped and streamed through the chunked data plane, a

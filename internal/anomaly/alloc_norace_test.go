@@ -1,0 +1,6 @@
+//go:build !race
+
+package anomaly
+
+// raceEnabled reports whether this test binary was built with -race.
+const raceEnabled = false

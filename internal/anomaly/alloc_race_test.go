@@ -1,0 +1,8 @@
+//go:build race
+
+package anomaly
+
+// raceEnabled reports whether this test binary was built with -race; the
+// race runtime instruments allocations, so AllocsPerRun assertions are
+// skipped under it.
+const raceEnabled = true

@@ -1,0 +1,49 @@
+package anomaly
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// withGCOff disables the GC for the test so pooled buffers cannot be evicted
+// mid-measurement (the one nondeterminism in sync.Pool reuse).
+func withGCOff(t *testing.T) {
+	t.Helper()
+	old := debug.SetGCPercent(-1)
+	t.Cleanup(func() { debug.SetGCPercent(old) })
+}
+
+// TestDetectIntoZeroAlloc pins the satellite fix: once the buffer pools are
+// warm and the caller reuses its output slice, a Detect pass allocates
+// nothing — the property that lets the session loop re-run detection every
+// chunk without GC pressure.
+func TestDetectIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under -race")
+	}
+	withGCOff(t)
+	base := seasonalBase(2000, 48, 1)
+	spiked, _ := InjectSpikes(base, 8, 12, 7)
+	d := &Detector{Period: 48, Threshold: 5}
+	out := make([]int, 0, 64)
+	var err error
+	// Warm the pools.
+	for i := 0; i < 3; i++ {
+		out, err = d.DetectInto(spiked, out[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("warmup detected nothing; the measurement would be vacuous")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		out, err = d.DetectInto(spiked, out[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DetectInto allocated %.1f times per run, want 0", allocs)
+	}
+}

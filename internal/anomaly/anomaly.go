@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"lossyts/internal/compress"
 )
 
 // Detector flags points whose seasonal residual exceeds Threshold robust
@@ -28,11 +30,19 @@ type Detector struct {
 
 // Detect returns the indices flagged as anomalous, in increasing order.
 func (d *Detector) Detect(values []float64) ([]int, error) {
+	return d.DetectInto(values, nil)
+}
+
+// DetectInto appends the anomalous indices to out and returns the extended
+// slice. All scratch memory comes from the shared buffer pools, so a warm
+// caller that reuses out allocates nothing per call — the property the
+// session loop and the AllocsPerRun pin rely on.
+func (d *Detector) DetectInto(values []float64, out []int) ([]int, error) {
 	if d.Period < 2 {
-		return nil, errors.New("anomaly: period must be at least 2")
+		return out, errors.New("anomaly: period must be at least 2")
 	}
 	if len(values) < 4*d.Period {
-		return nil, errors.New("anomaly: series shorter than four periods")
+		return out, errors.New("anomaly: series shorter than four periods")
 	}
 	threshold := d.Threshold
 	if threshold <= 0 {
@@ -43,22 +53,44 @@ func (d *Detector) Detect(values []float64) ([]int, error) {
 		w = d.Period
 	}
 	n := len(values)
+	period := d.Period
 	// Per-phase robust profile (medians resist the anomalies themselves).
-	phaseVals := make([][]float64, d.Period)
-	for i, v := range values {
-		p := i % d.Period
-		phaseVals[p] = append(phaseVals[p], v)
+	// The i-th value is the (i/period)-th member of phase i%period, so the
+	// phase groups pack into one pooled buffer at closed-form offsets — no
+	// per-phase slices.
+	full, rem := n/period, n%period
+	offset := func(p int) int {
+		if p < rem {
+			return p * (full + 1)
+		}
+		return p*(full+1) - (p - rem)
 	}
-	profile := make([]float64, d.Period)
-	for p, vs := range phaseVals {
-		profile[p] = median(vs)
+	countOf := func(p int) int {
+		if p < rem {
+			return full + 1
+		}
+		return full
+	}
+	buf := compress.GetFloats(n)[:n]
+	defer compress.PutFloats(buf)
+	for i, v := range values {
+		buf[offset(i%period)+i/period] = v
+	}
+	scratch := compress.GetFloats(n)
+	defer compress.PutFloats(scratch)
+	profile := compress.GetFloats(period)[:period]
+	defer compress.PutFloats(profile)
+	for p := 0; p < period; p++ {
+		profile[p] = medianInto(buf[offset(p):offset(p)+countOf(p)], scratch)
 	}
 	// Residuals after profile and rolling median level.
-	deseason := make([]float64, n)
+	deseason := compress.GetFloats(n)[:n]
+	defer compress.PutFloats(deseason)
 	for i, v := range values {
-		deseason[i] = v - profile[i%d.Period]
+		deseason[i] = v - profile[i%period]
 	}
-	resid := make([]float64, n)
+	resid := compress.GetFloats(n)[:n]
+	defer compress.PutFloats(resid)
 	for i := range deseason {
 		lo := i - w
 		if lo < 0 {
@@ -68,14 +100,17 @@ func (d *Detector) Detect(values []float64) ([]int, error) {
 		if hi > n {
 			hi = n
 		}
-		resid[i] = deseason[i] - median(deseason[lo:hi])
+		resid[i] = deseason[i] - medianInto(deseason[lo:hi], scratch)
 	}
-	// Robust scale: 1.4826 · MAD.
-	sigma := 1.4826 * median(absAll(resid))
+	// Robust scale: 1.4826 · MAD. buf's phase copy is spent — reuse it for
+	// the absolute residuals.
+	for i, r := range resid {
+		buf[i] = math.Abs(r)
+	}
+	sigma := 1.4826 * medianInto(buf, scratch)
 	if sigma <= 0 {
-		return nil, nil
+		return out, nil
 	}
-	var out []int
 	for i, r := range resid {
 		if math.Abs(r) > threshold*sigma {
 			out = append(out, i)
@@ -84,19 +119,13 @@ func (d *Detector) Detect(values []float64) ([]int, error) {
 	return out, nil
 }
 
-func absAll(v []float64) []float64 {
-	out := make([]float64, len(v))
-	for i, x := range v {
-		out[i] = math.Abs(x)
-	}
-	return out
-}
-
-func median(v []float64) float64 {
+// medianInto returns the median of v, sorting a copy held in scratch (which
+// must have capacity ≥ len(v)).
+func medianInto(v, scratch []float64) float64 {
 	if len(v) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), v...)
+	s := append(scratch[:0], v...)
 	sort.Float64s(s)
 	n := len(s)
 	if n%2 == 1 {
@@ -105,33 +134,44 @@ func median(v []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// InjectSpikes returns a copy of values with n additive spikes of the given
-// magnitude (alternating sign) at random, well-separated positions, plus
-// the injected positions in increasing order.
-func InjectSpikes(values []float64, n int, magnitude float64, seed int64) ([]float64, []int) {
-	out := append([]float64(nil), values...)
-	if n <= 0 || len(values) == 0 {
-		return out, nil
+// SpikePlan returns the deterministic injection plan InjectSpikes applies:
+// count additive spikes of the given magnitude with alternating sign at
+// random, well-separated positions in a length-n series. Positions come back
+// in increasing order with their aligned deltas, so an online session can
+// compute the plan up front and apply each delta as its index streams past.
+func SpikePlan(n, count int, magnitude float64, seed int64) (positions []int, deltas []float64) {
+	if count <= 0 || n == 0 {
+		return nil, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
-	gap := len(values) / (n + 1)
+	gap := n / (count + 1)
 	if gap < 1 {
 		gap = 1
 	}
-	var positions []int
-	for k := 1; k <= n; k++ {
+	for k := 1; k <= count; k++ {
 		pos := k*gap + rng.Intn(gap/2+1) - gap/4
-		if pos < 0 || pos >= len(values) {
+		if pos < 0 || pos >= n {
 			continue
 		}
 		sign := 1.0
 		if k%2 == 0 {
 			sign = -1
 		}
-		out[pos] += sign * magnitude
 		positions = append(positions, pos)
+		deltas = append(deltas, sign*magnitude)
 	}
-	sort.Ints(positions)
+	return positions, deltas
+}
+
+// InjectSpikes returns a copy of values with n additive spikes of the given
+// magnitude (alternating sign) at random, well-separated positions, plus
+// the injected positions in increasing order.
+func InjectSpikes(values []float64, n int, magnitude float64, seed int64) ([]float64, []int) {
+	out := append([]float64(nil), values...)
+	positions, deltas := SpikePlan(len(values), n, magnitude, seed)
+	for i, p := range positions {
+		out[p] += deltas[i]
+	}
 	return out, positions
 }
 

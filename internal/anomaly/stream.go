@@ -1,0 +1,131 @@
+package anomaly
+
+import (
+	"fmt"
+
+	"lossyts/internal/timeseries"
+)
+
+// StreamDetector is the online form of Detector: it keeps a sliding window
+// of the reconstructed stream and, after each chunk, re-runs detection over
+// the window but only emits indices that have become stable — points whose
+// rolling-median context (w future points) is complete — so each anomaly is
+// reported exactly once, with a bounded detection delay, no matter how the
+// stream is chunked.
+type StreamDetector struct {
+	det     Detector
+	ring    *timeseries.Ring
+	scored  int64 // global index below which detections were already emitted
+	scratch []float64
+	local   []int
+}
+
+// NewStreamDetector wraps a Detector in a sliding window of the given
+// capacity (≤ 0 selects 8·period; the minimum is 4·period plus the rolling
+// half-width, the least context a stable detection needs).
+func NewStreamDetector(d Detector, window int) (*StreamDetector, error) {
+	if d.Period < 2 {
+		return nil, fmt.Errorf("anomaly: stream detector period must be at least 2, got %d", d.Period)
+	}
+	w := d.Window
+	if w <= 0 {
+		w = d.Period
+	}
+	if window <= 0 {
+		window = 8 * d.Period
+	}
+	if min := 4*d.Period + w; window < min {
+		window = min
+	}
+	return &StreamDetector{det: d, ring: timeseries.NewRing(window)}, nil
+}
+
+// Window returns the sliding-window capacity.
+func (s *StreamDetector) Window() int { return s.ring.Cap() }
+
+// halfWidth returns the detector's effective rolling half-width.
+func (s *StreamDetector) halfWidth() int {
+	if s.det.Window > 0 {
+		return s.det.Window
+	}
+	return s.det.Period
+}
+
+// Push feeds a batch of reconstructed values and returns the global stream
+// indices of newly stable detections, in increasing order.
+func (s *StreamDetector) Push(values []float64) ([]int64, error) {
+	for _, v := range values {
+		s.ring.Push(v)
+	}
+	return s.emit(s.ring.Total() - int64(s.halfWidth()))
+}
+
+// Finish flushes the tail: it scores the final points whose full rolling
+// context will never arrive, using the truncated context the batch detector
+// applies at series end.
+func (s *StreamDetector) Finish() ([]int64, error) {
+	return s.emit(s.ring.Total())
+}
+
+// emit detects over the current window and reports detections in the global
+// index range [scored, stableTo).
+func (s *StreamDetector) emit(stableTo int64) ([]int64, error) {
+	if s.ring.Len() < 4*s.det.Period {
+		return nil, nil
+	}
+	if stableTo <= s.scored {
+		return nil, nil
+	}
+	s.scratch = s.ring.CopyTo(s.scratch[:0])
+	var err error
+	s.local, err = s.det.DetectInto(s.scratch, s.local[:0])
+	if err != nil {
+		return nil, err
+	}
+	first := s.ring.FirstIndex()
+	var out []int64
+	for _, li := range s.local {
+		g := first + int64(li)
+		if g >= s.scored && g < stableTo {
+			out = append(out, g)
+		}
+	}
+	s.scored = stableTo
+	return out, nil
+}
+
+// StreamDetectorState is a stream detector's serialisable snapshot.
+type StreamDetectorState struct {
+	Period    int                  `json:"period"`
+	Threshold float64              `json:"threshold"`
+	Width     int                  `json:"width"`
+	Scored    int64                `json:"scored"`
+	Ring      timeseries.RingState `json:"ring"`
+}
+
+// State snapshots the detector.
+func (s *StreamDetector) State() StreamDetectorState {
+	return StreamDetectorState{
+		Period:    s.det.Period,
+		Threshold: s.det.Threshold,
+		Width:     s.det.Window,
+		Scored:    s.scored,
+		Ring:      s.ring.State(),
+	}
+}
+
+// StreamDetectorFromState reconstructs a detector from a snapshot.
+func StreamDetectorFromState(st StreamDetectorState) (*StreamDetector, error) {
+	ring, err := timeseries.RingFromState(st.Ring)
+	if err != nil {
+		return nil, err
+	}
+	if st.Period < 2 {
+		return nil, fmt.Errorf("anomaly: stream detector state has period %d", st.Period)
+	}
+	return &StreamDetector{
+		det:    Detector{Period: st.Period, Threshold: st.Threshold, Window: st.Width},
+		ring:   ring,
+		scored: st.Scored,
+	}, nil
+}

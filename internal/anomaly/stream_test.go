@@ -1,0 +1,219 @@
+package anomaly
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func pushChunked(t *testing.T, s *StreamDetector, values []float64, chunk int) []int64 {
+	t.Helper()
+	var got []int64
+	for lo := 0; lo < len(values); {
+		hi := lo + chunk
+		if hi > len(values) {
+			hi = len(values)
+		}
+		idx, err := s.Push(values[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, idx...)
+		lo = hi
+	}
+	tail, err := s.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(got, tail...)
+}
+
+func TestStreamDetectorFindsSpikesOnce(t *testing.T) {
+	base := seasonalBase(2000, 48, 1)
+	spiked, truth := InjectSpikes(base, 8, 12, 7)
+	det := Detector{Period: 48, Threshold: 5}
+	s, err := NewStreamDetector(det, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pushChunked(t, s, spiked, 97)
+	seen := map[int64]int{}
+	for _, g := range got {
+		seen[g]++
+		if seen[g] > 1 {
+			t.Fatalf("index %d emitted twice", g)
+		}
+	}
+	detected := make([]int, len(got))
+	for i, g := range got {
+		detected[i] = int(g)
+	}
+	_, recall, f1 := Score(detected, truth, 2)
+	if recall < 0.9 || f1 < 0.8 {
+		t.Fatalf("recall=%.2f f1=%.2f on injected spikes (got %v, truth %v)", recall, f1, detected, f1)
+	}
+}
+
+func TestStreamDetectorChunkingInvariant(t *testing.T) {
+	// The emitted set must not depend on how the stream is chunked as long
+	// as every detection stays inside the sliding window.
+	base := seasonalBase(1500, 24, 5)
+	spiked, _ := InjectSpikes(base, 6, 10, 3)
+	det := Detector{Period: 24, Threshold: 5}
+	var ref []int64
+	for i, chunk := range []int{1500, 50, 7} {
+		s, err := NewStreamDetector(det, 1500) // window covers the whole stream
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pushChunked(t, s, spiked, chunk)
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("chunk=%d: %v vs %v", chunk, got, ref)
+		}
+		for j := range got {
+			if got[j] != ref[j] {
+				t.Fatalf("chunk=%d: %v vs %v", chunk, got, ref)
+			}
+		}
+	}
+	if len(ref) == 0 {
+		t.Fatal("no detections to compare")
+	}
+}
+
+func TestStreamDetectorStateRoundTrip(t *testing.T) {
+	base := seasonalBase(1200, 24, 9)
+	spiked, _ := InjectSpikes(base, 6, 10, 5)
+	det := Detector{Period: 24, Threshold: 5}
+	full, err := NewStreamDetector(det, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := NewStreamDetector(det, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullOut, halfOut []int64
+	feed := func(s *StreamDetector, values []float64, sink *[]int64) {
+		for lo := 0; lo < len(values); lo += 60 {
+			hi := lo + 60
+			if hi > len(values) {
+				hi = len(values)
+			}
+			idx, err := s.Push(values[lo:hi])
+			if err != nil {
+				t.Fatal(err)
+			}
+			*sink = append(*sink, idx...)
+		}
+	}
+	feed(full, spiked, &fullOut)
+	feed(half, spiked[:600], &halfOut)
+
+	raw, err := json.Marshal(half.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StreamDetectorState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := StreamDetectorFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(restored, spiked[600:], &halfOut)
+	ft, err := full.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := restored.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOut = append(fullOut, ft...)
+	halfOut = append(halfOut, rt...)
+	if len(fullOut) != len(halfOut) {
+		t.Fatalf("restored run diverged: %v vs %v", halfOut, fullOut)
+	}
+	for i := range fullOut {
+		if fullOut[i] != halfOut[i] {
+			t.Fatalf("restored run diverged at %d: %v vs %v", i, halfOut, fullOut)
+		}
+	}
+	if _, err := StreamDetectorFromState(StreamDetectorState{Period: 1, Ring: half.State().Ring}); err == nil {
+		t.Fatal("bad period state accepted")
+	}
+	if _, err := NewStreamDetector(Detector{Period: 1}, 0); err == nil {
+		t.Fatal("period 1 accepted")
+	}
+}
+
+// TestScoreToleranceBoundaries pins the inclusive tolerance matching and the
+// one-match-per-truth rule.
+func TestScoreToleranceBoundaries(t *testing.T) {
+	// Exactly at tolerance is a hit; one past is a miss.
+	p, r, f1 := Score([]int{103}, []int{100}, 3)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Fatalf("distance==tolerance should match: p=%v r=%v f1=%v", p, r, f1)
+	}
+	p, r, _ = Score([]int{104}, []int{100}, 3)
+	if p != 0 || r != 0 {
+		t.Fatalf("distance>tolerance should miss: p=%v r=%v", p, r)
+	}
+	// Zero tolerance requires exact positions.
+	p, r, _ = Score([]int{99, 100}, []int{100}, 0)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("zero tolerance: p=%v r=%v", p, r)
+	}
+	// Two detections near one truth: only one can match.
+	p, r, _ = Score([]int{99, 101}, []int{100}, 2)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("double-count guard: p=%v r=%v", p, r)
+	}
+	// Symmetric: one detection cannot satisfy two truths.
+	p, r, _ = Score([]int{100}, []int{99, 101}, 2)
+	if p != 1 || r != 0.5 {
+		t.Fatalf("one detection, two truths: p=%v r=%v", p, r)
+	}
+	// Empty edge cases.
+	if p, r, f1 := Score(nil, nil, 5); p != 1 || r != 1 || f1 != 1 {
+		t.Fatalf("empty/empty: p=%v r=%v f1=%v", p, r, f1)
+	}
+	p, r, f1 = Score([]int{5}, nil, 5)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Fatalf("detections without truth: p=%v r=%v f1=%v", p, r, f1)
+	}
+	p, r, f1 = Score(nil, []int{5}, 5)
+	if p != 0 || r != 0 || f1 != 0 {
+		t.Fatalf("truth without detections: p=%v r=%v f1=%v", p, r, f1)
+	}
+}
+
+func TestSpikePlanMatchesInject(t *testing.T) {
+	base := seasonalBase(900, 24, 13)
+	injected, positions := InjectSpikes(base, 7, 9, 41)
+	pos, deltas := SpikePlan(len(base), 7, 9, 41)
+	if len(pos) != len(positions) {
+		t.Fatalf("plan has %d positions, inject reported %d", len(pos), len(positions))
+	}
+	for i := range pos {
+		if pos[i] != positions[i] {
+			t.Fatalf("position %d: plan %d vs inject %d", i, pos[i], positions[i])
+		}
+		if got := injected[pos[i]] - base[pos[i]]; got != deltas[i] {
+			t.Fatalf("delta at %d: plan %v vs applied %v", pos[i], deltas[i], got)
+		}
+	}
+	for i := 1; i < len(pos); i++ {
+		if pos[i] <= pos[i-1] {
+			t.Fatalf("positions not increasing: %v", pos)
+		}
+	}
+	if p, d := SpikePlan(0, 5, 1, 1); p != nil || d != nil {
+		t.Fatal("empty series produced a plan")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"lossyts/internal/compress"
 	"lossyts/internal/core"
 	"lossyts/internal/nn"
 	"lossyts/internal/profiling"
@@ -216,6 +217,80 @@ func BindLoadBench(fs *flag.FlagSet) *LoadBench {
 	fs.IntVar(&l.Warm, "warm", 256, "warm-phase request count")
 	fs.BoolVar(&l.Quick, "quick", false, "smoke mode: few keys, short warm phase")
 	return l
+}
+
+// Monitor carries the online-session options (cmd/tsmonitor) after flag
+// parsing.
+type Monitor struct {
+	// Dataset, Scale, and Seed select the stream.
+	Dataset string
+	Scale   float64
+	Seed    int64
+	// Method and Eps select the lossy channel of a single session.
+	Method string
+	Eps    float64
+	// Model optionally names an incrementally-updated forecaster.
+	Model string
+	// Chunk is the tick granularity in points (0 = default).
+	Chunk int
+	// Spikes, DriftAt, and Threshold control ground-truth injection and
+	// the anomaly cut-off (see core.SessionOptions).
+	Spikes    int
+	DriftAt   float64
+	Threshold float64
+	// UpdateEvery is the model-update stride in points (0 = 4·period).
+	UpdateEvery int
+	// Store is a checkpoint cell store; a killed session restarted with
+	// the same flags and store resumes from its last complete tick.
+	Store string
+	// Out is the report path ("" = stdout in single mode).
+	Out string
+	// Sweep switches to sweep mode: Methods × Bounds sessions, merged into
+	// one BENCH_monitor.json-shaped report.
+	Sweep   bool
+	Methods string
+	Bounds  string
+}
+
+// BindMonitor registers the online-session flag group.
+func BindMonitor(fs *flag.FlagSet) *Monitor {
+	m := &Monitor{}
+	fs.StringVar(&m.Dataset, "dataset", "ElecDem", "dataset to stream")
+	fs.Float64Var(&m.Scale, "scale", 0.01, "dataset length scale in (0, 1]")
+	fs.Int64Var(&m.Seed, "seed", 1, "base random seed")
+	fs.StringVar(&m.Method, "method", "PMC", "compression method of a single session")
+	fs.Float64Var(&m.Eps, "eps", 0.05, "error bound of a single session")
+	fs.StringVar(&m.Model, "model", "", "forecasting model updated online (empty = monitors only)")
+	fs.IntVar(&m.Chunk, "chunk", 0, "tick granularity in points (0 = default)")
+	fs.IntVar(&m.Spikes, "spikes", 8, "ground-truth spikes injected after warmup")
+	fs.Float64Var(&m.DriftAt, "driftat", 0.7, "inject a level shift at this stream fraction (0 = none)")
+	fs.Float64Var(&m.Threshold, "threshold", 9, "anomaly robust-z cut-off")
+	fs.IntVar(&m.UpdateEvery, "updateevery", 0, "model update stride in points (0 = 4 periods)")
+	fs.StringVar(&m.Store, "store", "", "checkpoint cell store: resume a killed session from its last tick")
+	fs.StringVar(&m.Out, "out", "", "report output path (empty = stdout; sweep default BENCH_monitor.json)")
+	fs.BoolVar(&m.Sweep, "sweep", false, "sweep methods x bounds instead of one session")
+	fs.StringVar(&m.Methods, "methods", "PMC,SWING,SZ", "sweep: comma-separated methods")
+	fs.StringVar(&m.Bounds, "bounds", "0.01,0.05,0.1", "sweep: comma-separated error bounds")
+	return m
+}
+
+// SessionOptions resolves the monitor flags into the core option set of a
+// single session (sweep mode overrides Method/Eps per cell).
+func (m *Monitor) SessionOptions() core.SessionOptions {
+	return core.SessionOptions{
+		Dataset:          m.Dataset,
+		Scale:            m.Scale,
+		Seed:             m.Seed,
+		Method:           compress.Method(m.Method),
+		Epsilon:          m.Eps,
+		Model:            m.Model,
+		ChunkSize:        m.Chunk,
+		Spikes:           m.Spikes,
+		DriftAt:          m.DriftAt,
+		AnomalyThreshold: m.Threshold,
+		UpdateEvery:      m.UpdateEvery,
+		Store:            m.Store,
+	}
 }
 
 // Start applies the kernel mode and starts the requested profilers. The

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lossyts/internal/compress"
+)
+
+// SweepCell is one (method, error bound) session outcome of a monitor
+// sweep.
+type SweepCell struct {
+	Method  compress.Method `json:"method"`
+	Epsilon float64         `json:"epsilon"`
+	Report  *SessionReport  `json:"report"`
+}
+
+// MonitorBench is the deterministic result of MonitorSweep — the shape
+// committed as BENCH_monitor.json: how drift-detection delay, anomaly F1,
+// forecast error, and compression ratio move as the error bound grows.
+type MonitorBench struct {
+	Dataset string      `json:"dataset"`
+	Model   string      `json:"model,omitempty"`
+	Scale   float64     `json:"scale"`
+	Seed    int64       `json:"seed"`
+	Cells   []SweepCell `json:"cells"`
+}
+
+// MonitorSweep runs one monitoring session per (method, bound) pair and
+// assembles the reports in method-major order. Cells are independent
+// sessions, so they parallelise freely; results are written into a
+// pre-sized slice by index, which makes the merged output identical at any
+// parallelism. Checkpointing is disabled inside sweeps — cells are short
+// and the sweep itself is the retry unit.
+func MonitorSweep(ctx context.Context, base SessionOptions, methods []compress.Method, bounds []float64, parallelism int) (*MonitorBench, error) {
+	if len(methods) == 0 || len(bounds) == 0 {
+		return nil, fmt.Errorf("core: monitor sweep needs at least one method and one bound")
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	cells := make([]SweepCell, 0, len(methods)*len(bounds))
+	for _, m := range methods {
+		for _, eps := range bounds {
+			cells = append(cells, SweepCell{Method: m, Epsilon: eps})
+		}
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	errs := make([]error, len(cells))
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opts := base
+			opts.Method = cells[i].Method
+			opts.Epsilon = cells[i].Epsilon
+			opts.Store = ""
+			opts.CheckpointEvery = 0
+			sess, err := NewSession(opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep, err := sess.Run(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cells[i].Report = rep
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &MonitorBench{
+		Dataset: base.Dataset,
+		Model:   base.Model,
+		Scale:   base.Scale,
+		Seed:    base.Seed,
+		Cells:   cells,
+	}, nil
+}

@@ -1,6 +1,9 @@
 package features
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // KeyIndicators are the five characteristics the paper's sensitivity
 // analysis (Table 6) singles out as the ones to monitor when running
@@ -37,14 +40,49 @@ var alertThresholds = map[string]float64{
 	"unitroot_pp":     5,
 }
 
+// KeyIndicatorVector computes only the five monitored indicators, with the
+// same window selection, validation, and NaN/Inf zeroing as the full
+// Extract — the values are identical, but the monitor loop skips the ~37
+// features it never reads, which is what makes per-stride online
+// re-evaluation affordable.
+func KeyIndicatorVector(x []float64, period int) (Vector, error) {
+	n := len(x)
+	if period < 2 {
+		return nil, errors.New("features: seasonal period must be at least 2")
+	}
+	if n < 4*period || n < 40 {
+		return nil, errors.New("features: series too short for feature extraction")
+	}
+	w := period
+	if w > n/4 {
+		w = n / 4
+	}
+	if w < 10 {
+		w = 10
+	}
+	f := Vector{
+		"max_kl_shift":    KLShift(x, w).Max,
+		"max_level_shift": LevelShift(x, w).Max,
+		"seas_acf1":       ACFAt(x, period),
+		"max_var_shift":   VarShift(x, w).Max,
+		"unitroot_pp":     PhillipsPerron(x),
+	}
+	for k, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			f[k] = 0
+		}
+	}
+	return f, nil
+}
+
 // CheckDrift extracts the key indicators on the raw and decompressed values
 // and reports their relative drift with the paper's alert thresholds.
 func CheckDrift(raw, decompressed []float64, period int) (*DriftReport, error) {
-	fr, err := Extract(raw, Options{Period: period})
+	fr, err := KeyIndicatorVector(raw, period)
 	if err != nil {
 		return nil, err
 	}
-	fd, err := Extract(decompressed, Options{Period: period})
+	fd, err := KeyIndicatorVector(decompressed, period)
 	if err != nil {
 		return nil, err
 	}

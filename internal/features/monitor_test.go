@@ -1,0 +1,153 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKeyIndicatorVectorMatchesExtract pins the refactor: the cheap
+// five-indicator path must produce the exact values the full Extract does.
+func TestKeyIndicatorVectorMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{200, 500, 1200} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2*math.Pi*float64(i)/48) + rng.NormFloat64()*0.4
+		}
+		kv, err := KeyIndicatorVector(x, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Extract(x, Options{Period: 48})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range KeyIndicators {
+			if kv[k] != full[k] {
+				t.Errorf("n=%d %s: %v vs Extract %v", n, k, kv[k], full[k])
+			}
+		}
+		if len(kv) != len(KeyIndicators) {
+			t.Errorf("n=%d: extra indicators computed: %v", n, kv.Names())
+		}
+	}
+	if _, err := KeyIndicatorVector(make([]float64, 100), 1); err == nil {
+		t.Error("period 1 accepted")
+	}
+}
+
+// TestCheckDriftShortSeries covers the length validation boundaries: the
+// extractor needs max(4·period, 40) points on both inputs.
+func TestCheckDriftShortSeries(t *testing.T) {
+	mk := func(n int) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(float64(i)/3) + float64(i%5)*0.1
+		}
+		return x
+	}
+	// 4·12 = 48 ≥ 40: exactly at the boundary succeeds, one short fails.
+	if _, err := CheckDrift(mk(48), mk(48), 12); err != nil {
+		t.Errorf("boundary length rejected: %v", err)
+	}
+	if _, err := CheckDrift(mk(47), mk(47), 12); err == nil {
+		t.Error("below 4·period accepted")
+	}
+	// 4·5 = 20 < 40: the 40-point floor governs.
+	if _, err := CheckDrift(mk(39), mk(39), 5); err == nil {
+		t.Error("below 40-point floor accepted")
+	}
+	if _, err := CheckDrift(mk(40), mk(40), 5); err != nil {
+		t.Errorf("40-point floor rejected: %v", err)
+	}
+	// An empty series must error, not panic.
+	if _, err := CheckDrift(nil, nil, 12); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// TestCheckDriftNaNIndicators: NaN/Inf inputs produce zeroed indicators (the
+// extractor's contract), so the report stays finite and usable.
+func TestCheckDriftNaNIndicators(t *testing.T) {
+	n := 200
+	raw := make([]float64, n)
+	dec := make([]float64, n)
+	for i := range raw {
+		raw[i] = math.Sin(2 * math.Pi * float64(i) / 24)
+		dec[i] = raw[i]
+	}
+	dec[50] = math.NaN()
+	dec[120] = math.Inf(1)
+	rep, err := CheckDrift(raw, dec, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range rep.RelDiff {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("indicator %s leaked non-finite drift %v", k, v)
+		}
+	}
+	// A fully-NaN decompression zeroes every indicator; against non-trivial
+	// raw indicators that is a 100% relative drift → alert.
+	allNaN := make([]float64, n)
+	for i := range allNaN {
+		allNaN[i] = math.NaN()
+	}
+	rep, err = CheckDrift(raw, allNaN, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alert {
+		t.Errorf("all-NaN decompression should alert: %+v", rep)
+	}
+}
+
+// TestCheckDriftAlertThresholds drives the report to both extremes: bit-
+// identical data alerts on nothing, structurally destroyed data alerts on
+// every thresholded indicator.
+func TestCheckDriftAlertThresholds(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 1200
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = 3*math.Sin(2*math.Pi*float64(i)/48) + rng.NormFloat64()*0.2
+	}
+	rep, err := CheckDrift(raw, raw, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Alert || len(rep.Reasons) != 0 {
+		t.Errorf("no-drift case raised %v", rep.Reasons)
+	}
+	for _, k := range KeyIndicators {
+		if rep.RelDiff[k] != 0 {
+			t.Errorf("identical data drifted on %s: %v", k, rep.RelDiff[k])
+		}
+	}
+	// Replace the signal with scaled white noise: level/var/seasonal
+	// structure all change far beyond every threshold.
+	wrecked := make([]float64, n)
+	for i := range wrecked {
+		wrecked[i] = rng.NormFloat64() * 40
+	}
+	rep, err = CheckDrift(raw, wrecked, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Alert {
+		t.Fatal("wrecked data did not alert")
+	}
+	got := map[string]bool{}
+	for _, r := range rep.Reasons {
+		got[r] = true
+	}
+	for k := range alertThresholds {
+		if rep.RelDiff[k] > alertThresholds[k] && !got[k] {
+			t.Errorf("indicator %s above threshold but missing from Reasons %v", k, rep.Reasons)
+		}
+	}
+	if len(got) < 3 {
+		t.Errorf("expected most thresholded indicators to fire, got %v", rep.Reasons)
+	}
+}

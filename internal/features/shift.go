@@ -15,16 +15,66 @@ type ShiftResult struct {
 // consecutive (non-overlapping, width-w) sliding windows — tsfeatures'
 // max_level_shift / time_level_shift.
 func LevelShift(x []float64, w int) ShiftResult {
-	return rollShift(x, w, mean)
+	return rollShift(x, w, false)
 }
 
 // VarShift returns the maximum absolute difference between the variances of
 // consecutive sliding windows — tsfeatures' max_var_shift / time_var_shift.
 func VarShift(x []float64, w int) ShiftResult {
-	return rollShift(x, w, variance)
+	return rollShift(x, w, true)
 }
 
-func rollShift(x []float64, w int, stat func([]float64) float64) ShiftResult {
+// rollShift scans every pair of adjacent width-w windows in O(n) by sliding
+// compensated running sums through a ShiftTracker instead of recomputing
+// each window's statistic from scratch (the previous O(n·w) form). The data
+// is centred on its global mean first — both the mean deltas and the
+// variances are invariant under the shift — so the running sum-of-squares
+// never suffers the catastrophic cancellation a large offset would cause.
+// Non-finite inputs fall back to the windowed reference scan, which confines
+// a NaN to the windows that contain it rather than poisoning the running
+// sums for the rest of the series.
+func rollShift(x []float64, w int, varMode bool) ShiftResult {
+	n := len(x)
+	if w < 2 || n < 2*w {
+		return ShiftResult{}
+	}
+	var mu float64
+	for _, v := range x {
+		mu += v
+	}
+	mu /= float64(n)
+	if math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return rollShiftRef(x, w, varMode)
+	}
+	t := NewShiftTracker(w)
+	res := ShiftResult{Max: -1}
+	for _, v := range x {
+		p, ok := t.Push(v - mu)
+		if !ok {
+			continue
+		}
+		d := p.LevelDelta
+		if varMode {
+			d = p.VarDelta
+		}
+		if d > res.Max {
+			res.Max, res.Time = d, int(p.Index)
+		}
+	}
+	if res.Max < 0 {
+		res.Max = 0
+	}
+	return res
+}
+
+// rollShiftRef is the reference O(n·w) scan: every window statistic is
+// recomputed from scratch. It remains the NaN/Inf fallback and the oracle
+// the differential tests hold the sliding implementation against.
+func rollShiftRef(x []float64, w int, varMode bool) ShiftResult {
+	stat := mean
+	if varMode {
+		stat = variance
+	}
 	n := len(x)
 	if w < 2 || n < 2*w {
 		return ShiftResult{}

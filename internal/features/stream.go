@@ -1,0 +1,380 @@
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"lossyts/internal/timeseries"
+)
+
+// kahan is a compensated running sum. The compensation term is part of the
+// serialised state so a restored tracker continues bit-identically.
+type kahan struct {
+	Sum  float64 `json:"sum"`
+	Comp float64 `json:"comp"`
+}
+
+func (k *kahan) add(v float64) {
+	y := v - k.Comp
+	t := k.Sum + y
+	k.Comp = (t - k.Sum) - y
+	k.Sum = t
+}
+
+// ShiftPoint is one emission of a ShiftTracker: the level and variance
+// deltas between the two adjacent width-w windows ending at the just-pushed
+// value, reported at the global index of the newer window's first point —
+// the same coordinate convention as the batch LevelShift/VarShift results.
+type ShiftPoint struct {
+	Index      int64
+	LevelDelta float64
+	VarDelta   float64
+}
+
+// ShiftTracker computes rolling level- and variance-shift deltas
+// incrementally: it holds the last 2w values and compensated running
+// sums/sums-of-squares for the two adjacent windows, so each Push is O(1)
+// where the batch scan recomputed each window from scratch. It is the engine
+// under both the batch LevelShift/VarShift (satellite perf fix) and the
+// online ShiftMonitor.
+type ShiftTracker struct {
+	w     int
+	buf   []float64
+	count int64
+	sumA  kahan // older window: sum
+	sqA   kahan // older window: sum of squares
+	sumB  kahan // newer window: sum
+	sqB   kahan // newer window: sum of squares
+}
+
+// NewShiftTracker returns a tracker for adjacent windows of width w (≥ 2).
+func NewShiftTracker(w int) *ShiftTracker {
+	if w < 2 {
+		w = 2
+	}
+	return &ShiftTracker{w: w, buf: make([]float64, 2*w)}
+}
+
+// Window returns the tracker's window width.
+func (t *ShiftTracker) Window() int { return t.w }
+
+// Count returns the number of values pushed so far.
+func (t *ShiftTracker) Count() int64 { return t.count }
+
+// Push feeds one value. Once 2w values have been seen it reports the deltas
+// between the windows x[c−2w+1:c−w+1] and x[c−w+1:c+1] (c the 0-based index
+// of the pushed value), at Index c−w+1.
+func (t *ShiftTracker) Push(v float64) (ShiftPoint, bool) {
+	c := t.count
+	size := int64(len(t.buf))
+	w64 := int64(t.w)
+	if c >= 2*w64 {
+		leave := t.buf[c%size] // x[c−2w] lives where v is about to
+		t.sumA.add(-leave)
+		t.sqA.add(-leave * leave)
+	}
+	if c >= w64 {
+		mv := t.buf[(c-w64)%size] // x[c−w] crosses from B to A
+		t.sumB.add(-mv)
+		t.sqB.add(-mv * mv)
+		t.sumA.add(mv)
+		t.sqA.add(mv * mv)
+	}
+	t.buf[c%size] = v
+	t.sumB.add(v)
+	t.sqB.add(v * v)
+	t.count = c + 1
+	if t.count < 2*w64 {
+		return ShiftPoint{}, false
+	}
+	w := float64(t.w)
+	varA := (t.sqA.Sum - t.sumA.Sum*t.sumA.Sum/w) / (w - 1)
+	varB := (t.sqB.Sum - t.sumB.Sum*t.sumB.Sum/w) / (w - 1)
+	if varA < 0 {
+		varA = 0
+	}
+	if varB < 0 {
+		varB = 0
+	}
+	return ShiftPoint{
+		Index:      c - w64 + 1,
+		LevelDelta: math.Abs(t.sumB.Sum/w - t.sumA.Sum/w),
+		VarDelta:   math.Abs(varB - varA),
+	}, true
+}
+
+// ShiftTrackerState is a tracker's serialisable snapshot.
+type ShiftTrackerState struct {
+	W     int       `json:"w"`
+	Count int64     `json:"count"`
+	Buf   []float64 `json:"buf"`
+	SumA  kahan     `json:"sum_a"`
+	SqA   kahan     `json:"sq_a"`
+	SumB  kahan     `json:"sum_b"`
+	SqB   kahan     `json:"sq_b"`
+}
+
+// State snapshots the tracker.
+func (t *ShiftTracker) State() ShiftTrackerState {
+	return ShiftTrackerState{
+		W:     t.w,
+		Count: t.count,
+		Buf:   append([]float64(nil), t.buf...),
+		SumA:  t.sumA,
+		SqA:   t.sqA,
+		SumB:  t.sumB,
+		SqB:   t.sqB,
+	}
+}
+
+// ShiftTrackerFromState reconstructs a tracker from a snapshot.
+func ShiftTrackerFromState(st ShiftTrackerState) (*ShiftTracker, error) {
+	if st.W < 2 || len(st.Buf) != 2*st.W {
+		return nil, fmt.Errorf("features: tracker state has %d buffered values for width %d", len(st.Buf), st.W)
+	}
+	return &ShiftTracker{
+		w:     st.W,
+		buf:   append([]float64(nil), st.Buf...),
+		count: st.Count,
+		sumA:  st.SumA,
+		sqA:   st.SqA,
+		sumB:  st.SumB,
+		sqB:   st.SqB,
+	}, nil
+}
+
+// ShiftAlert is a single-stream drift event: a level or variance shift
+// exceeding the monitor's baseline-scaled threshold. Index is the global
+// stream index of the point whose arrival triggered the detection — the
+// coordinate detection delay is measured in.
+type ShiftAlert struct {
+	Index     int64   `json:"index"`
+	Kind      string  `json:"kind"` // "level" or "variance"
+	Delta     float64 `json:"delta"`
+	Threshold float64 `json:"threshold"`
+}
+
+// ShiftMonitor watches one stream for level and variance shifts. The first
+// complete window pair establishes a noise baseline (the older window's
+// standard deviation); afterwards a level delta above k·σ₀ or a variance
+// delta above k·σ₀² raises an alert. Each alert kind then disarms until its
+// delta falls back below half the threshold, so a sustained shift is
+// reported once at onset — the detection-delay measurement the bench sweeps.
+type ShiftMonitor struct {
+	tracker    *ShiftTracker
+	k          float64
+	baseLevel  float64 // σ₀
+	baseVar    float64 // σ₀²
+	haveBase   bool
+	levelArmed bool
+	varArmed   bool
+}
+
+// NewShiftMonitor returns a monitor with window width w and threshold
+// multiplier k (≤ 0 selects 4).
+func NewShiftMonitor(w int, k float64) *ShiftMonitor {
+	if k <= 0 {
+		k = 4
+	}
+	return &ShiftMonitor{tracker: NewShiftTracker(w), k: k, levelArmed: true, varArmed: true}
+}
+
+// Push feeds one value and returns any alerts it raises.
+func (m *ShiftMonitor) Push(v float64) []ShiftAlert {
+	p, ok := m.tracker.Push(v)
+	if !ok {
+		return nil
+	}
+	if !m.haveBase {
+		w := float64(m.tracker.w)
+		varA := (m.tracker.sqA.Sum - m.tracker.sumA.Sum*m.tracker.sumA.Sum/w) / (w - 1)
+		if varA < 0 {
+			varA = 0
+		}
+		m.baseVar = varA
+		m.baseLevel = math.Sqrt(varA)
+		m.haveBase = true
+	}
+	var alerts []ShiftAlert
+	at := p.Index + int64(m.tracker.w) - 1 // the just-pushed point
+	lt := m.k * m.baseLevel
+	vt := m.k * m.baseVar
+	if m.levelArmed && lt > 0 && p.LevelDelta > lt {
+		alerts = append(alerts, ShiftAlert{Index: at, Kind: "level", Delta: p.LevelDelta, Threshold: lt})
+		m.levelArmed = false
+	} else if !m.levelArmed && p.LevelDelta < lt/2 {
+		m.levelArmed = true
+	}
+	if m.varArmed && vt > 0 && p.VarDelta > vt {
+		alerts = append(alerts, ShiftAlert{Index: at, Kind: "variance", Delta: p.VarDelta, Threshold: vt})
+		m.varArmed = false
+	} else if !m.varArmed && p.VarDelta < vt/2 {
+		m.varArmed = true
+	}
+	return alerts
+}
+
+// ShiftMonitorState is a monitor's serialisable snapshot.
+type ShiftMonitorState struct {
+	K          float64           `json:"k"`
+	BaseLevel  float64           `json:"base_level"`
+	BaseVar    float64           `json:"base_var"`
+	HaveBase   bool              `json:"have_base"`
+	LevelArmed bool              `json:"level_armed"`
+	VarArmed   bool              `json:"var_armed"`
+	Tracker    ShiftTrackerState `json:"tracker"`
+}
+
+// State snapshots the monitor.
+func (m *ShiftMonitor) State() ShiftMonitorState {
+	return ShiftMonitorState{
+		K:          m.k,
+		BaseLevel:  m.baseLevel,
+		BaseVar:    m.baseVar,
+		HaveBase:   m.haveBase,
+		LevelArmed: m.levelArmed,
+		VarArmed:   m.varArmed,
+		Tracker:    m.tracker.State(),
+	}
+}
+
+// ShiftMonitorFromState reconstructs a monitor from a snapshot.
+func ShiftMonitorFromState(st ShiftMonitorState) (*ShiftMonitor, error) {
+	tr, err := ShiftTrackerFromState(st.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	return &ShiftMonitor{
+		tracker:    tr,
+		k:          st.K,
+		baseLevel:  st.BaseLevel,
+		baseVar:    st.BaseVar,
+		haveBase:   st.HaveBase,
+		levelArmed: st.LevelArmed,
+		varArmed:   st.VarArmed,
+	}, nil
+}
+
+// DriftCheck is one paired raw-vs-reconstruction drift evaluation: the §4.3.3
+// key-indicator report over the trailing window, stamped with the global
+// index of the newest point it covers.
+type DriftCheck struct {
+	Index  int64
+	Report *DriftReport
+}
+
+// DriftMonitor is the online form of CheckDrift: it holds paired sliding
+// windows of the raw and reconstructed stream and re-evaluates the five key
+// indicators every `every` points once the windows are full, so compression-
+// induced characteristic drift is detected as data arrives instead of in a
+// one-shot batch pass.
+type DriftMonitor struct {
+	period    int
+	every     int
+	raw       *timeseries.Ring
+	recon     *timeseries.Ring
+	lastCheck int64 // total-points mark of the previous evaluation
+	scratchR  []float64
+	scratchD  []float64
+}
+
+// NewDriftMonitor returns a monitor for the given seasonal period. window
+// (≤ 0 selects 4·period) is the trailing evaluation window — it is bumped to
+// the feature extractor's minimums (4·period and 40 points) if smaller.
+// every (≤ 0 selects period) is the evaluation stride.
+func NewDriftMonitor(period, window, every int) (*DriftMonitor, error) {
+	if period < 2 {
+		return nil, fmt.Errorf("features: drift monitor period must be at least 2, got %d", period)
+	}
+	if window <= 0 {
+		window = 4 * period
+	}
+	if window < 4*period {
+		window = 4 * period
+	}
+	if window < 40 {
+		window = 40
+	}
+	if every <= 0 {
+		every = period
+	}
+	return &DriftMonitor{
+		period: period,
+		every:  every,
+		raw:    timeseries.NewRing(window),
+		recon:  timeseries.NewRing(window),
+	}, nil
+}
+
+// Window returns the evaluation window size.
+func (m *DriftMonitor) Window() int { return m.raw.Cap() }
+
+// Push feeds aligned raw and reconstructed values (same length) and returns
+// the drift checks that became due. An extraction error aborts the batch.
+func (m *DriftMonitor) Push(raw, recon []float64) ([]DriftCheck, error) {
+	if len(raw) != len(recon) {
+		return nil, fmt.Errorf("features: drift monitor pushed %d raw vs %d reconstructed values", len(raw), len(recon))
+	}
+	var checks []DriftCheck
+	for i := range raw {
+		m.raw.Push(raw[i])
+		m.recon.Push(recon[i])
+		if m.raw.Len() < m.raw.Cap() {
+			continue
+		}
+		if m.lastCheck != 0 && m.raw.Total()-m.lastCheck < int64(m.every) {
+			continue
+		}
+		m.scratchR = m.raw.CopyTo(m.scratchR[:0])
+		m.scratchD = m.recon.CopyTo(m.scratchD[:0])
+		rep, err := CheckDrift(m.scratchR, m.scratchD, m.period)
+		if err != nil {
+			return checks, err
+		}
+		m.lastCheck = m.raw.Total()
+		checks = append(checks, DriftCheck{Index: m.raw.Total() - 1, Report: rep})
+	}
+	return checks, nil
+}
+
+// DriftMonitorState is a drift monitor's serialisable snapshot.
+type DriftMonitorState struct {
+	Period    int                  `json:"period"`
+	Every     int                  `json:"every"`
+	LastCheck int64                `json:"last_check"`
+	Raw       timeseries.RingState `json:"raw"`
+	Recon     timeseries.RingState `json:"recon"`
+}
+
+// State snapshots the monitor.
+func (m *DriftMonitor) State() DriftMonitorState {
+	return DriftMonitorState{
+		Period:    m.period,
+		Every:     m.every,
+		LastCheck: m.lastCheck,
+		Raw:       m.raw.State(),
+		Recon:     m.recon.State(),
+	}
+}
+
+// DriftMonitorFromState reconstructs a monitor from a snapshot.
+func DriftMonitorFromState(st DriftMonitorState) (*DriftMonitor, error) {
+	raw, err := timeseries.RingFromState(st.Raw)
+	if err != nil {
+		return nil, err
+	}
+	recon, err := timeseries.RingFromState(st.Recon)
+	if err != nil {
+		return nil, err
+	}
+	if st.Period < 2 {
+		return nil, fmt.Errorf("features: drift monitor state has period %d", st.Period)
+	}
+	return &DriftMonitor{
+		period:    st.Period,
+		every:     st.Every,
+		raw:       raw,
+		recon:     recon,
+		lastCheck: st.LastCheck,
+	}, nil
+}

@@ -1,0 +1,318 @@
+package features
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRollShiftDifferential holds the O(n) sliding implementation against
+// the O(n·w) reference scan on a variety of signals.
+func TestRollShiftDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	signals := map[string][]float64{}
+
+	noise := make([]float64, 400)
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	signals["noise"] = noise
+
+	step := make([]float64, 300)
+	for i := range step {
+		step[i] = rng.NormFloat64() * 0.1
+		if i >= 150 {
+			step[i] += 5
+		}
+	}
+	signals["step"] = step
+
+	varshift := make([]float64, 300)
+	for i := range varshift {
+		s := 0.2
+		if i >= 180 {
+			s = 3
+		}
+		varshift[i] = rng.NormFloat64() * s
+	}
+	signals["varshift"] = varshift
+
+	offset := make([]float64, 256)
+	for i := range offset {
+		offset[i] = 1e6 + math.Sin(float64(i)/7) + rng.NormFloat64()*0.01
+	}
+	signals["large-offset"] = offset
+
+	signals["constant"] = make([]float64, 100)
+
+	ramp := make([]float64, 90)
+	for i := range ramp {
+		ramp[i] = float64(i) * 0.5
+	}
+	signals["ramp"] = ramp
+
+	for name, x := range signals {
+		for _, w := range []int{2, 5, 10, 24, len(x)/2 - 1} {
+			if w < 2 {
+				continue
+			}
+			for _, varMode := range []bool{false, true} {
+				got := rollShift(x, w, varMode)
+				want := rollShiftRef(x, w, varMode)
+				scale := math.Abs(want.Max)
+				if scale < 1 {
+					scale = 1
+				}
+				if math.Abs(got.Max-want.Max) > 1e-9*scale {
+					t.Errorf("%s w=%d var=%v: Max=%v want %v", name, w, varMode, got.Max, want.Max)
+				}
+				if got.Time != want.Time {
+					t.Errorf("%s w=%d var=%v: Time=%d want %d", name, w, varMode, got.Time, want.Time)
+				}
+			}
+		}
+	}
+}
+
+func TestRollShiftNaNFallsBack(t *testing.T) {
+	x := make([]float64, 60)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	x[30] = math.NaN()
+	for _, varMode := range []bool{false, true} {
+		got := rollShift(x, 5, varMode)
+		want := rollShiftRef(x, 5, varMode)
+		// The reference confines the NaN to windows containing it; the two
+		// paths must agree because the NaN input routes to the reference.
+		if got != want {
+			t.Fatalf("var=%v: got %+v want %+v", varMode, got, want)
+		}
+	}
+}
+
+func TestShiftTrackerStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full := NewShiftTracker(8)
+	half := NewShiftTracker(8)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 3
+	}
+	for _, v := range xs[:50] {
+		full.Push(v)
+		half.Push(v)
+	}
+	raw, err := json.Marshal(half.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ShiftTrackerState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ShiftTrackerFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range xs[50:] {
+		pf, okf := full.Push(v)
+		pr, okr := restored.Push(v)
+		if okf != okr || pf != pr {
+			t.Fatalf("restored tracker diverged: %+v/%v vs %+v/%v", pf, okf, pr, okr)
+		}
+	}
+	if _, err := ShiftTrackerFromState(ShiftTrackerState{W: 4, Buf: []float64{1}}); err == nil {
+		t.Fatal("malformed tracker state accepted")
+	}
+}
+
+func TestShiftMonitorDetectsLevelShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewShiftMonitor(24, 4)
+	const shiftAt = 300
+	var first int64 = -1
+	var before int
+	for i := 0; i < 600; i++ {
+		v := rng.NormFloat64() * 0.2
+		if i >= shiftAt {
+			v += 4
+		}
+		for _, a := range m.Push(v) {
+			if a.Kind != "level" {
+				continue
+			}
+			if a.Index < shiftAt {
+				before++
+			} else if first < 0 {
+				first = a.Index
+			}
+		}
+	}
+	if before != 0 {
+		t.Fatalf("%d false level alerts before the shift", before)
+	}
+	if first < 0 {
+		t.Fatal("level shift never detected")
+	}
+	if delay := first - shiftAt; delay > 24 {
+		t.Fatalf("detection delay %d exceeds one window", delay)
+	}
+}
+
+func TestShiftMonitorStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	full := NewShiftMonitor(10, 3)
+	half := NewShiftMonitor(10, 3)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		if i > 120 {
+			xs[i] += 6
+		}
+	}
+	for _, v := range xs[:100] {
+		full.Push(v)
+		half.Push(v)
+	}
+	raw, err := json.Marshal(half.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ShiftMonitorState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ShiftMonitorFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range xs[100:] {
+		af := full.Push(v)
+		ar := restored.Push(v)
+		if len(af) != len(ar) {
+			t.Fatalf("restored monitor diverged: %v vs %v", af, ar)
+		}
+		for i := range af {
+			if af[i] != ar[i] {
+				t.Fatalf("alert %d differs: %+v vs %+v", i, af[i], ar[i])
+			}
+		}
+	}
+}
+
+func TestDriftMonitorMatchesBatchCheckDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const period = 12
+	m, err := NewDriftMonitor(period, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 3 * m.Window()
+	raw := make([]float64, n)
+	recon := make([]float64, n)
+	for i := range raw {
+		raw[i] = math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.3
+		recon[i] = math.Round(raw[i]*4) / 4 // a coarse quantiser stands in for lossy codecs
+	}
+	var checks []DriftCheck
+	// Push in uneven chunks to exercise the internal point loop.
+	for lo := 0; lo < n; {
+		hi := lo + 17
+		if hi > n {
+			hi = n
+		}
+		got, err := m.Push(raw[lo:hi], recon[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		checks = append(checks, got...)
+		lo = hi
+	}
+	if len(checks) == 0 {
+		t.Fatal("no drift checks emitted")
+	}
+	// Every emitted check must equal the batch CheckDrift over that window.
+	w := m.Window()
+	for _, c := range checks {
+		end := int(c.Index) + 1
+		want, err := CheckDrift(raw[end-w:end], recon[end-w:end], period)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Report.Alert != want.Alert {
+			t.Fatalf("check at %d: alert %v, batch says %v", c.Index, c.Report.Alert, want.Alert)
+		}
+		for _, k := range KeyIndicators {
+			if c.Report.RelDiff[k] != want.RelDiff[k] {
+				t.Fatalf("check at %d %s: %v vs batch %v", c.Index, k, c.Report.RelDiff[k], want.RelDiff[k])
+			}
+		}
+	}
+	if _, err := m.Push([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestDriftMonitorStateRoundTrip(t *testing.T) {
+	const period = 12
+	full, err := NewDriftMonitor(period, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := NewDriftMonitor(period, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := 2 * full.Window()
+	raw := make([]float64, n)
+	recon := make([]float64, n)
+	for i := range raw {
+		raw[i] = math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.2
+		recon[i] = raw[i] + 0.05
+	}
+	if _, err := full.Push(raw[:n/2], recon[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := half.Push(raw[:n/2], recon[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(half.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st DriftMonitorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DriftMonitorFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := full.Push(raw[n/2:], recon[n/2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := restored.Push(raw[n/2:], recon[n/2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cf) != len(cr) {
+		t.Fatalf("restored drift monitor diverged: %d vs %d checks", len(cf), len(cr))
+	}
+	for i := range cf {
+		if cf[i].Index != cr[i].Index || cf[i].Report.Alert != cr[i].Report.Alert {
+			t.Fatalf("check %d differs: %+v vs %+v", i, cf[i], cr[i])
+		}
+		for _, k := range KeyIndicators {
+			if cf[i].Report.RelDiff[k] != cr[i].Report.RelDiff[k] {
+				t.Fatalf("check %d %s differs", i, k)
+			}
+		}
+	}
+	if _, err := NewDriftMonitor(1, 0, 0); err == nil {
+		t.Fatal("period 1 accepted")
+	}
+}

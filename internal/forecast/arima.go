@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,8 +47,9 @@ func (m *arima) SetWindowPhase(startPhase, stride int) {
 
 func init() {
 	Register(Registration{
-		Name: "Arima",
-		New:  func(cfg Config) Model { return newArima(cfg) },
+		Name:        "Arima",
+		New:         func(cfg Config) Model { return newArima(cfg) },
+		Incremental: true,
 	})
 }
 
@@ -65,6 +67,7 @@ func (m *arima) Fit(train, _ []float64) error {
 	if len(train) < 4*period || len(train) < 3*m.cfg.InputLen {
 		return fmt.Errorf("forecast: Arima needs at least %d training points, got %d", 4*period, len(train))
 	}
+	m.d = 0 // a refit must re-decide differencing from scratch
 	m.profile = fourierProfile(train, period, 4)
 	z := make([]float64, len(train))
 	for i, v := range train {
@@ -101,6 +104,16 @@ func (m *arima) Fit(train, _ []float64) error {
 	}
 	m.trained = true
 	return nil
+}
+
+// Update refits from scratch on the newest window — Arima's order search is
+// deterministic and cheap, so full retraining IS its incremental path (the
+// "existing retrain path" the IncrementalFitter contract allows).
+func (m *arima) Update(ctx context.Context, train, val []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.Fit(train, val)
 }
 
 // Predict forecasts each window: the window's seasonal phase is aligned

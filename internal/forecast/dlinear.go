@@ -20,13 +20,15 @@ type dlinear struct {
 	trend   *nn.Linear
 	season  *nn.Linear
 	trained bool
+	updates int
 }
 
 func init() {
 	Register(Registration{
-		Name: "DLinear",
-		New:  func(cfg Config) Model { return newDLinear(cfg) },
-		Deep: true,
+		Name:        "DLinear",
+		New:         func(cfg Config) Model { return newDLinear(cfg) },
+		Deep:        true,
+		Incremental: true,
 	})
 }
 
@@ -72,6 +74,31 @@ func (m *dlinear) FitContext(ctx context.Context, train, val []float64) error {
 		return err
 	}
 	m.trained = true
+	return nil
+}
+
+// Update warm-starts a short training continuation on the newest windows;
+// see IncrementalFitter.
+func (m *dlinear) Update(ctx context.Context, train, val []float64) error {
+	if !m.trained {
+		return m.FitContext(ctx, train, val)
+	}
+	m.updates++
+	m.rng = updateRNG(m.cfg.Seed, m.updates)
+	return trainNeural(ctx, m, updateConfig(m.cfg), m.rng, train, val)
+}
+
+// StateSnapshot captures the weights for session checkpointing.
+func (m *dlinear) StateSnapshot() ModelState {
+	return neuralSnapshot("DLinear", m.updates, m.trained, m.params())
+}
+
+// RestoreState loads a checkpointed snapshot back into the model.
+func (m *dlinear) RestoreState(st ModelState) error {
+	if err := neuralRestore("DLinear", st, m.params()); err != nil {
+		return err
+	}
+	m.updates, m.trained = st.Updates, st.Trained
 	return nil
 }
 

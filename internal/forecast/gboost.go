@@ -1,6 +1,7 @@
 package forecast
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -19,8 +20,9 @@ type gboost struct {
 
 func init() {
 	Register(Registration{
-		Name: "GBoost",
-		New:  func(cfg Config) Model { return newGBoost(cfg) },
+		Name:        "GBoost",
+		New:         func(cfg Config) Model { return newGBoost(cfg) },
+		Incremental: true,
 	})
 }
 
@@ -103,6 +105,16 @@ func (m *gboost) Fit(train, val []float64) error {
 	}
 	m.ensemble = ens
 	return nil
+}
+
+// Update refits the ensemble on the newest window — gradient-boosted trees
+// have no warm-startable parameters, so the deterministic refit is the
+// incremental path.
+func (m *gboost) Update(ctx context.Context, train, val []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return m.Fit(train, val)
 }
 
 // Predict rolls the one-step model forward Horizon times, feeding each

@@ -19,13 +19,15 @@ type gru struct {
 	decoder *nn.GRUCell
 	head    *nn.Linear
 	trained bool
+	updates int
 }
 
 func init() {
 	Register(Registration{
-		Name: "GRU",
-		New:  func(cfg Config) Model { return newGRU(cfg) },
-		Deep: true,
+		Name:        "GRU",
+		New:         func(cfg Config) Model { return newGRU(cfg) },
+		Deep:        true,
+		Incremental: true,
 	})
 }
 
@@ -82,6 +84,32 @@ func (m *gru) FitContext(ctx context.Context, train, val []float64) error {
 		return err
 	}
 	m.trained = true
+	return nil
+}
+
+// Update warm-starts a short training continuation on the newest windows,
+// reseeding the model RNG from (Seed, update counter) so a checkpointed
+// session resumes with the exact randomness of the uninterrupted run.
+func (m *gru) Update(ctx context.Context, train, val []float64) error {
+	if !m.trained {
+		return m.FitContext(ctx, train, val)
+	}
+	m.updates++
+	m.rng = updateRNG(m.cfg.Seed, m.updates)
+	return trainNeural(ctx, m, updateConfig(m.cfg), m.rng, train, val)
+}
+
+// StateSnapshot captures the weights for session checkpointing.
+func (m *gru) StateSnapshot() ModelState {
+	return neuralSnapshot("GRU", m.updates, m.trained, m.params())
+}
+
+// RestoreState loads a checkpointed snapshot back into the model.
+func (m *gru) RestoreState(st ModelState) error {
+	if err := neuralRestore("GRU", st, m.params()); err != nil {
+		return err
+	}
+	m.updates, m.trained = st.Updates, st.Trained
 	return nil
 }
 

@@ -1,0 +1,224 @@
+package forecast
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func incrSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2*math.Pi*float64(i)/24) + rng.NormFloat64()*0.1
+	}
+	return out
+}
+
+func incrConfig() Config {
+	cfg := DefaultConfig()
+	cfg.InputLen = 24
+	cfg.Horizon = 6
+	cfg.SeasonalPeriod = 24
+	cfg.Epochs = 3
+	cfg.UpdateEpochs = 1
+	cfg.MaxTrainWindows = 48
+	cfg.HiddenSize = 8
+	cfg.Seed = 1
+	return cfg
+}
+
+// TestAllModelsImplementIncremental pins the contract: every registered
+// built-in constructs an IncrementalFitter and the registry flags it.
+func TestAllModelsImplementIncremental(t *testing.T) {
+	for _, name := range ModelNames {
+		m, err := New(name, incrConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.(IncrementalFitter); !ok {
+			t.Errorf("%s does not implement IncrementalFitter", name)
+		}
+		if !IsIncremental(name) {
+			t.Errorf("%s not flagged Incremental in the registry", name)
+		}
+	}
+	if IsIncremental("NoSuchModel") {
+		t.Error("unknown model flagged incremental")
+	}
+	deep := 0
+	for _, name := range ModelNames {
+		if IsDeep(name) {
+			m, _ := New(name, incrConfig())
+			if _, ok := m.(Snapshotter); !ok {
+				t.Errorf("deep model %s does not implement Snapshotter", name)
+			}
+			deep++
+		}
+	}
+	if deep != 5 {
+		t.Fatalf("expected 5 deep models, saw %d", deep)
+	}
+}
+
+// TestIncrementalUpdateDeterministicResume is the forecast-layer half of the
+// determinism gate: fit → checkpoint → update must equal fit → restore →
+// update, weight for weight, because Update reseeds its RNG from the update
+// counter rather than trusting ambient generator state.
+func TestIncrementalUpdateDeterministicResume(t *testing.T) {
+	data := incrSeries(600, 3)
+	train, val, next := data[:300], data[300:400], data[200:500]
+	for _, name := range []string{"DLinear", "GRU"} {
+		cfg := incrConfig()
+		a, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		af, bf := a.(IncrementalFitter), b.(IncrementalFitter)
+		if err := af.Fit(train, val); err != nil {
+			t.Fatal(err)
+		}
+		// Checkpoint a's fitted state through JSON into the twin.
+		raw, err := json.Marshal(a.(Snapshotter).StateSnapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st ModelState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.(Snapshotter).RestoreState(st); err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := af.Update(ctx, next, val); err != nil {
+			t.Fatal(err)
+		}
+		if err := bf.Update(ctx, next, val); err != nil {
+			t.Fatal(err)
+		}
+		sa := a.(Snapshotter).StateSnapshot()
+		sb := b.(Snapshotter).StateSnapshot()
+		if sa.Updates != sb.Updates || sa.Trained != sb.Trained {
+			t.Fatalf("%s: meta diverged: %+v vs %+v", name, sa.Updates, sb.Updates)
+		}
+		for i := range sa.Params {
+			for j := range sa.Params[i] {
+				if sa.Params[i][j] != sb.Params[i][j] {
+					t.Fatalf("%s: tensor %d[%d] diverged after resumed update", name, i, j)
+				}
+			}
+		}
+		// Predictions must agree too.
+		in := [][]float64{data[100 : 100+cfg.InputLen]}
+		pa, err := af.Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := bf.Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range pa[0] {
+			if pa[0][j] != pb[0][j] {
+				t.Fatalf("%s: prediction diverged at %d", name, j)
+			}
+		}
+	}
+}
+
+// TestUpdateOnUnfittedFallsBackToFit: the warm-start contract degrades to a
+// plain Fit when there is nothing to continue from.
+func TestUpdateOnUnfittedFallsBackToFit(t *testing.T) {
+	data := incrSeries(500, 9)
+	m, err := New("DLinear", incrConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.(IncrementalFitter)
+	if err := f.Update(context.Background(), data[:300], data[300:400]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Predict([][]float64{data[:24]}); err != nil {
+		t.Fatalf("predict after Update-as-fit: %v", err)
+	}
+}
+
+// TestArimaUpdateRefits: the retrain-path models stay deterministic across
+// Update and reset differencing state on refit.
+func TestArimaUpdateRefits(t *testing.T) {
+	data := incrSeries(600, 5)
+	cfg := incrConfig()
+	a, err := New("Arima", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := a.(IncrementalFitter)
+	if err := f.Fit(data[:400], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(context.Background(), data[100:500], nil); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh model fitted on the same final window must predict identically
+	// — the property the session's refit-on-resume path relies on.
+	b, err := New("Arima", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(data[100:500], nil); err != nil {
+		t.Fatal(err)
+	}
+	in := [][]float64{data[476:500]}
+	pa, err := f.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range pa[0] {
+		if pa[0][j] != pb[0][j] {
+			t.Fatalf("updated vs fresh-fit Arima diverged at %d: %v vs %v", j, pa[0][j], pb[0][j])
+		}
+	}
+	// Cancellation short-circuits before touching the model.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := f.Update(ctx, data[:400], nil); err == nil {
+		t.Fatal("cancelled Update succeeded")
+	}
+}
+
+// TestNeuralRestoreRejectsMismatch covers the checkpoint validation paths.
+func TestNeuralRestoreRejectsMismatch(t *testing.T) {
+	m, err := New("DLinear", incrConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.(Snapshotter)
+	st := s.StateSnapshot()
+	wrongName := st
+	wrongName.Name = "GRU"
+	if err := s.RestoreState(wrongName); err == nil {
+		t.Error("wrong model name accepted")
+	}
+	wrongCount := st
+	wrongCount.Params = st.Params[:1]
+	if err := s.RestoreState(wrongCount); err == nil {
+		t.Error("wrong tensor count accepted")
+	}
+	wrongShape := st
+	wrongShape.Params = append([][]float64(nil), st.Params...)
+	wrongShape.Params[0] = wrongShape.Params[0][:1]
+	if err := s.RestoreState(wrongShape); err == nil {
+		t.Error("wrong tensor shape accepted")
+	}
+}

@@ -156,13 +156,15 @@ type informer struct {
 	head     *nn.Linear
 	mask     *nn.Tensor
 	trained  bool
+	updates  int
 }
 
 func init() {
 	Register(Registration{
-		Name: "Informer",
-		New:  func(cfg Config) Model { return newInformer(cfg) },
-		Deep: true,
+		Name:        "Informer",
+		New:         func(cfg Config) Model { return newInformer(cfg) },
+		Deep:        true,
+		Incremental: true,
 	})
 }
 
@@ -231,6 +233,31 @@ func (m *informer) FitContext(ctx context.Context, train, val []float64) error {
 		return err
 	}
 	m.trained = true
+	return nil
+}
+
+// Update warm-starts a short training continuation on the newest windows;
+// see IncrementalFitter.
+func (m *informer) Update(ctx context.Context, train, val []float64) error {
+	if !m.trained {
+		return m.FitContext(ctx, train, val)
+	}
+	m.updates++
+	m.rng = updateRNG(m.cfg.Seed, m.updates)
+	return trainNeural(ctx, m, updateConfig(m.cfg), m.rng, train, val)
+}
+
+// StateSnapshot captures the weights for session checkpointing.
+func (m *informer) StateSnapshot() ModelState {
+	return neuralSnapshot("Informer", m.updates, m.trained, m.params())
+}
+
+// RestoreState loads a checkpointed snapshot back into the model.
+func (m *informer) RestoreState(st ModelState) error {
+	if err := neuralRestore("Informer", st, m.params()); err != nil {
+		return err
+	}
+	m.updates, m.trained = st.Updates, st.Trained
 	return nil
 }
 

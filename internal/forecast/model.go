@@ -39,6 +39,12 @@ type Config struct {
 	Dropout         float64
 	HiddenSize      int // RNN/MLP width and transformer d_model
 	MaxTrainWindows int // cap on training windows (evenly subsampled)
+
+	// UpdateEpochs caps the epochs of an incremental Update pass (the
+	// warm-start continuation the online session runs per refresh). Zero
+	// selects max(1, Epochs/5) — a short continuation, since the weights
+	// already carry the previous fits.
+	UpdateEpochs int
 }
 
 // DefaultConfig mirrors the paper's settings at a laptop-scale capacity.

@@ -25,13 +25,15 @@ type nbeats struct {
 	rng     *rand.Rand
 	blocks  []*nbeatsBlock
 	trained bool
+	updates int
 }
 
 func init() {
 	Register(Registration{
-		Name: "NBeats",
-		New:  func(cfg Config) Model { return newNBeats(cfg) },
-		Deep: true,
+		Name:        "NBeats",
+		New:         func(cfg Config) Model { return newNBeats(cfg) },
+		Deep:        true,
+		Incremental: true,
 	})
 }
 
@@ -103,6 +105,31 @@ func (m *nbeats) FitContext(ctx context.Context, train, val []float64) error {
 		return err
 	}
 	m.trained = true
+	return nil
+}
+
+// Update warm-starts a short training continuation on the newest windows;
+// see IncrementalFitter.
+func (m *nbeats) Update(ctx context.Context, train, val []float64) error {
+	if !m.trained {
+		return m.FitContext(ctx, train, val)
+	}
+	m.updates++
+	m.rng = updateRNG(m.cfg.Seed, m.updates)
+	return trainNeural(ctx, m, updateConfig(m.cfg), m.rng, train, val)
+}
+
+// StateSnapshot captures the weights for session checkpointing.
+func (m *nbeats) StateSnapshot() ModelState {
+	return neuralSnapshot("NBeats", m.updates, m.trained, m.params())
+}
+
+// RestoreState loads a checkpointed snapshot back into the model.
+func (m *nbeats) RestoreState(st ModelState) error {
+	if err := neuralRestore("NBeats", st, m.params()); err != nil {
+		return err
+	}
+	m.updates, m.trained = st.Updates, st.Trained
 	return nil
 }
 

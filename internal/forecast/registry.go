@@ -20,6 +20,10 @@ type Registration struct {
 	// Deep marks deep neural models, which the paper averages over more
 	// random seeds than the shallow ones (10 vs 5, §3.6).
 	Deep bool
+	// Incremental marks models whose constructor returns an
+	// IncrementalFitter — a model the online session can warm-start
+	// Update instead of refitting from scratch.
+	Incremental bool
 }
 
 // UnknownModelError is returned when a model name has no registration.
@@ -91,6 +95,16 @@ func IsDeep(name string) bool {
 	r := registry[name]
 	registryMu.RUnlock()
 	return r.Deep
+}
+
+// IsIncremental reports whether the named model declares the
+// IncrementalFitter contract. Unknown names count as non-incremental; the
+// session falls back to periodic refits for those.
+func IsIncremental(name string) bool {
+	registryMu.RLock()
+	r := registry[name]
+	registryMu.RUnlock()
+	return r.Incremental
 }
 
 // ContextFitter is implemented by models whose training loop honours

@@ -113,13 +113,15 @@ type transformer struct {
 	head     *nn.Linear
 	mask     *nn.Tensor
 	trained  bool
+	updates  int
 }
 
 func init() {
 	Register(Registration{
-		Name: "Transformer",
-		New:  func(cfg Config) Model { return newTransformer(cfg) },
-		Deep: true,
+		Name:        "Transformer",
+		New:         func(cfg Config) Model { return newTransformer(cfg) },
+		Deep:        true,
+		Incremental: true,
 	})
 }
 
@@ -198,6 +200,31 @@ func (m *transformer) FitContext(ctx context.Context, train, val []float64) erro
 		return err
 	}
 	m.trained = true
+	return nil
+}
+
+// Update warm-starts a short training continuation on the newest windows;
+// see IncrementalFitter.
+func (m *transformer) Update(ctx context.Context, train, val []float64) error {
+	if !m.trained {
+		return m.FitContext(ctx, train, val)
+	}
+	m.updates++
+	m.rng = updateRNG(m.cfg.Seed, m.updates)
+	return trainNeural(ctx, m, updateConfig(m.cfg), m.rng, train, val)
+}
+
+// StateSnapshot captures the weights for session checkpointing.
+func (m *transformer) StateSnapshot() ModelState {
+	return neuralSnapshot("Transformer", m.updates, m.trained, m.params())
+}
+
+// RestoreState loads a checkpointed snapshot back into the model.
+func (m *transformer) RestoreState(st ModelState) error {
+	if err := neuralRestore("Transformer", st, m.params()); err != nil {
+		return err
+	}
+	m.updates, m.trained = st.Updates, st.Trained
 	return nil
 }
 

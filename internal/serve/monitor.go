@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/core"
+	"lossyts/internal/datasets"
+)
+
+// maxMonitorScale caps the stream length a single /v1/monitor request may
+// demand: sessions run synchronously inside the request, so an uncapped
+// scale would let one query hold a worker for a full-dataset online run.
+const maxMonitorScale = 0.05
+
+// handleMonitor runs one drift-aware monitoring session over a generated
+// stream — the serving-plane face of core.Session. The session is pure
+// compute on deterministic inputs, so the full report memoises through the
+// same WorkExec store/singleflight path as the other endpoints: concurrent
+// identical monitor requests run one session.
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) error {
+	ctx := r.Context()
+	q := r.URL.Query()
+	dataset := q.Get("dataset")
+	if dataset == "" {
+		return badRequest("parameter dataset is required")
+	}
+	if _, ok := datasets.SpecOf(dataset); !ok {
+		return badRequest("unknown dataset %q", dataset)
+	}
+	scale, err := floatParam(r, "scale", 0.01)
+	if err != nil {
+		return err
+	}
+	if scale <= 0 || scale > maxMonitorScale {
+		return badRequest("parameter scale must be in (0, %g], got %v", maxMonitorScale, scale)
+	}
+	seed, err := intParam(r, "seed", 1)
+	if err != nil {
+		return err
+	}
+	method := compress.Method(q.Get("method"))
+	if method == "" {
+		method = compress.MethodPMC
+	}
+	if _, err := compress.New(method); err != nil {
+		return err
+	}
+	eps, err := floatParam(r, "eps", 0.05)
+	if err != nil {
+		return err
+	}
+	if eps < 0 {
+		return badRequest("parameter eps must be non-negative, got %v", eps)
+	}
+	spikes, err := intParam(r, "spikes", 8)
+	if err != nil {
+		return err
+	}
+	driftAt, err := floatParam(r, "driftat", 0.7)
+	if err != nil {
+		return err
+	}
+	threshold, err := floatParam(r, "threshold", 9)
+	if err != nil {
+		return err
+	}
+	model := q.Get("model")
+
+	opts := core.SessionOptions{
+		Dataset:          dataset,
+		Scale:            scale,
+		Seed:             seed,
+		Method:           method,
+		Epsilon:          eps,
+		Model:            model,
+		ChunkSize:        s.opts.ChunkSize,
+		Spikes:           int(spikes),
+		DriftAt:          driftAt,
+		AnomalyThreshold: threshold,
+	}
+	if model != "" {
+		// The serving plane's reduced training budget, like /v1/forecast.
+		opts.Forecast = s.opts.Forecast
+	}
+	sess, err := core.NewSession(opts)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+
+	rh := newRequestHash("monitor")
+	rh.param("dataset", dataset)
+	rh.param("scale", scale)
+	rh.param("seed", seed)
+	rh.param("method", method)
+	rh.param("eps", eps)
+	rh.param("spikes", spikes)
+	rh.param("driftat", driftAt)
+	rh.param("threshold", threshold)
+	rh.param("model", model)
+	rh.param("chunk", s.opts.ChunkSize)
+	out, err := s.cached(ctx, w, rh.key(), func() ([]byte, error) {
+		rep, err := sess.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(rep)
+	})
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, err = w.Write(out)
+	return err
+}

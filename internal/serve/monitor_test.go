@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"lossyts/internal/core"
+)
+
+// TestMonitorEndpoint drives /v1/monitor end to end: a session runs, the
+// report parses, and the identical second request is a cache hit.
+func TestMonitorEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	url := ts.URL + "/v1/monitor?dataset=ElecDem&scale=0.005&seed=7&method=PMC&eps=0.05&spikes=5&driftat=0.7&threshold=9"
+	resp, err := ts.Client().Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rep core.SessionReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, body)
+	}
+	if rep.Points == 0 || rep.Dataset != "ElecDem" {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	if rep.DriftInjectedAt < 0 {
+		t.Fatal("drift not injected")
+	}
+
+	// The identical request memoises: no second session runs.
+	before := s.Stats().Computations
+	resp2, err := ts.Client().Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp2.Header.Get("X-Lossyts-Cache"); got != "hit" {
+		t.Fatalf("second request not served from cache: %q", got)
+	}
+	if s.Stats().Computations != before {
+		t.Fatal("second identical request recomputed the session")
+	}
+	if string(body) != string(body2) {
+		t.Fatal("cached report differs from computed report")
+	}
+}
+
+// TestMonitorEndpointValidation pins the 400 paths.
+func TestMonitorEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		name, query string
+	}{
+		{"missing dataset", ""},
+		{"unknown dataset", "dataset=NoSuch"},
+		{"scale too large", "dataset=ElecDem&scale=0.5"},
+		{"negative eps", "dataset=ElecDem&scale=0.005&eps=-1"},
+		{"unknown method", "dataset=ElecDem&scale=0.005&method=NOPE"},
+		{"unknown model", "dataset=ElecDem&scale=0.005&model=NoSuchModel"},
+		{"drift inside warmup", "dataset=ElecDem&scale=0.005&driftat=0.01"},
+	} {
+		resp, err := ts.Client().Get(ts.URL + "/v1/monitor?" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

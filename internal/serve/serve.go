@@ -1,9 +1,9 @@
 // Package serve is the serving plane: a stdlib net/http daemon that exposes
-// the repo's compression and forecasting facade as four endpoints —
-// /v1/compress, /v1/decompress, /v1/forecast, /v1/recommend — so the
-// paper's grid cells can be answered interactively ("compress this series
-// at this bound and tell me the forecast impact") instead of by re-running
-// grids.
+// the repo's compression and forecasting facade as five endpoints —
+// /v1/compress, /v1/decompress, /v1/forecast, /v1/recommend, /v1/monitor —
+// so the paper's grid cells can be answered interactively ("compress this
+// series at this bound and tell me the forecast impact") instead of by
+// re-running grids.
 //
 // Three properties carry the load:
 //
@@ -169,6 +169,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/decompress", s.endpoint(s.handleDecompress))
 	s.mux.HandleFunc("POST /v1/forecast", s.endpoint(s.handleForecast))
 	s.mux.HandleFunc("POST /v1/recommend", s.endpoint(s.handleRecommend))
+	s.mux.HandleFunc("GET /v1/monitor", s.endpoint(s.handleMonitor))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")

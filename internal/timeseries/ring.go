@@ -1,0 +1,154 @@
+package timeseries
+
+import "fmt"
+
+// Ring is a fixed-capacity sliding window over a chunked stream: the online
+// plane's bounded view of the most recent points. Producers push chunks as
+// they arrive (the PR 4 Chunk contract, seam-checked like Series.Append);
+// consumers — drift monitors, anomaly detectors, incremental model updates —
+// read the window through no-copy views or an explicit copy, so a
+// continuous session holds O(window) state no matter how long it runs.
+//
+// A Ring also remembers the stream geometry (start timestamp, interval) and
+// the total number of points ever pushed, so a window-relative observation
+// can always be mapped back to its global index and data timestamp — the
+// coordinates monitor events are reported in.
+type Ring struct {
+	buf      []float64
+	head     int   // index in buf of the oldest live value
+	n        int   // live values (≤ cap)
+	total    int64 // values ever pushed
+	start    int64 // stream start timestamp (first pushed point)
+	interval int64 // sampling interval in seconds
+}
+
+// NewRing returns an empty ring holding at most capacity values.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Push appends one value, evicting the oldest when the ring is full.
+func (r *Ring) Push(v float64) {
+	if r.n == len(r.buf) {
+		r.buf[r.head] = v
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	} else {
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+	}
+	r.total++
+}
+
+// PushChunk appends a chunk's values, seam-checking it against the stream
+// geometry exactly as Series.Append does: the first chunk's metadata is
+// adopted, every later chunk must abut the stream end and share its
+// interval, so a dropped or duplicated chunk fails loudly at the seam.
+func (r *Ring) PushChunk(c Chunk) error {
+	if len(c.Values) == 0 {
+		return nil
+	}
+	if r.total == 0 {
+		r.start = c.Start
+		r.interval = c.Interval
+	} else {
+		if c.Interval != r.interval {
+			return fmt.Errorf("timeseries: chunk interval %d does not match ring interval %d", c.Interval, r.interval)
+		}
+		if want := r.start + r.total*r.interval; c.Start != want {
+			return fmt.Errorf("timeseries: chunk starts at %d, ring expects %d", c.Start, want)
+		}
+	}
+	for _, v := range c.Values {
+		r.Push(v)
+	}
+	return nil
+}
+
+// Len returns the number of live values in the window.
+func (r *Ring) Len() int { return r.n }
+
+// Cap returns the window capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Total returns the number of values ever pushed.
+func (r *Ring) Total() int64 { return r.total }
+
+// FirstIndex returns the global (0-based) stream index of the oldest live
+// value.
+func (r *Ring) FirstIndex() int64 { return r.total - int64(r.n) }
+
+// At returns the i-th live value, 0 being the oldest.
+func (r *Ring) At(i int) float64 {
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Views returns the window as at most two contiguous slices, oldest first —
+// the no-copy read path. The slices alias the ring's buffer and are only
+// valid until the next Push.
+func (r *Ring) Views() (a, b []float64) {
+	if r.n == 0 {
+		return nil, nil
+	}
+	end := r.head + r.n
+	if end <= len(r.buf) {
+		return r.buf[r.head:end], nil
+	}
+	return r.buf[r.head:], r.buf[:end-len(r.buf)]
+}
+
+// CopyTo appends the window's values, oldest first, to dst and returns the
+// extended slice — for consumers that need one contiguous view (dst may be
+// a reused scratch buffer).
+func (r *Ring) CopyTo(dst []float64) []float64 {
+	a, b := r.Views()
+	dst = append(dst, a...)
+	return append(dst, b...)
+}
+
+// TimeAt returns the data timestamp of the point with the given global
+// stream index.
+func (r *Ring) TimeAt(global int64) int64 {
+	return r.start + global*r.interval
+}
+
+// RingState is a ring's serialisable snapshot — the session checkpoint
+// contract. Values round-trip exactly through JSON (Go encodes float64 in
+// shortest-round-trip form), so a restored ring continues bit-identically.
+type RingState struct {
+	Capacity int       `json:"capacity"`
+	Total    int64     `json:"total"`
+	Start    int64     `json:"start"`
+	Interval int64     `json:"interval"`
+	Values   []float64 `json:"values"`
+}
+
+// State snapshots the ring.
+func (r *Ring) State() RingState {
+	return RingState{
+		Capacity: len(r.buf),
+		Total:    r.total,
+		Start:    r.start,
+		Interval: r.interval,
+		Values:   r.CopyTo(make([]float64, 0, r.n)),
+	}
+}
+
+// RingFromState reconstructs a ring from a snapshot.
+func RingFromState(st RingState) (*Ring, error) {
+	if st.Capacity < 1 || len(st.Values) > st.Capacity {
+		return nil, fmt.Errorf("timeseries: ring state holds %d values in capacity %d", len(st.Values), st.Capacity)
+	}
+	r := NewRing(st.Capacity)
+	copy(r.buf, st.Values)
+	r.n = len(st.Values)
+	r.total = st.Total
+	r.start = st.Start
+	r.interval = st.Interval
+	return r, nil
+}

@@ -1,0 +1,97 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestRingSlidesAndIndexes(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 4 || r.Total() != 10 || r.FirstIndex() != 6 {
+		t.Fatalf("len=%d total=%d first=%d", r.Len(), r.Total(), r.FirstIndex())
+	}
+	for i := 0; i < 4; i++ {
+		if got := r.At(i); got != float64(6+i) {
+			t.Fatalf("At(%d) = %v, want %v", i, got, 6+i)
+		}
+	}
+	got := r.CopyTo(nil)
+	want := []float64{6, 7, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CopyTo = %v, want %v", got, want)
+		}
+	}
+	// Views concatenate to the same window without copying.
+	a, b := r.Views()
+	joined := append(append([]float64(nil), a...), b...)
+	if len(joined) != 4 {
+		t.Fatalf("views cover %d values", len(joined))
+	}
+	for i := range want {
+		if joined[i] != want[i] {
+			t.Fatalf("Views = %v, want %v", joined, want)
+		}
+	}
+}
+
+func TestRingPushChunkSeams(t *testing.T) {
+	r := NewRing(8)
+	if err := r.PushChunk(Chunk{Start: 100, Interval: 60, Values: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Abutting chunk is accepted.
+	if err := r.PushChunk(Chunk{Start: 280, Interval: 60, Values: []float64{4}}); err != nil {
+		t.Fatal(err)
+	}
+	// A gap or an interval change fails loudly.
+	if err := r.PushChunk(Chunk{Start: 400, Interval: 60, Values: []float64{5}}); err == nil {
+		t.Fatal("gap chunk accepted")
+	}
+	if err := r.PushChunk(Chunk{Start: 340, Interval: 30, Values: []float64{5}}); err == nil {
+		t.Fatal("interval change accepted")
+	}
+	if got := r.TimeAt(3); got != 280 {
+		t.Fatalf("TimeAt(3) = %d, want 280", got)
+	}
+}
+
+func TestRingStateRoundTrip(t *testing.T) {
+	r := NewRing(5)
+	if err := r.PushChunk(Chunk{Start: 7, Interval: 3, Values: []float64{0.1, math.Pi, -2.5, 4, 5, 6, 7}}); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint path serialises through JSON; the restored ring must be
+	// indistinguishable, bit for bit.
+	raw, err := json.Marshal(r.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st RingState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RingFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != r.Total() || got.Len() != r.Len() || got.FirstIndex() != r.FirstIndex() {
+		t.Fatalf("restored geometry differs: %+v vs %+v", got, r)
+	}
+	for i := 0; i < r.Len(); i++ {
+		if got.At(i) != r.At(i) {
+			t.Fatalf("restored value %d differs: %v vs %v", i, got.At(i), r.At(i))
+		}
+	}
+	// Continued pushes stay seam-compatible.
+	if err := got.PushChunk(Chunk{Start: 7 + 7*3, Interval: 3, Values: []float64{8}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RingFromState(RingState{Capacity: 2, Values: []float64{1, 2, 3}}); err == nil {
+		t.Fatal("oversized state accepted")
+	}
+}

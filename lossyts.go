@@ -482,6 +482,55 @@ func ScoreDetections(detected, truth []int, tolerance int) (precision, recall, f
 	return anomaly.Score(detected, truth, tolerance)
 }
 
+// Online execution plane (cmd/tsmonitor is the daemon): a continuous,
+// drift-aware monitoring session over a chunked stream — ingest → inject →
+// compress → reconstruct → monitor → update → score — with per-tick
+// checkpointing into a cell store, so a killed monitor resumes from its
+// last complete tick and reproduces the uninterrupted run byte for byte.
+type (
+	// SessionOptions configures one monitoring session (dataset, lossy
+	// channel, model, monitors, injection, checkpoint store).
+	SessionOptions = core.SessionOptions
+	// Session drives the online loop; Run streams, Replay re-executes the
+	// same session offline from the batch-loaded dataset (byte-identical).
+	Session = core.Session
+	// SessionReport is a session's deterministic outcome: the alert event
+	// log plus compression, forecast, drift-delay, and anomaly-F1 metrics.
+	SessionReport = core.SessionReport
+	// MonitorEvent is one alert or lifecycle event, stamped with the global
+	// stream index at which it was detected.
+	MonitorEvent = core.MonitorEvent
+	// MonitorBenchResult is a merged (method × bound) session sweep — the
+	// BENCH_monitor.json shape.
+	MonitorBenchResult = core.MonitorBench
+	// IncrementalModel is a forecaster that continues training from its
+	// current weights as new data arrives (warm-start Fit + Update).
+	IncrementalModel = forecast.IncrementalFitter
+)
+
+// NewSession validates opts and builds a monitoring session.
+func NewSession(opts SessionOptions) (*Session, error) { return core.NewSession(opts) }
+
+// MonitorSweep runs one session per (method, bound) pair — cells
+// parallelise up to parallelism workers and merge in a fixed order, so the
+// result is identical at every setting.
+func MonitorSweep(ctx context.Context, opts SessionOptions, methods []Method, bounds []float64, parallelism int) (*MonitorBenchResult, error) {
+	return core.MonitorSweep(ctx, opts, methods, bounds, parallelism)
+}
+
+// RegisterIncrementalModel is RegisterModel for models implementing
+// IncrementalModel: it flags the registration so online sessions accept the
+// model. Constructed models must actually implement IncrementalModel —
+// NewSession checks at session construction.
+func RegisterIncrementalModel(r ModelRegistration) {
+	r.Incremental = true
+	forecast.Register(r)
+}
+
+// IsIncrementalModel reports whether a registered model supports online
+// updates (all seven built-ins do).
+func IsIncrementalModel(name string) bool { return forecast.IsIncremental(name) }
+
 // Serving plane: an embeddable HTTP server (cmd/tsserve is the daemon)
 // exposing /v1/compress, /v1/decompress, /v1/forecast, and /v1/recommend.
 // Request bodies stream through the chunked data plane under a per-request
