@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		method    = flag.String("method", "PMC", "compression method: PMC, SWING, SZ, GORILLA")
+		method    = flag.String("method", "PMC", "compression method: "+cli.MethodList(compress.Registered()))
 		eps       = flag.Float64("eps", 0.05, "pointwise relative error bound")
 		in        = flag.String("in", "", "input CSV (one value per line, or timestamp,value)")
 		roundtrip = flag.String("roundtrip", "", "write the decompressed series to this file")

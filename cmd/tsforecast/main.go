@@ -31,7 +31,7 @@ func main() {
 	var (
 		dataset = flag.String("dataset", "ETTm1", "dataset: ETTm1, ETTm2, Solar, Weather, ElecDem, Wind")
 		model   = flag.String("model", "DLinear", "forecasting model")
-		method  = flag.String("method", "", "optional lossy method for the test input: PMC, SWING, SZ")
+		method  = flag.String("method", "", "optional lossy method for the test input: "+cli.MethodList(compress.LossyMethods()))
 		eps     = flag.Float64("eps", 0.1, "error bound when -method is set")
 		scale   = flag.Float64("scale", 0.05, "dataset length scale")
 		seed    = flag.Int64("seed", 1, "random seed")

@@ -79,8 +79,7 @@ func run(mon *cli.Monitor, common *cli.Common) error {
 
 func runSweep(ctx context.Context, mon *cli.Monitor, common *cli.Common) error {
 	var methods []compress.Method
-	for _, name := range cli.SplitList(mon.Methods) {
-		m := compress.Method(name)
+	for _, m := range cli.ParseMethods(mon.Methods) {
 		if _, err := compress.New(m); err != nil {
 			return err
 		}

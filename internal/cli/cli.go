@@ -88,6 +88,11 @@ type Grid struct {
 	// Datasets and Models are comma-separated subset selections ("" = all).
 	Datasets string
 	Models   string
+	// Methods selects the compression-method axis: "" keeps the paper's
+	// fixed lossy grid, "all" takes every registered parameter-free lossy
+	// codec (compress.LossyMethods), and a comma-separated list names
+	// registered methods explicitly (GORILLA included, if asked for).
+	Methods string
 }
 
 // BindGrid registers the grid-selection flag group.
@@ -98,6 +103,9 @@ func BindGrid(fs *flag.FlagSet) *Grid {
 	fs.BoolVar(&g.Full, "full", false, "paper-scale run: full lengths, 10/5 seeds (very slow)")
 	fs.StringVar(&g.Datasets, "datasets", "", "comma-separated dataset subset (default: all six)")
 	fs.StringVar(&g.Models, "models", "", "comma-separated model subset (default: all seven)")
+	fs.StringVar(&g.Methods, "methods", "",
+		"comma-separated compression methods, or \"all\" for every registered lossy codec (default: paper grid "+
+			MethodList(compress.Methods)+"; registered: "+MethodList(compress.Registered())+")")
 	return g
 }
 
@@ -125,6 +133,9 @@ func (g *Grid) Options(c *Common) core.Options {
 	if g.Models != "" {
 		opts.Models = SplitList(g.Models)
 	}
+	if g.Methods != "" {
+		opts.Methods = ParseMethods(g.Methods)
+	}
 	return opts
 }
 
@@ -144,7 +155,36 @@ func (g *Grid) Args() []string {
 	if g.Models != "" {
 		args = append(args, "-models", g.Models)
 	}
+	if g.Methods != "" {
+		args = append(args, "-methods", g.Methods)
+	}
 	return args
+}
+
+// ParseMethods resolves a -methods flag value: "all" expands to every
+// registered parameter-free lossy codec, anything else splits as a
+// comma-separated list of registered method names. Unknown names surface
+// naturally as UnknownMethodError when the pipeline constructs the
+// compressor, with the registered set in the message.
+func ParseMethods(s string) []compress.Method {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return compress.LossyMethods()
+	}
+	var out []compress.Method
+	for _, name := range SplitList(s) {
+		out = append(out, compress.Method(name))
+	}
+	return out
+}
+
+// MethodList renders methods as the comma-separated form the -methods
+// flags accept.
+func MethodList(methods []compress.Method) string {
+	parts := make([]string, len(methods))
+	for i, m := range methods {
+		parts[i] = string(m)
+	}
+	return strings.Join(parts, ",")
 }
 
 // ParsePartition parses the CLI's 1-based "i/n" partition syntax (e.g.
@@ -269,7 +309,8 @@ func BindMonitor(fs *flag.FlagSet) *Monitor {
 	fs.StringVar(&m.Store, "store", "", "checkpoint cell store: resume a killed session from its last tick")
 	fs.StringVar(&m.Out, "out", "", "report output path (empty = stdout; sweep default BENCH_monitor.json)")
 	fs.BoolVar(&m.Sweep, "sweep", false, "sweep methods x bounds instead of one session")
-	fs.StringVar(&m.Methods, "methods", "PMC,SWING,SZ", "sweep: comma-separated methods")
+	fs.StringVar(&m.Methods, "methods", MethodList(compress.LossyMethods()),
+		"sweep: comma-separated methods, or \"all\" for every registered lossy codec")
 	fs.StringVar(&m.Bounds, "bounds", "0.01,0.05,0.1", "sweep: comma-separated error bounds")
 	return m
 }

@@ -3,7 +3,11 @@ package cli
 import (
 	"flag"
 	"reflect"
+	"strings"
 	"testing"
+
+	"lossyts/internal/compress"
+	"lossyts/internal/timeseries"
 )
 
 func TestBindParsesSharedFlags(t *testing.T) {
@@ -78,7 +82,7 @@ func TestParsePartition(t *testing.T) {
 func TestGridArgsRoundTrip(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	g := BindGrid(fs)
-	if err := fs.Parse([]string{"-scale", "0.07", "-seed", "9", "-datasets", "ETTm1,Wind", "-models", "Arima"}); err != nil {
+	if err := fs.Parse([]string{"-scale", "0.07", "-seed", "9", "-datasets", "ETTm1,Wind", "-models", "Arima", "-methods", "PMC,CAMEO,LFZIP"}); err != nil {
 		t.Fatal(err)
 	}
 	fs2 := flag.NewFlagSet("test2", flag.ContinueOnError)
@@ -92,5 +96,85 @@ func TestGridArgsRoundTrip(t *testing.T) {
 	c := &Common{Parallelism: 2, Stream: true}
 	if o1, o2 := g.Options(c), g2.Options(c); !reflect.DeepEqual(o1, o2) {
 		t.Fatalf("options differ: %+v vs %+v", o1, o2)
+	}
+}
+
+func TestGridMethodsFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	g := BindGrid(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	c := &Common{}
+	// Default: the paper's fixed lossy grid, untouched.
+	if got := g.Options(c).Methods; got != nil {
+		t.Fatalf("default -methods must leave Options.Methods nil (paper grid), got %v", got)
+	}
+	g.Methods = "PMC, LFZIP"
+	if got := g.Options(c).Methods; !reflect.DeepEqual(got, []compress.Method{"PMC", "LFZIP"}) {
+		t.Fatalf("explicit -methods parsed to %v", got)
+	}
+	g.Methods = "all"
+	if got := g.Options(c).Methods; !reflect.DeepEqual(got, compress.LossyMethods()) {
+		t.Fatalf("-methods all = %v, want LossyMethods %v", got, compress.LossyMethods())
+	}
+}
+
+// extcliCompressor is a minimal external codec registered only by this test
+// binary: the regression guard that a registration — with no cli/core/cmd
+// edits at all — reaches every flag surface.
+type extcliCompressor struct{}
+
+func (extcliCompressor) Method() compress.Method { return "EXTCLI" }
+func (extcliCompressor) Compress(s *timeseries.Series, epsilon float64) (*compress.Compressed, error) {
+	return compress.PMC{}.Compress(s, epsilon)
+}
+
+func init() {
+	compress.Register(compress.Registration{
+		Method: "EXTCLI",
+		Code:   102,
+		Lossy:  true,
+		New:    func() (compress.Compressor, error) { return extcliCompressor{}, nil },
+		Decode: func(body []byte, count int) ([]float64, error) {
+			return nil, nil
+		},
+	})
+}
+
+// TestExternalCodecReachesFlagSurfaces: a Lossy registration must show up
+// in every registry-derived flag surface — grid "-methods all", the
+// monitor sweep default, and the rendered method lists in help text.
+func TestExternalCodecReachesFlagSurfaces(t *testing.T) {
+	const ext = compress.Method("EXTCLI")
+	found := false
+	for _, m := range ParseMethods("all") {
+		if m == ext {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("-methods all does not include the externally registered codec")
+	}
+	g := &Grid{Methods: "all"}
+	found = false
+	for _, m := range g.Options(&Common{}).Methods {
+		if m == ext {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Grid.Options(-methods all) does not include the externally registered codec")
+	}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	mon := BindMonitor(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mon.Methods, string(ext)) {
+		t.Fatalf("monitor sweep default %q does not include the externally registered codec", mon.Methods)
+	}
+	if !strings.Contains(MethodList(compress.Registered()), string(ext)) {
+		t.Fatal("rendered method list (cmd help text source) does not include the externally registered codec")
 	}
 }

@@ -55,8 +55,8 @@ func TestStreamedGoldenHashes(t *testing.T) {
 			}
 		}
 	}
-	if len(golden) != 6*4*3 {
-		t.Fatalf("golden table has %d entries, want 72", len(golden))
+	if want := 6 * len(streamMethods()) * 3; len(golden) != want {
+		t.Fatalf("golden table has %d entries, want %d", len(golden), want)
 	}
 	for _, g := range golden {
 		s := series[g.ds]

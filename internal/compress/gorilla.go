@@ -3,18 +3,16 @@ package compress
 import (
 	"errors"
 	"io"
-	"math"
-	"math/bits"
 
 	"lossyts/internal/timeseries"
 )
 
 // Gorilla implements Facebook's Gorilla lossless floating-point compression
 // (Pelkonen et al., PVLDB 2015), the paper's lossless baseline (§3.3).
-// Each value is XORed with the previous one and the result is stored with a
-// variable-length encoding of its meaningful bits. Unlike the original
-// two-hour blocks, the whole series is compressed as a single segment, as
-// the paper does for its lower-frequency datasets.
+// The kernel is a thin wrapper over the shared XOREncoder stage (xor.go) —
+// the XOR chain itself is a reusable instance, not a Gorilla private.
+// Unlike the original two-hour blocks, the whole series is compressed as a
+// single segment, as the paper does for its lower-frequency datasets.
 type Gorilla struct{}
 
 // Method returns MethodGorilla.
@@ -38,94 +36,47 @@ func (g Gorilla) Compress(s *timeseries.Series, _ float64) (*Compressed, error) 
 	if s.Len() == 0 {
 		return nil, errors.New("compress: empty series")
 	}
-	k := &gorillaStream{prevLead: 65}
+	k := &gorillaStream{enc: newXOREncoder()}
 	return kernelCompress(MethodGorilla, 0, s, k)
 }
 
-// gorillaStream is Gorilla's incremental kernel: the previous value's bits
-// and the previous meaningful-bit window — O(1) state (XOR chaining is
-// naturally online; the original Gorilla is a streaming store).
+// gorillaStream is Gorilla's incremental kernel: the XOREncoder's O(1)
+// state (XOR chaining is naturally online; the original Gorilla is a
+// streaming store).
 type gorillaStream struct {
-	bw       BitWriter
-	n        int
-	prev     uint64
-	prevLead int // 65 marks "no previous window"
-	prevMean int
+	enc XOREncoder
 }
 
 func newGorillaStream(_ float64, _ bool) (StreamKernel, error) {
-	return &gorillaStream{prevLead: 65}, nil
+	return &gorillaStream{enc: newXOREncoder()}, nil
 }
 
 // lossless marks the method as ignoring the error bound (see losslessKernel).
 func (*gorillaStream) lossless() {}
 
-func (k *gorillaStream) Push(v float64) {
-	cur := math.Float64bits(v)
-	if k.n == 0 {
-		k.n = 1
-		k.prev = cur
-		k.bw.initPooled(1024)
-		k.bw.WriteBits(cur, 64)
-		return
-	}
-	k.n++
-	xor := k.prev ^ cur
-	k.prev = cur
-	if xor == 0 {
-		k.bw.WriteBit(0)
-		return
-	}
-	lead := bits.LeadingZeros64(xor)
-	trail := bits.TrailingZeros64(xor)
-	if lead > 31 {
-		lead = 31 // the leading-zero count field is 5 bits wide
-	}
-	mean := 64 - lead - trail
-	if k.prevLead <= lead && k.prevMean >= mean+(lead-k.prevLead) {
-		// The meaningful bits fit inside the previous window: reuse it. The
-		// "10" control pair is fused into one write, and — when the window is
-		// short enough — fused with the meaningful bits too, so the common
-		// case is a single WriteBits call per value.
-		if k.prevMean <= 62 {
-			k.bw.WriteBits(2<<uint(k.prevMean)|xor>>uint(64-k.prevLead-k.prevMean), uint(k.prevMean)+2)
-			return
-		}
-		k.bw.WriteBits(2, 2)
-		k.bw.WriteBits(xor>>uint(64-k.prevLead-k.prevMean), uint(k.prevMean))
-		return
-	}
-	// New window: "11" + 5-bit lead + 6-bit (mean-1), fused into 13 bits.
-	k.bw.WriteBits(3<<11|uint64(lead)<<6|uint64(mean-1), 13)
-	k.bw.WriteBits(xor>>uint(trail), uint(mean))
-	k.prevLead, k.prevMean = lead, mean
-}
+func (k *gorillaStream) Push(v float64) { k.enc.Write(v) }
 
 // Finish returns the bit-packed body; Gorilla compresses the whole series as
 // one segment.
 func (k *gorillaStream) Finish() ([]byte, int) {
-	return k.bw.Bytes(), 1
+	return k.enc.Bytes(), 1
 }
 
 // AppendFinish implements FinishAppender: the bit-packed body is copied onto
 // dst in one append, so closing a stream touches no fresh memory.
 func (k *gorillaStream) AppendFinish(dst []byte) ([]byte, int) {
-	return append(dst, k.bw.Bytes()...), 1
+	return append(dst, k.enc.Bytes()...), 1
 }
 
 // reset rewinds the kernel for a fresh series, keeping its bit buffer.
-func (k *gorillaStream) reset() {
-	k.bw.Reset()
-	k.n, k.prev = 0, 0
-	k.prevLead, k.prevMean = 65, 0
-}
+func (k *gorillaStream) reset() { k.enc.Reset() }
 
 // release returns the bit buffer to the pool; the kernel must not be used
 // afterwards.
-func (k *gorillaStream) release() { k.bw.release() }
+func (k *gorillaStream) release() { k.enc.release() }
 
 func (k *gorillaStream) Segments() int {
-	if k.n > 0 {
+	if k.enc.Count() > 0 {
 		return 1
 	}
 	return 0
@@ -136,7 +87,7 @@ func (k *gorillaStream) Pending() int { return 0 }
 
 func gorillaDecode(body []byte, count int) ([]float64, error) {
 	values := make([]float64, 0, allocHint(count))
-	vs := &gorillaValues{br: NewBitReader(body), remaining: count, needFirst: true}
+	vs := &gorillaValues{dec: newXORDecoder(body), total: count, remaining: count}
 	var buf [256]float64
 	for len(values) < count {
 		n, err := vs.Next(buf[:])
@@ -148,27 +99,22 @@ func gorillaDecode(body []byte, count int) ([]float64, error) {
 	return values, nil
 }
 
-// gorillaValues replays the XOR chain incrementally: the carried state is
-// the previous value's bits and the previous meaningful-bit window.
+// gorillaValues replays the XOR chain incrementally via the shared
+// XORDecoder stage.
 type gorillaValues struct {
-	br        *BitReader
+	dec       XORDecoder
 	total     int
 	remaining int
-	needFirst bool
-	prev      uint64
-	prevLead  int
-	prevMean  int
 }
 
 func gorillaDecodeStream(body []byte, count int) (ValueStream, error) {
-	return &gorillaValues{br: NewBitReader(body), total: count, remaining: count, needFirst: true}, nil
+	return &gorillaValues{dec: newXORDecoder(body), total: count, remaining: count}, nil
 }
 
 // rewind restarts the replay from the first value (see valueRewinder).
 func (p *gorillaValues) rewind() {
-	p.br.reset()
-	p.remaining, p.needFirst = p.total, true
-	p.prev, p.prevLead, p.prevMean = 0, 0, 0
+	p.dec.Reset()
+	p.remaining = p.total
 }
 
 func (p *gorillaValues) Next(dst []float64) (int, error) {
@@ -177,45 +123,11 @@ func (p *gorillaValues) Next(dst []float64) (int, error) {
 	}
 	n := 0
 	for n < len(dst) && p.remaining > 0 {
-		if p.needFirst {
-			first, err := p.br.ReadBits(64)
-			if err != nil {
-				return n, err
-			}
-			p.needFirst = false
-			p.prev = first
-			dst[n] = math.Float64frombits(first)
-			n++
-			p.remaining--
-			continue
-		}
-		b, err := p.br.ReadBit()
+		v, err := p.dec.Next()
 		if err != nil {
 			return n, err
 		}
-		if b == 0 {
-			dst[n] = math.Float64frombits(p.prev)
-			n++
-			p.remaining--
-			continue
-		}
-		if b, err = p.br.ReadBit(); err != nil {
-			return n, err
-		}
-		if b == 1 {
-			// Lead (5 bits) and meaningful length (6 bits) read in one go.
-			win, err := p.br.ReadBits(11)
-			if err != nil {
-				return n, err
-			}
-			p.prevLead, p.prevMean = int(win>>6), int(win&63)+1
-		}
-		meaningful, err := p.br.ReadBits(uint(p.prevMean))
-		if err != nil {
-			return n, err
-		}
-		p.prev ^= meaningful << uint(64-p.prevLead-p.prevMean)
-		dst[n] = math.Float64frombits(p.prev)
+		dst[n] = v
 		n++
 		p.remaining--
 	}

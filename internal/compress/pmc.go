@@ -28,6 +28,7 @@ func init() {
 	Register(Registration{
 		Method:       MethodPMC,
 		Code:         1,
+		Lossy:        true,
 		New:          func() (Compressor, error) { return PMC{}, nil },
 		Decode:       pmcDecode,
 		NewStream:    newPMCStream,

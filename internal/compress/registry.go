@@ -19,6 +19,12 @@ type Registration struct {
 	// unique; codes 1–63 are reserved for the built-ins, so external
 	// methods should use 64 and above.
 	Code byte
+	// Lossy marks methods that honour an error bound (ε sweeps are
+	// meaningful) AND construct parameter-free through New, so the grid,
+	// sweep, and serve surfaces can enumerate them without a hardcoded
+	// list. Lossless baselines (Gorilla) and parameterised variants
+	// (SeasonalPMC, which needs a period) leave it false.
+	Lossy bool
 	// New constructs a fresh compressor. It may return an error for
 	// methods that need explicit construction parameters (SeasonalPMC's
 	// period).
@@ -98,6 +104,41 @@ func Registered() []Method {
 	out := make([]Method, 0, len(registry))
 	for m := range registry {
 		out = append(out, m)
+	}
+	registryMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StreamingMethods lists, in sorted order, every registered method with an
+// incremental encoder (NewStream non-nil) — the set the stream-kernel test
+// and fuzz matrices, the alloc guard, and the monitor plane cover. Growing
+// the registry grows every one of those surfaces automatically.
+func StreamingMethods() []Method {
+	registryMu.RLock()
+	out := make([]Method, 0, len(registry))
+	for m, r := range registry {
+		if r.NewStream != nil {
+			out = append(out, m)
+		}
+	}
+	registryMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LossyMethods lists, in sorted order, every registered error-bounded
+// method that constructs parameter-free (Registration.Lossy) — the widest
+// grid the study planes can enumerate. The paper's fixed grid stays the
+// Methods slice; LossyMethods additionally picks up CAMEO, LFZip, and any
+// external registrations.
+func LossyMethods() []Method {
+	registryMu.RLock()
+	out := make([]Method, 0, len(registry))
+	for m, r := range registry {
+		if r.Lossy {
+			out = append(out, m)
+		}
 	}
 	registryMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

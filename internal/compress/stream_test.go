@@ -9,9 +9,13 @@ import (
 )
 
 // streamMethods are the methods with an incremental kernel (all built-ins
-// except SeasonalPMC, whose profile needs a whole-series pass).
+// except SeasonalPMC, whose profile needs a whole-series pass). The list is
+// registry-derived, so a newly registered streaming codec — built-in or
+// external — is pulled into every stream/golden/alloc/fuzz matrix
+// automatically. Test-only registrations without NewStream (REGTEST) stay
+// out by construction.
 func streamMethods() []Method {
-	return []Method{MethodPMC, MethodSwing, MethodSZ, MethodGorilla}
+	return StreamingMethods()
 }
 
 func TestStreamMatchesBatch(t *testing.T) {

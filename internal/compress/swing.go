@@ -1,9 +1,7 @@
 package compress
 
 import (
-	"encoding/binary"
 	"errors"
-	"io"
 	"math"
 
 	"lossyts/internal/timeseries"
@@ -14,7 +12,8 @@ import (
 // segment's first value; upper and lower slope bounds are narrowed as
 // points arrive, and when they cross, the segment is emitted. Following
 // ModelarDB (the implementation the paper uses), the emitted slope is the
-// mean of the upper and lower bounding lines (§3.2).
+// mean of the upper and lower bounding lines (§3.2). The segment wire form
+// is the shared line layer (line.go), which CAMEO emits too.
 //
 // Absolute switches to the classic absolute bound |v − v̂| ≤ ε (used by the
 // ablation benches); the paper's evaluation uses the relative bound.
@@ -29,8 +28,9 @@ func init() {
 	Register(Registration{
 		Method:       MethodSwing,
 		Code:         2,
+		Lossy:        true,
 		New:          func() (Compressor, error) { return Swing{}, nil },
-		Decode:       swingDecode,
+		Decode:       lineDecode,
 		NewStream:    newSwingStream,
 		DecodeStream: swingDecodeStream,
 	})
@@ -52,9 +52,10 @@ func (sw Swing) Compress(s *timeseries.Series, epsilon float64) (*Compressed, er
 
 // swingStream is Swing's incremental kernel: the open segment's anchor
 // intercept and the narrowing slope corridor — O(1) state regardless of
-// series length. The body accumulates in a pooled buffer (see
-// reset/release).
+// series length. The body accumulates in the shared line emitter's pooled
+// buffer (see reset/release).
 type swingStream struct {
+	lineEmitter
 	epsilon  float64
 	absolute bool
 
@@ -62,9 +63,6 @@ type swingStream struct {
 	intercept float64
 	sLow      float64
 	sHigh     float64
-
-	segments int
-	body     *sbuf[byte]
 }
 
 func newSwingStream(epsilon float64, absolute bool) (StreamKernel, error) {
@@ -88,128 +86,46 @@ func (k *swingStream) Push(v float64) {
 		k.count, k.sLow, k.sHigh = k.count+1, newLow, newHigh
 		return
 	}
-	k.emit()
+	k.emitOpen()
 	k.count, k.intercept = 1, v
 	k.sLow, k.sHigh = math.Inf(-1), math.Inf(1)
 }
 
-func (k *swingStream) emit() {
+// emitOpen writes the open segment through the shared line emitter.
+func (k *swingStream) emitOpen() {
 	slope := 0.0
 	if k.count >= 2 {
 		slope = (k.sLow + k.sHigh) / 2
 	}
-	if k.body == nil {
-		k.body = bytePool.get(256)
-	}
-	var scratch [18]byte
-	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.count))
-	binary.LittleEndian.PutUint64(scratch[2:10], math.Float64bits(slope))
-	binary.LittleEndian.PutUint64(scratch[10:], math.Float64bits(k.intercept))
-	k.body.s = append(k.body.s, scratch[:]...)
-	k.segments++
+	k.emit(k.count, slope, k.intercept)
 }
 
 func (k *swingStream) Finish() ([]byte, int) {
-	k.emit()
-	return k.body.s, k.segments
+	k.emitOpen()
+	return k.bytes(), k.segments
 }
 
 // AppendFinish implements FinishAppender: the accumulated body is copied
 // onto dst in one append, so closing a stream touches no fresh memory.
 func (k *swingStream) AppendFinish(dst []byte) ([]byte, int) {
-	k.emit()
-	return append(dst, k.body.s...), k.segments
+	k.emitOpen()
+	return k.appendBody(dst), k.segments
 }
 
 // reset rewinds the kernel for a fresh series, keeping its body buffer.
 func (k *swingStream) reset() {
 	k.count, k.intercept = 0, 0
 	k.sLow, k.sHigh = math.Inf(-1), math.Inf(1)
-	k.segments = 0
-	if k.body != nil {
-		k.body.s = k.body.s[:0]
-	}
+	k.resetBody()
 }
 
 // release returns the body buffer to the pool; the kernel must not be used
 // afterwards.
-func (k *swingStream) release() {
-	bytePool.put(k.body)
-	k.body = nil
-}
+func (k *swingStream) release() { k.releaseBody() }
 
 func (k *swingStream) Segments() int { return k.segments }
 func (k *swingStream) Pending() int  { return k.count }
 
-func swingDecode(body []byte, count int) ([]float64, error) {
-	values := make([]float64, 0, allocHint(count))
-	pos := 0
-	for len(values) < count {
-		if pos+18 > len(body) {
-			return nil, io.ErrUnexpectedEOF
-		}
-		n := int(binary.LittleEndian.Uint16(body[pos : pos+2]))
-		slope := math.Float64frombits(binary.LittleEndian.Uint64(body[pos+2 : pos+10]))
-		intercept := math.Float64frombits(binary.LittleEndian.Uint64(body[pos+10 : pos+18]))
-		pos += 18
-		if n == 0 || len(values)+n > count {
-			return nil, errors.New("compress: corrupt Swing segment length")
-		}
-		for i := 0; i < n; i++ {
-			values = append(values, intercept+slope*float64(i))
-		}
-	}
-	return values, nil
-}
-
-// swingValues replays Swing segments incrementally: the carried state is one
-// segment (its remaining length, line coefficients, and local index).
-type swingValues struct {
-	body      []byte
-	total     int
-	pos       int
-	remaining int
-	segLeft   int
-	idx       int // local index within the open segment
-	slope     float64
-	intercept float64
-}
-
 func swingDecodeStream(body []byte, count int) (ValueStream, error) {
-	return &swingValues{body: body, total: count, remaining: count}, nil
-}
-
-// rewind restarts the replay from the first value (see valueRewinder).
-func (p *swingValues) rewind() {
-	p.pos, p.remaining, p.segLeft, p.idx = 0, p.total, 0, 0
-	p.slope, p.intercept = 0, 0
-}
-
-func (p *swingValues) Next(dst []float64) (int, error) {
-	if p.remaining <= 0 {
-		return 0, io.EOF
-	}
-	n := 0
-	for n < len(dst) && p.remaining > 0 {
-		if p.segLeft == 0 {
-			if p.pos+18 > len(p.body) {
-				return n, io.ErrUnexpectedEOF
-			}
-			seg := int(binary.LittleEndian.Uint16(p.body[p.pos : p.pos+2]))
-			p.slope = math.Float64frombits(binary.LittleEndian.Uint64(p.body[p.pos+2 : p.pos+10]))
-			p.intercept = math.Float64frombits(binary.LittleEndian.Uint64(p.body[p.pos+10 : p.pos+18]))
-			p.pos += 18
-			if seg == 0 || seg > p.remaining {
-				return n, errors.New("compress: corrupt Swing segment length")
-			}
-			p.segLeft = seg
-			p.idx = 0
-		}
-		dst[n] = p.intercept + p.slope*float64(p.idx)
-		n++
-		p.idx++
-		p.segLeft--
-		p.remaining--
-	}
-	return n, nil
+	return newLineValues(body, count), nil
 }

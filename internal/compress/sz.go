@@ -42,6 +42,7 @@ func init() {
 	Register(Registration{
 		Method:       MethodSZ,
 		Code:         3,
+		Lossy:        true,
 		New:          func() (Compressor, error) { return NewSZ(), nil },
 		Decode:       szDecode,
 		NewStream:    newSZStream,
@@ -89,9 +90,8 @@ func (z SZ) Compress(s *timeseries.Series, epsilon float64) (*Compressed, error)
 // strictly O(block); that is still 4× smaller than the values themselves
 // and is the price of byte-identity with the batch format.
 type szStream struct {
-	epsilon  float64
-	absolute bool
-	bs       int
+	quant *UniformQuantiser
+	bs    int
 
 	block      []float64 // open (not yet encoded) block
 	meta       *sbuf[byte]
@@ -111,8 +111,7 @@ func newSZStream(epsilon float64, absolute bool) (StreamKernel, error) {
 
 func newSZStreamBS(bs int, epsilon float64, absolute bool) *szStream {
 	return &szStream{
-		epsilon:    epsilon,
-		absolute:   absolute,
+		quant:      NewUniformQuantiser(epsilon, absolute),
 		bs:         bs,
 		block:      make([]float64, 0, bs),
 		meta:       bytePool.get(512),
@@ -164,10 +163,7 @@ func (k *szStream) encodeBlock() {
 		return
 	}
 	mode, slope, intercept := szSelectPredictor(block, k.prior())
-	precision := szBlockPrecision(block, k.epsilon)
-	if k.absolute {
-		precision = roundDown32(k.epsilon)
-	}
+	precision := k.quant.BlockPrecision(block)
 	k.meta.s = append(k.meta.s, byte(mode))
 	binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(precision))
 	k.meta.s = append(k.meta.s, scratch[:4]...)
@@ -177,10 +173,9 @@ func (k *szStream) encodeBlock() {
 		binary.LittleEndian.PutUint32(scratch[:4], math.Float32bits(intercept))
 		k.meta.s = append(k.meta.s, scratch[:4]...)
 	}
-	p := float64(precision)
 	for i, v := range block {
 		pred := szPredict(mode, float64(slope), float64(intercept), i, k.prior())
-		code, recon, ok := szQuantize(v, pred, p, k.epsilon, k.absolute)
+		code, recon, ok := k.quant.Quantise(v, pred)
 		if !ok {
 			k.codes.s = append(k.codes.s, 0)
 			k.exceptions.s = append(k.exceptions.s, v)
@@ -201,48 +196,20 @@ func (k *szStream) Finish() ([]byte, int) {
 }
 
 // AppendFinish implements FinishAppender: the payload body is assembled
-// directly onto dst. The Huffman stage appends in place behind a
-// length-backfill slot; if it fails (pathological code lengths), the
-// appended bytes are truncated away and the raw encoding takes their place —
-// the same fallback, and the same bytes, as the historical buffer-based
-// Finish.
+// directly onto dst through the shared HuffmanCoder stage (predictive.go) —
+// Huffman when possible, raw fallback otherwise, the same bytes as the
+// historical buffer-based Finish — followed by the shared exception section.
 func (k *szStream) AppendFinish(dst []byte) ([]byte, int) {
 	if len(k.block) > 0 {
 		k.encodeBlock()
 	}
-	var scratch [8]byte
+	var scratch [6]byte
 	binary.LittleEndian.PutUint16(scratch[:2], uint16(k.bs))
-	dst = append(dst, scratch[:2]...)
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(k.nblocks))
-	dst = append(dst, scratch[:4]...)
+	binary.LittleEndian.PutUint32(scratch[2:6], uint32(k.nblocks))
+	dst = append(dst, scratch[:6]...)
 	dst = append(dst, k.meta.s...)
-	// Quantisation codes: Huffman when possible, raw fallback otherwise.
-	if len(k.codes.s) > 0 {
-		mark := len(dst)
-		dst = append(dst, 0, 0, 0, 0, 0) // encoding byte + length backfill slot
-		out, err := AppendHuffman(dst, k.codes.s)
-		if err == nil {
-			dst = out
-			binary.LittleEndian.PutUint32(dst[mark+1:mark+5], uint32(len(dst)-mark-5))
-		} else {
-			dst = dst[:mark]
-			dst = append(dst, 1)
-			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.codes.s)))
-			dst = append(dst, scratch[:4]...)
-			for _, c := range k.codes.s {
-				binary.LittleEndian.PutUint16(scratch[:2], c)
-				dst = append(dst, scratch[:2]...)
-			}
-		}
-	} else {
-		dst = append(dst, 2) // no codes at all (every block constant)
-	}
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(k.exceptions.s)))
-	dst = append(dst, scratch[:4]...)
-	for _, v := range k.exceptions.s {
-		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
-		dst = append(dst, scratch[:]...)
-	}
+	dst = HuffmanCoder{}.AppendCodes(dst, k.codes.s)
+	dst = appendExceptions(dst, k.exceptions.s)
 	return dst, k.segments
 }
 
@@ -481,62 +448,14 @@ func szParseBody(body []byte, count int) (blocks []szBlockMeta, codes []uint16, 
 	if remaining != 0 {
 		return nil, nil, nil, errors.New("compress: SZ block sizes do not cover the series")
 	}
-	// Codes.
-	if pos >= len(body) {
-		return nil, nil, nil, io.ErrUnexpectedEOF
-	}
-	codeEncoding := body[pos]
-	pos++
-	switch codeEncoding {
-	case 0:
-		if pos+4 > len(body) {
-			return nil, nil, nil, io.ErrUnexpectedEOF
-		}
-		length := int(binary.LittleEndian.Uint32(body[pos : pos+4]))
-		pos += 4
-		if length < 0 || pos+length > len(body) {
-			return nil, nil, nil, io.ErrUnexpectedEOF
-		}
-		codes, err = HuffmanDecode(body[pos : pos+length])
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		pos += length
-	case 1:
-		if pos+4 > len(body) {
-			return nil, nil, nil, io.ErrUnexpectedEOF
-		}
-		m := int(binary.LittleEndian.Uint32(body[pos : pos+4]))
-		pos += 4
-		if m < 0 || pos+2*m > len(body) {
-			return nil, nil, nil, io.ErrUnexpectedEOF
-		}
-		codes = make([]uint16, m)
-		for i := range codes {
-			codes[i] = binary.LittleEndian.Uint16(body[pos : pos+2])
-			pos += 2
-		}
-	case 2:
-		// no codes
-	default:
-		return nil, nil, nil, fmt.Errorf("compress: unknown SZ code encoding %d", codeEncoding)
+	if codes, pos, err = (HuffmanCoder{}).DecodeCodes(body, pos); err != nil {
+		return nil, nil, nil, err
 	}
 	if len(codes) != ncodes {
 		return nil, nil, nil, fmt.Errorf("compress: SZ expected %d codes, got %d", ncodes, len(codes))
 	}
-	// Exceptions.
-	if pos+4 > len(body) {
-		return nil, nil, nil, io.ErrUnexpectedEOF
-	}
-	nex := int(binary.LittleEndian.Uint32(body[pos : pos+4]))
-	pos += 4
-	if nex < 0 || pos+8*nex > len(body) {
-		return nil, nil, nil, io.ErrUnexpectedEOF
-	}
-	exceptions = make([]float64, nex)
-	for i := range exceptions {
-		exceptions[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[pos : pos+8]))
-		pos += 8
+	if exceptions, _, err = parseExceptions(body, pos); err != nil {
+		return nil, nil, nil, err
 	}
 	return blocks, codes, exceptions, nil
 }

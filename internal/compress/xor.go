@@ -1,0 +1,145 @@
+package compress
+
+import (
+	"math"
+	"math/bits"
+)
+
+// XOREncoder is the Gorilla XOR chain (Pelkonen et al., PVLDB 2015) as a
+// reusable entropy stage: each value is XORed with the previous one and the
+// result is stored with a variable-length encoding of its meaningful bits.
+// The Gorilla kernel is a thin wrapper over this encoder; any codec that
+// wants lossless float packing (e.g. for exceptional values or model
+// coefficients) composes it the same way. Zero value is NOT ready — use
+// newXOREncoder or Reset, which install the "no previous window" sentinel.
+type XOREncoder struct {
+	bw       BitWriter
+	n        int
+	prev     uint64
+	prevLead int // 65 marks "no previous window"
+	prevMean int
+}
+
+// newXOREncoder returns an encoder ready for its first Write.
+func newXOREncoder() XOREncoder { return XOREncoder{prevLead: 65} }
+
+// Write appends one value to the XOR chain. The first value is stored with
+// all 64 bits; later values store only the meaningful bits of the XOR with
+// their predecessor, reusing the previous window when it still fits.
+func (e *XOREncoder) Write(v float64) {
+	cur := math.Float64bits(v)
+	if e.n == 0 {
+		e.n = 1
+		e.prev = cur
+		e.bw.initPooled(1024)
+		e.bw.WriteBits(cur, 64)
+		return
+	}
+	e.n++
+	xor := e.prev ^ cur
+	e.prev = cur
+	if xor == 0 {
+		e.bw.WriteBit(0)
+		return
+	}
+	lead := bits.LeadingZeros64(xor)
+	trail := bits.TrailingZeros64(xor)
+	if lead > 31 {
+		lead = 31 // the leading-zero count field is 5 bits wide
+	}
+	mean := 64 - lead - trail
+	if e.prevLead <= lead && e.prevMean >= mean+(lead-e.prevLead) {
+		// The meaningful bits fit inside the previous window: reuse it. The
+		// "10" control pair is fused into one write, and — when the window is
+		// short enough — fused with the meaningful bits too, so the common
+		// case is a single WriteBits call per value.
+		if e.prevMean <= 62 {
+			e.bw.WriteBits(2<<uint(e.prevMean)|xor>>uint(64-e.prevLead-e.prevMean), uint(e.prevMean)+2)
+			return
+		}
+		e.bw.WriteBits(2, 2)
+		e.bw.WriteBits(xor>>uint(64-e.prevLead-e.prevMean), uint(e.prevMean))
+		return
+	}
+	// New window: "11" + 5-bit lead + 6-bit (mean-1), fused into 13 bits.
+	e.bw.WriteBits(3<<11|uint64(lead)<<6|uint64(mean-1), 13)
+	e.bw.WriteBits(xor>>uint(trail), uint(mean))
+	e.prevLead, e.prevMean = lead, mean
+}
+
+// Count reports the values written since the last Reset.
+func (e *XOREncoder) Count() int { return e.n }
+
+// Bytes returns the bit-packed body; the view aliases the internal buffer.
+func (e *XOREncoder) Bytes() []byte { return e.bw.Bytes() }
+
+// Reset rewinds the encoder for a fresh chain, keeping its bit buffer.
+func (e *XOREncoder) Reset() {
+	e.bw.Reset()
+	e.n, e.prev = 0, 0
+	e.prevLead, e.prevMean = 65, 0
+}
+
+// release returns the bit buffer to the pool; the encoder must not be used
+// afterwards without Reset re-pooling via Write.
+func (e *XOREncoder) release() { e.bw.release() }
+
+// XORDecoder replays an XOR chain incrementally: the carried state is the
+// previous value's bits and the previous meaningful-bit window — O(1)
+// regardless of chain length.
+type XORDecoder struct {
+	br        *BitReader
+	needFirst bool
+	prev      uint64
+	prevLead  int
+	prevMean  int
+}
+
+// newXORDecoder returns a decoder over the bit-packed body.
+func newXORDecoder(body []byte) XORDecoder {
+	return XORDecoder{br: NewBitReader(body), needFirst: true}
+}
+
+// Reset rewinds the decoder to the first value of its chain.
+func (d *XORDecoder) Reset() {
+	d.br.reset()
+	d.needFirst = true
+	d.prev, d.prevLead, d.prevMean = 0, 0, 0
+}
+
+// Next returns the next value of the chain.
+func (d *XORDecoder) Next() (float64, error) {
+	if d.needFirst {
+		first, err := d.br.ReadBits(64)
+		if err != nil {
+			return 0, err
+		}
+		d.needFirst = false
+		d.prev = first
+		return math.Float64frombits(first), nil
+	}
+	b, err := d.br.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if b == 0 {
+		return math.Float64frombits(d.prev), nil
+	}
+	if b, err = d.br.ReadBit(); err != nil {
+		return 0, err
+	}
+	if b == 1 {
+		// Lead (5 bits) and meaningful length (6 bits) read in one go.
+		win, err := d.br.ReadBits(11)
+		if err != nil {
+			return 0, err
+		}
+		d.prevLead, d.prevMean = int(win>>6), int(win&63)+1
+	}
+	meaningful, err := d.br.ReadBits(uint(d.prevMean))
+	if err != nil {
+		return 0, err
+	}
+	d.prev ^= meaningful << uint(64-d.prevLead-d.prevMean)
+	return math.Float64frombits(d.prev), nil
+}

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"lossyts/internal/compress"
 	"lossyts/internal/core/cellstore"
 )
 
@@ -229,6 +230,75 @@ func TestStoreExpansionComputesOnlyDelta(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestStoreCodecSetExpansion is the codec-growth migration contract: a
+// store written under the four historical codecs keeps working when the
+// registry grows — re-running with six methods loads every existing cell
+// verbatim and computes only the new codecs' cells. This holds without a
+// RecordSchema bump because the Methods list is deliberately absent from
+// CellKey (methods select which cells exist, never what one contains).
+func TestStoreCodecSetExpansion(t *testing.T) {
+	swapGridCache(t)
+	four := []compress.Method{compress.MethodPMC, compress.MethodSwing,
+		compress.MethodSZ, compress.MethodGorilla}
+	six := append(append([]compress.Method(nil), four...),
+		compress.MethodCAMEO, compress.MethodLFZip)
+
+	// A cell's store key must not depend on the run's method list at all:
+	// that is what makes old stores forward-compatible with new codecs.
+	oldOpts, newOpts := storeTestOptions(), storeTestOptions()
+	oldOpts.Methods, newOpts.Methods = four, six
+	for _, m := range four {
+		if oldOpts.cellRecordKey("ETTm1", m, 0.05) != newOpts.cellRecordKey("ETTm1", m, 0.05) {
+			t.Fatalf("cell key for %s changed when the method list grew", m)
+		}
+	}
+
+	// Reference: the six-codec grid computed from scratch, no store.
+	grown := storeTestOptions()
+	grown.Methods = six
+	gWant, err := RunGrid(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, gWant)
+	allUnits := gWant.Timings.Units
+
+	store := filepath.Join(t.TempDir(), "codecs.cells")
+	base := storeTestOptions()
+	base.Methods = four
+	base.Store = store
+	ResetGridCache()
+	gBase, err := RunGrid(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := gBase.Provenance; p.CellsComputed != 8 {
+		t.Fatalf("four-codec base provenance = %+v, want 8 computed", p)
+	}
+
+	ResetGridCache()
+	opts := storeTestOptions()
+	opts.Methods = six
+	opts.Store = store
+	g, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 8 four-codec cells are reused untouched; only the 4 cells of the
+	// two new codecs are fresh, so every model retrains but evaluates only
+	// those.
+	if p := g.Provenance; p.Source != SourceResumed || p.CellsLoaded != 8 || p.CellsComputed != 4 {
+		t.Fatalf("provenance = %+v, want resumed with 8 loaded / 4 computed", p)
+	}
+	if g.Timings.CellEvals != allUnits*4 {
+		t.Fatalf("CellEvals = %d, want %d (4 new cells x %d units)",
+			g.Timings.CellEvals, allUnits*4, allUnits)
+	}
+	if got := saveBytes(t, g); !bytes.Equal(got, want) {
+		t.Fatal("codec-grown grid differs from a from-scratch six-codec run")
+	}
 }
 
 // TestStoreStreamResume: a store written by the streaming pipeline resumes

@@ -1,0 +1,73 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The streaming tracker is an algebraic rearrangement of the batch ACF, so
+// at every prefix length it must agree with ACF over that prefix to
+// floating-point accumulation accuracy.
+func TestStreamACFMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, maxLag = 500, 12
+	x := make([]float64, 0, n)
+	acc := NewStreamACF(maxLag)
+	buf := make([]float64, maxLag)
+	for i := 0; i < n; i++ {
+		v := math.Sin(float64(i)/9) + 0.3*rng.NormFloat64()
+		x = append(x, v)
+		acc.Push(v)
+		if i%37 != 0 && i != n-1 {
+			continue
+		}
+		want := ACF(x, maxLag)
+		got := acc.Into(buf)
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-8 {
+				t.Fatalf("prefix %d lag %d: stream %.12f batch %.12f", i+1, k+1, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestStreamACFEdgeCases(t *testing.T) {
+	a := NewStreamACF(4)
+	buf := make([]float64, 4)
+	for _, v := range a.Into(buf) { // empty
+		if v != 0 {
+			t.Fatal("empty tracker must report zero ACF")
+		}
+	}
+	a.Push(2)
+	for _, v := range a.Into(buf) { // single value
+		if v != 0 {
+			t.Fatal("single-value tracker must report zero ACF")
+		}
+	}
+	for i := 0; i < 10; i++ { // constant series: c0 = 0
+		a.Push(2)
+	}
+	for _, v := range a.Into(buf) {
+		if v != 0 {
+			t.Fatal("constant series must report zero ACF (matches batch convention)")
+		}
+	}
+	if got := a.At(0); got != 1 {
+		t.Fatalf("At(0) = %v, want 1", got)
+	}
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatal("Reset must rewind the count")
+	}
+	a.Push(1)
+	a.Push(3)
+	want := ACF([]float64{1, 3}, 4)
+	got := a.Into(buf)
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-12 {
+			t.Fatalf("after Reset: lag %d stream %v batch %v", k+1, got[k], want[k])
+		}
+	}
+}

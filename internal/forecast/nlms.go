@@ -1,0 +1,103 @@
+package forecast
+
+// NLMS is a normalised least-mean-squares adaptive linear predictor
+// (Chandak et al., "LFZip", DCC 2020 — the predictor behind LFZip's
+// prediction+quantisation pipeline). It predicts the next value as a
+// learned linear combination of the last Order values and adapts its
+// weights online with the normalised LMS rule
+//
+//	w ← w + μ·e/(δ + ‖h‖²)·h
+//
+// where h is the history window and e the prediction error. It lives next
+// to the forecasting models because it IS one — a one-step-ahead linear
+// forecaster — but its update is deliberately allocation-free and
+// deterministic so the compress plane can drive it inside a codec kernel:
+// when fed the *reconstructed* (decoder-visible) values, encoder and
+// decoder replay bit-identical weight trajectories.
+type NLMS struct {
+	mu    float64
+	delta float64
+
+	w    []float64 // weights, oldest-history first
+	h    []float64 // ring of the last Order fed values
+	pos  int       // next write position in h
+	seen int       // values fed so far (caps history participation)
+}
+
+// NLMS hyperparameters: LFZip's defaults (order 32 is LFZip's; 8 keeps the
+// per-point cost proportionate to the other kernels at equal fidelity).
+const (
+	nlmsOrder = 8
+	nlmsMu    = 0.5
+	nlmsDelta = 1e-6
+)
+
+// NewNLMS returns a predictor with the package defaults.
+func NewNLMS() *NLMS { return NewNLMSWith(nlmsOrder, nlmsMu, nlmsDelta) }
+
+// NewNLMSWith returns a predictor with explicit order, step size, and
+// normalisation floor.
+func NewNLMSWith(order int, mu, delta float64) *NLMS {
+	if order <= 0 {
+		order = nlmsOrder
+	}
+	return &NLMS{
+		mu:    mu,
+		delta: delta,
+		w:     make([]float64, order),
+		h:     make([]float64, order),
+	}
+}
+
+// Order returns the history window length.
+func (p *NLMS) Order() int { return len(p.w) }
+
+// predictFrom computes w·h in a fixed order (oldest tap first) so encode
+// and decode accumulate identically.
+func (p *NLMS) predictFrom() float64 {
+	var y float64
+	n := len(p.w)
+	for i := 0; i < n; i++ {
+		y += p.w[i] * p.h[(p.pos+i)%n]
+	}
+	return y
+}
+
+// Predict returns the prediction for the next value.
+func (p *NLMS) Predict() float64 {
+	if p.seen == 0 {
+		return 0
+	}
+	return p.predictFrom()
+}
+
+// Update feeds the next observed (reconstructed) value: the weights adapt
+// against the prediction recomputed from the current history — not a cached
+// one, so Update is well-defined even when Predict was skipped — and the
+// value enters the history ring. Allocation-free.
+func (p *NLMS) Update(recon float64) {
+	n := len(p.w)
+	if p.seen > 0 {
+		pred := p.predictFrom()
+		var norm float64
+		for _, v := range p.h {
+			norm += v * v
+		}
+		g := p.mu * (recon - pred) / (p.delta + norm)
+		for i := 0; i < n; i++ {
+			p.w[i] += g * p.h[(p.pos+i)%n]
+		}
+	}
+	p.h[p.pos] = recon
+	p.pos = (p.pos + 1) % n
+	p.seen++
+}
+
+// Reset rewinds the predictor to its initial state, keeping its buffers.
+func (p *NLMS) Reset() {
+	for i := range p.w {
+		p.w[i] = 0
+		p.h[i] = 0
+	}
+	p.pos, p.seen = 0, 0
+}

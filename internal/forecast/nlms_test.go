@@ -1,0 +1,68 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The codec contract depends on two NLMS properties: determinism (two
+// predictors fed the same values stay bit-identical, even when one side
+// skips Predict calls) and convergence on a learnable signal (otherwise it
+// compresses nothing).
+func TestNLMSDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc, dec := NewNLMS(), NewNLMS()
+	for i := 0; i < 2000; i++ {
+		v := math.Sin(float64(i)/7) + 0.1*rng.NormFloat64()
+		if i%3 == 0 {
+			_ = enc.Predict() // encoder predicts every point; decoder sometimes skips
+		}
+		pe := enc.Predict()
+		pd := dec.Predict()
+		if pe != pd {
+			t.Fatalf("step %d: predictions diverge (%v vs %v)", i, pe, pd)
+		}
+		enc.Update(v)
+		dec.Update(v)
+	}
+}
+
+func TestNLMSLearnsLinearSignal(t *testing.T) {
+	p := NewNLMS()
+	// A pure AR(1)-style ramp the linear filter can capture.
+	var early, late float64
+	n := 4000
+	for i := 0; i < n; i++ {
+		v := math.Sin(float64(i) / 20)
+		pred := p.Predict()
+		err := math.Abs(v - pred)
+		if i >= 10 && i < 200 {
+			early += err
+		}
+		if i >= n-200 {
+			late += err
+		}
+		p.Update(v)
+	}
+	if late >= early {
+		t.Fatalf("NLMS did not converge: early error %v, late error %v", early, late)
+	}
+}
+
+func TestNLMSReset(t *testing.T) {
+	a, b := NewNLMS(), NewNLMS()
+	for i := 0; i < 100; i++ {
+		a.Update(float64(i % 7))
+	}
+	a.Reset()
+	for i := 0; i < 50; i++ {
+		va := a.Predict()
+		vb := b.Predict()
+		if va != vb {
+			t.Fatalf("step %d after Reset: %v vs fresh %v", i, va, vb)
+		}
+		a.Update(float64(i))
+		b.Update(float64(i))
+	}
+}

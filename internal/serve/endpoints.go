@@ -506,7 +506,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	methods := compress.Methods
+	// Default to every registered parameter-free lossy codec — the registry
+	// is the source of truth, so a newly landed codec (CAMEO, LFZip, or an
+	// external registration) is recommendable without touching this handler.
+	methods := compress.LossyMethods()
 	if raw := r.URL.Query().Get("methods"); raw != "" {
 		methods = nil
 		for _, name := range strings.Split(raw, ",") {

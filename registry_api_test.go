@@ -35,7 +35,7 @@ func init() {
 // seen through the root API: the paper's built-ins plus exactly what this
 // test binary registered — nothing hidden, nothing missing.
 func TestRegisteredListsAreExactlyTheRegistrations(t *testing.T) {
-	wantMethods := []lossyts.Method{"GORILLA", "PMC", "S-PMC", "SWING", "SZ"}
+	wantMethods := []lossyts.Method{"CAMEO", "GORILLA", "LFZIP", "PMC", "S-PMC", "SWING", "SZ"}
 	if got := lossyts.RegisteredMethods(); !reflect.DeepEqual(got, wantMethods) {
 		t.Errorf("RegisteredMethods() = %v, want %v", got, wantMethods)
 	}
